@@ -1,0 +1,196 @@
+//! Criterion benchmarks that regenerate every figure of the paper at
+//! reduced scale — one group per table/figure — plus microbenchmarks of
+//! the simulator's hot paths and the DESIGN.md ablations.
+//!
+//! `cargo bench` prints the measured series (figure shapes) through
+//! Criterion; `cargo run --release -p vex-experiments --bin repro` prints
+//! the full-scale tables.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::sync::Arc;
+use vex_experiments::{fig13, fig14, fig15, fig16, sweep::Sweep, Scale};
+use vex_isa::MachineConfig;
+use vex_mem::{Cache, CacheParams};
+use vex_sim::{CommPolicy, MemoryMode, SimConfig, Technique};
+use vex_workloads::{compile_benchmark, compile_mix, MIXES};
+
+/// Figure 13(a): single-thread benchmark characterisation (two members).
+fn fig13_benchmark_ipc(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig13_benchmark_ipc");
+    g.sample_size(10);
+    for name in ["gsmencode", "idct"] {
+        let program = compile_benchmark(name);
+        g.bench_function(name, |b| {
+            b.iter_batched(
+                || program.clone(),
+                |p| {
+                    let cfg = SimConfig {
+                        technique: Technique::csmt(),
+                        n_threads: 1,
+                        renaming: false,
+                        memory: MemoryMode::Real,
+                        timeslice: u64::MAX,
+                        inst_limit: 20_000,
+                        max_cycles: 10_000_000,
+                        seed: 7,
+                        mt_mode: vex_sim::MtMode::Simultaneous,
+                        respawn: true,
+                        machine: MachineConfig::paper_4c4w(),
+                    };
+                    vex_sim::run_workload(&cfg, &[p]).ipc()
+                },
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+fn run_mix_point(mix_idx: usize, tech: Technique, threads: u8) -> f64 {
+    let programs = compile_mix(&MIXES[mix_idx]);
+    let cfg = vex_experiments::sweep::sim_config(tech, threads, Scale::QUICK, 42);
+    vex_sim::run_workload(&cfg, &programs).ipc()
+}
+
+/// Figure 14: CCSI vs CSMT on the `llhh` mix.
+fn fig14_ccsi_speedup(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig14_ccsi_speedup");
+    g.sample_size(10);
+    for (label, tech) in [
+        ("csmt_4t", Technique::csmt()),
+        ("ccsi_ns_4t", Technique::ccsi(CommPolicy::NoSplit)),
+        ("ccsi_as_4t", Technique::ccsi(CommPolicy::AlwaysSplit)),
+    ] {
+        g.bench_function(label, |b| b.iter(|| run_mix_point(5, tech, 4)));
+    }
+    g.finish();
+}
+
+/// Figure 15: COSI and OOSI vs SMT on the `mmhh` mix.
+fn fig15_split_speedup(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig15_split_speedup");
+    g.sample_size(10);
+    for (label, tech) in [
+        ("smt_4t", Technique::smt()),
+        ("cosi_as_4t", Technique::cosi(CommPolicy::AlwaysSplit)),
+        ("oosi_as_4t", Technique::oosi(CommPolicy::AlwaysSplit)),
+    ] {
+        g.bench_function(label, |b| b.iter(|| run_mix_point(7, tech, 4)));
+    }
+    g.finish();
+}
+
+/// Figure 16: absolute IPC of the eight techniques on `hhhh` (2 threads).
+fn fig16_absolute_ipc(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig16_absolute_ipc");
+    g.sample_size(10);
+    for (label, tech) in Technique::figure16_set() {
+        let id = label.replace(' ', "_").to_lowercase();
+        g.bench_function(id, |b| b.iter(|| run_mix_point(8, tech, 2)));
+    }
+    g.finish();
+}
+
+/// Ablation A1: cluster renaming on/off (CSMT, llll mix, 4 threads).
+fn ablation_renaming(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_renaming");
+    g.sample_size(10);
+    for renaming in [false, true] {
+        let label = if renaming { "renaming_on" } else { "renaming_off" };
+        g.bench_function(label, |b| {
+            b.iter(|| {
+                let programs = compile_mix(&MIXES[0]);
+                let mut cfg =
+                    vex_experiments::sweep::sim_config(Technique::csmt(), 4, Scale::QUICK, 42);
+                cfg.renaming = renaming;
+                vex_sim::run_workload(&cfg, &programs).ipc()
+            })
+        });
+    }
+    g.finish();
+}
+
+/// Microbenchmark: raw simulator cycle throughput per technique.
+fn micro_engine_throughput(c: &mut Criterion) {
+    let mut g = c.benchmark_group("micro_engine_throughput");
+    g.sample_size(10);
+    let p = compile_benchmark("colorspace");
+    for (label, tech) in [
+        ("csmt", Technique::csmt()),
+        ("ccsi_as", Technique::ccsi(CommPolicy::AlwaysSplit)),
+        ("oosi_as", Technique::oosi(CommPolicy::AlwaysSplit)),
+    ] {
+        let progs: Vec<Arc<vex_isa::Program>> = (0..4).map(|_| Arc::clone(&p)).collect();
+        g.bench_function(label, |b| {
+            b.iter(|| {
+                let cfg = SimConfig {
+                    technique: tech,
+                    n_threads: 4,
+                    renaming: true,
+                    memory: MemoryMode::Real,
+                    timeslice: u64::MAX,
+                    inst_limit: 10_000,
+                    max_cycles: 10_000_000,
+                    seed: 3,
+                    mt_mode: vex_sim::MtMode::Simultaneous,
+                    respawn: true,
+                    machine: MachineConfig::paper_4c4w(),
+                };
+                vex_sim::run_workload(&cfg, &progs).cycles
+            })
+        });
+    }
+    g.finish();
+}
+
+/// Microbenchmark: cache access path.
+fn micro_cache(c: &mut Criterion) {
+    c.bench_function("micro_cache_access", |b| {
+        let mut cache = Cache::new(CacheParams::paper());
+        let mut addr = 0u32;
+        b.iter(|| {
+            addr = addr.wrapping_add(4097);
+            cache.access(0, addr)
+        })
+    });
+}
+
+/// Microbenchmark: compiling a full benchmark kernel.
+fn micro_compile(c: &mut Criterion) {
+    let mut g = c.benchmark_group("micro_compile");
+    g.sample_size(10);
+    g.bench_function("compile_idct", |b| {
+        b.iter(|| {
+            let k = (vex_workloads::by_name("idct").unwrap().build)();
+            vex_compiler::compile(&k, &MachineConfig::paper_4c4w()).unwrap()
+        })
+    });
+    g.finish();
+}
+
+/// End-to-end: the full figure pipeline at quick scale (smoke-level).
+fn full_figure_pipeline(c: &mut Criterion) {
+    let mut g = c.benchmark_group("full_figure_pipeline");
+    g.sample_size(10);
+    g.bench_function("fig13_quick", |b| b.iter(|| fig13::run(Scale::QUICK)));
+    g.finish();
+    // Render the real tables once so `cargo bench` output shows the shapes.
+    let sweep = Sweep::run(Scale::QUICK);
+    println!("{}", fig14::render(&fig14::run(&sweep)));
+    println!("{}", fig15::render(&fig15::run(&sweep)));
+    println!("{}", fig16::render(&fig16::run(&sweep)));
+}
+
+criterion_group!(
+    benches,
+    fig13_benchmark_ipc,
+    fig14_ccsi_speedup,
+    fig15_split_speedup,
+    fig16_absolute_ipc,
+    ablation_renaming,
+    micro_engine_throughput,
+    micro_cache,
+    micro_compile,
+    full_figure_pipeline,
+);
+criterion_main!(benches);

@@ -1,0 +1,2 @@
+//! Criterion benchmark harness for the reproduction; see `benches/figures.rs`.
+//! Run with `cargo bench`. Full-scale tables come from the `repro` binary.

@@ -1,0 +1,131 @@
+//! Register allocation: dedicated physical registers per virtual register.
+//!
+//! VEX gives each cluster 64 GPRs (index 0 hardwired to zero) and 8 branch
+//! registers — a lot of architectural state for kernels of the size the
+//! workloads use, so the allocator simply dedicates one physical register to
+//! each virtual register in its assigned cluster. This keeps every
+//! redefinition in place (the IR is SSA-less) and never needs spill code;
+//! kernels that exceed a file get a precise error with per-cluster pressure
+//! so the author can re-pin values.
+
+use crate::cluster::LegalKernel;
+use crate::CompileError;
+use vex_isa::{BReg, MachineConfig, Reg};
+
+/// Physical register maps.
+#[derive(Clone, Debug)]
+pub struct RegAlloc {
+    /// Physical GPR of each vreg (including compiler shadows).
+    pub vreg: Vec<Reg>,
+    /// Physical branch register of each branch-class vreg.
+    pub vbreg: Vec<BReg>,
+}
+
+/// Allocates registers for a legalised kernel.
+pub fn allocate(lk: &LegalKernel, m: &MachineConfig) -> Result<RegAlloc, CompileError> {
+    let n_clusters = m.n_clusters as usize;
+    let mut next_gpr = vec![1u32; n_clusters]; // r0 is the zero register
+    let mut vreg = Vec::with_capacity(lk.vreg_cluster.len());
+    for &c in &lk.vreg_cluster {
+        let idx = next_gpr[c as usize];
+        if idx >= m.n_gprs as u32 {
+            return Err(CompileError::OutOfRegisters {
+                cluster: c,
+                needed: lk
+                    .vreg_cluster
+                    .iter()
+                    .filter(|&&x| x == c)
+                    .count() as u32,
+                available: m.n_gprs as u32 - 1,
+                breg: false,
+            });
+        }
+        next_gpr[c as usize] = idx + 1;
+        vreg.push(Reg::new(c, idx as u8));
+    }
+
+    let mut next_breg = vec![0u32; n_clusters];
+    let mut vbreg = Vec::with_capacity(lk.vbreg_cluster.len());
+    for &c in &lk.vbreg_cluster {
+        let idx = next_breg[c as usize];
+        if idx >= m.n_bregs as u32 {
+            return Err(CompileError::OutOfRegisters {
+                cluster: c,
+                needed: lk
+                    .vbreg_cluster
+                    .iter()
+                    .filter(|&&x| x == c)
+                    .count() as u32,
+                available: m.n_bregs as u32,
+                breg: true,
+            });
+        }
+        next_breg[c as usize] = idx + 1;
+        vbreg.push(BReg::new(c, idx as u8));
+    }
+
+    Ok(RegAlloc { vreg, vbreg })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cluster::{assign_clusters, legalize_xfers};
+    use crate::ir::KernelBuilder;
+
+    #[test]
+    fn registers_start_at_one_and_stay_local() {
+        let m = MachineConfig::paper_4c4w();
+        let mut k = KernelBuilder::new("t");
+        let a = k.vreg_on(1);
+        let b = k.vreg_on(1);
+        k.movi(a, 1);
+        k.movi(b, 2);
+        k.halt();
+        let kernel = k.finish();
+        let asg = assign_clusters(&kernel, &m);
+        let lk = legalize_xfers(&kernel, &asg, &m);
+        let alloc = allocate(&lk, &m).unwrap();
+        assert_eq!(alloc.vreg[0], Reg::new(1, 1));
+        assert_eq!(alloc.vreg[1], Reg::new(1, 2));
+    }
+
+    #[test]
+    fn gpr_exhaustion_is_reported() {
+        let m = MachineConfig::paper_4c4w();
+        let mut k = KernelBuilder::new("t");
+        let regs: Vec<_> = (0..70).map(|_| k.vreg_on(0)).collect();
+        for &r in &regs {
+            k.movi(r, 0);
+        }
+        k.halt();
+        let kernel = k.finish();
+        let asg = assign_clusters(&kernel, &m);
+        let lk = legalize_xfers(&kernel, &asg, &m);
+        match allocate(&lk, &m) {
+            Err(CompileError::OutOfRegisters { cluster: 0, breg: false, .. }) => {}
+            other => panic!("expected GPR exhaustion, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn breg_exhaustion_is_reported() {
+        let m = MachineConfig::paper_4c4w();
+        let mut k = KernelBuilder::new("t");
+        let x = k.vreg_on(0);
+        let d = k.vreg_on(0);
+        k.movi(x, 1);
+        // 40 selects need 40 branch registers; 4 clusters provide 32.
+        for _ in 0..40 {
+            k.select(crate::ir::CmpKind::Lt, d, x, 5, 1, 2);
+        }
+        k.halt();
+        let kernel = k.finish();
+        let asg = assign_clusters(&kernel, &m);
+        let lk = legalize_xfers(&kernel, &asg, &m);
+        match allocate(&lk, &m) {
+            Err(CompileError::OutOfRegisters { breg: true, .. }) => {}
+            other => panic!("expected breg exhaustion, got {other:?}"),
+        }
+    }
+}

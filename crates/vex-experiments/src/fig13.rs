@@ -1,0 +1,90 @@
+//! Figure 13(a): benchmark characterisation — IPC with real memory (IPCr)
+//! and perfect memory (IPCp) on the single-threaded 16-issue machine,
+//! side by side with the paper's numbers.
+
+use crate::table::{f2, Table};
+use crate::{default_workers, parallel_map, Scale};
+use vex_sim::{MemoryMode, SimConfig, Technique};
+use vex_workloads::{compile_benchmark, BENCHMARKS};
+
+/// One benchmark's measured and reference numbers.
+#[derive(Clone, Debug)]
+pub struct Row {
+    /// Benchmark name.
+    pub name: &'static str,
+    /// ILP class letter.
+    pub class: char,
+    /// Measured IPC, real memory.
+    pub ipcr: f64,
+    /// Measured IPC, perfect memory.
+    pub ipcp: f64,
+    /// Paper IPCr.
+    pub paper_ipcr: f64,
+    /// Paper IPCp.
+    pub paper_ipcp: f64,
+}
+
+/// Runs the characterisation at the given scale.
+pub fn run(scale: Scale) -> Vec<Row> {
+    let jobs: Vec<_> = BENCHMARKS
+        .iter()
+        .flat_map(|b| {
+            [MemoryMode::Real, MemoryMode::Perfect].map(|mem| {
+                move || {
+                    let program = compile_benchmark(b.name);
+                    let cfg = SimConfig {
+                        technique: Technique::csmt(),
+                        n_threads: 1,
+                        renaming: false,
+                        memory: mem,
+                        timeslice: u64::MAX,
+                        inst_limit: scale.inst_limit,
+                        max_cycles: 2_000_000_000,
+                        seed: 7,
+                        mt_mode: vex_sim::MtMode::Simultaneous,
+                        respawn: true,
+                        machine: vex_isa::MachineConfig::paper_4c4w(),
+                    };
+                    vex_sim::run_workload(&cfg, &[program]).ipc()
+                }
+            })
+        })
+        .collect();
+    let ipcs = parallel_map(jobs, default_workers());
+
+    BENCHMARKS
+        .iter()
+        .enumerate()
+        .map(|(i, b)| Row {
+            name: b.name,
+            class: b.ilp.letter(),
+            ipcr: ipcs[2 * i],
+            ipcp: ipcs[2 * i + 1],
+            paper_ipcr: b.paper_ipcr,
+            paper_ipcp: b.paper_ipcp,
+        })
+        .collect()
+}
+
+/// Renders the table in the paper's layout plus measured columns.
+pub fn render(rows: &[Row]) -> String {
+    let mut t = Table::new(&[
+        "Benchmark",
+        "ILP",
+        "IPCr (paper)",
+        "IPCr (ours)",
+        "IPCp (paper)",
+        "IPCp (ours)",
+    ]);
+    for r in rows {
+        t.row(vec![
+            r.name.to_string(),
+            r.class.to_string(),
+            f2(r.paper_ipcr),
+            f2(r.ipcr),
+            f2(r.paper_ipcp),
+            f2(r.ipcp),
+        ]);
+    }
+    format!("## Figure 13(a): benchmark IPC characterisation\n\n{}", t.render())
+}

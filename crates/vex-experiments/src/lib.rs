@@ -1,0 +1,108 @@
+//! # vex-experiments — regenerating the paper's evaluation
+//!
+//! One module per figure of Gupta et al. (IPDPS-W 2010) §VI, plus the
+//! ablations called out in DESIGN.md:
+//!
+//! * [`fig13`] — the benchmark characterisation table (IPCr / IPCp),
+//! * [`fig14`] — CCSI speedups over CSMT (cluster-level merging),
+//! * [`fig15`] — COSI and OOSI speedups over SMT (operation-level merging),
+//! * [`fig16`] — absolute IPC of all eight techniques,
+//! * [`ablate`] — cluster renaming, communication-split and timeslice
+//!   sensitivity studies.
+//!
+//! All figures consume a shared [`sweep::Sweep`] so each (mix, technique,
+//! thread-count) point is simulated exactly once; runs fan out over OS
+//! threads with `std::thread::scope`. Absolute IPC values will not match a
+//! 2010 ST200-class testbed, but the *shape* — who wins, by what factor,
+//! where NS hurts — is the reproduction target (see EXPERIMENTS.md).
+
+#![warn(missing_docs)]
+
+pub mod ablate;
+pub mod fig13;
+pub mod fig14;
+pub mod fig15;
+pub mod fig16;
+pub mod sweep;
+pub mod table;
+
+/// Scale of an experiment run (the paper uses 200M instructions and 5M
+/// cycle timeslices; we scale down proportionally).
+#[derive(Clone, Copy, Debug)]
+pub struct Scale {
+    /// Per-benchmark instruction budget terminating a run.
+    pub inst_limit: u64,
+    /// Timeslice length in cycles.
+    pub timeslice: u64,
+}
+
+impl Scale {
+    /// Quick runs for smoke tests and Criterion benches.
+    pub const QUICK: Scale = Scale {
+        inst_limit: 40_000,
+        timeslice: 10_000,
+    };
+    /// Default scale: stable IPC, seconds per figure.
+    pub const DEFAULT: Scale = Scale {
+        inst_limit: 150_000,
+        timeslice: 25_000,
+    };
+    /// Closer to the paper's ratios (slower).
+    pub const FULL: Scale = Scale {
+        inst_limit: 600_000,
+        timeslice: 100_000,
+    };
+}
+
+/// Runs `jobs` closures on up to `workers` OS threads, preserving output
+/// order. Used to fan the simulation grid out across cores.
+pub fn parallel_map<T, F>(jobs: Vec<F>, workers: usize) -> Vec<T>
+where
+    T: Send,
+    F: FnOnce() -> T + Send,
+{
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Mutex;
+
+    let n = jobs.len();
+    let jobs: Vec<Mutex<Option<F>>> = jobs.into_iter().map(|j| Mutex::new(Some(j))).collect();
+    let results: Vec<Mutex<Option<T>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+
+    std::thread::scope(|s| {
+        for _ in 0..workers.max(1).min(n.max(1)) {
+            s.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let job = jobs[i].lock().unwrap().take().unwrap();
+                *results[i].lock().unwrap() = Some(job());
+            });
+        }
+    });
+
+    results
+        .into_iter()
+        .map(|r| r.into_inner().unwrap().expect("job ran"))
+        .collect()
+}
+
+/// Number of worker threads to use for sweeps.
+pub fn default_workers() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parallel_map_preserves_order() {
+        let jobs: Vec<_> = (0..32).map(|i| move || i * 2).collect();
+        let out = parallel_map(jobs, 8);
+        assert_eq!(out, (0..32).map(|i| i * 2).collect::<Vec<_>>());
+    }
+}

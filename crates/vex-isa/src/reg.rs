@@ -1,0 +1,97 @@
+//! Register naming: clustered general-purpose and branch registers.
+
+use std::fmt;
+
+/// Index of a cluster (0-based). The paper's machine has four clusters.
+pub type ClusterId = u8;
+
+/// A general-purpose register, `$r<cluster>.<index>` in VEX assembly.
+///
+/// Register index 0 is hardwired to zero in every cluster, mirroring VEX:
+/// reads return 0 and writes are discarded. The compiler exploits this for
+/// materialising constants and discarding results.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Reg {
+    /// Cluster whose register file holds this register.
+    pub cluster: ClusterId,
+    /// Register index within the cluster file (0..n_gprs).
+    pub index: u8,
+}
+
+impl Reg {
+    /// Creates a register reference.
+    pub const fn new(cluster: ClusterId, index: u8) -> Self {
+        Reg { cluster, index }
+    }
+
+    /// The hardwired-zero register of `cluster`.
+    pub const fn zero(cluster: ClusterId) -> Self {
+        Reg { cluster, index: 0 }
+    }
+
+    /// Whether this is the hardwired-zero register.
+    pub const fn is_zero(self) -> bool {
+        self.index == 0
+    }
+}
+
+impl fmt::Debug for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "$r{}.{}", self.cluster, self.index)
+    }
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "$r{}.{}", self.cluster, self.index)
+    }
+}
+
+/// A single-bit branch register, `$b<cluster>.<index>` in VEX assembly.
+///
+/// Branch registers are written by compare operations and read by conditional
+/// branches and select operations. VEX gives each cluster eight of them.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct BReg {
+    /// Cluster whose branch register file holds this register.
+    pub cluster: ClusterId,
+    /// Branch register index within the cluster file (0..n_bregs).
+    pub index: u8,
+}
+
+impl BReg {
+    /// Creates a branch register reference.
+    pub const fn new(cluster: ClusterId, index: u8) -> Self {
+        BReg { cluster, index }
+    }
+}
+
+impl fmt::Debug for BReg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "$b{}.{}", self.cluster, self.index)
+    }
+}
+
+impl fmt::Display for BReg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "$b{}.{}", self.cluster, self.index)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_register_identity() {
+        assert!(Reg::zero(2).is_zero());
+        assert!(!Reg::new(2, 1).is_zero());
+        assert_eq!(Reg::zero(2).cluster, 2);
+    }
+
+    #[test]
+    fn display_matches_vex_syntax() {
+        assert_eq!(Reg::new(1, 17).to_string(), "$r1.17");
+        assert_eq!(BReg::new(0, 3).to_string(), "$b0.3");
+    }
+}

@@ -1,0 +1,215 @@
+//! Functional backing store: a flat, sparsely-allocated byte-addressable
+//! memory private to one program run.
+
+/// Log2 of the allocation granule (64KB pages).
+const PAGE_SHIFT: u32 = 16;
+/// Allocation granule in bytes.
+const PAGE_SIZE: usize = 1 << PAGE_SHIFT;
+
+/// Sparse little-endian memory. Pages materialise zero-filled on first
+/// touch, so untouched reads return zero like a fresh process image.
+///
+/// Addresses are 32-bit; the page directory is a flat vector indexed by the
+/// high address bits, so lookups are one shift and one bounds-checked index
+/// (no hashing on the simulator's hot path).
+#[derive(Clone, Debug, Default)]
+pub struct Memory {
+    pages: Vec<Option<Box<[u8]>>>,
+}
+
+impl Memory {
+    /// An empty memory.
+    pub fn new() -> Self {
+        Memory { pages: Vec::new() }
+    }
+
+    /// Bytes currently materialised (for footprint reporting).
+    pub fn resident_bytes(&self) -> usize {
+        self.pages.iter().filter(|p| p.is_some()).count() * PAGE_SIZE
+    }
+
+    /// Clears all contents (returns to the all-zero image).
+    pub fn clear(&mut self) {
+        self.pages.clear();
+    }
+
+    #[inline]
+    fn page(&self, addr: u32) -> Option<&[u8]> {
+        self.pages
+            .get((addr >> PAGE_SHIFT) as usize)
+            .and_then(|p| p.as_deref())
+    }
+
+    #[inline]
+    fn page_mut(&mut self, addr: u32) -> &mut [u8] {
+        let idx = (addr >> PAGE_SHIFT) as usize;
+        if idx >= self.pages.len() {
+            self.pages.resize_with(idx + 1, || None);
+        }
+        self.pages[idx].get_or_insert_with(|| vec![0u8; PAGE_SIZE].into_boxed_slice())
+    }
+
+    /// Reads one byte.
+    #[inline]
+    pub fn read_u8(&self, addr: u32) -> u8 {
+        match self.page(addr) {
+            Some(p) => p[(addr as usize) & (PAGE_SIZE - 1)],
+            None => 0,
+        }
+    }
+
+    /// Writes one byte.
+    #[inline]
+    pub fn write_u8(&mut self, addr: u32, v: u8) {
+        let off = (addr as usize) & (PAGE_SIZE - 1);
+        self.page_mut(addr)[off] = v;
+    }
+
+    /// Reads a little-endian 16-bit value (any alignment).
+    #[inline]
+    pub fn read_u16(&self, addr: u32) -> u16 {
+        u16::from_le_bytes([self.read_u8(addr), self.read_u8(addr.wrapping_add(1))])
+    }
+
+    /// Writes a little-endian 16-bit value.
+    #[inline]
+    pub fn write_u16(&mut self, addr: u32, v: u16) {
+        let b = v.to_le_bytes();
+        self.write_u8(addr, b[0]);
+        self.write_u8(addr.wrapping_add(1), b[1]);
+    }
+
+    /// Reads a little-endian 32-bit value (any alignment; aligned accesses
+    /// within one page take a fast path).
+    #[inline]
+    pub fn read_u32(&self, addr: u32) -> u32 {
+        let off = (addr as usize) & (PAGE_SIZE - 1);
+        if off + 4 <= PAGE_SIZE {
+            if let Some(p) = self.page(addr) {
+                return u32::from_le_bytes([p[off], p[off + 1], p[off + 2], p[off + 3]]);
+            }
+            return 0;
+        }
+        u32::from_le_bytes([
+            self.read_u8(addr),
+            self.read_u8(addr.wrapping_add(1)),
+            self.read_u8(addr.wrapping_add(2)),
+            self.read_u8(addr.wrapping_add(3)),
+        ])
+    }
+
+    /// Writes a little-endian 32-bit value.
+    #[inline]
+    pub fn write_u32(&mut self, addr: u32, v: u32) {
+        let off = (addr as usize) & (PAGE_SIZE - 1);
+        if off + 4 <= PAGE_SIZE {
+            let p = self.page_mut(addr);
+            p[off..off + 4].copy_from_slice(&v.to_le_bytes());
+            return;
+        }
+        for (i, b) in v.to_le_bytes().into_iter().enumerate() {
+            self.write_u8(addr.wrapping_add(i as u32), b);
+        }
+    }
+
+    /// Copies a byte slice into memory at `base`.
+    pub fn write_bytes(&mut self, base: u32, bytes: &[u8]) {
+        for (i, &b) in bytes.iter().enumerate() {
+            self.write_u8(base.wrapping_add(i as u32), b);
+        }
+    }
+
+    /// Reads `len` bytes starting at `base`.
+    pub fn read_bytes(&self, base: u32, len: usize) -> Vec<u8> {
+        (0..len)
+            .map(|i| self.read_u8(base.wrapping_add(i as u32)))
+            .collect()
+    }
+
+    /// A short, order-independent-free digest of the resident image, used by
+    /// tests to compare final architectural memory states cheaply (FNV-1a
+    /// over (page index, bytes) in page order).
+    pub fn digest(&self) -> u64 {
+        let mut h: u64 = 0xcbf29ce484222325;
+        let mut mix = |b: u8| {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100000001b3);
+        };
+        for (idx, page) in self.pages.iter().enumerate() {
+            if let Some(p) = page {
+                // Skip all-zero pages: they are indistinguishable from
+                // untouched ones architecturally.
+                if p.iter().all(|&b| b == 0) {
+                    continue;
+                }
+                for b in (idx as u32).to_le_bytes() {
+                    mix(b);
+                }
+                for &b in p.iter() {
+                    mix(b);
+                }
+            }
+        }
+        h
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn untouched_reads_zero() {
+        let m = Memory::new();
+        assert_eq!(m.read_u32(0x1234), 0);
+        assert_eq!(m.read_u8(0xffff_fff0), 0);
+    }
+
+    #[test]
+    fn round_trip_word() {
+        let mut m = Memory::new();
+        m.write_u32(0x100, 0xdead_beef);
+        assert_eq!(m.read_u32(0x100), 0xdead_beef);
+        assert_eq!(m.read_u8(0x100), 0xef); // little-endian
+        assert_eq!(m.read_u16(0x102), 0xdead);
+    }
+
+    #[test]
+    fn cross_page_word() {
+        let mut m = Memory::new();
+        let addr = (1 << PAGE_SHIFT) - 2; // straddles the page boundary
+        m.write_u32(addr, 0x0102_0304);
+        assert_eq!(m.read_u32(addr), 0x0102_0304);
+    }
+
+    #[test]
+    fn bytes_round_trip() {
+        let mut m = Memory::new();
+        let data: Vec<u8> = (0..=255).collect();
+        m.write_bytes(0x8000, &data);
+        assert_eq!(m.read_bytes(0x8000, 256), data);
+    }
+
+    #[test]
+    fn digest_distinguishes_states_and_ignores_zero_pages() {
+        let mut a = Memory::new();
+        let mut b = Memory::new();
+        assert_eq!(a.digest(), b.digest());
+        a.write_u32(0x40, 7);
+        assert_ne!(a.digest(), b.digest());
+        b.write_u32(0x40, 7);
+        assert_eq!(a.digest(), b.digest());
+        // Touching a page with zeros only must not change the digest.
+        b.write_u8(0x9_0000, 0);
+        assert_eq!(a.digest(), b.digest());
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut m = Memory::new();
+        m.write_u32(0x100, 1);
+        m.clear();
+        assert_eq!(m.read_u32(0x100), 0);
+        assert_eq!(m.resident_bytes(), 0);
+    }
+}

@@ -1,0 +1,144 @@
+//! Model-based property tests for the cache: the set-associative LRU
+//! implementation must agree, access for access, with a naive reference
+//! model (per-set vectors with explicit recency ordering).
+
+use proptest::prelude::*;
+use vex_mem::{Cache, CacheParams};
+
+/// Naive reference: per set, a most-recently-used-first list of tags.
+struct RefLru {
+    params: CacheParams,
+    sets: Vec<Vec<u64>>,
+}
+
+impl RefLru {
+    fn new(params: CacheParams) -> Self {
+        RefLru {
+            sets: vec![Vec::new(); params.n_sets() as usize],
+            params,
+        }
+    }
+
+    fn access(&mut self, asid: u16, addr: u32) -> bool {
+        let line = addr / self.params.line_bytes;
+        let set = (line % self.params.n_sets()) as usize;
+        let tag = ((asid as u64) << 32) | line as u64;
+        let ways = self.params.assoc as usize;
+        let s = &mut self.sets[set];
+        if let Some(pos) = s.iter().position(|&t| t == tag) {
+            let t = s.remove(pos);
+            s.insert(0, t);
+            true
+        } else {
+            s.insert(0, tag);
+            s.truncate(ways);
+            false
+        }
+    }
+}
+
+fn tiny_params() -> CacheParams {
+    CacheParams {
+        size_bytes: 1024,
+        assoc: 4,
+        line_bytes: 32,
+    }
+}
+
+proptest! {
+    /// Every access sequence produces identical hit/miss outcomes in the
+    /// real cache and the reference model.
+    #[test]
+    fn lru_matches_reference_model(
+        accesses in prop::collection::vec((0u16..3, 0u32..8192), 1..600)
+    ) {
+        let params = tiny_params();
+        let mut cache = Cache::new(params);
+        let mut model = RefLru::new(params);
+        for (i, (asid, addr)) in accesses.iter().enumerate() {
+            let real = cache.access(*asid, *addr);
+            let want = model.access(*asid, *addr);
+            prop_assert_eq!(real, want, "divergence at access {} ({:x})", i, addr);
+        }
+    }
+
+    /// Counter bookkeeping: hits + misses == accesses, evictions < misses+1.
+    #[test]
+    fn counters_are_consistent(
+        accesses in prop::collection::vec(0u32..65536, 1..400)
+    ) {
+        let mut cache = Cache::new(tiny_params());
+        for a in &accesses {
+            cache.access(0, *a);
+        }
+        let s = cache.stats();
+        prop_assert_eq!(s.accesses(), accesses.len() as u64);
+        prop_assert!(s.evictions <= s.misses);
+        prop_assert!(s.miss_ratio() >= 0.0 && s.miss_ratio() <= 1.0);
+    }
+
+    /// A working set that fits within one set's ways never misses after
+    /// the cold pass, regardless of access order.
+    #[test]
+    fn resident_set_always_hits_after_warmup(
+        order in prop::collection::vec(0usize..4, 16..200)
+    ) {
+        let params = tiny_params(); // 8 sets, 4 ways
+        let mut cache = Cache::new(params);
+        // Four lines, all mapping to set 0 (stride = sets * line).
+        let stride = params.n_sets() * params.line_bytes;
+        let lines: Vec<u32> = (0..4).map(|i| i * stride).collect();
+        for &l in &lines {
+            cache.access(0, l);
+        }
+        cache.reset_stats();
+        for &i in &order {
+            prop_assert!(cache.access(0, lines[i]), "line {i} missed while resident");
+        }
+    }
+}
+
+/// Functional memory: a write-then-read sequence behaves like a HashMap of
+/// bytes (model-based).
+mod memory_model {
+    use proptest::prelude::*;
+    use std::collections::HashMap;
+    use vex_mem::Memory;
+
+    proptest! {
+        #[test]
+        fn memory_matches_byte_map(
+            ops in prop::collection::vec(
+                (any::<bool>(), 0u32..1_000_000, any::<u32>(), 1u8..5), 1..300)
+        ) {
+            let mut mem = Memory::new();
+            let mut model: HashMap<u32, u8> = HashMap::new();
+            for (is_write, addr, value, size) in ops {
+                let size = match size { 1 => 1u32, 2 => 2, _ => 4 };
+                if is_write {
+                    match size {
+                        1 => mem.write_u8(addr, value as u8),
+                        2 => mem.write_u16(addr, value as u16),
+                        _ => mem.write_u32(addr, value),
+                    }
+                    for (i, b) in value.to_le_bytes().into_iter().take(size as usize).enumerate() {
+                        model.insert(addr.wrapping_add(i as u32), b);
+                    }
+                } else {
+                    let got = match size {
+                        1 => mem.read_u8(addr) as u32,
+                        2 => mem.read_u16(addr) as u32,
+                        _ => mem.read_u32(addr),
+                    };
+                    let mut want = [0u8; 4];
+                    for i in 0..size {
+                        want[i as usize] =
+                            *model.get(&addr.wrapping_add(i)).unwrap_or(&0);
+                    }
+                    let want = u32::from_le_bytes(want) & if size == 4 { u32::MAX } else { (1 << (8 * size)) - 1 };
+                    prop_assert_eq!(got, want);
+                }
+            }
+        }
+    }
+}

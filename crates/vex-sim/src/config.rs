@@ -1,0 +1,232 @@
+//! Simulation configuration: the technique matrix of the paper's Figure 4
+//! and the run parameters of §VI-A.
+
+use vex_isa::MachineConfig;
+
+/// How instructions from different threads merge into one execution packet.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum MergePolicy {
+    /// Operation-level merging (classic SMT): two threads may share a
+    /// cluster in the same cycle as long as issue slots and functional
+    /// units suffice.
+    Operation,
+    /// Cluster-level merging (CSMT, Gupta et al. ICCD'07): a cluster holds
+    /// the bundle of at most one thread per cycle; conflicts are detected
+    /// at cluster granularity only.
+    Cluster,
+}
+
+/// Whether (and at which granularity) a VLIW instruction may issue in parts.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum SplitPolicy {
+    /// No split: instructions issue in their entirety (SMT / CSMT).
+    None,
+    /// Cluster-level split-issue (this paper): bundles of one instruction
+    /// may issue in different cycles; operations inside a bundle never
+    /// separate.
+    Cluster,
+    /// Operation-level split-issue (Rau '93 / Iyer et al. '04): each
+    /// operation may issue independently.
+    Operation,
+}
+
+/// Treatment of instructions containing inter-cluster `send`/`recv` pairs
+/// (§VI-B).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum CommPolicy {
+    /// "No split communication": instructions with communication operations
+    /// never split, so compiler assumptions are never violated and no extra
+    /// hardware is required.
+    NoSplit,
+    /// "Always split": such instructions split too; the receive side
+    /// buffers early data (send-before-recv) or records the destination
+    /// register for later forwarding (recv-before-send).
+    AlwaysSplit,
+}
+
+/// A named point in the paper's technique matrix (Figure 4).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct Technique {
+    /// Merge granularity.
+    pub merge: MergePolicy,
+    /// Split granularity.
+    pub split: SplitPolicy,
+    /// Communication-instruction policy (irrelevant when `split` is
+    /// [`SplitPolicy::None`]).
+    pub comm: CommPolicy,
+}
+
+impl Technique {
+    /// CSMT: cluster-level merging, no split-issue.
+    pub const fn csmt() -> Self {
+        Technique {
+            merge: MergePolicy::Cluster,
+            split: SplitPolicy::None,
+            comm: CommPolicy::NoSplit,
+        }
+    }
+
+    /// SMT: operation-level merging, no split-issue.
+    pub const fn smt() -> Self {
+        Technique {
+            merge: MergePolicy::Operation,
+            split: SplitPolicy::None,
+            comm: CommPolicy::NoSplit,
+        }
+    }
+
+    /// CCSI: cluster-level merging with cluster-level split-issue — the
+    /// paper's headline proposal.
+    pub const fn ccsi(comm: CommPolicy) -> Self {
+        Technique {
+            merge: MergePolicy::Cluster,
+            split: SplitPolicy::Cluster,
+            comm,
+        }
+    }
+
+    /// COSI: operation-level merging with cluster-level split-issue.
+    pub const fn cosi(comm: CommPolicy) -> Self {
+        Technique {
+            merge: MergePolicy::Operation,
+            split: SplitPolicy::Cluster,
+            comm,
+        }
+    }
+
+    /// OOSI: operation-level merging with operation-level split-issue (the
+    /// prior proposal the paper compares against).
+    pub const fn oosi(comm: CommPolicy) -> Self {
+        Technique {
+            merge: MergePolicy::Operation,
+            split: SplitPolicy::Operation,
+            comm,
+        }
+    }
+
+    /// All eight configurations evaluated in the paper's Figure 16, in its
+    /// display order, with short labels.
+    pub fn figure16_set() -> Vec<(&'static str, Technique)> {
+        use CommPolicy::*;
+        vec![
+            ("CSMT", Technique::csmt()),
+            ("CCSI NS", Technique::ccsi(NoSplit)),
+            ("CCSI AS", Technique::ccsi(AlwaysSplit)),
+            ("SMT", Technique::smt()),
+            ("COSI NS", Technique::cosi(NoSplit)),
+            ("COSI AS", Technique::cosi(AlwaysSplit)),
+            ("OOSI NS", Technique::oosi(NoSplit)),
+            ("OOSI AS", Technique::oosi(AlwaysSplit)),
+        ]
+    }
+
+    /// Short display label ("CCSI AS" etc.).
+    pub fn label(&self) -> String {
+        let base = match (self.merge, self.split) {
+            (MergePolicy::Cluster, SplitPolicy::None) => return "CSMT".to_string(),
+            (MergePolicy::Operation, SplitPolicy::None) => return "SMT".to_string(),
+            (MergePolicy::Cluster, SplitPolicy::Cluster) => "CCSI",
+            (MergePolicy::Operation, SplitPolicy::Cluster) => "COSI",
+            (MergePolicy::Operation, SplitPolicy::Operation) => "OOSI",
+            (MergePolicy::Cluster, SplitPolicy::Operation) => "C-OSI(!)",
+        };
+        match self.comm {
+            CommPolicy::NoSplit => format!("{base} NS"),
+            CommPolicy::AlwaysSplit => format!("{base} AS"),
+        }
+    }
+}
+
+/// Multithreading discipline (paper §I): SMT-class schemes issue from
+/// several threads per cycle; the older schemes pick one thread per cycle
+/// and therefore only reduce *vertical* waste.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum MtMode {
+    /// Simultaneous: multiple threads share each cycle according to the
+    /// configured [`Technique`] (the paper's setting).
+    Simultaneous,
+    /// Interleaved MT (HEP/Tera style): a zero-cost context switch every
+    /// cycle — only the rotating priority thread may issue.
+    Interleaved,
+    /// Block MT (MSparc style): one thread runs until it blocks on a
+    /// long-latency event (cache miss), then the next takes over.
+    Blocked,
+}
+
+/// Memory-system selection for a run.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum MemoryMode {
+    /// The paper's caches (64KB 4-way I$/D$, 20-cycle miss) — *IPCr* runs.
+    Real,
+    /// Perfect memory, no misses — *IPCp* runs.
+    Perfect,
+}
+
+/// Full run configuration.
+#[derive(Clone, Debug)]
+pub struct SimConfig {
+    /// Machine description (defaults to the paper's 4-cluster, 4-issue).
+    pub machine: MachineConfig,
+    /// Issue technique.
+    pub technique: Technique,
+    /// Multithreading discipline (the intro's BMT/IMT baselines versus
+    /// the SMT family; [`MtMode::Simultaneous`] for all paper results).
+    pub mt_mode: MtMode,
+    /// Hardware thread contexts.
+    pub n_threads: u8,
+    /// Cluster renaming (§IV): thread *t* statically rotated by *t*. The
+    /// paper enables it for all SMT/CSMT experiments.
+    pub renaming: bool,
+    /// Cache model.
+    pub memory: MemoryMode,
+    /// Multitasking timeslice in cycles (paper: 5M; scaled in experiments).
+    pub timeslice: u64,
+    /// Stop once any benchmark has retired this many VLIW instructions
+    /// (paper: 200M; scaled in experiments).
+    pub inst_limit: u64,
+    /// Hard safety bound on simulated cycles.
+    pub max_cycles: u64,
+    /// Seed for the timeslice replacement scheduler.
+    pub seed: u64,
+    /// Respawn benchmarks that finish before the instruction limit (§VI-A).
+    pub respawn: bool,
+}
+
+impl SimConfig {
+    /// A configuration mirroring the paper's experimental setup, scaled
+    /// down: same machine/caches, smaller timeslice and instruction budget.
+    pub fn paper(technique: Technique, n_threads: u8) -> Self {
+        SimConfig {
+            machine: MachineConfig::paper_4c4w(),
+            technique,
+            n_threads,
+            renaming: true,
+            memory: MemoryMode::Real,
+            timeslice: 50_000,
+            inst_limit: 300_000,
+            max_cycles: 50_000_000,
+            seed: 0xC0FFEE,
+            mt_mode: crate::config::MtMode::Simultaneous,
+            respawn: true,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels() {
+        assert_eq!(Technique::csmt().label(), "CSMT");
+        assert_eq!(Technique::smt().label(), "SMT");
+        assert_eq!(Technique::ccsi(CommPolicy::AlwaysSplit).label(), "CCSI AS");
+        assert_eq!(Technique::cosi(CommPolicy::NoSplit).label(), "COSI NS");
+        assert_eq!(Technique::oosi(CommPolicy::AlwaysSplit).label(), "OOSI AS");
+    }
+
+    #[test]
+    fn figure16_has_eight_points() {
+        assert_eq!(Technique::figure16_set().len(), 8);
+    }
+}

@@ -1,0 +1,573 @@
+//! The cycle-accurate multithreaded execution engine.
+//!
+//! Each cycle proceeds in two phases, mirroring the paper's issue stage:
+//!
+//! 1. **Issue.** Thread priorities rotate round-robin (§VI-A). In priority
+//!    order, each runnable hardware thread tries to add its pending
+//!    instruction — or pending *parts* of it, under split-issue — to the
+//!    execution packet. The highest-priority thread always issues whatever
+//!    it has pending in its entirety (Figure 7(b)); lower-priority threads
+//!    contribute whatever the merge/split policy admits. Data-cache probes
+//!    happen as memory operations issue; a miss stalls the *owning thread*
+//!    for the miss penalty while others keep issuing.
+//! 2. **Commit.** Instructions whose last part issued this cycle commit:
+//!    delay buffers drain into register files and memory, branches redirect
+//!    the thread (taken-branch penalty 1), `halt` retires or respawns the
+//!    run. Buffered stores from earlier-issued parts need data-cache ports
+//!    *now*; if ports over-subscribe, the whole pipeline stalls for the
+//!    excess cycles (Figure 11, §V-D).
+//!
+//! A timeslice scheduler multiplexes more benchmark contexts than hardware
+//! threads, replacing threads at random at each expiry (§VI-A).
+
+use crate::config::{CommPolicy, MemoryMode, MergePolicy, MtMode, SimConfig, SplitPolicy};
+use crate::packet::Packet;
+use crate::rng::SplitMix64;
+use crate::stats::SimStats;
+use crate::thread::{CtrlEffect, ThreadCtx};
+use std::sync::Arc;
+use vex_isa::{FuKind, Program};
+use vex_mem::MemSystem;
+
+/// One issue event, recorded when tracing is enabled: context `ctx` issued
+/// `ops` operations of instruction `inst_idx` at `cycle`; `completed` marks
+/// the last part.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct IssueEvent {
+    /// Cycle of the event.
+    pub cycle: u64,
+    /// Context (workload program) index.
+    pub ctx: usize,
+    /// Instruction index within the program.
+    pub inst_idx: usize,
+    /// Operations issued this cycle (0 for a vertical NOP).
+    pub ops: u32,
+    /// Whether the instruction finished issuing (commits this cycle).
+    pub completed: bool,
+}
+
+/// Why a run stopped.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum StopReason {
+    /// A benchmark reached the configured instruction budget.
+    InstLimit,
+    /// Every context retired (respawn disabled and all programs halted).
+    AllRetired,
+    /// The `max_cycles` safety bound fired.
+    MaxCycles,
+}
+
+/// The simulator.
+#[derive(Clone, Debug)]
+pub struct Engine {
+    /// Run configuration.
+    pub cfg: SimConfig,
+    /// Shared memory system (I$/D$ + penalties).
+    pub mem: MemSystem,
+    /// All benchmark contexts of the workload.
+    pub contexts: Vec<ThreadCtx>,
+    /// Hardware thread slots: index into `contexts`.
+    pub slots: Vec<Option<usize>>,
+    /// Current cycle.
+    pub cycle: u64,
+    /// Aggregated statistics.
+    pub stats: SimStats,
+    /// Issue trace, populated when enabled via [`Engine::enable_trace`].
+    pub trace: Option<Vec<IssueEvent>>,
+    packet: Packet,
+    global_stall: u64,
+    rng: SplitMix64,
+    next_switch: u64,
+    rotation: usize,
+    /// Sticky slot for Block MT: the thread that keeps issuing until it
+    /// blocks on a long-latency event.
+    bmt_current: usize,
+}
+
+impl Engine {
+    /// Builds an engine over a workload (one context per program).
+    pub fn new(cfg: SimConfig, programs: &[Arc<Program>]) -> Self {
+        assert!(!programs.is_empty(), "workload must contain programs");
+        assert!(cfg.n_threads >= 1);
+        let mem = match cfg.memory {
+            MemoryMode::Real => MemSystem::paper(),
+            MemoryMode::Perfect => MemSystem::perfect(),
+        };
+        let contexts: Vec<ThreadCtx> = programs
+            .iter()
+            .enumerate()
+            .map(|(i, p)| ThreadCtx::new(Arc::clone(p), i as u16, cfg.machine.n_clusters, 0))
+            .collect();
+        let n_threads = cfg.n_threads;
+        let timeslice = cfg.timeslice;
+        let seed = cfg.seed;
+        let mut e = Engine {
+            mem,
+            contexts,
+            slots: vec![None; n_threads as usize],
+            cycle: 0,
+            stats: SimStats {
+                per_thread: vec![Default::default(); programs.len()],
+                ..Default::default()
+            },
+            trace: None,
+            packet: Packet::new(cfg.machine.n_clusters),
+            global_stall: 0,
+            rng: SplitMix64::new(seed),
+            next_switch: timeslice,
+            rotation: 0,
+            bmt_current: 0,
+            cfg,
+        };
+        e.assign_slots();
+        e
+    }
+
+    /// Turns on issue tracing (used by the figure-replication tests and the
+    /// trace-printing example).
+    pub fn enable_trace(&mut self) {
+        self.trace = Some(Vec::new());
+    }
+
+    /// (Re)assigns benchmark contexts to hardware slots. Single-thread
+    /// machines rotate serially; multithreaded machines pick replacements
+    /// at random (§VI-A).
+    fn assign_slots(&mut self) {
+        let runnable: Vec<usize> = (0..self.contexts.len())
+            .filter(|&i| !self.contexts[i].retired)
+            .collect();
+        if runnable.is_empty() {
+            self.slots.iter_mut().for_each(|s| *s = None);
+            return;
+        }
+        let n_hw = self.slots.len();
+        let chosen: Vec<usize> = if runnable.len() <= n_hw {
+            runnable
+        } else if n_hw == 1 {
+            // Serial order for the single-thread machine.
+            self.rotation = (self.rotation + 1) % runnable.len();
+            vec![runnable[self.rotation]]
+        } else {
+            let mut pool = runnable;
+            self.rng.shuffle(&mut pool);
+            pool.truncate(n_hw);
+            pool
+        };
+        self.slots.iter_mut().for_each(|s| *s = None);
+        for (slot, &ci) in chosen.iter().enumerate() {
+            self.slots[slot] = Some(ci);
+            self.contexts[ci].rename = if self.cfg.renaming {
+                (slot as u8) % self.cfg.machine.n_clusters
+            } else {
+                0
+            };
+        }
+    }
+
+    /// Advances one cycle.
+    pub fn step(&mut self) {
+        if self.cycle >= self.next_switch {
+            self.next_switch += self.cfg.timeslice;
+            self.assign_slots();
+            self.stats.context_switches += 1;
+        }
+
+        if self.global_stall > 0 {
+            // Whole-pipeline stall from memory-port contention.
+            self.global_stall -= 1;
+            self.stats.memport_stall_cycles += 1;
+            self.stats.empty_cycles += 1;
+            self.stats.cycles += 1;
+            self.cycle += 1;
+            return;
+        }
+
+        self.packet.reset();
+        let n_hw = self.slots.len();
+        // Priority order: SMT-class rotates every cycle (§VI-A); Block MT
+        // starts from the sticky thread so it keeps running until blocked.
+        let offset = match self.cfg.mt_mode {
+            MtMode::Blocked => self.bmt_current % n_hw,
+            _ => (self.cycle % n_hw as u64) as usize,
+        };
+        // The pre-SMT baselines issue from at most one thread per cycle.
+        let single_issue = self.cfg.mt_mode != MtMode::Simultaneous;
+        let mut commits: Vec<usize> = Vec::with_capacity(n_hw);
+
+        for k in 0..n_hw {
+            let slot = (offset + k) % n_hw;
+            let Some(ci) = self.slots[slot] else { continue };
+            let t = &mut self.contexts[ci];
+            if t.retired || self.cycle < t.stall_until {
+                continue;
+            }
+
+            // Fetch/activate if nothing is in flight.
+            if !t.inflight.active {
+                if t.pc >= t.program.len() {
+                    // Fell off the end: treat like halt.
+                    if self.cfg.respawn {
+                        t.respawn();
+                    } else {
+                        t.retired = true;
+                        continue;
+                    }
+                }
+                if !t.fetch_paid {
+                    let addr = t.program.inst_addr[t.pc];
+                    let len = t.program.instructions[t.pc].encoded_size();
+                    let pen = self.mem.fetch_access(t.asid, addr, len);
+                    if pen > 0 {
+                        t.stall_until = self.cycle + pen as u64;
+                        t.fetch_paid = true;
+                        t.stats.imiss_stall_cycles += pen as u64;
+                        continue;
+                    }
+                }
+                t.fetch_paid = false;
+                t.activate();
+            }
+
+            // Issue pending work into the packet.
+            let (issued_ops, completed) = issue_thread(
+                t,
+                &mut self.packet,
+                &mut self.mem,
+                &self.cfg,
+                self.cycle,
+            );
+            if issued_ops > 0 {
+                self.packet.threads += 1;
+                t.stats.ops_issued += issued_ops as u64;
+            }
+            if let Some(trace) = &mut self.trace {
+                if issued_ops > 0 || completed {
+                    trace.push(IssueEvent {
+                        cycle: self.cycle,
+                        ctx: ci,
+                        inst_idx: t.inflight.inst_idx,
+                        ops: issued_ops,
+                        completed,
+                    });
+                }
+            }
+            if completed {
+                commits.push(ci);
+            }
+            if single_issue && (issued_ops > 0 || completed) {
+                if self.cfg.mt_mode == MtMode::Blocked {
+                    self.bmt_current = slot;
+                }
+                break;
+            }
+        }
+
+        // Commit phase: drain delay buffers, count buffered-store port
+        // demand, resolve control flow.
+        let mut commit_mem: Vec<u8> = vec![0; self.cfg.machine.n_clusters as usize];
+        for ci in commits {
+            let t = &mut self.contexts[ci];
+            let n_clusters = self.cfg.machine.n_clusters;
+            // Split accounting + buffered-store port demand.
+            if t.inflight.parts > 1 {
+                t.stats.split_instructions += 1;
+                t.stats.split_parts += t.inflight.parts as u64;
+            }
+            for rec in &t.inflight.records {
+                if rec.store.is_some() && rec.issued_at < self.cycle {
+                    let p = t.phys_cluster(rec.log_cluster, n_clusters);
+                    commit_mem[p as usize] += 1;
+                }
+            }
+            match t.commit_writes() {
+                Some(CtrlEffect::Taken(target)) => {
+                    t.pc = target;
+                    let pen = self.cfg.machine.taken_branch_penalty as u64;
+                    t.stall_until = t.stall_until.max(self.cycle + 1 + pen);
+                    t.stats.branch_stall_cycles += pen;
+                }
+                Some(CtrlEffect::Halt) => {
+                    if self.cfg.respawn {
+                        t.respawn();
+                    } else {
+                        t.stats.runs_completed += 1;
+                        t.retired = true;
+                    }
+                }
+                None => {}
+            }
+        }
+
+        // Memory-port over-subscription (issued + committing buffered
+        // stores versus ports) stalls the pipeline for the excess (§V-D).
+        let ports = self.cfg.machine.cluster.mem;
+        let mut overflow = 0u64;
+        for (p, &extra) in commit_mem.iter().enumerate() {
+            let demand = self.packet.mem_issued[p] + extra;
+            overflow += demand.saturating_sub(ports) as u64;
+        }
+        self.global_stall += overflow;
+
+        // Cycle bookkeeping.
+        self.stats.cycles += 1;
+        self.stats.total_ops += self.packet.ops as u64;
+        if self.packet.ops == 0 {
+            self.stats.empty_cycles += 1;
+        } else {
+            self.stats.wasted_slots += self.packet.wasted_slots(&self.cfg.machine) as u64;
+        }
+        if self.packet.threads >= 2 {
+            self.stats.merged_cycles += 1;
+        }
+        self.cycle += 1;
+    }
+
+    fn termination(&self) -> Option<StopReason> {
+        if self.cycle >= self.cfg.max_cycles {
+            return Some(StopReason::MaxCycles);
+        }
+        if self.contexts.iter().all(|t| t.retired) {
+            return Some(StopReason::AllRetired);
+        }
+        if self
+            .contexts
+            .iter()
+            .any(|t| t.stats.insts_retired >= self.cfg.inst_limit)
+        {
+            return Some(StopReason::InstLimit);
+        }
+        None
+    }
+
+    /// Runs to termination and returns the reason.
+    pub fn run(&mut self) -> StopReason {
+        loop {
+            if let Some(r) = self.termination() {
+                self.collect_per_thread();
+                return r;
+            }
+            self.step();
+        }
+    }
+
+    fn collect_per_thread(&mut self) {
+        for (i, t) in self.contexts.iter().enumerate() {
+            self.stats.per_thread[i] = t.stats.clone();
+        }
+        self.stats.total_insts = self.contexts.iter().map(|t| t.stats.insts_retired).sum();
+    }
+}
+
+/// Issues as much of `t`'s pending instruction as the technique admits.
+/// Returns `(ops placed this cycle, instruction fully issued)`.
+fn issue_thread(
+    t: &mut ThreadCtx,
+    packet: &mut Packet,
+    mem: &mut MemSystem,
+    cfg: &SimConfig,
+    cycle: u64,
+) -> (u32, bool) {
+    let n_clusters = cfg.machine.n_clusters;
+    let rename = t.rename;
+    let asid = t.asid;
+    let phys = |c: u8| -> u8 {
+        let p = c + rename;
+        if p >= n_clusters {
+            p - n_clusters
+        } else {
+            p
+        }
+    };
+    let tech = cfg.technique;
+
+    let fl = &mut t.inflight;
+    debug_assert!(fl.active);
+
+    // A vertical NOP issues trivially (consumes the thread's cycle only).
+    if fl.n_pending == 0 {
+        if fl.parts == 0 {
+            fl.parts = 1;
+            fl.first_issue = cycle;
+        }
+        return (0, true);
+    }
+
+    let all_or_nothing = tech.split == SplitPolicy::None
+        || (tech.comm == CommPolicy::NoSplit && fl.has_comm);
+
+    let mut issued_now: u32 = 0;
+    let mut misses: u32 = 0;
+
+    if all_or_nothing {
+        let fits = match tech.merge {
+            MergePolicy::Cluster => {
+                let mut mask = fl.pending_bundles;
+                let mut ok = true;
+                while mask != 0 {
+                    let c = mask.trailing_zeros() as u8;
+                    mask &= mask - 1;
+                    if !packet.cluster_free(phys(c)) {
+                        ok = false;
+                        break;
+                    }
+                }
+                ok
+            }
+            MergePolicy::Operation => bundles_fit(fl, packet, &cfg.machine, phys, u16::MAX),
+        };
+        if fits {
+            for idx in 0..fl.records.len() {
+                if fl.records[idx].issued_at == u64::MAX {
+                    let rec = &mut fl.records[idx];
+                    packet.place_op(phys(rec.log_cluster), rec.fu);
+                    rec.issued_at = cycle;
+                    issued_now += 1;
+                    if let Some(addr) = rec.mem_addr {
+                        misses += mem.data_access(asid, addr);
+                    }
+                }
+            }
+            fl.pending_bundles = 0;
+            fl.n_pending = 0;
+        }
+    } else {
+        match tech.split {
+            SplitPolicy::Cluster => {
+                let mut mask = fl.pending_bundles;
+                while mask != 0 {
+                    let c = mask.trailing_zeros() as u8;
+                    mask &= mask - 1;
+                    let p = phys(c);
+                    let fits = match tech.merge {
+                        MergePolicy::Cluster => packet.cluster_free(p),
+                        MergePolicy::Operation => {
+                            bundles_fit(fl, packet, &cfg.machine, phys, 1 << c)
+                        }
+                    };
+                    if fits {
+                        for idx in 0..fl.records.len() {
+                            if fl.records[idx].log_cluster == c
+                                && fl.records[idx].issued_at == u64::MAX
+                            {
+                                let rec = &mut fl.records[idx];
+                                packet.place_op(p, rec.fu);
+                                rec.issued_at = cycle;
+                                issued_now += 1;
+                                fl.n_pending -= 1;
+                                if let Some(addr) = rec.mem_addr {
+                                    misses += mem.data_access(asid, addr);
+                                }
+                            }
+                        }
+                        fl.pending_bundles &= !(1 << c);
+                    }
+                }
+            }
+            SplitPolicy::Operation => {
+                for idx in 0..fl.records.len() {
+                    if fl.records[idx].issued_at != u64::MAX {
+                        continue;
+                    }
+                    let p = phys(fl.records[idx].log_cluster);
+                    let fu = fl.records[idx].fu;
+                    if packet.op_fits(p, fu, &cfg.machine) {
+                        let rec = &mut fl.records[idx];
+                        packet.place_op(p, fu);
+                        rec.issued_at = cycle;
+                        issued_now += 1;
+                        fl.n_pending -= 1;
+                        if let Some(addr) = rec.mem_addr {
+                            misses += mem.data_access(asid, addr);
+                        }
+                    }
+                }
+                // Recompute the pending-bundle mask for consistency.
+                let mut mask = 0u16;
+                for rec in &fl.records {
+                    if rec.issued_at == u64::MAX {
+                        mask |= 1 << rec.log_cluster;
+                    }
+                }
+                fl.pending_bundles = mask;
+            }
+            SplitPolicy::None => unreachable!("handled by all_or_nothing"),
+        }
+    }
+
+    if issued_now > 0 {
+        if fl.first_issue == u64::MAX {
+            fl.first_issue = cycle;
+        }
+        fl.parts += 1;
+    }
+    if misses > 0 {
+        // Thread-level stall until the architectural latency assumption
+        // holds again (§IV: less-than-or-equal machine). Overlapping misses
+        // within one issue share the penalty window.
+        t.stall_until = t
+            .stall_until
+            .max(cycle + 1 + mem.miss_penalty as u64);
+        t.stats.dmiss_stall_cycles += mem.miss_penalty as u64;
+    }
+
+    (issued_now, t.inflight.n_pending == 0)
+}
+
+/// Operation-level fit check for all pending records whose logical cluster
+/// is in `mask`, treated as indivisible bundles per cluster.
+fn bundles_fit(
+    fl: &crate::thread::InFlight,
+    packet: &Packet,
+    m: &vex_isa::MachineConfig,
+    phys: impl Fn(u8) -> u8,
+    mask: u16,
+) -> bool {
+    // Aggregate per physical cluster the slots/FU demanded.
+    let mut extra_slots = [0u8; 16];
+    let mut extra_fu = [[0u8; 6]; 16];
+    let fu_idx = |k: FuKind| -> usize {
+        match k {
+            FuKind::Alu => 0,
+            FuKind::Mul => 1,
+            FuKind::Mem => 2,
+            FuKind::Br => 3,
+            FuKind::Send => 4,
+            FuKind::Recv => 5,
+        }
+    };
+    for rec in &fl.records {
+        if rec.issued_at != u64::MAX || (mask & (1 << rec.log_cluster)) == 0 {
+            continue;
+        }
+        let p = phys(rec.log_cluster) as usize;
+        extra_slots[p] += 1;
+        extra_fu[p][fu_idx(rec.fu)] += 1;
+    }
+    for p in 0..m.n_clusters {
+        let pi = p as usize;
+        if extra_slots[pi] == 0 {
+            continue;
+        }
+        if packet.slots_used(p) + extra_slots[pi] > m.cluster.slots {
+            return false;
+        }
+        for (k, kind) in [
+            FuKind::Alu,
+            FuKind::Mul,
+            FuKind::Mem,
+            FuKind::Br,
+            FuKind::Send,
+            FuKind::Recv,
+        ]
+        .iter()
+        .enumerate()
+        {
+            if extra_fu[pi][k] > 0
+                && packet.fu_used(p, *kind) + extra_fu[pi][k] > m.cluster.count(*kind)
+            {
+                return false;
+            }
+        }
+    }
+    true
+}

@@ -1,0 +1,327 @@
+//! The execution packet and the merging-hardware model (paper Figure 7).
+//!
+//! Each cycle the issue stage assembles one *execution packet* from the
+//! instructions (or pending parts) of the runnable threads, in priority
+//! order. [`Packet`] plays the role of the CL/ML chain: collision detection
+//! is a resource-fit query and merge logic is the act of claiming the
+//! resources.
+//!
+//! * Under **cluster-level merging** a cluster accepts the bundle of at
+//!   most one thread per cycle ([`Packet::cluster_free`]).
+//! * Under **operation-level merging** threads share clusters subject to
+//!   issue slots and per-FU counts ([`Packet::bundle_fits`] /
+//!   [`Packet::op_fits`]).
+//!
+//! The packet works in *physical* cluster indices: cluster renaming (§IV)
+//! is applied by the caller before any query.
+
+use vex_isa::{Bundle, FuKind, Instruction, MachineConfig};
+
+fn fu_index(k: FuKind) -> usize {
+    match k {
+        FuKind::Alu => 0,
+        FuKind::Mul => 1,
+        FuKind::Mem => 2,
+        FuKind::Br => 3,
+        FuKind::Send => 4,
+        FuKind::Recv => 5,
+    }
+}
+
+/// Per-cycle issue state across all clusters.
+#[derive(Clone, Debug)]
+pub struct Packet {
+    n_clusters: u8,
+    slots: Vec<u8>,
+    used_fu: Vec<[u8; 6]>,
+    cluster_busy: Vec<bool>,
+    /// Operations placed this cycle (for IPC/waste accounting).
+    pub ops: u32,
+    /// Distinct threads contributing to this packet.
+    pub threads: u32,
+    /// Memory operations issued per physical cluster this cycle (the issue
+    /// half of the §V-D port-contention accounting).
+    pub mem_issued: Vec<u8>,
+}
+
+impl Packet {
+    /// An empty packet for an `n_clusters` machine.
+    pub fn new(n_clusters: u8) -> Self {
+        Packet {
+            n_clusters,
+            slots: vec![0; n_clusters as usize],
+            used_fu: vec![[0; 6]; n_clusters as usize],
+            cluster_busy: vec![false; n_clusters as usize],
+            ops: 0,
+            threads: 0,
+            mem_issued: vec![0; n_clusters as usize],
+        }
+    }
+
+    /// Clears the packet for the next cycle, retaining allocations.
+    pub fn reset(&mut self) {
+        self.slots.iter_mut().for_each(|s| *s = 0);
+        self.used_fu.iter_mut().for_each(|f| *f = [0; 6]);
+        self.cluster_busy.iter_mut().for_each(|b| *b = false);
+        self.mem_issued.iter_mut().for_each(|m| *m = 0);
+        self.ops = 0;
+        self.threads = 0;
+    }
+
+    /// Cluster-level collision check: is physical cluster `p` untouched?
+    #[inline]
+    pub fn cluster_free(&self, p: u8) -> bool {
+        !self.cluster_busy[p as usize]
+    }
+
+    /// Operation-level collision check for one op of class `fu` on cluster
+    /// `p`.
+    #[inline]
+    pub fn op_fits(&self, p: u8, fu: FuKind, m: &MachineConfig) -> bool {
+        let pi = p as usize;
+        self.slots[pi] < m.cluster.slots && self.used_fu[pi][fu_index(fu)] < m.cluster.count(fu)
+    }
+
+    /// Operation-level collision check for a whole bundle on cluster `p`.
+    pub fn bundle_fits(&self, p: u8, bundle: &Bundle, m: &MachineConfig) -> bool {
+        let pi = p as usize;
+        if self.slots[pi] as usize + bundle.ops.len() > m.cluster.slots as usize {
+            return false;
+        }
+        for kind in [
+            FuKind::Alu,
+            FuKind::Mul,
+            FuKind::Mem,
+            FuKind::Br,
+            FuKind::Send,
+            FuKind::Recv,
+        ] {
+            let extra = bundle.fu_count(kind);
+            if extra > 0 && self.used_fu[pi][fu_index(kind)] + extra > m.cluster.count(kind) {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Claims resources for one op.
+    #[inline]
+    pub fn place_op(&mut self, p: u8, fu: FuKind) {
+        let pi = p as usize;
+        self.slots[pi] += 1;
+        self.used_fu[pi][fu_index(fu)] += 1;
+        self.cluster_busy[pi] = true;
+        self.ops += 1;
+        if fu == FuKind::Mem {
+            self.mem_issued[pi] += 1;
+        }
+    }
+
+    /// Slots used on physical cluster `p` (test/diagnostic accessor).
+    pub fn slots_used(&self, p: u8) -> u8 {
+        self.slots[p as usize]
+    }
+
+    /// Functional units of class `fu` already claimed on cluster `p`.
+    pub fn fu_used(&self, p: u8, fu: FuKind) -> u8 {
+        self.used_fu[p as usize][fu_index(fu)]
+    }
+
+    /// Total unused slots across the machine for this cycle.
+    pub fn wasted_slots(&self, m: &MachineConfig) -> u32 {
+        let width = m.total_issue_width();
+        width - self.ops.min(width)
+    }
+
+    /// Number of clusters in the packet's machine.
+    pub fn n_clusters(&self) -> u8 {
+        self.n_clusters
+    }
+}
+
+/// Pure combinational model of the paper's merge question, used by the
+/// figure-replication tests and by anyone who wants to reason about a pair
+/// of instructions without running the engine:
+/// can `b` merge with `a` in a single cycle?
+pub fn can_merge_pair(
+    a: &Instruction,
+    b: &Instruction,
+    m: &MachineConfig,
+    cluster_level: bool,
+) -> bool {
+    let mut p = Packet::new(m.n_clusters);
+    place_whole(&mut p, a);
+    if cluster_level {
+        (0..m.n_clusters).all(|c| b.bundles[c as usize].is_empty() || p.cluster_free(c))
+    } else {
+        (0..m.n_clusters).all(|c| p.bundle_fits(c, &b.bundles[c as usize], m))
+    }
+}
+
+fn place_whole(p: &mut Packet, inst: &Instruction) {
+    for (c, bundle) in inst.bundles.iter().enumerate() {
+        for op in &bundle.ops {
+            p.place_op(c as u8, op.fu_kind());
+        }
+    }
+}
+
+/// If cluster-level merging can merge a pair, operation-level merging can
+/// too, and the resulting packet is the same set of operations (paper §I).
+/// Exposed for the property tests.
+pub fn merge_hierarchy_holds(a: &Instruction, b: &Instruction, m: &MachineConfig) -> bool {
+    !can_merge_pair(a, b, m, true) || can_merge_pair(a, b, m, false)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vex_isa::{Opcode, Operand, Operation, Reg};
+
+    fn op(kind: Opcode, c: u8) -> Operation {
+        match kind {
+            Opcode::Ldw => Operation::load(Opcode::Ldw, Reg::new(c, 1), Reg::new(c, 2), 0),
+            Opcode::Stw => {
+                Operation::store(Opcode::Stw, Reg::new(c, 2), 0, Operand::Gpr(Reg::new(c, 1)))
+            }
+            k => Operation::bin(
+                k,
+                Reg::new(c, 1),
+                Operand::Gpr(Reg::new(c, 2)),
+                Operand::Gpr(Reg::new(c, 3)),
+            ),
+        }
+    }
+
+    #[test]
+    fn slots_limit_bundle() {
+        let m = MachineConfig::paper_4c4w();
+        let mut p = Packet::new(4);
+        for _ in 0..4 {
+            assert!(p.op_fits(0, FuKind::Alu, &m));
+            p.place_op(0, FuKind::Alu);
+        }
+        assert!(!p.op_fits(0, FuKind::Alu, &m));
+        assert!(p.op_fits(1, FuKind::Alu, &m));
+    }
+
+    #[test]
+    fn mem_unit_is_scarce() {
+        let m = MachineConfig::paper_4c4w();
+        let mut p = Packet::new(4);
+        assert!(p.op_fits(0, FuKind::Mem, &m));
+        p.place_op(0, FuKind::Mem);
+        assert!(!p.op_fits(0, FuKind::Mem, &m));
+        assert_eq!(p.mem_issued[0], 1);
+    }
+
+    #[test]
+    fn cluster_free_tracks_any_use() {
+        let m = MachineConfig::paper_4c4w();
+        let mut p = Packet::new(4);
+        assert!(p.cluster_free(2));
+        p.place_op(2, FuKind::Alu);
+        assert!(!p.cluster_free(2));
+        let _ = m;
+    }
+
+    /// Paper Figure 1, Pair I: conflicts at clusters 0, 1, 3 at both
+    /// levels — nobody can merge.
+    #[test]
+    fn figure1_pair_i() {
+        let m = MachineConfig::small(4, 2);
+        // Thread 0: add - | ld sub | add - | add sub
+        let t0 = Instruction::from_ops(
+            4,
+            [
+                (0, op(Opcode::Add, 0)),
+                (1, op(Opcode::Ldw, 1)),
+                (1, op(Opcode::Sub, 1)),
+                (2, op(Opcode::Add, 2)),
+                (3, op(Opcode::Add, 3)),
+                (3, op(Opcode::Sub, 3)),
+            ],
+        );
+        // Thread 1: shl add | - mov | - - | - add
+        let t1 = Instruction::from_ops(
+            4,
+            [
+                (0, op(Opcode::Shl, 0)),
+                (0, op(Opcode::Add, 0)),
+                (1, op(Opcode::Mov, 1)),
+                (3, op(Opcode::Add, 3)),
+            ],
+        );
+        assert!(!can_merge_pair(&t0, &t1, &m, true), "CSMT cannot merge");
+        assert!(!can_merge_pair(&t0, &t1, &m, false), "SMT cannot merge");
+    }
+
+    /// Paper Figure 1, Pair II: SMT merges (operation-level slots suffice)
+    /// but CSMT cannot (clusters 0, 2, 3 used by both).
+    #[test]
+    fn figure1_pair_ii() {
+        let m = MachineConfig::small(4, 2);
+        // Thread 0: add - | ld - | add - | sub -   (one op per cluster)
+        let t0 = Instruction::from_ops(
+            4,
+            [
+                (0, op(Opcode::Add, 0)),
+                (1, op(Opcode::Ldw, 1)),
+                (2, op(Opcode::Add, 2)),
+                (3, op(Opcode::Sub, 3)),
+            ],
+        );
+        // Thread 1: mov - | mpy - | st - | add -   (same clusters, no
+        // FU conflicts: merged = the paper's "add mov ld mpy add st sub add").
+        let t1 = Instruction::from_ops(
+            4,
+            [
+                (0, op(Opcode::Mov, 0)),
+                (1, op(Opcode::Mull, 1)),
+                (2, op(Opcode::Stw, 2)),
+                (3, op(Opcode::Add, 3)),
+            ],
+        );
+        assert!(!can_merge_pair(&t0, &t1, &m, true), "CSMT conflicts");
+        assert!(can_merge_pair(&t0, &t1, &m, false), "SMT merges");
+    }
+
+    /// Paper Figure 1, Pair III: disjoint clusters — both merge, and the
+    /// merged instruction is identical for SMT and CSMT.
+    #[test]
+    fn figure1_pair_iii() {
+        let m = MachineConfig::small(4, 2);
+        // Thread 0 uses clusters 1 and 2 only.
+        let t0 = Instruction::from_ops(
+            4,
+            [(1, op(Opcode::Ldw, 1)), (2, op(Opcode::Stw, 2))],
+        );
+        // Thread 1 uses clusters 0 and 3.
+        let t1 = Instruction::from_ops(
+            4,
+            [
+                (0, op(Opcode::Shl, 0)),
+                (0, op(Opcode::Mov, 0)),
+                (3, op(Opcode::Add, 3)),
+                (3, op(Opcode::Mull, 3)),
+            ],
+        );
+        assert!(can_merge_pair(&t0, &t1, &m, true));
+        assert!(can_merge_pair(&t0, &t1, &m, false));
+    }
+
+    #[test]
+    fn hierarchy_property_on_figure1_pairs() {
+        let m = MachineConfig::small(4, 2);
+        let insts = [
+            Instruction::from_ops(4, [(0, op(Opcode::Add, 0)), (1, op(Opcode::Sub, 1))]),
+            Instruction::from_ops(4, [(2, op(Opcode::Add, 2))]),
+            Instruction::nop(4),
+        ];
+        for a in &insts {
+            for b in &insts {
+                assert!(merge_hierarchy_holds(a, b, &m));
+            }
+        }
+    }
+}

@@ -1,0 +1,112 @@
+//! Run statistics: IPC, waste decomposition and event counters.
+
+/// Per-benchmark-context counters.
+#[derive(Clone, Debug, Default)]
+pub struct ThreadStats {
+    /// RISC operations issued (NOPs excluded) — the numerator of IPC.
+    pub ops_issued: u64,
+    /// VLIW instructions retired (explicit NOP instructions included).
+    pub insts_retired: u64,
+    /// Complete program runs (halt reached).
+    pub runs_completed: u64,
+    /// Cycles lost to data-cache miss stalls.
+    pub dmiss_stall_cycles: u64,
+    /// Cycles lost to instruction-cache miss stalls.
+    pub imiss_stall_cycles: u64,
+    /// Cycles lost to taken-branch penalties.
+    pub branch_stall_cycles: u64,
+    /// Instructions that issued in more than one part (split-issued).
+    pub split_instructions: u64,
+    /// Parts issued for split instructions (≥ 2 each).
+    pub split_parts: u64,
+}
+
+/// Whole-run statistics.
+#[derive(Clone, Debug, Default)]
+pub struct SimStats {
+    /// Simulated cycles.
+    pub cycles: u64,
+    /// Total operations issued across all threads.
+    pub total_ops: u64,
+    /// Total VLIW instructions retired across all threads.
+    pub total_insts: u64,
+    /// Cycles in which no operation issued at all (vertical waste).
+    pub empty_cycles: u64,
+    /// Unused issue slots over non-empty cycles (horizontal waste).
+    pub wasted_slots: u64,
+    /// Cycles with operations from ≥ 2 threads in the packet (merges).
+    pub merged_cycles: u64,
+    /// Whole-pipeline stall cycles from memory-port over-subscription at
+    /// commit time (§V-D).
+    pub memport_stall_cycles: u64,
+    /// Context switches performed by the timeslice scheduler.
+    pub context_switches: u64,
+    /// Per-context counters, indexed like the workload's program list.
+    pub per_thread: Vec<ThreadStats>,
+}
+
+impl SimStats {
+    /// Operations per cycle, the paper's headline metric.
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.total_ops as f64 / self.cycles as f64
+        }
+    }
+
+    /// Fraction of cycles with zero issue (vertical waste), in [0, 1].
+    pub fn vertical_waste(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.empty_cycles as f64 / self.cycles as f64
+        }
+    }
+
+    /// Average unused slots per non-empty cycle, normalised by width.
+    pub fn horizontal_waste(&self, issue_width: u32) -> f64 {
+        let busy = self.cycles - self.empty_cycles;
+        if busy == 0 {
+            0.0
+        } else {
+            self.wasted_slots as f64 / (busy as f64 * issue_width as f64)
+        }
+    }
+}
+
+/// Relative speedup of `new` over `base` in percent (the paper's Figures
+/// 14/15 metric).
+pub fn speedup_pct(base_ipc: f64, new_ipc: f64) -> f64 {
+    if base_ipc == 0.0 {
+        0.0
+    } else {
+        (new_ipc / base_ipc - 1.0) * 100.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ipc_and_waste() {
+        let s = SimStats {
+            cycles: 100,
+            total_ops: 250,
+            empty_cycles: 20,
+            wasted_slots: 640,
+            ..Default::default()
+        };
+        assert!((s.ipc() - 2.5).abs() < 1e-12);
+        assert!((s.vertical_waste() - 0.2).abs() < 1e-12);
+        // 80 busy cycles * 16 slots = 1280 slot-cycles, 640 wasted = 50%.
+        assert!((s.horizontal_waste(16) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn speedup() {
+        assert!((speedup_pct(2.0, 2.2) - 10.0).abs() < 1e-9);
+        assert_eq!(speedup_pct(0.0, 1.0), 0.0);
+    }
+}

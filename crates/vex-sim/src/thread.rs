@@ -1,0 +1,463 @@
+//! Per-benchmark execution contexts and in-flight (possibly split)
+//! instruction state.
+//!
+//! The key simulator invariant comes straight from the paper (§V-B): while
+//! an instruction is partially issued, none of its effects are
+//! architecturally visible. The previous instruction committed before this
+//! one activated (in-order), split-issued parts write *delay buffers*, and
+//! everything commits when the last part issues. Consequently the thread's
+//! register file and memory are stable across the instruction's whole issue
+//! window, and every operation reads pre-instruction state regardless of
+//! the order in which bundles/operations issue — exactly the dataflow rule
+//! of Figure 3 (the register-swap example) and the reason recv-before-send
+//! is tolerable with a destination buffer (Figure 12).
+//!
+//! The simulator exploits the invariant by evaluating the entire
+//! instruction *functionally* at activation time, recording each
+//! operation's effects in [`OpRecord`]s; issuing a part is then purely a
+//! timing event, and commit replays the recorded effects.
+
+use crate::exec::{eval, eval_cond};
+use crate::stats::ThreadStats;
+use std::sync::Arc;
+use vex_isa::{Dest, Opcode, Operand, Program};
+use vex_mem::Memory;
+
+/// Control-flow effect of an instruction, resolved at activation.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum CtrlEffect {
+    /// Redirect to an instruction index (taken branch / goto).
+    Taken(usize),
+    /// End of the program run.
+    Halt,
+}
+
+/// A pending store captured in the delay buffer.
+#[derive(Clone, Copy, Debug)]
+pub struct StoreReq {
+    /// Effective byte address.
+    pub addr: u32,
+    /// Access size in bytes (1, 2 or 4).
+    pub size: u8,
+    /// Value (low bits used for sub-word sizes).
+    pub value: u32,
+}
+
+/// One operation of the in-flight instruction with its precomputed effects.
+#[derive(Clone, Debug)]
+pub struct OpRecord {
+    /// Logical cluster of the bundle containing the op.
+    pub log_cluster: u8,
+    /// Functional-unit class (for issue resource accounting).
+    pub fu: vex_isa::FuKind,
+    /// GPR write: (logical cluster, index, value).
+    pub gpr_write: Option<(u8, u8, u32)>,
+    /// Branch-register write: (logical cluster, index, value).
+    pub breg_write: Option<(u8, u8, bool)>,
+    /// Store request (delay-buffered until commit).
+    pub store: Option<StoreReq>,
+    /// Data-cache address to probe when this op issues (loads and stores).
+    pub mem_addr: Option<u32>,
+    /// Control effect (branches resolve at commit).
+    pub ctrl: Option<CtrlEffect>,
+    /// Cycle at which the op issued (`u64::MAX` while pending).
+    pub issued_at: u64,
+}
+
+/// The in-flight instruction. Buffers are reused across activations to keep
+/// the per-instruction cost allocation-free on the steady state.
+#[derive(Clone, Debug, Default)]
+pub struct InFlight {
+    /// Whether an instruction is currently active.
+    pub active: bool,
+    /// Instruction index in the program.
+    pub inst_idx: usize,
+    /// Precomputed operation records.
+    pub records: Vec<OpRecord>,
+    /// Number of not-yet-issued records.
+    pub n_pending: u32,
+    /// Bitmask of logical clusters with pending (unissued) bundles.
+    pub pending_bundles: u16,
+    /// Whether the instruction contains send/recv operations (NS policy).
+    pub has_comm: bool,
+    /// Cycle of first issue (for split statistics).
+    pub first_issue: u64,
+    /// Distinct cycles in which parts issued.
+    pub parts: u32,
+}
+
+/// Architectural + microarchitectural state of one benchmark context.
+///
+/// A context persists across timeslices; the multitasking scheduler maps
+/// contexts onto hardware thread slots.
+#[derive(Clone, Debug)]
+pub struct ThreadCtx {
+    /// The program this context runs.
+    pub program: Arc<Program>,
+    /// Address-space id used to tag cache lines.
+    pub asid: u16,
+    /// Cluster-renaming rotation for this context (0 disables).
+    pub rename: u8,
+    /// Next instruction to fetch.
+    pub pc: usize,
+    /// GPR files, `regs[logical_cluster][index]`; index 0 reads zero.
+    pub regs: Vec<[u32; 64]>,
+    /// Branch-register files.
+    pub bregs: Vec<[bool; 8]>,
+    /// Private functional memory.
+    pub mem: Memory,
+    /// In-flight instruction state (delay buffers included).
+    pub inflight: InFlight,
+    /// The context may not issue before this cycle (miss/branch stalls).
+    pub stall_until: u64,
+    /// Program run finished and respawning is disabled.
+    pub retired: bool,
+    /// The I-cache access for `pc` was already performed (and missed); do
+    /// not probe again when the stall expires.
+    pub fetch_paid: bool,
+    /// Event counters.
+    pub stats: ThreadStats,
+}
+
+impl ThreadCtx {
+    /// Creates a context at the program entry with zeroed registers and the
+    /// initial data image loaded.
+    pub fn new(program: Arc<Program>, asid: u16, n_clusters: u8, rename: u8) -> Self {
+        let mut mem = Memory::new();
+        for seg in &program.data {
+            mem.write_bytes(seg.base, &seg.bytes);
+        }
+        ThreadCtx {
+            program,
+            asid,
+            rename,
+            pc: 0,
+            regs: vec![[0u32; 64]; n_clusters as usize],
+            bregs: vec![[false; 8]; n_clusters as usize],
+            mem,
+            inflight: InFlight::default(),
+            stall_until: 0,
+            retired: false,
+            fetch_paid: false,
+            stats: ThreadStats::default(),
+        }
+    }
+
+    /// Physical cluster executing this context's logical cluster `c`.
+    #[inline]
+    pub fn phys_cluster(&self, c: u8, n_clusters: u8) -> u8 {
+        let p = c + self.rename;
+        if p >= n_clusters {
+            p - n_clusters
+        } else {
+            p
+        }
+    }
+
+    #[inline]
+    fn read_gpr(&self, cluster: u8, index: u8) -> u32 {
+        if index == 0 {
+            0
+        } else {
+            self.regs[cluster as usize][index as usize]
+        }
+    }
+
+    #[inline]
+    fn read_operand(&self, o: Operand) -> u32 {
+        match o {
+            Operand::Gpr(r) => self.read_gpr(r.cluster, r.index),
+            Operand::Imm(i) => i as u32,
+            Operand::Breg(_) | Operand::None => 0,
+        }
+    }
+
+    #[inline]
+    fn read_breg_operand(&self, o: Operand) -> bool {
+        match o {
+            Operand::Breg(b) => self.bregs[b.cluster as usize][b.index as usize],
+            _ => false,
+        }
+    }
+
+    /// Activates the instruction at `pc`: evaluates every operation against
+    /// the (stable) pre-instruction state and fills the in-flight record.
+    ///
+    /// Inter-cluster pairs are resolved here: the `recv` value equals the
+    /// `send` source read from pre-instruction state, which is the unique
+    /// architecturally-correct value whatever the relative issue order of
+    /// the two bundles (§V-E).
+    pub fn activate(&mut self) {
+        debug_assert!(!self.inflight.active);
+        let program = Arc::clone(&self.program);
+        let inst = &program.instructions[self.pc];
+
+        // Send values, indexed by pair id.
+        let mut xfer_vals = [0u32; 16];
+        for bundle in &inst.bundles {
+            for op in &bundle.ops {
+                if op.opcode == Opcode::Send {
+                    let v = self.read_operand(op.a);
+                    xfer_vals[op.imm as usize & 15] = v;
+                }
+            }
+        }
+
+        let mut records = std::mem::take(&mut self.inflight.records);
+        records.clear();
+        let mut pending_bundles: u16 = 0;
+        let mut has_comm = false;
+
+        for (c, bundle) in inst.bundles.iter().enumerate() {
+            if bundle.is_empty() {
+                continue;
+            }
+            pending_bundles |= 1 << c;
+            for op in &bundle.ops {
+                if op.opcode.is_comm() {
+                    has_comm = true;
+                }
+                let mut rec = OpRecord {
+                    log_cluster: c as u8,
+                    fu: op.fu_kind(),
+                    gpr_write: None,
+                    breg_write: None,
+                    store: None,
+                    mem_addr: None,
+                    ctrl: None,
+                    issued_at: u64::MAX,
+                };
+                match op.opcode {
+                    o if o.is_load() => {
+                        let base = self.read_operand(op.a);
+                        let addr = base.wrapping_add(op.imm as u32);
+                        rec.mem_addr = Some(addr);
+                        let v = match o {
+                            Opcode::Ldw => self.mem.read_u32(addr),
+                            Opcode::Ldh => self.mem.read_u16(addr) as i16 as i32 as u32,
+                            Opcode::Ldhu => self.mem.read_u16(addr) as u32,
+                            Opcode::Ldb => self.mem.read_u8(addr) as i8 as i32 as u32,
+                            Opcode::Ldbu => self.mem.read_u8(addr) as u32,
+                            _ => unreachable!(),
+                        };
+                        if let Dest::Gpr(d) = op.dst {
+                            rec.gpr_write = Some((d.cluster, d.index, v));
+                        }
+                    }
+                    o if o.is_store() => {
+                        let base = self.read_operand(op.a);
+                        let addr = base.wrapping_add(op.imm as u32);
+                        let value = self.read_operand(op.b);
+                        let size = match o {
+                            Opcode::Stw => 4,
+                            Opcode::Sth => 2,
+                            Opcode::Stb => 1,
+                            _ => unreachable!(),
+                        };
+                        rec.mem_addr = Some(addr);
+                        rec.store = Some(StoreReq { addr, size, value });
+                    }
+                    Opcode::Send => {
+                        // Value already captured into xfer_vals.
+                    }
+                    Opcode::Recv => {
+                        let v = xfer_vals[op.imm as usize & 15];
+                        if let Dest::Gpr(d) = op.dst {
+                            rec.gpr_write = Some((d.cluster, d.index, v));
+                        }
+                    }
+                    Opcode::Br => {
+                        if self.read_breg_operand(op.a) {
+                            rec.ctrl = Some(CtrlEffect::Taken(op.imm as usize));
+                        }
+                    }
+                    Opcode::Brf => {
+                        if !self.read_breg_operand(op.a) {
+                            rec.ctrl = Some(CtrlEffect::Taken(op.imm as usize));
+                        }
+                    }
+                    Opcode::Goto => {
+                        rec.ctrl = Some(CtrlEffect::Taken(op.imm as usize));
+                    }
+                    Opcode::Halt => {
+                        rec.ctrl = Some(CtrlEffect::Halt);
+                    }
+                    o => {
+                        // Register-result ALU/MUL class.
+                        let a = self.read_operand(op.a);
+                        let b = self.read_operand(op.b);
+                        match op.dst {
+                            Dest::Gpr(d) => {
+                                let c_in = self.read_breg_operand(op.c);
+                                let v = eval(o, a, b, c_in);
+                                rec.gpr_write = Some((d.cluster, d.index, v));
+                            }
+                            Dest::Breg(d) => {
+                                let v = eval_cond(o, a, b);
+                                rec.breg_write = Some((d.cluster, d.index, v));
+                            }
+                            Dest::None => {}
+                        }
+                    }
+                }
+                records.push(rec);
+            }
+        }
+
+        let fl = &mut self.inflight;
+        fl.active = true;
+        fl.inst_idx = self.pc;
+        fl.n_pending = records.len() as u32;
+        fl.records = records;
+        fl.pending_bundles = pending_bundles;
+        fl.has_comm = has_comm;
+        fl.first_issue = u64::MAX;
+        fl.parts = 0;
+        // Advance pc to the fall-through successor; a taken branch
+        // overrides it at commit.
+        self.pc += 1;
+    }
+
+    /// Applies the committed instruction's architectural effects (delay
+    /// buffers → register files and memory; branch redirection; halt).
+    /// Returns the control effect, if any.
+    pub fn commit_writes(&mut self) -> Option<CtrlEffect> {
+        debug_assert!(self.inflight.active && self.inflight.n_pending == 0);
+        let mut ctrl = None;
+        // Move records out to appease the borrow checker; the buffer swaps
+        // back afterwards so capacity is retained.
+        let mut records = std::mem::take(&mut self.inflight.records);
+        for rec in &records {
+            if let Some((c, i, v)) = rec.gpr_write {
+                if i != 0 {
+                    self.regs[c as usize][i as usize] = v;
+                }
+            }
+            if let Some((c, i, v)) = rec.breg_write {
+                self.bregs[c as usize][i as usize] = v;
+            }
+            if let Some(st) = rec.store {
+                match st.size {
+                    1 => self.mem.write_u8(st.addr, st.value as u8),
+                    2 => self.mem.write_u16(st.addr, st.value as u16),
+                    _ => self.mem.write_u32(st.addr, st.value),
+                }
+            }
+            if rec.ctrl.is_some() {
+                ctrl = rec.ctrl;
+            }
+        }
+        records.clear();
+        self.inflight.records = records;
+        self.inflight.active = false;
+        self.stats.insts_retired += 1;
+        ctrl
+    }
+
+    /// Resets the context to the program entry (benchmark respawn, §VI-A).
+    /// Reloads the initial data image; registers keep their values, like a
+    /// process re-entering `main` with a fresh heap.
+    pub fn respawn(&mut self) {
+        self.pc = 0;
+        self.fetch_paid = false;
+        self.mem.clear();
+        let program = Arc::clone(&self.program);
+        for seg in &program.data {
+            self.mem.write_bytes(seg.base, &seg.bytes);
+        }
+        self.stats.runs_completed += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vex_isa::{Instruction, Operation, Reg};
+
+    fn one_inst_program(inst: Instruction) -> Arc<Program> {
+        let mut halt = Instruction::nop(4);
+        halt.bundles[0].ops.push(Operation::new(Opcode::Halt));
+        Arc::new(Program::new("t", vec![inst, halt], vec![]))
+    }
+
+    #[test]
+    fn swap_reads_pre_instruction_state() {
+        // The paper's Figure 3: a single-cycle register swap must read old
+        // values even conceptually split — activation captures both reads.
+        let r3 = Reg::new(0, 3);
+        let r5 = Reg::new(0, 5);
+        let mv = |d: Reg, s: Reg| {
+            let mut op = Operation::new(Opcode::Mov);
+            op.dst = Dest::Gpr(d);
+            op.a = Operand::Gpr(s);
+            op
+        };
+        let inst = Instruction::from_ops(4, [(0, mv(r3, r5)), (0, mv(r5, r3))]);
+        let mut t = ThreadCtx::new(one_inst_program(inst), 0, 4, 0);
+        t.regs[0][3] = 111;
+        t.regs[0][5] = 222;
+        t.activate();
+        t.inflight.n_pending = 0; // pretend both ops issued
+        t.commit_writes();
+        assert_eq!(t.regs[0][3], 222);
+        assert_eq!(t.regs[0][5], 111);
+    }
+
+    #[test]
+    fn send_recv_value_is_pre_instruction() {
+        let mut send = Operation::new(Opcode::Send);
+        send.a = Operand::Gpr(Reg::new(0, 1));
+        send.imm = 0;
+        let mut recv = Operation::new(Opcode::Recv);
+        recv.dst = Dest::Gpr(Reg::new(1, 2));
+        recv.imm = 0;
+        let inst = Instruction::from_ops(4, [(0, send), (1, recv)]);
+        let mut t = ThreadCtx::new(one_inst_program(inst), 0, 4, 0);
+        t.regs[0][1] = 777;
+        t.activate();
+        t.inflight.n_pending = 0;
+        t.commit_writes();
+        assert_eq!(t.regs[1][2], 777);
+    }
+
+    #[test]
+    fn zero_register_is_immutable() {
+        let mut op = Operation::new(Opcode::Mov);
+        op.dst = Dest::Gpr(Reg::new(0, 0));
+        op.a = Operand::Imm(55);
+        let inst = Instruction::from_ops(4, [(0, op)]);
+        let mut t = ThreadCtx::new(one_inst_program(inst), 0, 4, 0);
+        t.activate();
+        t.inflight.n_pending = 0;
+        t.commit_writes();
+        assert_eq!(t.regs[0][0], 0);
+    }
+
+    #[test]
+    fn renaming_rotates_physical_clusters() {
+        let p = one_inst_program(Instruction::nop(4));
+        let t = ThreadCtx::new(p, 0, 4, 3);
+        assert_eq!(t.phys_cluster(0, 4), 3);
+        assert_eq!(t.phys_cluster(1, 4), 0);
+        assert_eq!(t.phys_cluster(3, 4), 2);
+    }
+
+    #[test]
+    fn respawn_reloads_data() {
+        let mut halt = Instruction::nop(4);
+        halt.bundles[0].ops.push(Operation::new(Opcode::Halt));
+        let p = Arc::new(Program::new(
+            "t",
+            vec![halt],
+            vec![vex_isa::DataSegment {
+                base: 0x100,
+                bytes: vec![1, 2, 3, 4],
+            }],
+        ));
+        let mut t = ThreadCtx::new(p, 0, 4, 0);
+        t.mem.write_u32(0x100, 0xdeadbeef);
+        t.respawn();
+        assert_eq!(t.mem.read_u32(0x100), 0x04030201);
+        assert_eq!(t.stats.runs_completed, 1);
+    }
+}

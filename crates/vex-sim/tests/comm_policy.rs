@@ -1,0 +1,168 @@
+//! Behaviour of the communication-split policies (§V-E, §VI-B) and the
+//! instruction-cache stall model.
+
+use std::sync::Arc;
+use vex_compiler::compile;
+use vex_compiler::ir::{CmpKind, KernelBuilder, MemWidth, Val};
+use vex_isa::MachineConfig;
+use vex_sim::{
+    CommPolicy, Engine, MemoryMode, SimConfig, SplitPolicy, Technique,
+};
+
+/// A kernel whose loop body is dominated by cross-cluster transfers.
+fn comm_heavy() -> Arc<vex_isa::Program> {
+    let m = MachineConfig::paper_4c4w();
+    let mut k = KernelBuilder::new("comm-heavy");
+    let body = k.new_block();
+    let exit = k.new_block();
+    let i = k.vreg_on(0);
+    let a = k.vreg_on(0);
+    let b = k.vreg_on(1);
+    let c = k.vreg_on(2);
+    let d = k.vreg_on(3);
+    k.movi(i, 0);
+    k.movi(a, 1);
+    k.jump(body);
+    k.switch_to(body);
+    k.add(b, a, 1); // 0 -> 1
+    k.add(c, b, 2); // 1 -> 2
+    k.add(d, c, 3); // 2 -> 3
+    k.add(a, d, 4); // 3 -> 0
+    k.add(i, i, 1);
+    k.cond_br(CmpKind::Lt, i, 300, body, exit);
+    k.switch_to(exit);
+    k.store(MemWidth::W, a, Val::Imm(0x100), 0, 1);
+    k.halt();
+    Arc::new(compile(&k.finish(), &m).unwrap())
+}
+
+fn run(p: &Arc<vex_isa::Program>, tech: Technique, n: u8) -> Engine {
+    let cfg = SimConfig {
+        machine: MachineConfig::paper_4c4w(),
+        technique: tech,
+        n_threads: n,
+        renaming: true,
+        memory: MemoryMode::Perfect,
+        timeslice: u64::MAX,
+        inst_limit: u64::MAX,
+        max_cycles: 10_000_000,
+        seed: 1,
+        mt_mode: vex_sim::MtMode::Simultaneous,
+        respawn: false,
+    };
+    let progs: Vec<Arc<vex_isa::Program>> = (0..n).map(|_| Arc::clone(p)).collect();
+    let mut e = Engine::new(cfg, &progs);
+    e.run();
+    e
+}
+
+/// Under NS, instructions containing send/recv never split — their split
+/// counter stays at zero parts > 1 for comm instructions. We check the
+/// aggregate: an entirely comm-dominated program splits far less under NS
+/// than under AS.
+#[test]
+fn no_split_policy_blocks_comm_instruction_splitting() {
+    let p = comm_heavy();
+    // Count how many instructions contain comm: should be most of them.
+    let comm_insts = p.instructions.iter().filter(|i| i.has_comm()).count();
+    assert!(
+        comm_insts * 3 >= p.len(),
+        "kernel not comm-dominated: {comm_insts}/{}",
+        p.len()
+    );
+
+    let ns = run(&p, Technique::ccsi(CommPolicy::NoSplit), 4);
+    let asp = run(&p, Technique::ccsi(CommPolicy::AlwaysSplit), 4);
+    let splits = |e: &Engine| -> u64 {
+        e.contexts.iter().map(|t| t.stats.split_instructions).sum()
+    };
+    assert!(
+        splits(&asp) > splits(&ns),
+        "AS must split more than NS: {} vs {}",
+        splits(&asp),
+        splits(&ns)
+    );
+    // And functional results agree regardless.
+    for (a, b) in ns.contexts.iter().zip(asp.contexts.iter()) {
+        assert_eq!(a.mem.digest(), b.mem.digest());
+    }
+}
+
+/// The split=None techniques must report zero split instructions.
+#[test]
+fn no_split_techniques_never_split() {
+    let p = comm_heavy();
+    for tech in [Technique::csmt(), Technique::smt()] {
+        assert_eq!(tech.split, SplitPolicy::None);
+        let e = run(&p, tech, 4);
+        let splits: u64 = e.contexts.iter().map(|t| t.stats.split_instructions).sum();
+        assert_eq!(splits, 0, "{} must not split", tech.label());
+    }
+}
+
+/// Instruction-cache behaviour: a program with a huge straight-line body
+/// (larger than the 64KB I$) accumulates I-miss stalls; a tiny loop does
+/// not (after warmup).
+#[test]
+fn icache_stalls_track_code_footprint() {
+    let m = MachineConfig::paper_4c4w();
+
+    // Tiny loop.
+    let mut k = KernelBuilder::new("tiny");
+    let body = k.new_block();
+    let exit = k.new_block();
+    let i = k.vreg_on(0);
+    k.movi(i, 0);
+    k.jump(body);
+    k.switch_to(body);
+    k.add(i, i, 1);
+    k.cond_br(CmpKind::Lt, i, 5_000, body, exit);
+    k.switch_to(exit);
+    k.halt();
+    let tiny = Arc::new(compile(&k.finish(), &m).unwrap());
+
+    // Huge straight-line body: ~20k instructions of serial adds (> 64KB).
+    let mut k = KernelBuilder::new("huge");
+    let exit = k.new_block();
+    let x = k.vreg_on(0);
+    k.movi(x, 0);
+    for _ in 0..20_000 {
+        k.add(x, x, 1);
+    }
+    k.jump(exit);
+    k.switch_to(exit);
+    k.store(MemWidth::W, x, Val::Imm(0x100), 0, 1);
+    k.halt();
+    let huge = Arc::new(compile(&k.finish(), &m).unwrap());
+    assert!(
+        huge.inst_addr.last().unwrap() - huge.inst_addr[0] > 64 * 1024,
+        "straight-line body must exceed the I$"
+    );
+
+    let run_real = |p: &Arc<vex_isa::Program>| {
+        let cfg = SimConfig {
+            machine: m.clone(),
+            technique: Technique::csmt(),
+            n_threads: 1,
+            renaming: false,
+            memory: MemoryMode::Real,
+            timeslice: u64::MAX,
+            inst_limit: 40_000,
+            max_cycles: 100_000_000,
+            seed: 1,
+            mt_mode: vex_sim::MtMode::Simultaneous,
+            respawn: true,
+            // (respawn loops the huge body, evicting itself each pass)
+        };
+        let mut e = Engine::new(cfg, &[Arc::clone(p)]);
+        e.run();
+        e.contexts[0].stats.imiss_stall_cycles
+    };
+
+    let tiny_stalls = run_real(&tiny);
+    let huge_stalls = run_real(&huge);
+    assert!(
+        huge_stalls > tiny_stalls * 10,
+        "I$ thrash expected: tiny={tiny_stalls} huge={huge_stalls}"
+    );
+}

@@ -1,0 +1,328 @@
+//! Timing-model behaviour tests: cache-miss stalls, the Figure 11 memory
+//! port contention scenario, taken-branch penalties, cluster renaming, the
+//! in-order split-issue invariant, and the timeslice scheduler.
+
+use std::sync::Arc;
+use vex_compiler::ir::{CmpKind, KernelBuilder, MemWidth, Val};
+use vex_compiler::compile;
+use vex_isa::{Instruction, MachineConfig, Opcode, Operand, Operation, Program, Reg};
+use vex_sim::{
+    CommPolicy, Engine, MemoryMode, SimConfig, StopReason, Technique,
+};
+
+fn cfg(machine: MachineConfig, technique: Technique, n: u8) -> SimConfig {
+    SimConfig {
+        machine,
+        technique,
+        n_threads: n,
+        renaming: false,
+        memory: MemoryMode::Perfect,
+        timeslice: u64::MAX,
+        inst_limit: u64::MAX,
+        max_cycles: 10_000_000,
+        seed: 1,
+        mt_mode: vex_sim::MtMode::Simultaneous,
+        respawn: false,
+    }
+}
+
+/// A kernel striding over `span` bytes of memory `iters` times.
+fn strider(name: &str, span: i32, iters: i32) -> Arc<Program> {
+    let m = MachineConfig::paper_4c4w();
+    let mut k = KernelBuilder::new(name);
+    let body = k.new_block();
+    let exit = k.new_block();
+    let i = k.vreg_on(0);
+    let p = k.vreg_on(0);
+    let x = k.vreg_on(0);
+    k.movi(i, 0);
+    k.movi(p, 0x1_0000);
+    k.jump(body);
+    k.switch_to(body);
+    k.load(MemWidth::W, x, p, 0, 1);
+    k.add(p, p, 64); // new cache line every iteration
+    k.add(i, i, 1);
+    k.cond_br(CmpKind::Lt, i, iters, body, exit);
+    k.switch_to(exit);
+    k.store(MemWidth::W, x, Val::Imm(0x100), 0, 2);
+    k.halt();
+    let _ = span;
+    Arc::new(compile(&k.finish(), &m).unwrap())
+}
+
+#[test]
+fn dcache_misses_slow_execution_and_stall_only_the_thread() {
+    let p = strider("strider", 1 << 20, 400);
+    // Perfect memory.
+    let mut perfect = Engine::new(
+        cfg(MachineConfig::paper_4c4w(), Technique::csmt(), 1),
+        &[Arc::clone(&p)],
+    );
+    perfect.run();
+    // Real memory: every load is a cold miss (64-byte stride, 32-byte lines).
+    let mut real_cfg = cfg(MachineConfig::paper_4c4w(), Technique::csmt(), 1);
+    real_cfg.memory = MemoryMode::Real;
+    let mut real = Engine::new(real_cfg, &[p]);
+    real.run();
+
+    assert!(
+        real.stats.cycles > perfect.stats.cycles + 400 * 15,
+        "misses must add roughly 20 cycles each: perfect={} real={}",
+        perfect.stats.cycles,
+        real.stats.cycles
+    );
+    assert!(real.contexts[0].stats.dmiss_stall_cycles > 0);
+    assert_eq!(perfect.contexts[0].stats.dmiss_stall_cycles, 0);
+}
+
+#[test]
+fn taken_branches_cost_one_extra_cycle() {
+    let m = MachineConfig::paper_4c4w();
+    // Loop with a 3-instruction body (cmp, nop, br after scheduling) taken
+    // `iters` times: every iteration pays the 1-cycle penalty.
+    let mut k = KernelBuilder::new("loop");
+    let body = k.new_block();
+    let exit = k.new_block();
+    let i = k.vreg_on(0);
+    k.movi(i, 0);
+    k.jump(body);
+    k.switch_to(body);
+    k.add(i, i, 1);
+    k.cond_br(CmpKind::Lt, i, 100, body, exit);
+    k.switch_to(exit);
+    k.halt();
+    let p = Arc::new(compile(&k.finish(), &m).unwrap());
+    let mut e = Engine::new(cfg(m, Technique::csmt(), 1), &[p]);
+    e.run();
+    // 99 taken back-edges * 1 cycle of penalty each.
+    assert_eq!(e.contexts[0].stats.branch_stall_cycles, 99);
+}
+
+/// Figure 11: a split-issued store commits its buffered write in the same
+/// cycle another thread issues a memory operation on the same cluster —
+/// two accesses, one port, pipeline stalls.
+#[test]
+fn memory_port_contention_stalls_pipeline() {
+    let m = MachineConfig::small(2, 3);
+    let alu = |c: u8, i: u8| {
+        Operation::bin(
+            Opcode::Add,
+            Reg::new(c, i),
+            Operand::Gpr(Reg::new(c, i)),
+            Operand::Imm(1),
+        )
+    };
+    let st0 = Operation::store(Opcode::Stw, Reg::new(0, 1), 0x40, Operand::Gpr(Reg::new(0, 2)));
+    let ld0 = Operation::load(Opcode::Ldw, Reg::new(0, 3), Reg::new(0, 0), 0x80);
+
+    let halt = |n: u8| {
+        let mut h = Instruction::nop(n);
+        h.bundles[0].ops.push(Operation::new(Opcode::Halt));
+        h
+    };
+
+    // T0: cycle 0 issues on cluster 1 only; cycle 1 issues a load on c0.
+    let t0 = Arc::new(Program::new(
+        "T0",
+        vec![
+            Instruction::from_ops(2, [(1, alu(1, 1)), (1, alu(1, 2))]),
+            Instruction::from_ops(2, [(0, ld0)]),
+            halt(2),
+        ],
+        vec![],
+    ));
+    // T1: store on c0 + bundle on c1; under CCSI the c0 store issues at
+    // cycle 0 (buffered), the c1 part at cycle 1 (commit) — colliding with
+    // T0's load for the single c0 memory port.
+    let t1 = Arc::new(Program::new(
+        "T1",
+        vec![
+            Instruction::from_ops(2, [(0, st0), (1, alu(1, 3))]),
+            halt(2),
+        ],
+        vec![],
+    ));
+
+    let mut split = Engine::new(
+        cfg(m.clone(), Technique::ccsi(CommPolicy::AlwaysSplit), 2),
+        &[Arc::clone(&t0), Arc::clone(&t1)],
+    );
+    split.run();
+    assert!(
+        split.stats.memport_stall_cycles >= 1,
+        "expected a §V-D port-contention stall, got {:?}",
+        split.stats
+    );
+
+    // Without split-issue there are no buffered stores, hence no stalls.
+    let mut nosplit = Engine::new(cfg(m, Technique::csmt(), 2), &[t0, t1]);
+    nosplit.run();
+    assert_eq!(nosplit.stats.memport_stall_cycles, 0);
+}
+
+/// Cluster renaming (§IV): two copies of a cluster-0-bound program collide
+/// on every cycle without renaming; with renaming thread 1 runs on physical
+/// cluster 1 and the two threads co-issue.
+#[test]
+fn cluster_renaming_removes_cluster_bias() {
+    let m = MachineConfig::paper_4c4w();
+    // A dense cluster-0-bound kernel: four dependence chains keep all four
+    // cluster-0 ALUs busy every cycle, unrolled to amortise loop overhead.
+    let mut k = KernelBuilder::new("c0bound");
+    let body = k.new_block();
+    let exit = k.new_block();
+    let i = k.vreg_on(0);
+    let chains: Vec<_> = (0..4).map(|_| k.vreg_on(0)).collect();
+    k.movi(i, 0);
+    for (j, &c) in chains.iter().enumerate() {
+        k.movi(c, j as i32 + 1);
+    }
+    k.jump(body);
+    k.switch_to(body);
+    for _ in 0..8 {
+        for &c in &chains {
+            k.add(c, c, i);
+        }
+    }
+    k.add(i, i, 1);
+    k.cond_br(CmpKind::Lt, i, 100, body, exit);
+    k.switch_to(exit);
+    k.halt();
+    let p = Arc::new(compile(&k.finish(), &m).unwrap());
+
+    let run = |renaming: bool| {
+        let mut c = cfg(m.clone(), Technique::csmt(), 2);
+        c.renaming = renaming;
+        let mut e = Engine::new(c, &[Arc::clone(&p), Arc::clone(&p)]);
+        e.run();
+        e.stats.cycles
+    };
+    let without = run(false);
+    let with = run(true);
+    assert!(
+        with * 3 < without * 2,
+        "renaming must unlock co-issue: with={with} without={without}"
+    );
+}
+
+/// In-order split-issue invariant (paper §II/III): instruction *i+1* never
+/// issues any part before instruction *i* has issued its last part.
+#[test]
+fn split_issue_is_in_order_per_thread() {
+    let m = MachineConfig::paper_4c4w();
+    let mut k = KernelBuilder::new("inorder");
+    let body = k.new_block();
+    let exit = k.new_block();
+    let i = k.vreg_on(0);
+    let a = k.vreg_on(0);
+    let b = k.vreg_on(1);
+    let c = k.vreg_on(2);
+    k.movi(i, 0);
+    k.movi(a, 1);
+    k.movi(b, 2);
+    k.movi(c, 3);
+    k.jump(body);
+    k.switch_to(body);
+    k.mul(a, a, 3);
+    k.add(b, b, a);
+    k.xor(c, c, b);
+    k.add(i, i, 1);
+    k.cond_br(CmpKind::Lt, i, 60, body, exit);
+    k.switch_to(exit);
+    k.halt();
+    let p = Arc::new(compile(&k.finish(), &m).unwrap());
+
+    for tech in [
+        Technique::ccsi(CommPolicy::AlwaysSplit),
+        Technique::cosi(CommPolicy::AlwaysSplit),
+        Technique::oosi(CommPolicy::AlwaysSplit),
+    ] {
+        let copies: Vec<Arc<Program>> = (0..4).map(|_| Arc::clone(&p)).collect();
+        let mut e = Engine::new(cfg(m.clone(), tech, 4), &copies);
+        e.enable_trace();
+        e.run();
+        let trace = e.trace.as_ref().unwrap();
+        for ctx in 0..4 {
+            let mut last_completion: Option<u64> = None;
+            let mut current_inst: Option<usize> = None;
+            for ev in trace.iter().filter(|ev| ev.ctx == ctx) {
+                if current_inst != Some(ev.inst_idx) {
+                    // First part of a new instruction: must start strictly
+                    // after the previous instruction completed.
+                    if let Some(done) = last_completion {
+                        assert!(
+                            ev.cycle > done,
+                            "{}: ctx{ctx} inst {} started at {} but prior \
+                             completed at {done}",
+                            tech.label(),
+                            ev.inst_idx,
+                            ev.cycle
+                        );
+                    }
+                    current_inst = Some(ev.inst_idx);
+                }
+                if ev.completed {
+                    last_completion = Some(ev.cycle);
+                }
+            }
+        }
+    }
+}
+
+/// The timeslice scheduler context-switches, keeps every benchmark making
+/// progress, and respawns finished programs.
+#[test]
+fn timeslice_scheduler_rotates_and_respawns() {
+    let m = MachineConfig::paper_4c4w();
+    let p = strider("short", 0, 40);
+    let programs: Vec<Arc<Program>> = (0..4).map(|_| Arc::clone(&p)).collect();
+    let cfg = SimConfig {
+        machine: m,
+        technique: Technique::csmt(),
+        n_threads: 2,
+        renaming: true,
+        memory: MemoryMode::Perfect,
+        timeslice: 500,
+        inst_limit: 3_000,
+        max_cycles: 10_000_000,
+        seed: 42,
+        mt_mode: vex_sim::MtMode::Simultaneous,
+        respawn: true,
+    };
+    let mut e = Engine::new(cfg, &programs);
+    let reason = e.run();
+    assert_eq!(reason, StopReason::InstLimit);
+    assert!(e.stats.context_switches > 3);
+    for (i, t) in e.contexts.iter().enumerate() {
+        assert!(
+            t.stats.insts_retired > 0,
+            "context {i} never ran: {:?}",
+            t.stats
+        );
+    }
+    assert!(
+        e.contexts.iter().any(|t| t.stats.runs_completed > 0),
+        "short programs must respawn"
+    );
+}
+
+/// Merged cycles and waste metrics are internally consistent.
+#[test]
+fn waste_accounting_is_consistent() {
+    let m = MachineConfig::paper_4c4w();
+    let p = strider("acct", 0, 100);
+    let mut e = Engine::new(
+        cfg(m.clone(), Technique::ccsi(CommPolicy::AlwaysSplit), 2),
+        &[Arc::clone(&p), Arc::clone(&p)],
+    );
+    e.run();
+    let s = &e.stats;
+    assert!(s.empty_cycles <= s.cycles);
+    assert!(s.total_ops <= s.cycles * m.total_issue_width() as u64);
+    // ops + wasted slots account for every slot of every non-empty cycle.
+    let busy = s.cycles - s.empty_cycles;
+    assert_eq!(
+        s.total_ops + s.wasted_slots,
+        busy * m.total_issue_width() as u64
+    );
+}

@@ -1,0 +1,139 @@
+//! Property tests of the merging-hardware model (paper §I and Figure 7):
+//!
+//! * hierarchy: a pair mergeable at cluster level is always mergeable at
+//!   operation level;
+//! * merging is conservative: merged packets never exceed per-cluster
+//!   resources;
+//! * NOPs merge with everything; merging with a NOP is the identity.
+
+use proptest::prelude::*;
+use vex_isa::{FuKind, Instruction, MachineConfig, Opcode, Operand, Operation, Reg};
+use vex_sim::{can_merge_pair, merge_hierarchy_holds, Packet};
+
+fn op_of(kind: u8, c: u8) -> Operation {
+    match kind % 6 {
+        0 => Operation::bin(
+            Opcode::Add,
+            Reg::new(c, 1),
+            Operand::Gpr(Reg::new(c, 2)),
+            Operand::Imm(1),
+        ),
+        1 => Operation::bin(
+            Opcode::Mull,
+            Reg::new(c, 3),
+            Operand::Gpr(Reg::new(c, 2)),
+            Operand::Imm(3),
+        ),
+        2 => Operation::load(Opcode::Ldw, Reg::new(c, 4), Reg::new(c, 5), 0),
+        3 => Operation::store(Opcode::Stw, Reg::new(c, 5), 0, Operand::Gpr(Reg::new(c, 4))),
+        4 => Operation::bin(
+            Opcode::Xor,
+            Reg::new(c, 6),
+            Operand::Gpr(Reg::new(c, 6)),
+            Operand::Imm(0x55),
+        ),
+        _ => Operation::bin(
+            Opcode::Shl,
+            Reg::new(c, 7),
+            Operand::Gpr(Reg::new(c, 7)),
+            Operand::Imm(2),
+        ),
+    }
+}
+
+/// Builds a random *resource-legal* instruction from an op-spec list.
+fn instruction(spec: &[(u8, u8)], m: &MachineConfig) -> Instruction {
+    let mut inst = Instruction::nop(m.n_clusters);
+    for &(kind, c) in spec {
+        let c = c % m.n_clusters;
+        let op = op_of(kind, c);
+        // Respect per-cluster resource limits while building.
+        let b = &inst.bundles[c as usize];
+        if b.ops.len() >= m.cluster.slots as usize {
+            continue;
+        }
+        let fu = op.fu_kind();
+        if b.fu_count(fu) >= m.cluster.count(fu) {
+            continue;
+        }
+        inst.bundles[c as usize].ops.push(op);
+    }
+    inst
+}
+
+proptest! {
+    /// Paper §I: "if a pair of instructions can be merged by CSMT, it can
+    /// always be merged by SMT" — for arbitrary legal instructions.
+    #[test]
+    fn cluster_merge_implies_op_merge(
+        sa in prop::collection::vec((any::<u8>(), any::<u8>()), 0..10),
+        sb in prop::collection::vec((any::<u8>(), any::<u8>()), 0..10),
+    ) {
+        let m = MachineConfig::paper_4c4w();
+        let a = instruction(&sa, &m);
+        let b = instruction(&sb, &m);
+        prop_assert!(a.validate(&m).is_ok());
+        prop_assert!(b.validate(&m).is_ok());
+        prop_assert!(merge_hierarchy_holds(&a, &b, &m));
+    }
+
+    /// NOPs merge with anything under both policies.
+    #[test]
+    fn nop_merges_with_everything(
+        sa in prop::collection::vec((any::<u8>(), any::<u8>()), 0..10),
+    ) {
+        let m = MachineConfig::paper_4c4w();
+        let a = instruction(&sa, &m);
+        let nop = Instruction::nop(m.n_clusters);
+        prop_assert!(can_merge_pair(&a, &nop, &m, true));
+        prop_assert!(can_merge_pair(&a, &nop, &m, false));
+        prop_assert!(can_merge_pair(&nop, &a, &m, true));
+        prop_assert!(can_merge_pair(&nop, &a, &m, false));
+    }
+
+    /// Packet accounting: placing arbitrary op sequences while respecting
+    /// `op_fits` never exceeds slots or FU counts, and `wasted_slots`
+    /// stays within the machine width.
+    #[test]
+    fn packet_never_oversubscribes(
+        ops in prop::collection::vec((any::<u8>(), any::<u8>()), 0..64),
+    ) {
+        let m = MachineConfig::paper_4c4w();
+        let mut p = Packet::new(m.n_clusters);
+        for (kind, c) in ops {
+            let c = c % m.n_clusters;
+            let fu = match kind % 6 {
+                0 | 4 | 5 => FuKind::Alu,
+                1 => FuKind::Mul,
+                2 | 3 => FuKind::Mem,
+                _ => unreachable!(),
+            };
+            if p.op_fits(c, fu, &m) {
+                p.place_op(c, fu);
+            }
+        }
+        for c in 0..m.n_clusters {
+            prop_assert!(p.slots_used(c) <= m.cluster.slots);
+            for fu in [FuKind::Alu, FuKind::Mul, FuKind::Mem] {
+                prop_assert!(p.fu_used(c, fu) <= m.cluster.count(fu));
+            }
+        }
+        prop_assert!(p.wasted_slots(&m) <= m.total_issue_width());
+    }
+
+    /// Merging is symmetric at cluster level (disjoint cluster sets are
+    /// disjoint regardless of order) when both instructions are non-empty.
+    #[test]
+    fn cluster_merge_is_symmetric(
+        sa in prop::collection::vec((any::<u8>(), any::<u8>()), 1..8),
+        sb in prop::collection::vec((any::<u8>(), any::<u8>()), 1..8),
+    ) {
+        let m = MachineConfig::paper_4c4w();
+        let a = instruction(&sa, &m);
+        let b = instruction(&sb, &m);
+        prop_assert_eq!(
+            can_merge_pair(&a, &b, &m, true),
+            can_merge_pair(&b, &a, &m, true)
+        );
+    }
+}

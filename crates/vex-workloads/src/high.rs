@@ -1,0 +1,449 @@
+//! High-ILP benchmarks: `imgpipe`, `x264`, `idct`, `colorspace`
+//! (IPCp ≈ 4–9 in Figure 13(a)).
+//!
+//! These kernels use all four clusters and — deliberately — inter-cluster
+//! `send`/`recv` dataflow, because the paper observes that high-IPC
+//! benchmarks communicate across clusters much more often than low/medium
+//! ones, which is what makes the "No split communication" configuration
+//! hurt them disproportionally (§VI-B). Unroll factors are the calibration
+//! knobs that set each kernel's ILP.
+
+use crate::util::DataRng;
+use vex_compiler::ir::{CmpKind, Kernel, KernelBuilder, MemWidth, VReg, Val};
+
+/// `imgpipe`-like printer imaging pipeline: gamma → 3-tap blur → tone
+/// curve → dither, one stage per cluster, words flowing over the
+/// inter-cluster network. Paper: IPCp 4.05, IPCr 3.81.
+pub fn imgpipe() -> Kernel {
+    const IN: i32 = 0x10_0000; // streaming input
+    const OUT: i32 = 0x60_0000;
+    const WORDS: i32 = 40_000; // 160 KB in, streams
+    const UNROLL: usize = 5;
+
+    let mut rng = DataRng::new(0x696d_6770);
+    let input = rng.words(WORDS as usize);
+
+    let mut k = KernelBuilder::new("imgpipe");
+    let body = k.new_block();
+    let exit = k.new_block();
+
+    let i = k.vreg_on(0);
+    let addr0 = k.vreg_on(0);
+    let addr3 = k.vreg_on(3);
+    // Per-stage registers, one lane per unrolled word.
+    let ga: Vec<VReg> = (0..UNROLL).map(|_| k.vreg_on(0)).collect();
+    let bl: Vec<VReg> = (0..UNROLL).map(|_| k.vreg_on(1)).collect();
+    let prev = k.vreg_on(1);
+    let cu: Vec<VReg> = (0..UNROLL).map(|_| k.vreg_on(2)).collect();
+    let di: Vec<VReg> = (0..UNROLL).map(|_| k.vreg_on(3)).collect();
+    let t0: Vec<VReg> = (0..UNROLL).map(|_| k.vreg_on(0)).collect();
+    let t1: Vec<VReg> = (0..UNROLL).map(|_| k.vreg_on(1)).collect();
+    let t2: Vec<VReg> = (0..UNROLL).map(|_| k.vreg_on(2)).collect();
+    let t3: Vec<VReg> = (0..UNROLL).map(|_| k.vreg_on(3)).collect();
+
+    k.data(IN as u32, input);
+    k.movi(i, 0);
+    k.movi(prev, 0);
+    k.jump(body);
+
+    k.switch_to(body);
+    // 64 KB input window and 32 KB output window: mostly cache-resident
+    // with a mild miss rate, matching the paper's small IPCr/IPCp gap.
+    k.and(addr0, i, 0x1fff); // 32 KB input window
+    k.shl(addr0, addr0, 2);
+    k.and(addr3, i, 0xfff); // 16 KB output window
+    k.shl(addr3, addr3, 2);
+    for (u, (&g, (&b, (&c, &d)))) in ga
+        .iter()
+        .zip(bl.iter().zip(cu.iter().zip(di.iter())))
+        .enumerate()
+    {
+        let off = (u as i32) * 4;
+        let (t0, t1, t2, t3) = (t0[u], t1[u], t2[u], t3[u]);
+        // Stage 1 (cluster 0): load + gamma-ish square/scale.
+        k.load(MemWidth::W, g, addr0, IN + off, 1);
+        k.shr(t0, g, 16);
+        k.mul(t0, t0, t0);
+        k.shr(t0, t0, 8);
+        k.xor(g, g, t0);
+        // Stage 2 (cluster 1): 2-tap blur against the previous iteration's
+        // word (loop-carried, so the lanes of one iteration stay parallel).
+        k.add(b, g, prev); // g travels 0 -> 1
+        k.shr(b, b, 1);
+        k.mul(t1, b, 3);
+        k.sra(t1, t1, 2);
+        k.xor(b, b, t1);
+        // Stage 3 (cluster 2): tone curve (two multiplies).
+        k.mul(t2, b, 7); // b travels 1 -> 2
+        k.sra(t2, t2, 3);
+        k.mul(c, t2, 5);
+        k.sra(c, c, 2);
+        k.xor(c, c, t2);
+        // Stage 4 (cluster 3): ordered dither + store.
+        k.and(t3, i, 7);
+        k.shl(t3, t3, 2);
+        k.xor(d, c, t3); // c travels 2 -> 3
+        k.add(d, d, 0x1badb00b_u32 as i32 & 0xffff);
+        k.store(MemWidth::W, d, addr3, OUT + off, 2);
+    }
+    k.mov(prev, bl[UNROLL - 1]); // carried into the next iteration
+    k.add(i, i, UNROLL as i32);
+    k.cond_br(CmpKind::Lt, i, WORDS - 8, body, exit);
+
+    k.switch_to(exit);
+    k.store(MemWidth::W, di[0], Val::Imm(0x100), 0, 3);
+    k.halt();
+    k.finish()
+}
+
+/// `x264`-like motion-estimation SAD: each cluster accumulates absolute
+/// byte differences of one row pair (current block cached, reference
+/// window streaming); partial sums reduce to cluster 0. Paper: IPCp 4.04,
+/// IPCr 3.89.
+pub fn x264() -> Kernel {
+    const CUR: i32 = 0x1_0000; // 4 KB current block area (cached)
+    const REF: i32 = 0x10_0000; // 512 KB reference window (streams)
+    const N: i32 = 20_000;
+    const WORDS_PER_CLUSTER: usize = 1;
+
+    let mut rng = DataRng::new(0x7832_3634);
+    let cur = rng.words(1024);
+    let refw = rng.words(128 * 1024);
+
+    let mut k = KernelBuilder::new("x264");
+    let body = k.new_block();
+    let exit = k.new_block();
+
+    let i = k.vreg_on(0);
+    let best = k.vreg_on(0);
+    let sads: Vec<VReg> = (1..4).map(|c| k.vreg_on(c as u8)).collect();
+
+    k.data(CUR as u32, cur);
+    k.data(REF as u32, refw);
+    k.movi(i, 0);
+    k.movi(best, i32::MAX);
+    k.jump(body);
+
+    k.switch_to(body);
+    for c in 1..4u8 {
+        let ca = k.vreg_on(c);
+        let ra = k.vreg_on(c);
+        let cw = k.vreg_on(c);
+        let rw = k.vreg_on(c);
+        let x = k.vreg_on(c);
+        let y = k.vreg_on(c);
+        let d = k.vreg_on(c);
+        let sad = sads[c as usize - 1];
+        // Row base addresses: current is small and reused, reference
+        // strides through the window.
+        k.and(ca, i, 63);
+        k.shl(ca, ca, 4);
+        k.shl(ra, i, 3);
+        k.and(ra, ra, 0x7fff); // 32 KB window: mild miss rate
+        k.movi(sad, 0);
+        // Asymmetric row depths: cluster 1 covers two words, 2 and 3 one.
+        let words = if c == 1 { 2 } else { WORDS_PER_CLUSTER };
+        for w in 0..words {
+            let off = (w as i32) * 4 + (c as i32) * 64;
+            k.load(MemWidth::W, cw, ca, CUR + off, 1);
+            k.load(MemWidth::W, rw, ra, REF + off, 2);
+            // Serial packed |a-b| over the four byte lanes.
+            for lane in 0..4 {
+                let sh = lane * 8;
+                if sh == 0 {
+                    k.and(x, cw, 0xff);
+                    k.and(y, rw, 0xff);
+                } else {
+                    k.shr(x, cw, sh);
+                    k.and(x, x, 0xff);
+                    k.shr(y, rw, sh);
+                    k.and(y, y, 0xff);
+                }
+                k.sub(d, x, y);
+                k.sra(x, d, 31);
+                k.xor(d, d, x);
+                k.sub(d, d, x); // |cw.lane - rw.lane|
+                k.add(sad, sad, d); // serial accumulation chain
+            }
+        }
+    }
+    // Reduce partial SADs to cluster 0 (three transfers) and track best.
+    let total = k.vreg_on(0);
+    k.add(total, sads[0], sads[1]);
+    k.add(total, total, sads[2]);
+    // Narrow serial refinement tail on cluster 0 (threshold damping), the
+    // kind of bookkeeping the encoder does between SAD evaluations.
+    k.shr(best, best, 1);
+    k.add(best, best, 1);
+    k.shl(best, best, 1);
+    k.min(best, best, total);
+    k.add(i, i, 1);
+    k.cond_br(CmpKind::Lt, i, N, body, exit);
+
+    k.switch_to(exit);
+    k.store(MemWidth::W, best, Val::Imm(0x100), 0, 3);
+    k.halt();
+    k.finish()
+}
+
+/// Emits an 8-point inverse-DCT-like butterfly (multiply rotations + adds)
+/// with a serial DC-propagation chain that models the real kernel's
+/// recurrences.
+fn idct8_like(k: &mut KernelBuilder, v: &[VReg; 8], t: &[VReg; 4], dc: VReg) {
+    k.mul(t[0], v[2], 35);
+    k.mul(t[1], v[6], 15);
+    k.add(t[0], t[0], t[1]);
+    k.sra(t[0], t[0], 5);
+    k.mul(t[2], v[1], 45);
+    k.mul(t[3], v[7], 9);
+    k.sub(t[2], t[2], t[3]);
+    k.sra(t[2], t[2], 5);
+    k.add(v[0], v[0], dc); // serial DC chain across rows
+    k.add(v[1], v[0], t[0]);
+    k.sub(v[6], v[0], t[0]);
+    k.add(v[2], v[2], t[2]);
+    k.sub(v[5], v[4], t[2]);
+    k.add(v[3], v[3], v[1]);
+    k.sub(v[4], v[3], v[6]);
+    k.add(v[7], v[5], v[2]);
+    k.mov(dc, v[7]);
+}
+
+/// `idct`-like 8×8 inverse transform: each cluster transforms its own
+/// blocks (row pass, memory transpose, column pass) with a serial DC
+/// recurrence. Paper: IPCp 5.27, IPCr 4.79.
+pub fn idct() -> Kernel {
+    const IMG: i32 = 0x10_0000;
+    const SCR: i32 = 0x4_0000; // per-cluster scratch, 1 KB apart
+    const OUT: i32 = 0x60_0000;
+    const BLOCKS: i32 = 900; // per cluster; 4 in flight per iteration
+    const RESIDENT_MASK: i32 = 0x1f; // 32 resident blocks per cluster
+
+    let mut rng = DataRng::new(0x6964_6374);
+    let image = rng.words((2 * (RESIDENT_MASK + 1) * 64) as usize); // 2 cluster areas
+
+    let mut k = KernelBuilder::new("idct");
+    let body = k.new_block();
+    let exit = k.new_block();
+
+    let i = k.vreg_on(0);
+    let dcsum = k.vreg_on(0);
+    k.data(IMG as u32, image);
+    k.movi(i, 0);
+    k.movi(dcsum, 0);
+    k.jump(body);
+
+    k.switch_to(body);
+    // Two compute clusters carry the transforms; cluster 0 drives the loop
+    // and folds the DC checksums (send/recv traffic), which matches the
+    // paper's observation that high-ILP code communicates often.
+    let mut dcs = Vec::new();
+    for cc in 0..2u8 {
+        let c = cc + 1; // row pass on clusters 1/2
+        let cq = [3u8, 0][cc as usize]; // column pass on clusters 3/0
+        let base = k.vreg_on(c);
+        let obase = k.vreg_on(cq);
+        let v: [VReg; 8] = std::array::from_fn(|_| k.vreg_on(c));
+        let t: [VReg; 4] = std::array::from_fn(|_| k.vreg_on(c));
+        let dc = k.vreg_on(c);
+        let v2: [VReg; 8] = std::array::from_fn(|_| k.vreg_on(cq));
+        let t2: [VReg; 4] = std::array::from_fn(|_| k.vreg_on(cq));
+        let dcq = k.vreg_on(cq);
+        let obase2 = k.vreg_on(cq);
+        // 8 KB areas staggered so input/output regions of the two compute
+        // clusters map to disjoint cache sets.
+        let blk_off = (cc as i32) * 0x2000;
+        let out_off = (cc as i32) * 0x2000 + 0x1000;
+        // base = IMG + ((i & mask) * 256) + cluster area
+        k.and(base, i, RESIDENT_MASK);
+        k.shl(base, base, 8);
+        k.add(base, base, IMG + blk_off);
+        k.and(obase, i, 0x1f); // 8 KB output window stays resident
+        k.shl(obase, obase, 8);
+        k.add(obase2, obase, OUT + out_off);
+        k.movi(dc, 0);
+        k.movi(dcq, 0);
+        dcs.push(dc);
+        let scr = SCR + (c as i32) * 1024;
+        // Row pass.
+        for row in 0..8 {
+            for j in 0..8 {
+                k.load(MemWidth::W, v[j], base, row * 32 + (j as i32) * 4, 10 + c);
+            }
+            idct8_like(&mut k, &v, &t, dc);
+            for j in 0..8 {
+                k.store(MemWidth::W, v[j], Val::Imm(scr), row * 32 + (j as i32) * 4, 20 + c);
+            }
+        }
+        // Column pass with saturation, on the partner cluster.
+        for col in 0..8 {
+            for j in 0..8 {
+                k.load(MemWidth::W, v2[j], Val::Imm(scr), (j as i32) * 32 + col * 4, 20 + c);
+            }
+            idct8_like(&mut k, &v2, &t2, dcq);
+            for j in 0..8 {
+                k.max(v2[j], v2[j], 0);
+                k.min(v2[j], v2[j], 255);
+                k.store(MemWidth::W, v2[j], obase2, (j as i32) * 32 + col * 4, 30 + c);
+            }
+        }
+    }
+    for dc in dcs {
+        k.xor(dcsum, dcsum, dc); // dc travels to cluster 0
+    }
+    k.shr(dcsum, dcsum, 1);
+    k.xor(dcsum, dcsum, i); // short narrow tail on cluster 0
+    k.add(i, i, 1);
+    k.cond_br(CmpKind::Lt, i, BLOCKS, body, exit);
+
+    k.switch_to(exit);
+    k.store(MemWidth::W, dcsum, Val::Imm(0x100), 0, 6);
+    k.halt();
+    k.finish()
+}
+
+/// `colorspace`-like RGB→YCbCr conversion (the paper's production printer
+/// pipeline): planar word-packed channels; cluster 1 produces luma and
+/// broadcasts it, clusters 2/3 produce the chroma differences, cluster 0
+/// drives the loop and folds a checksum. Paper: IPCp 8.88, IPCr 5.47.
+pub fn colorspace() -> Kernel {
+    const R: i32 = 0x10_0000;
+    const G: i32 = 0x20_0000;
+    const B: i32 = 0x30_0000;
+    const Y: i32 = 0x40_0000;
+    const CB: i32 = 0x50_0000;
+    const CR: i32 = 0x60_0000;
+    const WORDS: i32 = 50_000; // x3 channels x4 B = 600 KB in, streams
+    const UNROLL: usize = 8;
+
+    let mut rng = DataRng::new(0x636f_6c6f);
+    let r_plane = rng.words(WORDS as usize);
+    let g_plane = rng.words(WORDS as usize);
+    let b_plane = rng.words(WORDS as usize);
+
+    let mut k = KernelBuilder::new("colorspace");
+    let body = k.new_block();
+    let exit = k.new_block();
+
+    let i = k.vreg_on(0);
+    let chk = k.vreg_on(0);
+
+    k.data(R as u32, r_plane);
+    k.data(G as u32, g_plane);
+    k.data(B as u32, b_plane);
+    k.movi(i, 0);
+    k.movi(chk, 0);
+    k.jump(body);
+
+    k.switch_to(body);
+    // Per-cluster address registers, shared by all lanes via immediates.
+    let a1 = k.vreg_on(1);
+    let o1 = k.vreg_on(1);
+    let a2 = k.vreg_on(2);
+    let o2 = k.vreg_on(2);
+    let a3 = k.vreg_on(3);
+    let o3 = k.vreg_on(3);
+    k.shl(a1, i, 2);
+    k.and(o1, a1, 0x3fff); // 16 KB output window (resident)
+    k.shl(a2, i, 2);
+    k.and(o2, a2, 0x3fff);
+    k.shl(a3, i, 2);
+    k.and(o3, a3, 0x3fff);
+    let a0 = k.vreg_on(0);
+    let o0 = k.vreg_on(0);
+    k.shl(a0, i, 2);
+    k.and(o0, a0, 0x3fff);
+    for u in 0..UNROLL {
+        let off = (u as i32) * 4;
+        // Luma lanes alternate between clusters 0 and 1 so neither cluster
+        // saturates its issue slots (cluster 0 otherwise only steers).
+        let yc = (u % 2) as u8;
+        let (ay, oy) = if yc == 0 { (a0, o0) } else { (a1, o1) };
+        let rw = k.vreg_on(yc);
+        let gw = k.vreg_on(yc);
+        let bw = k.vreg_on(yc);
+        let yw = k.vreg_on(yc);
+        let t1 = k.vreg_on(yc);
+        let s1 = k.vreg_on(yc);
+        k.load(MemWidth::W, rw, ay, R + off, 1);
+        k.load(MemWidth::W, gw, ay, G + off, 1);
+        k.load(MemWidth::W, bw, ay, B + off, 1);
+        k.movi(yw, 0);
+        for lane in 0..4 {
+            let sh = lane * 8;
+            // y = (66r + 129g + 25b + 128) >> 8, per byte lane.
+            k.shr(t1, rw, sh);
+            k.and(t1, t1, 0xff);
+            k.mul(t1, t1, 66);
+            k.shr(s1, gw, sh);
+            k.and(s1, s1, 0xff);
+            k.mul(s1, s1, 129);
+            k.add(t1, t1, s1);
+            k.shr(s1, bw, sh);
+            k.and(s1, s1, 0xff);
+            k.mul(s1, s1, 25);
+            k.add(t1, t1, s1);
+            k.add(t1, t1, 128);
+            k.shr(t1, t1, 8);
+            k.min(t1, t1, 255);
+            k.shl(t1, t1, sh);
+            k.or(yw, yw, t1);
+        }
+        k.store(MemWidth::W, yw, oy, Y + off, 2);
+        // Chroma blue (cluster 2): cb = ((b - y) * 91) >> 8 per lane.
+        let bw2 = k.vreg_on(2);
+        let cbw = k.vreg_on(2);
+        let t2 = k.vreg_on(2);
+        let s2 = k.vreg_on(2);
+        k.load(MemWidth::W, bw2, a2, B + off, 1);
+        k.movi(cbw, 0);
+        for lane in 0..4 {
+            let sh = lane * 8;
+            k.shr(t2, bw2, sh);
+            k.and(t2, t2, 0xff);
+            k.shr(s2, yw, sh); // yw travels 1 -> 2
+            k.and(s2, s2, 0xff);
+            k.sub(t2, t2, s2);
+            k.mul(t2, t2, 91);
+            k.sra(t2, t2, 8);
+            k.add(t2, t2, 128);
+            k.max(t2, t2, 0);
+            k.min(t2, t2, 255);
+            k.shl(t2, t2, sh);
+            k.or(cbw, cbw, t2);
+        }
+        k.store(MemWidth::W, cbw, o2, CB + off, 3);
+        // Chroma red (cluster 3): cr = ((r - y) * 115) >> 8 per lane.
+        let rw3 = k.vreg_on(3);
+        let crw = k.vreg_on(3);
+        let t3 = k.vreg_on(3);
+        let s3 = k.vreg_on(3);
+        k.load(MemWidth::W, rw3, a3, R + off, 1);
+        k.movi(crw, 0);
+        for lane in 0..4 {
+            let sh = lane * 8;
+            k.shr(t3, rw3, sh);
+            k.and(t3, t3, 0xff);
+            k.shr(s3, yw, sh); // yw travels 1 -> 3
+            k.and(s3, s3, 0xff);
+            k.sub(t3, t3, s3);
+            k.mul(t3, t3, 115);
+            k.sra(t3, t3, 8);
+            k.add(t3, t3, 128);
+            k.max(t3, t3, 0);
+            k.min(t3, t3, 255);
+            k.shl(t3, t3, sh);
+            k.or(crw, crw, t3);
+        }
+        k.store(MemWidth::W, crw, o3, CR + off, 4);
+        // Checksum fold on cluster 0 (pulls one word across the network).
+        k.xor(chk, chk, yw);
+    }
+    k.add(i, i, UNROLL as i32);
+    k.cond_br(CmpKind::Lt, i, WORDS - UNROLL as i32, body, exit);
+
+    k.switch_to(exit);
+    k.store(MemWidth::W, chk, Val::Imm(0x100), 0, 5);
+    k.halt();
+    k.finish()
+}

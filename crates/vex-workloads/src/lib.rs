@@ -1,0 +1,283 @@
+//! # vex-workloads — the paper's benchmark suite, reconstructed
+//!
+//! The paper evaluates on MediaBench and SPECint-2000 programs plus four
+//! media applications (colorspace conversion, an imaging pipeline, an
+//! inverse DCT and an H.264 encoder), compiled by the proprietary VEX C
+//! compiler. Neither the toolchain nor compiled binaries are available, so
+//! this crate provides **twelve synthetic kernels written in the
+//! `vex-compiler` IR**, one per paper benchmark, each engineered to
+//! reproduce the properties split-issue performance depends on:
+//!
+//! * the benchmark's ILP class and its measured IPC with perfect memory
+//!   (Figure 13(a), column *IPCp*),
+//! * its cache behaviour — the gap between *IPCr* and *IPCp* — via working
+//!   sets that fit or overflow the 64KB cache the same way,
+//! * its inter-cluster communication density (high-ILP benchmarks use
+//!   `send`/`recv` much more, which drives the paper's NS-vs-AS gap),
+//! * its control structure (tight loops, blocked transforms, pointer
+//!   chasing).
+//!
+//! [`BENCHMARKS`] carries the paper's reference numbers next to each
+//! builder so experiments can print paper-vs-measured tables, and
+//! [`MIXES`] reproduces the nine 4-thread workloads of Figure 13(b).
+
+#![warn(missing_docs)]
+
+pub mod high;
+pub mod low;
+pub mod medium;
+pub mod util;
+
+use std::sync::Arc;
+use vex_compiler::ir::Kernel;
+use vex_isa::{MachineConfig, Program};
+
+/// ILP class from Figure 13(a).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum IlpClass {
+    /// `l` — low IPC.
+    Low,
+    /// `m` — medium IPC.
+    Medium,
+    /// `h` — high IPC.
+    High,
+}
+
+impl IlpClass {
+    /// The paper's one-letter tag.
+    pub fn letter(self) -> char {
+        match self {
+            IlpClass::Low => 'l',
+            IlpClass::Medium => 'm',
+            IlpClass::High => 'h',
+        }
+    }
+}
+
+/// A benchmark: builder plus the paper's reference measurements.
+#[derive(Clone)]
+pub struct Benchmark {
+    /// Paper benchmark name.
+    pub name: &'static str,
+    /// Description from Figure 13(a).
+    pub description: &'static str,
+    /// ILP class.
+    pub ilp: IlpClass,
+    /// Paper IPC with real memory (Figure 13(a), IPCr).
+    pub paper_ipcr: f64,
+    /// Paper IPC with perfect memory (Figure 13(a), IPCp).
+    pub paper_ipcp: f64,
+    /// Kernel builder.
+    pub build: fn() -> Kernel,
+}
+
+/// The twelve benchmarks of Figure 13(a), in the paper's order.
+pub const BENCHMARKS: &[Benchmark] = &[
+    Benchmark {
+        name: "mcf",
+        description: "Minimum Cost Flow",
+        ilp: IlpClass::Low,
+        paper_ipcr: 0.96,
+        paper_ipcp: 1.34,
+        build: low::mcf,
+    },
+    Benchmark {
+        name: "bzip2",
+        description: "Bzip2 Compression",
+        ilp: IlpClass::Low,
+        paper_ipcr: 0.81,
+        paper_ipcp: 0.83,
+        build: low::bzip2,
+    },
+    Benchmark {
+        name: "blowfish",
+        description: "Encryption",
+        ilp: IlpClass::Low,
+        paper_ipcr: 1.11,
+        paper_ipcp: 1.47,
+        build: low::blowfish,
+    },
+    Benchmark {
+        name: "gsmencode",
+        description: "GSM Encoder",
+        ilp: IlpClass::Low,
+        paper_ipcr: 1.07,
+        paper_ipcp: 1.07,
+        build: low::gsmencode,
+    },
+    Benchmark {
+        name: "g721encode",
+        description: "G721 Encoder",
+        ilp: IlpClass::Medium,
+        paper_ipcr: 1.75,
+        paper_ipcp: 1.76,
+        build: medium::g721encode,
+    },
+    Benchmark {
+        name: "g721decode",
+        description: "G721 Decoder",
+        ilp: IlpClass::Medium,
+        paper_ipcr: 1.75,
+        paper_ipcp: 1.76,
+        build: medium::g721decode,
+    },
+    Benchmark {
+        name: "cjpeg",
+        description: "Jpeg Encoder",
+        ilp: IlpClass::Medium,
+        paper_ipcr: 1.12,
+        paper_ipcp: 1.66,
+        build: medium::cjpeg,
+    },
+    Benchmark {
+        name: "djpeg",
+        description: "Jpeg Decoder",
+        ilp: IlpClass::Medium,
+        paper_ipcr: 1.76,
+        paper_ipcp: 1.77,
+        build: medium::djpeg,
+    },
+    Benchmark {
+        name: "imgpipe",
+        description: "Imaging pipeline",
+        ilp: IlpClass::High,
+        paper_ipcr: 3.81,
+        paper_ipcp: 4.05,
+        build: high::imgpipe,
+    },
+    Benchmark {
+        name: "x264",
+        description: "H.264 encoder",
+        ilp: IlpClass::High,
+        paper_ipcr: 3.89,
+        paper_ipcp: 4.04,
+        build: high::x264,
+    },
+    Benchmark {
+        name: "idct",
+        description: "Inverse DCT",
+        ilp: IlpClass::High,
+        paper_ipcr: 4.79,
+        paper_ipcp: 5.27,
+        build: high::idct,
+    },
+    Benchmark {
+        name: "colorspace",
+        description: "Colorspace Conversion",
+        ilp: IlpClass::High,
+        paper_ipcr: 5.47,
+        paper_ipcp: 8.88,
+        build: high::colorspace,
+    },
+];
+
+/// Looks a benchmark up by name.
+pub fn by_name(name: &str) -> Option<&'static Benchmark> {
+    BENCHMARKS.iter().find(|b| b.name == name)
+}
+
+/// Builds and compiles a benchmark for the paper machine.
+///
+/// Panics on unknown names or compile errors — the twelve kernels are part
+/// of the crate and must always compile.
+pub fn compile_benchmark(name: &str) -> Arc<Program> {
+    let b = by_name(name).unwrap_or_else(|| panic!("unknown benchmark `{name}`"));
+    let kernel = (b.build)();
+    let m = MachineConfig::paper_4c4w();
+    Arc::new(
+        vex_compiler::compile(&kernel, &m)
+            .unwrap_or_else(|e| panic!("benchmark `{name}` failed to compile: {e}")),
+    )
+}
+
+/// A 4-thread workload mix from Figure 13(b).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Mix {
+    /// ILP-combination label (e.g. `llhh`).
+    pub name: &'static str,
+    /// The four member benchmarks.
+    pub members: [&'static str; 4],
+}
+
+/// The nine workload mixes of Figure 13(b), in the paper's order.
+pub const MIXES: &[Mix] = &[
+    Mix {
+        name: "llll",
+        members: ["mcf", "bzip2", "blowfish", "gsmencode"],
+    },
+    Mix {
+        name: "lmmh",
+        members: ["bzip2", "cjpeg", "djpeg", "imgpipe"],
+    },
+    Mix {
+        name: "mmmm",
+        members: ["g721encode", "g721decode", "cjpeg", "djpeg"],
+    },
+    Mix {
+        name: "llmm",
+        members: ["gsmencode", "blowfish", "g721encode", "djpeg"],
+    },
+    Mix {
+        name: "llmh",
+        members: ["mcf", "blowfish", "cjpeg", "x264"],
+    },
+    Mix {
+        name: "llhh",
+        members: ["mcf", "blowfish", "x264", "idct"],
+    },
+    Mix {
+        name: "lmhh",
+        members: ["gsmencode", "g721encode", "imgpipe", "colorspace"],
+    },
+    Mix {
+        name: "mmhh",
+        members: ["djpeg", "g721decode", "idct", "colorspace"],
+    },
+    Mix {
+        name: "hhhh",
+        members: ["x264", "idct", "imgpipe", "colorspace"],
+    },
+];
+
+/// Compiles all four members of a mix.
+pub fn compile_mix(mix: &Mix) -> Vec<Arc<Program>> {
+    mix.members.iter().map(|n| compile_benchmark(n)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn twelve_benchmarks_nine_mixes() {
+        assert_eq!(BENCHMARKS.len(), 12);
+        assert_eq!(MIXES.len(), 9);
+    }
+
+    #[test]
+    fn mixes_reference_known_benchmarks() {
+        for mix in MIXES {
+            let letters: String = mix
+                .members
+                .iter()
+                .map(|m| by_name(m).expect("benchmark exists").ilp.letter())
+                .collect();
+            // The mix label is the sorted ILP combination of its members.
+            let mut want: Vec<char> = mix.name.chars().collect();
+            let mut got: Vec<char> = letters.chars().collect();
+            want.sort_unstable();
+            got.sort_unstable();
+            assert_eq!(got, want, "mix {} has wrong composition", mix.name);
+        }
+    }
+
+    #[test]
+    fn all_benchmarks_compile_and_validate() {
+        let m = MachineConfig::paper_4c4w();
+        for b in BENCHMARKS {
+            let p = compile_benchmark(b.name);
+            assert!(p.validate(&m).is_ok(), "{} invalid", b.name);
+            assert!(p.len() > 4, "{} suspiciously short", b.name);
+        }
+    }
+}

@@ -1,0 +1,321 @@
+//! Medium-ILP benchmarks: `g721encode`, `g721decode`, `cjpeg`, `djpeg`
+//! (IPCp ≈ 1.6–1.8 in Figure 13(a)).
+//!
+//! The G.721 pair models the ADPCM predictor loop (parallel tap products,
+//! serial quantisation, parallel coefficient update). The JPEG pair models
+//! blocked 8×8 transforms: `cjpeg` streams a large image (real-memory IPC
+//! drops to ~⅔, as the paper reports), `djpeg` re-decodes a cache-resident
+//! set of blocks (IPCr ≈ IPCp).
+
+use crate::util::DataRng;
+use vex_compiler::ir::{CmpKind, Kernel, KernelBuilder, MemWidth, VReg, Val};
+
+/// Shared ADPCM-style predictor loop.
+fn g721(name: &'static str, encode: bool) -> Kernel {
+    const IN: i32 = 0x1_0000; // 8 KB circular sample window (cached)
+    const OUT: i32 = 0x2_0000;
+    const N: i32 = 24_000;
+    const WINDOW: i32 = 2048;
+
+    let mut rng = DataRng::new(0x6737_3231);
+    let samples = rng.words(WINDOW as usize);
+
+    let mut k = KernelBuilder::new(name);
+    let body = k.new_block();
+    let exit = k.new_block();
+
+    let i = k.vreg_on(0);
+    let addr = k.vreg_on(0);
+    let x = k.vreg_on(0);
+    // Zero-predictor delay line: six taps, three per cluster, so the
+    // predictor sum crosses clusters (send/recv traffic like BUG output).
+    let d: Vec<VReg> = (0..6).map(|j| k.vreg_on(if j < 3 { 0 } else { 1 })).collect();
+    let c: Vec<VReg> = (0..6).map(|j| k.vreg_on(if j < 3 { 0 } else { 1 })).collect();
+    let p0 = k.vreg_on(0);
+    let p1 = k.vreg_on(1);
+    let pred = k.vreg_on(0);
+    let err = k.vreg_on(0);
+    let mag = k.vreg_on(2); // quantiser runs on cluster 2
+    let code = k.vreg_on(2);
+    let step = k.vreg_on(2);
+    let t = k.vreg_on(0);
+    let u = k.vreg_on(1);
+
+    k.data(IN as u32, samples);
+    k.movi(i, 0);
+    k.movi(step, 16);
+    for (j, &r) in d.iter().enumerate() {
+        k.movi(r, (j as i32 + 1) * 3);
+    }
+    for (j, &r) in c.iter().enumerate() {
+        k.movi(r, [14, -9, 6, -4, 3, -2][j]);
+    }
+    k.jump(body);
+
+    k.switch_to(body);
+    // Fetch the sample.
+    k.and(addr, i, WINDOW - 1);
+    k.shl(addr, addr, 2);
+    k.load(MemWidth::W, x, addr, IN, 1);
+    // Predictor: one serial MAC chain that crosses from cluster 0 to
+    // cluster 1 and back (the real G.721 code is largely sequential; BUG
+    // still spreads the tap products, producing send/recv traffic).
+    k.movi(p0, 0);
+    for j in 0..3 {
+        k.mul(t, d[j], c[j]);
+        k.add(p0, p0, t); // serial on cluster 0
+    }
+    k.mov(p1, p0); // travels 0 -> 1
+    for j in 3..6 {
+        k.mul(u, d[j], c[j]);
+        k.add(p1, p1, u); // serial on cluster 1
+    }
+    k.mov(pred, p1); // travels 1 -> 0
+    k.sra(pred, pred, 4);
+    // Error / quantise (serial chain with selects).
+    k.sub(err, x, pred);
+    k.sra(t, err, 31);
+    k.xor(mag, err, t);
+    k.sub(mag, mag, t); // |err|
+    // Successive-approximation quantiser: each stage subtracts the
+    // threshold it passed, so the stages are strictly serial through `mag`
+    // (GPR compare + mask arithmetic, sparing the branch-register file).
+    k.movi(code, 0);
+    let thr = k.vreg_on(2);
+    let ge = k.vreg_on(2);
+    for (sh_bit, sh) in [(5, 5), (4, 4), (3, 3), (2, 2), (1, 1), (0, 0)] {
+        k.shl(thr, step, sh);
+        k.cmp(CmpKind::Ge, ge, mag, thr);
+        k.shl(t, ge, sh_bit);
+        k.add(code, code, t);
+        k.sub(t, Val::Imm(0), ge); // all-ones mask when mag >= thr
+        k.and(t, t, thr);
+        k.sub(mag, mag, t);
+    }
+    // Step-size adaptation (serial).
+    k.mul(step, step, 13);
+    k.sra(step, step, 3);
+    k.add(step, step, code);
+    k.max(step, step, 4);
+    k.min(step, step, 8192);
+    if !encode {
+        // Decoder reconstructs the sample instead of coding it.
+        k.mul(t, code, step);
+        k.add(pred, pred, t);
+    }
+    // Coefficient update: leak plus sign-correlation step, independent per
+    // tap (parallel across both clusters).
+    for j in 0..6 {
+        let tt = if j < 3 { t } else { u };
+        k.sra(tt, c[j], 4);
+        k.sub(c[j], c[j], tt); // leak
+        k.xor(tt, d[j], err);
+        k.sra(tt, tt, 28);
+        k.add(tt, tt, step); // gate on the adapted step (serialises)
+        k.sra(tt, tt, 10);
+        k.add(c[j], c[j], tt); // +/- correlation step
+        k.max(c[j], c[j], -128);
+        k.min(c[j], c[j], 128);
+    }
+    // Shift the delay line (register moves).
+    for j in (1..6).rev() {
+        k.mov(d[j], d[j - 1]);
+    }
+    k.mov(d[0], if encode { err } else { pred });
+    // Emit.
+    let oaddr = k.vreg_on(3);
+    k.and(oaddr, i, 1023);
+    k.shl(oaddr, oaddr, 2);
+    k.store(
+        MemWidth::W,
+        if encode { code } else { pred },
+        oaddr,
+        OUT,
+        2,
+    );
+    k.add(i, i, 1);
+    k.cond_br(CmpKind::Lt, i, N, body, exit);
+
+    k.switch_to(exit);
+    k.store(MemWidth::W, step, Val::Imm(0x100), 0, 3);
+    k.halt();
+    k.finish()
+}
+
+/// `g721encode`: ADPCM coder. Paper: IPCp 1.76, IPCr 1.75.
+pub fn g721encode() -> Kernel {
+    g721("g721encode", true)
+}
+
+/// `g721decode`: ADPCM decoder. Paper: IPCp 1.76, IPCr 1.75.
+pub fn g721decode() -> Kernel {
+    g721("g721decode", false)
+}
+
+/// Emits a DCT-like 8-point butterfly network from `src` into `dst`
+/// (deterministic integer transform in the spirit of JPEG's AAN kernels:
+/// even part pure adds/shifts, odd part multiply-based rotations).
+fn dct8_like(
+    k: &mut KernelBuilder,
+    src: &[VReg; 8],
+    dst: &[VReg; 8],
+    tmp: &[VReg; 8],
+    dc: VReg,
+) {
+    // DC recurrence couples consecutive rows/columns like the real code's
+    // DPCM of DC coefficients.
+    k.add(src[0], src[0], dc);
+    // Stage 1: symmetric sums/differences.
+    for j in 0..4 {
+        k.add(tmp[j], src[j], src[7 - j]);
+        k.sub(tmp[4 + j], src[j], src[7 - j]);
+    }
+    // Even part.
+    k.add(dst[0], tmp[0], tmp[3]);
+    k.add(dst[4], tmp[1], tmp[2]);
+    k.sub(dst[2], tmp[0], tmp[3]);
+    k.sub(dst[6], tmp[1], tmp[2]);
+    k.add(dst[0], dst[0], dst[4]);
+    k.sub(dst[4], dst[0], dst[4]);
+    k.mul(dst[2], dst[2], 35);
+    k.mul(dst[6], dst[6], 15);
+    k.add(dst[2], dst[2], dst[6]);
+    k.sra(dst[2], dst[2], 5);
+    k.sub(dst[6], dst[2], dst[6]);
+    // Odd part: two rotations.
+    k.mul(dst[1], tmp[4], 45);
+    k.mul(dst[3], tmp[5], 38);
+    k.add(dst[1], dst[1], dst[3]);
+    k.sra(dst[1], dst[1], 5);
+    k.mul(dst[5], tmp[6], 25);
+    k.mul(dst[7], tmp[7], 9);
+    k.add(dst[5], dst[5], dst[7]);
+    k.sra(dst[5], dst[5], 5);
+    k.sub(dst[3], dst[1], dst[5]);
+    k.add(dst[7], dst[5], dst[1]);
+    k.mov(dc, dst[7]);
+}
+
+/// Shared blocked-transform kernel for the JPEG pair: per 8×8 block of
+/// word-sized samples, one row pass through scratch, one column pass with
+/// quantisation (forward) or saturation (inverse).
+fn jpeg(
+    name: &'static str,
+    forward: bool,
+    n_blocks: i32,
+    reuse_mask: i32,
+    entropy_steps: i32,
+) -> Kernel {
+    const IMG: i32 = 0x10_0000;
+    const SCRATCH: i32 = 0x3_0000;
+    const OUT: i32 = 0x60_0000;
+
+    let mut rng = DataRng::new(0x6a70_6567);
+    let resident = (reuse_mask + 1).min(n_blocks);
+    let image = rng.words((resident * 64) as usize);
+
+    let mut k = KernelBuilder::new(name);
+    let body = k.new_block();
+    let exit = k.new_block();
+
+    let blk = k.vreg_on(0);
+    let base = k.vreg_on(0);
+    let obase = k.vreg_on(2);
+    // Row pass lives on clusters 0/1, column pass on clusters 2/3 — the
+    // scratch transpose carries the data across, so the kernel's phases
+    // rotate over all four clusters like split compiled passes do.
+    let s: [VReg; 8] = std::array::from_fn(|j| k.vreg_on((j % 2) as u8));
+    let o: [VReg; 8] = std::array::from_fn(|j| k.vreg_on((j % 2) as u8));
+    let t: [VReg; 8] = std::array::from_fn(|j| k.vreg_on((j % 2) as u8));
+    let s2: [VReg; 8] = std::array::from_fn(|j| k.vreg_on(2 + (j % 2) as u8));
+    let o2: [VReg; 8] = std::array::from_fn(|j| k.vreg_on(2 + (j % 2) as u8));
+    let t2: [VReg; 8] = std::array::from_fn(|j| k.vreg_on(2 + (j % 2) as u8));
+    let dc = k.vreg_on(0);
+    let dc2 = k.vreg_on(2);
+    // Entropy-pass state (serial chain, like Huffman coding of the block).
+    let pos = k.vreg_on(0);
+    let coeff = k.vreg_on(0);
+    let size = k.vreg_on(0);
+
+    k.data(IMG as u32, image);
+    k.movi(blk, 0);
+    k.movi(pos, 0);
+    k.jump(body);
+
+    k.switch_to(body);
+    k.movi(dc, 0);
+    k.movi(dc2, 0);
+    // base = IMG + (blk & reuse_mask) * 256
+    k.and(base, blk, reuse_mask);
+    k.shl(base, base, 8);
+    k.add(base, base, IMG);
+    k.and(obase, blk, if forward { 1023 } else { reuse_mask });
+    k.shl(obase, obase, 8);
+    k.add(obase, obase, OUT);
+    // Row pass: 8 rows, results to scratch (the classic clustered-VLIW
+    // transpose-through-memory idiom).
+    for row in 0..8 {
+        for j in 0..8 {
+            k.load(MemWidth::W, s[j], base, row * 32 + j as i32 * 4, 1);
+        }
+        dct8_like(&mut k, &s, &o, &t, dc);
+        for j in 0..8 {
+            k.store(MemWidth::W, o[j], Val::Imm(SCRATCH), row * 32 + j as i32 * 4, 2);
+        }
+    }
+    // Column pass reads the scratch transposed, on the other cluster pair.
+    for col in 0..8 {
+        for j in 0..8 {
+            k.load(MemWidth::W, s2[j], Val::Imm(SCRATCH), (j as i32) * 32 + col * 4, 2);
+        }
+        dct8_like(&mut k, &s2, &o2, &t2, dc2);
+        for j in 0..8 {
+            if forward {
+                // Quantise: scale down with a per-coefficient shift.
+                k.sra(o2[j], o2[j], Val::Imm(1 + ((j as i32 + col) & 3)));
+            } else {
+                // Saturate to 0..255 (pixel range).
+                k.max(o2[j], o2[j], 0);
+                k.min(o2[j], o2[j], 255);
+            }
+            k.store(MemWidth::W, o2[j], obase, (j as i32) * 32 + col * 4, 3);
+        }
+    }
+    // Entropy pass: a serial scan over the 64 coefficients just produced,
+    // modelling the bit-serial Huffman stage that dominates the real
+    // codec's run time (each step extends the running bit position).
+    for _ in 0..entropy_steps {
+        // The next coefficient to code depends on the running bit position
+        // (zig-zag run skipping) — a fully serial recurrence.
+        k.and(size, pos, 63);
+        k.shl(size, size, 2);
+        k.add(size, size, obase);
+        k.load(MemWidth::W, coeff, size, 0, 3);
+        k.sra(size, coeff, 31);
+        k.xor(coeff, coeff, size);
+        k.sub(coeff, coeff, size); // |coeff|
+        k.min(coeff, coeff, 255);
+        k.add(pos, pos, coeff); // serial bit-position chain
+        k.add(pos, pos, 1);
+    }
+    k.add(blk, blk, 1);
+    k.cond_br(CmpKind::Lt, blk, n_blocks, body, exit);
+
+    k.switch_to(exit);
+    k.store(MemWidth::W, o[0], Val::Imm(0x100), 0, 4);
+    k.store(MemWidth::W, pos, Val::Imm(0x104), 0, 4);
+    k.halt();
+    k.finish()
+}
+
+/// `cjpeg`: forward transform streaming a ~1 MB image — every block's
+/// loads are cold. Paper: IPCp 1.66, IPCr 1.12.
+pub fn cjpeg() -> Kernel {
+    jpeg("cjpeg", true, 1200, 0xfff, 104)
+}
+
+/// `djpeg`: inverse transform over a small, cache-resident block set.
+/// Paper: IPCp 1.77, IPCr 1.76.
+pub fn djpeg() -> Kernel {
+    jpeg("djpeg", false, 1200, 0x1f, 88)
+}

@@ -1,0 +1,90 @@
+//! Shared helpers for kernel authors: deterministic data generation and
+//! word/byte packing.
+
+/// SplitMix64 for deterministic input-data generation (independent of the
+/// simulator's scheduling RNG).
+pub struct DataRng(u64);
+
+impl DataRng {
+    /// Seeds the generator.
+    pub fn new(seed: u64) -> Self {
+        DataRng(seed)
+    }
+
+    /// Next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    }
+
+    /// Next 32 random bits.
+    pub fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// Uniform in `[0, bound)`.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        ((self.next_u64() as u128 * bound as u128) >> 64) as u64
+    }
+
+    /// A random permutation of `0..n`.
+    pub fn permutation(&mut self, n: u32) -> Vec<u32> {
+        let mut v: Vec<u32> = (0..n).collect();
+        for i in (1..v.len()).rev() {
+            let j = self.below(i as u64 + 1) as usize;
+            v.swap(i, j);
+        }
+        v
+    }
+
+    /// `len` random bytes.
+    pub fn bytes(&mut self, len: usize) -> Vec<u8> {
+        (0..len).map(|_| self.next_u64() as u8).collect()
+    }
+
+    /// `len` random little-endian words as bytes.
+    pub fn words(&mut self, len: usize) -> Vec<u8> {
+        let mut out = Vec::with_capacity(len * 4);
+        for _ in 0..len {
+            out.extend_from_slice(&self.next_u32().to_le_bytes());
+        }
+        out
+    }
+}
+
+/// Packs a word slice into little-endian bytes.
+pub fn words_to_bytes(words: &[u32]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(words.len() * 4);
+    for w in words {
+        out.extend_from_slice(&w.to_le_bytes());
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rng_is_deterministic() {
+        let mut a = DataRng::new(5);
+        let mut b = DataRng::new(5);
+        assert_eq!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn permutation_is_complete() {
+        let mut r = DataRng::new(9);
+        let mut p = r.permutation(100);
+        p.sort_unstable();
+        assert_eq!(p, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn words_pack_little_endian() {
+        assert_eq!(words_to_bytes(&[0x0403_0201]), vec![1, 2, 3, 4]);
+    }
+}

@@ -1,0 +1,81 @@
+//! Design-space exploration: what does cluster-level split-issue buy on
+//! machines the paper did *not* evaluate? This example sweeps cluster
+//! count and per-cluster width, running the `llhh` mix under CSMT and
+//! CCSI-AS on each machine.
+//!
+//! Note the workloads are compiled per machine — the in-repo compiler
+//! retargets the kernels automatically (cluster pins are taken modulo the
+//! cluster count by the assigner only when valid, so this sweep sticks to
+//! machines with ≥ 4 clusters or uses unpinned placement gracefully).
+//!
+//! ```text
+//! cargo run --release --example design_space
+//! ```
+
+use clustered_vliw_smt::isa::MachineConfig;
+use clustered_vliw_smt::sim::{CommPolicy, MemoryMode, SimConfig, Technique};
+use clustered_vliw_smt::workloads::{compile_benchmark, MIXES};
+
+fn main() {
+    println!("Design-space sweep on the `llhh` mix (4 threads):\n");
+    println!(
+        "{:>9} {:>7} {:>11} {:>11} {:>9}",
+        "clusters", "width", "CSMT IPC", "CCSI-AS IPC", "gain"
+    );
+
+    // The shipped kernels pin values to clusters 0..3, so the sweep covers
+    // machines with at least four clusters.
+    for (n_clusters, width) in [(4u8, 2u8), (4, 4), (4, 6), (8, 4)] {
+        let machine = MachineConfig {
+            n_clusters,
+            cluster: clustered_vliw_smt::isa::ClusterResources::narrow(width),
+            ..MachineConfig::paper_4c4w()
+        };
+        // Recompile the mix for this machine.
+        let mix = &MIXES[5]; // llhh
+        let programs: Vec<_> = mix
+            .members
+            .iter()
+            .map(|name| {
+                let b = clustered_vliw_smt::workloads::by_name(name).unwrap();
+                let kernel = (b.build)();
+                std::sync::Arc::new(
+                    clustered_vliw_smt::compiler::compile(&kernel, &machine)
+                        .unwrap_or_else(|e| panic!("{name} on {n_clusters}x{width}: {e}")),
+                )
+            })
+            .collect();
+        let _ = compile_benchmark; // (paper-machine convenience not used here)
+
+        let mut ipcs = Vec::new();
+        for tech in [Technique::csmt(), Technique::ccsi(CommPolicy::AlwaysSplit)] {
+            let cfg = SimConfig {
+                machine: machine.clone(),
+                technique: tech,
+                n_threads: 4,
+                renaming: true,
+                memory: MemoryMode::Real,
+                timeslice: 25_000,
+                inst_limit: 60_000,
+                max_cycles: 500_000_000,
+                seed: 0xDE51,
+                mt_mode: clustered_vliw_smt::sim::MtMode::Simultaneous,
+                respawn: true,
+            };
+            ipcs.push(clustered_vliw_smt::sim::run_workload(&cfg, &programs).ipc());
+        }
+        println!(
+            "{:>9} {:>7} {:>11.2} {:>11.2} {:>8.1}%",
+            n_clusters,
+            width,
+            ipcs[0],
+            ipcs[1],
+            (ipcs[1] / ipcs[0] - 1.0) * 100.0
+        );
+    }
+    println!(
+        "\nNarrower clusters make whole-instruction merging harder, so\n\
+         split-issue recovers more; wider clusters leave slack inside each\n\
+         cluster and the gap closes — the cost/benefit story of §VII."
+    );
+}

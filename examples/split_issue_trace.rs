@@ -1,0 +1,97 @@
+//! Cycle-by-cycle trace of the paper's Figure 6 example: two threads on a
+//! 2-cluster machine where cluster-level split-issue (CCSI) turns a
+//! 4-cycle CSMT schedule into 3 cycles.
+//!
+//! ```text
+//! cargo run --release --example split_issue_trace
+//! ```
+
+use clustered_vliw_smt::isa::{
+    Instruction, MachineConfig, Opcode, Operand, Operation, Program, Reg,
+};
+use clustered_vliw_smt::sim::{CommPolicy, Engine, MemoryMode, SimConfig, Technique};
+use std::sync::Arc;
+
+fn alu(c: u8, i: u8) -> Operation {
+    Operation::bin(
+        Opcode::Add,
+        Reg::new(c, i),
+        Operand::Gpr(Reg::new(c, i)),
+        Operand::Imm(1),
+    )
+}
+
+fn program(name: &str, ins: Vec<Instruction>) -> Arc<Program> {
+    let mut insts = ins;
+    let mut halt = Instruction::nop(2);
+    halt.bundles[0].ops.push(Operation::new(Opcode::Halt));
+    insts.push(halt);
+    Arc::new(Program::new(name, insts, vec![]))
+}
+
+fn run(tech: Technique, t0: &Arc<Program>, t1: &Arc<Program>) {
+    let cfg = SimConfig {
+        machine: MachineConfig::small(2, 3),
+        technique: tech,
+        n_threads: 2,
+        renaming: false,
+        memory: MemoryMode::Perfect,
+        timeslice: u64::MAX,
+        inst_limit: u64::MAX,
+        max_cycles: 100,
+        seed: 1,
+        mt_mode: clustered_vliw_smt::sim::MtMode::Simultaneous,
+        respawn: false,
+    };
+    let mut e = Engine::new(cfg, &[Arc::clone(t0), Arc::clone(t1)]);
+    e.enable_trace();
+    e.run();
+    println!("--- {} ---", tech.label());
+    for ev in e.trace.as_ref().unwrap() {
+        if ev.inst_idx > 1 {
+            continue; // skip the halt instructions
+        }
+        println!(
+            "cycle {}: thread {} issued {} op(s) of Ins{}{}",
+            ev.cycle,
+            ev.ctx,
+            ev.ops,
+            ev.inst_idx,
+            if ev.completed { "  [last part -> commits]" } else { "  [split]" }
+        );
+    }
+    println!();
+}
+
+fn main() {
+    // Thread 0: Ins0 uses only cluster 0; Ins1 uses both clusters.
+    let t0 = program(
+        "T0",
+        vec![
+            Instruction::from_ops(2, [(0, alu(0, 1)), (0, alu(0, 2))]),
+            Instruction::from_ops(
+                2,
+                [(0, alu(0, 3)), (0, alu(0, 4)), (1, alu(1, 1)), (1, alu(1, 2))],
+            ),
+        ],
+    );
+    // Thread 1: Ins0 uses both clusters; Ins1 uses cluster 1.
+    let t1 = program(
+        "T1",
+        vec![
+            Instruction::from_ops(
+                2,
+                [(0, alu(0, 5)), (0, alu(0, 6)), (1, alu(1, 3))],
+            ),
+            Instruction::from_ops(2, [(1, alu(1, 4)), (1, alu(1, 5))]),
+        ],
+    );
+
+    println!(
+        "Figure 6 scenario: T0.Ins0 uses cluster 0 only; T1.Ins0 needs both\n\
+         clusters. Under CSMT nothing merges (4 cycles); under CCSI the\n\
+         bundles dribble into free clusters (3 cycles).\n"
+    );
+    run(Technique::csmt(), &t0, &t1);
+    run(Technique::ccsi(CommPolicy::AlwaysSplit), &t0, &t1);
+}

@@ -1,0 +1,26 @@
+//! # clustered-vliw-smt — facade crate
+//!
+//! Re-exports the whole reproduction stack of Gupta, Sánchez & Llosa,
+//! *"A Low Cost Split-Issue Technique to Improve Performance of SMT
+//! Clustered VLIW Processors"* (IPDPS Workshops, 2010) so downstream users
+//! can depend on one crate:
+//!
+//! * [`isa`] — the VEX-like clustered VLIW instruction set and machine model.
+//! * [`mem`] — set-associative caches and functional memory.
+//! * [`compiler`] — the mini VLIW compiler (BUG cluster assignment + list
+//!   scheduling).
+//! * [`sim`] — the cycle-accurate multithreaded simulator implementing the
+//!   paper's contribution: cluster-level split-issue (CCSI/COSI) next to
+//!   CSMT, SMT and operation-level split-issue (OOSI).
+//! * [`workloads`] — the twelve calibrated benchmark kernels and the nine
+//!   workload mixes of Figure 13.
+//! * [`experiments`] — harness regenerating every figure of the evaluation.
+//!
+//! See `examples/quickstart.rs` for a five-minute tour.
+
+pub use vex_compiler as compiler;
+pub use vex_experiments as experiments;
+pub use vex_isa as isa;
+pub use vex_mem as mem;
+pub use vex_sim as sim;
+pub use vex_workloads as workloads;

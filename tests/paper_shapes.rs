@@ -1,0 +1,113 @@
+//! Shape invariants of the paper's results, checked at quick scale on a
+//! subset of mixes (full-scale tables come from the `repro` binary):
+//!
+//! * split-issue never hurts its merge-level baseline (CCSI ≥ CSMT,
+//!   COSI/OOSI ≥ SMT) beyond noise;
+//! * Always-Split ≥ No-Split beyond noise;
+//! * operation-level merging ≥ cluster-level merging;
+//! * perfect memory ≥ real memory for every benchmark (IPCp ≥ IPCr).
+
+use clustered_vliw_smt::sim::{CommPolicy, MemoryMode, SimConfig, Technique};
+use clustered_vliw_smt::workloads::{compile_mix, MIXES};
+
+const TOL: f64 = 0.995; // allow 0.5% scheduling noise
+
+fn ipc(mix_idx: usize, tech: Technique, threads: u8) -> f64 {
+    let programs = compile_mix(&MIXES[mix_idx]);
+    let cfg = SimConfig {
+        technique: tech,
+        n_threads: threads,
+        renaming: true,
+        memory: MemoryMode::Real,
+        timeslice: 10_000,
+        inst_limit: 25_000,
+        max_cycles: 200_000_000,
+        seed: 0x5EED_0000 + mix_idx as u64,
+        mt_mode: clustered_vliw_smt::sim::MtMode::Simultaneous,
+        respawn: true,
+        machine: clustered_vliw_smt::isa::MachineConfig::paper_4c4w(),
+    };
+    clustered_vliw_smt::sim::run_workload(&cfg, &programs).ipc()
+}
+
+#[test]
+fn split_issue_never_hurts_cluster_merging() {
+    for &mix in &[0usize, 5] {
+        for threads in [2u8, 4] {
+            let csmt = ipc(mix, Technique::csmt(), threads);
+            let ccsi = ipc(mix, Technique::ccsi(CommPolicy::AlwaysSplit), threads);
+            assert!(
+                ccsi >= csmt * TOL,
+                "mix {} {}T: CCSI {ccsi:.3} < CSMT {csmt:.3}",
+                MIXES[mix].name,
+                threads
+            );
+        }
+    }
+}
+
+#[test]
+fn split_issue_never_hurts_operation_merging() {
+    for &mix in &[5usize, 8] {
+        let smt = ipc(mix, Technique::smt(), 4);
+        let cosi = ipc(mix, Technique::cosi(CommPolicy::AlwaysSplit), 4);
+        let oosi = ipc(mix, Technique::oosi(CommPolicy::AlwaysSplit), 4);
+        assert!(cosi >= smt * TOL, "COSI {cosi:.3} < SMT {smt:.3}");
+        assert!(oosi >= cosi * TOL, "OOSI {oosi:.3} < COSI {cosi:.3}");
+    }
+}
+
+#[test]
+fn always_split_at_least_no_split() {
+    for &mix in &[7usize] {
+        for threads in [2u8, 4] {
+            let ns = ipc(mix, Technique::ccsi(CommPolicy::NoSplit), threads);
+            let asp = ipc(mix, Technique::ccsi(CommPolicy::AlwaysSplit), threads);
+            assert!(
+                asp >= ns * TOL,
+                "mix {} {}T: AS {asp:.3} < NS {ns:.3}",
+                MIXES[mix].name,
+                threads
+            );
+        }
+    }
+}
+
+#[test]
+fn operation_merging_beats_cluster_merging() {
+    let csmt = ipc(8, Technique::csmt(), 4);
+    let smt = ipc(8, Technique::smt(), 4);
+    assert!(
+        smt > csmt,
+        "SMT ({smt:.3}) must out-merge CSMT ({csmt:.3}) on hhhh"
+    );
+}
+
+#[test]
+fn perfect_memory_dominates_real_memory() {
+    for name in ["mcf", "cjpeg", "colorspace"] {
+        let program = clustered_vliw_smt::workloads::compile_benchmark(name);
+        let run = |memory| {
+            let cfg = SimConfig {
+                technique: Technique::csmt(),
+                n_threads: 1,
+                renaming: false,
+                memory,
+                timeslice: u64::MAX,
+                inst_limit: 25_000,
+                max_cycles: 200_000_000,
+                seed: 1,
+                mt_mode: clustered_vliw_smt::sim::MtMode::Simultaneous,
+                respawn: true,
+                machine: clustered_vliw_smt::isa::MachineConfig::paper_4c4w(),
+            };
+            clustered_vliw_smt::sim::run_workload(&cfg, &[program.clone()]).ipc()
+        };
+        let real = run(MemoryMode::Real);
+        let perfect = run(MemoryMode::Perfect);
+        assert!(
+            perfect >= real * TOL,
+            "{name}: IPCp {perfect:.3} < IPCr {real:.3}"
+        );
+    }
+}
