@@ -1,0 +1,162 @@
+//! Offline shim of the `criterion` API subset used by `vex-bench`.
+//!
+//! Implements a plain warmup-then-measure harness printing mean time per
+//! iteration; see this crate's README for scope.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Re-implementation of `std::hint::black_box` passthrough used by
+/// benchmark code to defeat constant folding.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// How `iter_batched` amortises setup cost; the shim runs one setup per
+/// measured iteration regardless, so the variants only document intent.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One setup per iteration.
+    PerIteration,
+}
+
+/// The measurement driver passed to benchmark closures.
+pub struct Bencher {
+    samples: u64,
+    /// Mean measured time per iteration, filled by `iter`/`iter_batched`.
+    elapsed_per_iter: Duration,
+}
+
+impl Bencher {
+    fn new(samples: u64) -> Self {
+        Bencher {
+            samples,
+            elapsed_per_iter: Duration::ZERO,
+        }
+    }
+
+    /// Measures `routine` over the configured number of samples.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        black_box(routine()); // warmup
+        let start = Instant::now();
+        for _ in 0..self.samples {
+            black_box(routine());
+        }
+        self.elapsed_per_iter = start.elapsed() / self.samples as u32;
+    }
+
+    /// Measures `routine` with a fresh `setup` input per iteration;
+    /// setup time is excluded from the measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        black_box(routine(setup())); // warmup
+        let mut total = Duration::ZERO;
+        for _ in 0..self.samples {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            total += start.elapsed();
+        }
+        self.elapsed_per_iter = total / self.samples as u32;
+    }
+}
+
+fn report(group: Option<&str>, id: &str, per_iter: Duration) {
+    let name = match group {
+        Some(g) => format!("{g}/{id}"),
+        None => id.to_string(),
+    };
+    println!(
+        "bench: {name:<40} {:>12.3} ms/iter",
+        per_iter.as_secs_f64() * 1e3
+    );
+}
+
+/// Top-level benchmark context.
+pub struct Criterion {
+    default_samples: u64,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            default_samples: 10,
+        }
+    }
+}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.into(),
+            samples: 10,
+        }
+    }
+
+    /// Runs a single ungrouped benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Display, mut f: F) {
+        let mut b = Bencher::new(self.default_samples);
+        f(&mut b);
+        report(None, &id.to_string(), b.elapsed_per_iter);
+    }
+}
+
+/// A group of related benchmarks sharing a sample count.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    samples: u64,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the per-benchmark sample count.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.samples = (n as u64).max(1);
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Display,
+        mut f: F,
+    ) -> &mut Self {
+        let mut b = Bencher::new(self.samples);
+        f(&mut b);
+        report(Some(&self.name), &id.to_string(), b.elapsed_per_iter);
+        self
+    }
+
+    /// Ends the group (no-op in the shim).
+    pub fn finish(self) {}
+}
+
+/// Bundles benchmark functions into a runnable group function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Emits `main` running the given group functions.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:ident),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

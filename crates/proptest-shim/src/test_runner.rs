@@ -1,0 +1,95 @@
+//! Deterministic RNG, run configuration and failure reporting.
+
+/// Run configuration; mirrors the fields of real proptest's
+/// `ProptestConfig` that this workspace sets.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of generated cases per property.
+    pub cases: u32,
+    /// Accepted for source compatibility; unused (no shrinking here).
+    pub max_shrink_iters: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig {
+            cases: 64,
+            max_shrink_iters: 0,
+        }
+    }
+}
+
+impl ProptestConfig {
+    /// The case count after applying the `PROPTEST_CASES` environment
+    /// override.
+    pub fn effective_cases(&self) -> u32 {
+        match std::env::var("PROPTEST_CASES") {
+            Ok(v) => v.parse().unwrap_or(self.cases),
+            Err(_) => self.cases,
+        }
+    }
+}
+
+/// splitmix64: small, fast, and plenty for test-input generation.
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// An RNG seeded from the test name (plus the `PROPTEST_SEED`
+    /// environment override), so every test has its own reproducible
+    /// stream.
+    pub fn for_test(name: &str) -> Self {
+        let mut seed: u64 = match std::env::var("PROPTEST_SEED") {
+            Ok(v) => v.parse().unwrap_or(0x9E37_79B9_7F4A_7C15),
+            Err(_) => 0x9E37_79B9_7F4A_7C15,
+        };
+        for b in name.bytes() {
+            seed = (seed ^ b as u64).wrapping_mul(0x100_0000_01B3);
+        }
+        TestRng { state: seed }
+    }
+
+    /// Next 64 uniform bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `[0, bound)`; `bound` must be non-zero.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0);
+        self.next_u64() % bound
+    }
+}
+
+/// Prints the generated inputs of the failing case if the property body
+/// panics (the success path `mem::forget`s the reporter).
+pub struct CaseReporter {
+    test: &'static str,
+    case: u32,
+    values: String,
+}
+
+impl CaseReporter {
+    /// Arms a reporter for one case.
+    pub fn new(test: &'static str, case: u32, values: String) -> Self {
+        CaseReporter { test, case, values }
+    }
+}
+
+impl Drop for CaseReporter {
+    fn drop(&mut self) {
+        if std::thread::panicking() {
+            eprintln!(
+                "proptest-shim: property `{}` failed at case {} with inputs:{}\n\
+                 (deterministic; rerun the test binary to reproduce, or set \
+                 PROPTEST_SEED/PROPTEST_CASES to explore)",
+                self.test, self.case, self.values
+            );
+        }
+    }
+}

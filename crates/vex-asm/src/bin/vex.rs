@@ -1,0 +1,424 @@
+//! `vex` — assembler, disassembler and simulator driver for the
+//! clustered VLIW SMT stack.
+//!
+//! ```text
+//! vex asm [FILE] [-o OUT]        assemble .vex text to .vexb binary
+//! vex disasm [FILE] [-o OUT]     decode .vexb back to canonical text
+//! vex run [FILE...] [options]    run programs through the simulator
+//! vex export-workloads [DIR]     dump the built-in benchmarks as .vex
+//! ```
+//!
+//! `FILE` defaults to stdin (`-`); `run` autodetects text vs binary input
+//! by the `VEXB` magic, so `vex asm prog.vex | vex run --threads 4` works.
+
+use std::io::{Read, Write};
+use std::process::ExitCode;
+use std::sync::Arc;
+use vex_isa::{MachineConfig, Program};
+use vex_sim::{CommPolicy, MemoryMode, MtMode, SimConfig, StopReason, Technique};
+
+const USAGE: &str = "\
+vex — textual VEX assembly tools for the SMT clustered VLIW simulator
+
+USAGE:
+    vex asm [FILE] [-o OUT]          assemble text to .vexb (stdin/stdout default)
+    vex disasm [FILE] [-o OUT]       decode .vexb to canonical .vex text
+    vex run [FILE...] [OPTIONS]      simulate programs (text or .vexb input)
+    vex export-workloads [DIR]       write the 12 built-in benchmarks as .vex
+    vex help                         show this message
+
+RUN OPTIONS:
+    --technique csmt|smt|ccsi|cosi|oosi   issue technique        [default: ccsi]
+    --comm ns|as                          split communication instructions
+                                          (ns = never, as = always) [default: ns]
+    --threads N                           hardware contexts; inputs are cycled
+                                          to fill them            [default: #inputs]
+    --memory real|perfect                 cache model             [default: real]
+    --mt smt|imt|bmt                      multithreading mode     [default: smt]
+    --no-renaming                         disable cluster renaming
+    --respawn                             restart programs that halt early
+    --timeslice N                         scheduler timeslice in cycles
+    --inst-limit N                        stop after N retired instructions
+    --max-cycles N                        safety bound            [default: 200000000]
+    --seed N                              scheduler seed          [default: 12648430]
+    --no-validate                         skip program validation before the run
+";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (cmd, rest) = match args.split_first() {
+        Some((c, rest)) => (c.as_str(), rest),
+        None => {
+            eprint!("{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+    let result = match cmd {
+        "asm" => cmd_asm(rest),
+        "disasm" => cmd_disasm(rest),
+        "run" => cmd_run(rest),
+        "export-workloads" => cmd_export(rest),
+        "help" | "--help" | "-h" => {
+            print!("{USAGE}");
+            return ExitCode::SUCCESS;
+        }
+        other => Err(format!("unknown subcommand `{other}`; try `vex help`")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("vex: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+// ---- input/output helpers -----------------------------------------
+
+fn read_input(path: &str) -> Result<Vec<u8>, String> {
+    if path == "-" {
+        let mut buf = Vec::new();
+        std::io::stdin()
+            .read_to_end(&mut buf)
+            .map_err(|e| format!("reading stdin: {e}"))?;
+        Ok(buf)
+    } else {
+        std::fs::read(path).map_err(|e| format!("reading `{path}`: {e}"))
+    }
+}
+
+fn write_output(path: Option<&str>, bytes: &[u8]) -> Result<(), String> {
+    match path {
+        Some(p) => std::fs::write(p, bytes).map_err(|e| format!("writing `{p}`: {e}")),
+        None => out(bytes),
+    }
+}
+
+/// Writes to stdout, exiting quietly when the reader hung up (`vex disasm
+/// | head` must not panic on the broken pipe, as `println!` would).
+fn out(bytes: &[u8]) -> Result<(), String> {
+    match std::io::stdout().write_all(bytes) {
+        Ok(()) => Ok(()),
+        Err(e) if e.kind() == std::io::ErrorKind::BrokenPipe => std::process::exit(0),
+        Err(e) => Err(format!("writing stdout: {e}")),
+    }
+}
+
+/// `out` for formatted text lines.
+fn outln(text: &str) -> Result<(), String> {
+    out(text.as_bytes())?;
+    out(b"\n")
+}
+
+/// Loads a program from text or binary, autodetected.
+fn load_program(path: &str) -> Result<Program, String> {
+    let bytes = read_input(path)?;
+    if vex_asm::is_binary(&bytes) {
+        vex_asm::decode(&bytes).map_err(|e| format!("{path}: {e}"))
+    } else {
+        let text =
+            String::from_utf8(bytes).map_err(|e| format!("{path}: input is not UTF-8: {e}"))?;
+        vex_asm::parse_program(&text).map_err(|e| format!("{path}:\n{e}"))
+    }
+}
+
+/// The machine a program runs on: the paper machine, widened or narrowed
+/// to the program's cluster count if it differs.
+fn machine_for(p: &Program) -> MachineConfig {
+    let mut m = MachineConfig::paper_4c4w();
+    m.n_clusters = vex_asm::program_clusters(p);
+    m
+}
+
+// ---- subcommands --------------------------------------------------
+
+fn cmd_asm(args: &[String]) -> Result<(), String> {
+    let (input, output) = parse_io_args(args, "asm")?;
+    let program = load_program(&input)?;
+    program
+        .validate(&machine_for(&program))
+        .map_err(|e| format!("invalid program: {e}"))?;
+    write_output(output.as_deref(), &vex_asm::encode(&program))
+}
+
+fn cmd_disasm(args: &[String]) -> Result<(), String> {
+    let (input, output) = parse_io_args(args, "disasm")?;
+    let program = load_program(&input)?;
+    write_output(
+        output.as_deref(),
+        vex_asm::print_program(&program).as_bytes(),
+    )
+}
+
+/// Shared `[FILE] [-o OUT]` argument shape of `asm`/`disasm`.
+fn parse_io_args(args: &[String], cmd: &str) -> Result<(String, Option<String>), String> {
+    let mut input: Option<String> = None;
+    let mut output: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "-o" | "--output" => {
+                output = Some(
+                    it.next()
+                        .ok_or_else(|| format!("`{a}` needs a path"))?
+                        .clone(),
+                )
+            }
+            "-" => input = Some("-".to_string()),
+            f if !f.starts_with('-') => {
+                if input.is_some() {
+                    return Err(format!("`vex {cmd}` takes at most one input file"));
+                }
+                input = Some(f.to_string());
+            }
+            other => return Err(format!("unknown option `{other}` for `vex {cmd}`")),
+        }
+    }
+    Ok((input.unwrap_or_else(|| "-".to_string()), output))
+}
+
+fn cmd_export(args: &[String]) -> Result<(), String> {
+    if args.len() > 1 || args.iter().any(|a| a.starts_with('-')) {
+        return Err("usage: vex export-workloads [DIR]".to_string());
+    }
+    let dir = args.first().map(String::as_str).unwrap_or("workloads");
+    std::fs::create_dir_all(dir).map_err(|e| format!("creating `{dir}`: {e}"))?;
+    for (name, program) in vex_workloads::compile_all() {
+        let path = format!("{dir}/{name}.vex");
+        std::fs::write(&path, vex_asm::print_program(&program))
+            .map_err(|e| format!("writing `{path}`: {e}"))?;
+        outln(&format!(
+            "wrote {path}: {} instructions, {} ops",
+            program.len(),
+            program.total_ops()
+        ))?;
+    }
+    Ok(())
+}
+
+struct RunOpts {
+    inputs: Vec<String>,
+    technique: String,
+    comm: CommPolicy,
+    threads: Option<u8>,
+    memory: MemoryMode,
+    mt: MtMode,
+    renaming: bool,
+    respawn: bool,
+    timeslice: u64,
+    inst_limit: u64,
+    max_cycles: u64,
+    seed: u64,
+    validate: bool,
+}
+
+fn parse_run_args(args: &[String]) -> Result<RunOpts, String> {
+    let mut o = RunOpts {
+        inputs: Vec::new(),
+        technique: "ccsi".to_string(),
+        comm: CommPolicy::NoSplit,
+        threads: None,
+        memory: MemoryMode::Real,
+        mt: MtMode::Simultaneous,
+        renaming: true,
+        respawn: false,
+        timeslice: u64::MAX,
+        inst_limit: u64::MAX,
+        max_cycles: 200_000_000,
+        seed: 0xC0FFEE,
+        validate: true,
+    };
+    let mut it = args.iter();
+    let value = |it: &mut std::slice::Iter<String>, flag: &str| -> Result<String, String> {
+        it.next()
+            .map(|s| s.to_string())
+            .ok_or_else(|| format!("`{flag}` needs a value"))
+    };
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--technique" => {
+                let v = value(&mut it, a)?;
+                if !["csmt", "smt", "ccsi", "cosi", "oosi"].contains(&v.as_str()) {
+                    return Err(format!(
+                        "unknown technique `{v}` (csmt, smt, ccsi, cosi, oosi)"
+                    ));
+                }
+                o.technique = v;
+            }
+            "--comm" => {
+                o.comm = match value(&mut it, a)?.as_str() {
+                    "ns" | "no-split" => CommPolicy::NoSplit,
+                    "as" | "always-split" => CommPolicy::AlwaysSplit,
+                    other => return Err(format!("unknown comm policy `{other}` (ns, as)")),
+                }
+            }
+            "--threads" => {
+                let v = value(&mut it, a)?;
+                let n: u8 = v
+                    .parse()
+                    .ok()
+                    .filter(|&n| n >= 1)
+                    .ok_or_else(|| format!("bad thread count `{v}`"))?;
+                o.threads = Some(n);
+            }
+            "--memory" => {
+                o.memory = match value(&mut it, a)?.as_str() {
+                    "real" => MemoryMode::Real,
+                    "perfect" => MemoryMode::Perfect,
+                    other => return Err(format!("unknown memory mode `{other}` (real, perfect)")),
+                }
+            }
+            "--mt" => {
+                o.mt = match value(&mut it, a)?.as_str() {
+                    "smt" | "simultaneous" => MtMode::Simultaneous,
+                    "imt" | "interleaved" => MtMode::Interleaved,
+                    "bmt" | "blocked" => MtMode::Blocked,
+                    other => return Err(format!("unknown mt mode `{other}` (smt, imt, bmt)")),
+                }
+            }
+            "--no-renaming" => o.renaming = false,
+            "--respawn" => o.respawn = true,
+            "--no-validate" => o.validate = false,
+            "--timeslice" => o.timeslice = parse_u64(&value(&mut it, a)?, a)?,
+            "--inst-limit" => o.inst_limit = parse_u64(&value(&mut it, a)?, a)?,
+            "--max-cycles" => o.max_cycles = parse_u64(&value(&mut it, a)?, a)?,
+            "--seed" => o.seed = parse_u64(&value(&mut it, a)?, a)?,
+            "-" => o.inputs.push("-".to_string()),
+            f if !f.starts_with('-') => o.inputs.push(f.to_string()),
+            other => return Err(format!("unknown option `{other}` for `vex run`")),
+        }
+    }
+    if o.inputs.is_empty() {
+        o.inputs.push("-".to_string());
+    }
+    Ok(o)
+}
+
+fn parse_u64(v: &str, flag: &str) -> Result<u64, String> {
+    v.parse()
+        .map_err(|_| format!("bad value `{v}` for `{flag}`"))
+}
+
+fn cmd_run(args: &[String]) -> Result<(), String> {
+    let opts = parse_run_args(args)?;
+    let programs: Vec<Arc<Program>> = opts
+        .inputs
+        .iter()
+        .map(|p| load_program(p).map(Arc::new))
+        .collect::<Result<_, _>>()?;
+
+    let technique = match opts.technique.as_str() {
+        "csmt" => Technique::csmt(),
+        "smt" => Technique::smt(),
+        "ccsi" => Technique::ccsi(opts.comm),
+        "cosi" => Technique::cosi(opts.comm),
+        _ => Technique::oosi(opts.comm),
+    };
+    let n_threads = opts.threads.unwrap_or(programs.len().min(255) as u8).max(1);
+    if (n_threads as usize) < programs.len() {
+        return Err(format!(
+            "{} input programs but only {n_threads} hardware threads — every input \
+             must get a context (raise --threads or drop inputs)",
+            programs.len()
+        ));
+    }
+
+    // All programs share the machine; they must agree on cluster count.
+    let machine = machine_for(&programs[0]);
+    for p in programs.iter() {
+        if vex_asm::program_clusters(p) != machine.n_clusters {
+            return Err(format!(
+                "program `{}` targets {} clusters but `{}` targets {}",
+                p.name,
+                vex_asm::program_clusters(p),
+                programs[0].name,
+                machine.n_clusters
+            ));
+        }
+        if opts.validate {
+            p.validate(&machine)
+                .map_err(|e| format!("invalid program (use --no-validate to force): {e}"))?;
+        }
+    }
+
+    // Cycle the inputs to fill all hardware contexts.
+    let workload: Vec<Arc<Program>> = (0..n_threads as usize)
+        .map(|i| Arc::clone(&programs[i % programs.len()]))
+        .collect();
+
+    let cfg = SimConfig {
+        machine,
+        technique,
+        n_threads,
+        renaming: opts.renaming,
+        memory: opts.memory,
+        timeslice: opts.timeslice,
+        inst_limit: opts.inst_limit,
+        max_cycles: opts.max_cycles,
+        seed: opts.seed,
+        mt_mode: opts.mt,
+        respawn: opts.respawn,
+    };
+    let (engine, reason) = vex_sim::run_programs(&cfg, &workload);
+    print_report(&cfg, &workload, &engine, reason)
+}
+
+fn print_report(
+    cfg: &SimConfig,
+    workload: &[Arc<Program>],
+    engine: &vex_sim::Engine,
+    reason: StopReason,
+) -> Result<(), String> {
+    use std::fmt::Write as _;
+    let s = &engine.stats;
+    let mt = match cfg.mt_mode {
+        MtMode::Simultaneous => "smt",
+        MtMode::Interleaved => "imt",
+        MtMode::Blocked => "bmt",
+    };
+    let memory = match cfg.memory {
+        MemoryMode::Real => "real",
+        MemoryMode::Perfect => "perfect",
+    };
+    let mut r = String::new();
+    let _ = writeln!(
+        r,
+        "## vex run: technique={} threads={} mt={mt} memory={memory}",
+        cfg.technique.label(),
+        cfg.n_threads
+    );
+    let _ = writeln!(r, "stop reason      {reason:?}");
+    let _ = writeln!(r, "cycles           {}", s.cycles);
+    let _ = writeln!(r, "ops issued       {}", s.total_ops);
+    let _ = writeln!(r, "insts retired    {}", s.total_insts);
+    let _ = writeln!(r, "IPC              {:.3}", s.ipc());
+    let _ = writeln!(
+        r,
+        "vertical waste   {:.1}%  (empty cycles)",
+        s.vertical_waste() * 100.0
+    );
+    let _ = writeln!(
+        r,
+        "horizontal waste {:.1}%  (unused slots in busy cycles)",
+        s.horizontal_waste(cfg.machine.total_issue_width()) * 100.0
+    );
+    let _ = writeln!(r, "merged cycles    {}", s.merged_cycles);
+    let _ = writeln!(r);
+    let _ = writeln!(
+        r,
+        "thread  program           ops         insts  runs  split-insts  mem digest"
+    );
+    for (i, (t, p)) in s.per_thread.iter().zip(workload).enumerate() {
+        let _ = writeln!(
+            r,
+            "t{i:<6} {:<16} {:>10} {:>8} {:>5} {:>12}  {:016x}",
+            p.name,
+            t.ops_issued,
+            t.insts_retired,
+            t.runs_completed,
+            t.split_instructions,
+            engine.contexts[i].mem.digest()
+        );
+    }
+    out(r.as_bytes())
+}

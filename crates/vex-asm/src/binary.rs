@@ -1,0 +1,343 @@
+//! Versioned binary serialization of [`Program`] (`.vexb`).
+//!
+//! Compiled workloads can be cached to disk and shared between sweep runs
+//! without re-running the compiler. The encoding is a simple
+//! length-prefixed little-endian format with no external dependencies;
+//! `docs/ASM.md` specifies it byte for byte.
+//!
+//! Instruction fetch addresses are *not* stored: decoding rebuilds the
+//! canonical code layout via [`Program::new`], which every in-tree
+//! producer also uses.
+
+use vex_isa::{Bundle, Dest, Instruction, Opcode, Operand, Operation, Program};
+
+/// File magic, `b"VEXB"`.
+pub const MAGIC: [u8; 4] = *b"VEXB";
+
+/// Current format version. Bump on any layout change; decoders reject
+/// versions they do not know.
+pub const VERSION: u16 = 1;
+
+/// A decode failure: byte offset plus message.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct BinError {
+    /// Byte offset at which decoding failed.
+    pub offset: usize,
+    /// What went wrong.
+    pub msg: String,
+}
+
+impl std::fmt::Display for BinError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "binary program error at byte {}: {}",
+            self.offset, self.msg
+        )
+    }
+}
+
+impl std::error::Error for BinError {}
+
+/// Returns true when `bytes` starts with the `.vexb` magic (used by the
+/// CLI to autodetect text vs binary input).
+pub fn is_binary(bytes: &[u8]) -> bool {
+    bytes.len() >= 4 && bytes[..4] == MAGIC
+}
+
+// ---- encoding -----------------------------------------------------
+
+/// Encodes a program to the versioned binary format.
+///
+/// # Panics
+///
+/// On programs the format cannot represent: more than 255 bundles per
+/// instruction or 255 operations per bundle (the counts are one byte;
+/// the parser enforces the same caps, and real machines are far below
+/// them). Silent truncation would desynchronize the stream instead.
+pub fn encode(p: &Program) -> Vec<u8> {
+    let mut out = Vec::with_capacity(64 + p.total_ops() as usize * 16);
+    out.extend_from_slice(&MAGIC);
+    out.extend_from_slice(&VERSION.to_le_bytes());
+    put_str(&mut out, &p.name);
+    put_u32(&mut out, p.instructions.len() as u32);
+    for inst in &p.instructions {
+        assert!(
+            inst.bundles.len() <= u8::MAX as usize,
+            "program `{}`: {} bundles in one instruction exceed the format's one-byte count",
+            p.name,
+            inst.bundles.len()
+        );
+        out.push(inst.bundles.len() as u8);
+        for b in &inst.bundles {
+            assert!(
+                b.ops.len() <= u8::MAX as usize,
+                "program `{}`: {} ops in one bundle exceed the format's one-byte count",
+                p.name,
+                b.ops.len()
+            );
+            out.push(b.ops.len() as u8);
+            for op in &b.ops {
+                put_op(&mut out, op);
+            }
+        }
+    }
+    put_u32(&mut out, p.data.len() as u32);
+    for seg in &p.data {
+        put_u32(&mut out, seg.base);
+        put_u32(&mut out, seg.bytes.len() as u32);
+        out.extend_from_slice(&seg.bytes);
+    }
+    out
+}
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_str(out: &mut Vec<u8>, s: &str) {
+    put_u32(out, s.len() as u32);
+    out.extend_from_slice(s.as_bytes());
+}
+
+const DEST_NONE: u8 = 0;
+const DEST_GPR: u8 = 1;
+const DEST_BREG: u8 = 2;
+const OPERAND_NONE: u8 = 0;
+const OPERAND_GPR: u8 = 1;
+const OPERAND_BREG: u8 = 2;
+const OPERAND_IMM: u8 = 3;
+
+fn put_op(out: &mut Vec<u8>, op: &Operation) {
+    out.push(op.opcode.code());
+    match op.dst {
+        Dest::None => out.push(DEST_NONE),
+        Dest::Gpr(r) => {
+            out.push(DEST_GPR);
+            out.push(r.cluster);
+            out.push(r.index);
+        }
+        Dest::Breg(b) => {
+            out.push(DEST_BREG);
+            out.push(b.cluster);
+            out.push(b.index);
+        }
+    }
+    for o in [op.a, op.b, op.c] {
+        match o {
+            Operand::None => out.push(OPERAND_NONE),
+            Operand::Gpr(r) => {
+                out.push(OPERAND_GPR);
+                out.push(r.cluster);
+                out.push(r.index);
+            }
+            Operand::Breg(b) => {
+                out.push(OPERAND_BREG);
+                out.push(b.cluster);
+                out.push(b.index);
+            }
+            Operand::Imm(v) => {
+                out.push(OPERAND_IMM);
+                out.extend_from_slice(&v.to_le_bytes());
+            }
+        }
+    }
+    out.extend_from_slice(&op.imm.to_le_bytes());
+}
+
+// ---- decoding -----------------------------------------------------
+
+struct Reader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn err(&self, msg: impl Into<String>) -> BinError {
+        BinError {
+            offset: self.pos,
+            msg: msg.into(),
+        }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], BinError> {
+        if self.pos + n > self.bytes.len() {
+            return Err(self.err(format!(
+                "unexpected end of file (wanted {n} more bytes, have {})",
+                self.bytes.len() - self.pos
+            )));
+        }
+        let s = &self.bytes[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8, BinError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u16(&mut self) -> Result<u16, BinError> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+    }
+
+    fn u32(&mut self) -> Result<u32, BinError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn i32(&mut self) -> Result<i32, BinError> {
+        Ok(i32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+}
+
+/// Decodes a program from the versioned binary format.
+pub fn decode(bytes: &[u8]) -> Result<Program, BinError> {
+    let mut r = Reader { bytes, pos: 0 };
+    if r.take(4)? != MAGIC {
+        return Err(BinError {
+            offset: 0,
+            msg: "not a VEXB file (bad magic)".to_string(),
+        });
+    }
+    let version = r.u16()?;
+    if version != VERSION {
+        return Err(r.err(format!(
+            "unsupported format version {version} (this build reads version {VERSION})"
+        )));
+    }
+    let name = {
+        let len = r.u32()? as usize;
+        if len > bytes.len() {
+            return Err(r.err(format!("name length {len} exceeds file size")));
+        }
+        String::from_utf8(r.take(len)?.to_vec())
+            .map_err(|e| r.err(format!("name is not UTF-8: {e}")))?
+    };
+    let n_insts = r.u32()? as usize;
+    let mut instructions = Vec::new();
+    for _ in 0..n_insts {
+        let n_bundles = r.u8()? as usize;
+        let mut bundles = Vec::with_capacity(n_bundles);
+        for _ in 0..n_bundles {
+            let n_ops = r.u8()? as usize;
+            let mut ops = Vec::with_capacity(n_ops);
+            for _ in 0..n_ops {
+                ops.push(read_op(&mut r)?);
+            }
+            bundles.push(Bundle { ops });
+        }
+        instructions.push(Instruction { bundles });
+    }
+    let n_segs = r.u32()? as usize;
+    let mut data = Vec::new();
+    for _ in 0..n_segs {
+        let base = r.u32()?;
+        let len = r.u32()? as usize;
+        if len > bytes.len() {
+            return Err(r.err(format!("data segment length {len} exceeds file size")));
+        }
+        let seg_bytes = r.take(len)?.to_vec();
+        data.push(vex_isa::DataSegment {
+            base,
+            bytes: seg_bytes,
+        });
+    }
+    if r.pos != bytes.len() {
+        return Err(r.err(format!(
+            "{} trailing bytes after program",
+            bytes.len() - r.pos
+        )));
+    }
+    Ok(Program::new(name, instructions, data))
+}
+
+fn read_op(r: &mut Reader<'_>) -> Result<Operation, BinError> {
+    let code = r.u8()?;
+    let opcode = Opcode::from_code(code)
+        .ok_or_else(|| r.err(format!("unknown opcode byte 0x{code:02x}")))?;
+    let mut op = Operation::new(opcode);
+    op.dst = match r.u8()? {
+        DEST_NONE => Dest::None,
+        DEST_GPR => Dest::Gpr(vex_isa::Reg::new(r.u8()?, r.u8()?)),
+        DEST_BREG => Dest::Breg(vex_isa::BReg::new(r.u8()?, r.u8()?)),
+        t => return Err(r.err(format!("unknown destination tag {t}"))),
+    };
+    let mut operands = [Operand::None; 3];
+    for slot in &mut operands {
+        *slot = match r.u8()? {
+            OPERAND_NONE => Operand::None,
+            OPERAND_GPR => Operand::Gpr(vex_isa::Reg::new(r.u8()?, r.u8()?)),
+            OPERAND_BREG => Operand::Breg(vex_isa::BReg::new(r.u8()?, r.u8()?)),
+            OPERAND_IMM => Operand::Imm(r.i32()?),
+            t => return Err(r.err(format!("unknown operand tag {t}"))),
+        };
+    }
+    [op.a, op.b, op.c] = operands;
+    op.imm = r.i32()?;
+    Ok(op)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::parse_program;
+
+    const SRC: &str = "\
+.name bin-test
+.data 0x2000
+  01 02 03
+.code
+  c0 mov $r0.1 = 42
+  c1 send $r1.3, x1
+  c0 recv $r0.2 = x1
+;;
+  c0 cmpeq $b0.0 = $r0.1, $r0.2
+;;
+  c0 brf $b0.0, L0
+;;
+  c0 halt
+;;
+";
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let p = parse_program(SRC).unwrap();
+        let bytes = encode(&p);
+        assert!(is_binary(&bytes));
+        let q = decode(&bytes).unwrap();
+        assert_eq!(p, q);
+    }
+
+    #[test]
+    fn rejects_bad_magic_version_and_truncation() {
+        let p = parse_program(SRC).unwrap();
+        let bytes = encode(&p);
+
+        let e = decode(b"NOPE").unwrap_err();
+        assert!(e.msg.contains("magic"), "{e}");
+
+        let mut wrong_version = bytes.clone();
+        wrong_version[4] = 0xff;
+        wrong_version[5] = 0xff;
+        let e = decode(&wrong_version).unwrap_err();
+        assert!(e.msg.contains("version"), "{e}");
+
+        for cut in [5, 11, bytes.len() / 2, bytes.len() - 1] {
+            assert!(
+                decode(&bytes[..cut]).is_err(),
+                "truncation at {cut} accepted"
+            );
+        }
+
+        let mut trailing = bytes.clone();
+        trailing.push(0);
+        let e = decode(&trailing).unwrap_err();
+        assert!(e.msg.contains("trailing"), "{e}");
+    }
+
+    #[test]
+    fn empty_program_roundtrips() {
+        let p = parse_program("").unwrap();
+        let q = decode(&encode(&p)).unwrap();
+        assert_eq!(p, q);
+    }
+}

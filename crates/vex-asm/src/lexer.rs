@@ -1,0 +1,455 @@
+//! Hand-rolled lexer for the textual VEX assembly format.
+//!
+//! The grammar is line-oriented: newlines are significant tokens (they
+//! terminate operations and directives), `#` and `//` start comments that
+//! run to end of line, and `;;` is the instruction separator. Register
+//! references (`$r0.3`, `$b2.1`) lex as single tokens.
+
+use crate::diag::{AsmError, Span};
+use vex_isa::{BReg, Reg};
+
+/// One lexical token.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Tok {
+    /// End of a source line.
+    Newline,
+    /// The `;;` instruction separator.
+    InstEnd,
+    /// A `.directive` head (text excludes the dot).
+    Directive(String),
+    /// A bare word: mnemonic, cluster prefix (`c0`), label name, hex byte
+    /// in data sections, `x7` pair-id, `L3` target, …
+    Word(String),
+    /// An integer literal (decimal or `0x` hex, optionally negated).
+    Int(i64),
+    /// A general-purpose register `$r<cluster>.<index>`.
+    Gpr(Reg),
+    /// A branch register `$b<cluster>.<index>`.
+    Breg(BReg),
+    /// `=`
+    Eq,
+    /// `,`
+    Comma,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `:`
+    Colon,
+}
+
+impl Tok {
+    /// Short human name used in "expected X, found Y" messages.
+    pub fn describe(&self) -> String {
+        match self {
+            Tok::Newline => "end of line".to_string(),
+            Tok::InstEnd => "`;;`".to_string(),
+            Tok::Directive(d) => format!("directive `.{d}`"),
+            Tok::Word(w) => format!("`{w}`"),
+            Tok::Int(v) => format!("integer `{v}`"),
+            Tok::Gpr(r) => format!("register `{r}`"),
+            Tok::Breg(b) => format!("branch register `{b}`"),
+            Tok::Eq => "`=`".to_string(),
+            Tok::Comma => "`,`".to_string(),
+            Tok::LBracket => "`[`".to_string(),
+            Tok::RBracket => "`]`".to_string(),
+            Tok::Colon => "`:`".to_string(),
+        }
+    }
+}
+
+/// A token plus its source span and raw text.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Token {
+    /// The token.
+    pub tok: Tok,
+    /// Where it came from.
+    pub span: Span,
+    /// The raw source text of the token (empty for [`Tok::Newline`]).
+    /// Data-section byte lists are re-read from this, because `11` there
+    /// means hex 0x11, not the decimal integer the lexer classified.
+    pub raw: String,
+}
+
+/// Lexes `src` into a token stream. Every line is terminated by a
+/// [`Tok::Newline`] token (including the last), so the parser never has to
+/// special-case end of input.
+pub fn lex(src: &str) -> Result<Vec<Token>, AsmError> {
+    let mut out = Vec::new();
+    for (line_idx, line) in src.lines().enumerate() {
+        let line_no = line_idx as u32 + 1;
+        lex_line(line, line_no, &mut out)?;
+        out.push(Token {
+            tok: Tok::Newline,
+            span: Span::new(line_no, line.chars().count() as u32 + 1, 0),
+            raw: String::new(),
+        });
+    }
+    Ok(out)
+}
+
+fn err(line: &str, line_no: u32, col: u32, len: u32, msg: impl Into<String>) -> AsmError {
+    AsmError::new(Span::new(line_no, col, len), msg, line)
+}
+
+fn lex_line(line: &str, line_no: u32, out: &mut Vec<Token>) -> Result<(), AsmError> {
+    let chars: Vec<char> = line.chars().collect();
+    let mut i = 0usize;
+    while i < chars.len() {
+        let c = chars[i];
+        let col = i as u32 + 1;
+        match c {
+            ' ' | '\t' | '\r' => i += 1,
+            '#' => break,
+            '/' if chars.get(i + 1) == Some(&'/') => break,
+            ';' if chars.get(i + 1) == Some(&';') => {
+                out.push(Token {
+                    tok: Tok::InstEnd,
+                    span: Span::new(line_no, col, 2),
+                    raw: ";;".to_string(),
+                });
+                i += 2;
+            }
+            ';' => {
+                return Err(err(
+                    line,
+                    line_no,
+                    col,
+                    1,
+                    "single `;` (the instruction separator is `;;`)",
+                ));
+            }
+            '=' | ',' | '[' | ']' | ':' => {
+                let tok = match c {
+                    '=' => Tok::Eq,
+                    ',' => Tok::Comma,
+                    '[' => Tok::LBracket,
+                    ']' => Tok::RBracket,
+                    _ => Tok::Colon,
+                };
+                out.push(Token {
+                    tok,
+                    span: Span::new(line_no, col, 1),
+                    raw: c.to_string(),
+                });
+                i += 1;
+            }
+            '$' => {
+                let (tok, len) = lex_register(&chars, i, line, line_no)?;
+                out.push(Token {
+                    tok,
+                    span: Span::new(line_no, col, len as u32),
+                    raw: chars[i..i + len].iter().collect(),
+                });
+                i += len;
+            }
+            '.' => {
+                let start = i + 1;
+                let mut j = start;
+                while j < chars.len() && is_word_char(chars[j]) {
+                    j += 1;
+                }
+                if j == start {
+                    return Err(err(
+                        line,
+                        line_no,
+                        col,
+                        1,
+                        "`.` must start a directive name",
+                    ));
+                }
+                let name: String = chars[start..j].iter().collect();
+                let is_name_directive = name == "name";
+                out.push(Token {
+                    tok: Tok::Directive(name),
+                    span: Span::new(line_no, col, (j - i) as u32),
+                    raw: chars[i..j].iter().collect(),
+                });
+                i = j;
+                if is_name_directive {
+                    // `.name` takes the rest of the line verbatim (program
+                    // names may contain `-` and other non-word characters).
+                    let rest: String = chars[i..].iter().collect();
+                    let rest = rest
+                        .split('#')
+                        .next()
+                        .unwrap_or("")
+                        .split("//")
+                        .next()
+                        .unwrap_or("")
+                        .trim()
+                        .to_string();
+                    if !rest.is_empty() {
+                        let col = i as u32 + 1;
+                        let len = rest.chars().count() as u32;
+                        out.push(Token {
+                            tok: Tok::Word(rest.clone()),
+                            span: Span::new(line_no, col, len),
+                            raw: rest,
+                        });
+                    }
+                    break;
+                }
+            }
+            '-' | '0'..='9' => {
+                let (value, len) = lex_int(&chars, i, line, line_no)?;
+                match value {
+                    Some(v) => {
+                        out.push(Token {
+                            tok: Tok::Int(v),
+                            span: Span::new(line_no, col, len as u32),
+                            raw: chars[i..i + len].iter().collect(),
+                        });
+                        i += len;
+                    }
+                    None => {
+                        // Alphanumeric run that is not a number (e.g. the
+                        // hex byte `0f` in a data section): emit a word.
+                        let mut j = i;
+                        while j < chars.len() && is_word_char(chars[j]) {
+                            j += 1;
+                        }
+                        let word: String = chars[i..j].iter().collect();
+                        out.push(Token {
+                            tok: Tok::Word(word.clone()),
+                            span: Span::new(line_no, col, (j - i) as u32),
+                            raw: word,
+                        });
+                        i = j;
+                    }
+                }
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let mut j = i;
+                while j < chars.len() && is_word_char(chars[j]) {
+                    j += 1;
+                }
+                let word: String = chars[i..j].iter().collect();
+                out.push(Token {
+                    tok: Tok::Word(word.clone()),
+                    span: Span::new(line_no, col, (j - i) as u32),
+                    raw: word,
+                });
+                i = j;
+            }
+            other => {
+                return Err(err(
+                    line,
+                    line_no,
+                    col,
+                    1,
+                    format!("unexpected character `{other}`"),
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
+fn is_word_char(c: char) -> bool {
+    c.is_ascii_alphanumeric() || c == '_'
+}
+
+/// Lexes `$r<c>.<n>` / `$b<c>.<n>` starting at `chars[start] == '$'`.
+/// Returns the token and its length in characters.
+fn lex_register(
+    chars: &[char],
+    start: usize,
+    line: &str,
+    line_no: u32,
+) -> Result<(Tok, usize), AsmError> {
+    let col = start as u32 + 1;
+    let bad = |msg: &str| err(line, line_no, col, 2, msg);
+    let class = match chars.get(start + 1) {
+        Some('r') => 'r',
+        Some('b') => 'b',
+        _ => {
+            return Err(bad(
+                "register must be `$r<cluster>.<index>` or `$b<cluster>.<index>`",
+            ))
+        }
+    };
+    let mut i = start + 2;
+    let cluster =
+        take_u8(chars, &mut i).ok_or_else(|| bad("missing cluster number after register class"))?;
+    if chars.get(i) != Some(&'.') {
+        return Err(bad("missing `.` between cluster and register index"));
+    }
+    i += 1;
+    let index = take_u8(chars, &mut i).ok_or_else(|| bad("missing register index"))?;
+    let len = i - start;
+    let tok = if class == 'r' {
+        Tok::Gpr(Reg::new(cluster, index))
+    } else {
+        Tok::Breg(BReg::new(cluster, index))
+    };
+    Ok((tok, len))
+}
+
+fn take_u8(chars: &[char], i: &mut usize) -> Option<u8> {
+    let start = *i;
+    let mut v: u32 = 0;
+    while let Some(c) = chars.get(*i) {
+        let Some(d) = c.to_digit(10) else { break };
+        v = v * 10 + d;
+        if v > u8::MAX as u32 {
+            return None;
+        }
+        *i += 1;
+    }
+    if *i == start {
+        None
+    } else {
+        Some(v as u8)
+    }
+}
+
+/// Tries to lex an integer at `chars[start]`. Returns `Ok((None, _))` when
+/// the alphanumeric run is not a well-formed number (the caller re-lexes
+/// it as a word: data-section hex bytes like `0f` take this path).
+fn lex_int(
+    chars: &[char],
+    start: usize,
+    line: &str,
+    line_no: u32,
+) -> Result<(Option<i64>, usize), AsmError> {
+    let col = start as u32 + 1;
+    let mut i = start;
+    let neg = chars[i] == '-';
+    if neg {
+        i += 1;
+        if !chars.get(i).is_some_and(|c| c.is_ascii_digit()) {
+            return Err(err(
+                line,
+                line_no,
+                col,
+                1,
+                "`-` must be followed by a number",
+            ));
+        }
+    }
+    let digits_start = i;
+    let hex = chars.get(i) == Some(&'0') && matches!(chars.get(i + 1), Some('x') | Some('X'));
+    if hex {
+        i += 2;
+    }
+    let mut j = i;
+    while j < chars.len() && is_word_char(chars[j]) {
+        j += 1;
+    }
+    let text: String = chars[i..j].iter().collect();
+    let parsed = if hex {
+        u64::from_str_radix(&text, 16).ok().map(|v| v as i64)
+    } else {
+        text.parse::<i64>().ok()
+    };
+    match parsed {
+        Some(v) => {
+            let v = if neg { -v } else { v };
+            Ok((Some(v), j - start))
+        }
+        None if !neg && !hex => {
+            // Not a number; the caller lexes `chars[digits_start..]` as a word.
+            let _ = digits_start;
+            Ok((None, 0))
+        }
+        None => Err(err(
+            line,
+            line_no,
+            col,
+            (j - start) as u32,
+            format!(
+                "malformed number `{}`",
+                chars[start..j].iter().collect::<String>()
+            ),
+        )),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(src: &str) -> Vec<Tok> {
+        lex(src).unwrap().into_iter().map(|t| t.tok).collect()
+    }
+
+    #[test]
+    fn lexes_an_operation_line() {
+        let t = toks("  c0 add $r0.3 = $r0.1, 4\n;;");
+        assert_eq!(
+            t,
+            vec![
+                Tok::Word("c0".into()),
+                Tok::Word("add".into()),
+                Tok::Gpr(Reg::new(0, 3)),
+                Tok::Eq,
+                Tok::Gpr(Reg::new(0, 1)),
+                Tok::Comma,
+                Tok::Int(4),
+                Tok::Newline,
+                Tok::InstEnd,
+                Tok::Newline,
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_memory_and_breg_syntax() {
+        let t = toks("c1 ldw $r1.5 = -8[$r1.2] # comment");
+        assert_eq!(
+            t,
+            vec![
+                Tok::Word("c1".into()),
+                Tok::Word("ldw".into()),
+                Tok::Gpr(Reg::new(1, 5)),
+                Tok::Eq,
+                Tok::Int(-8),
+                Tok::LBracket,
+                Tok::Gpr(Reg::new(1, 2)),
+                Tok::RBracket,
+                Tok::Newline,
+            ]
+        );
+        assert_eq!(
+            toks("br $b0.1, L42"),
+            vec![
+                Tok::Word("br".into()),
+                Tok::Breg(BReg::new(0, 1)),
+                Tok::Comma,
+                Tok::Word("L42".into()),
+                Tok::Newline,
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_directives_hex_and_comments() {
+        let t = toks(".data 0x1000\n  de ad 0f 00 // tail");
+        assert_eq!(
+            t,
+            vec![
+                Tok::Directive("data".into()),
+                Tok::Int(0x1000),
+                Tok::Newline,
+                Tok::Word("de".into()),
+                Tok::Word("ad".into()),
+                Tok::Word("0f".into()),
+                Tok::Int(0),
+                Tok::Newline,
+            ]
+        );
+    }
+
+    #[test]
+    fn rejects_garbage_with_spans() {
+        let e = lex("  c0 add @r0.1").unwrap_err();
+        assert_eq!(e.span.line, 1);
+        assert_eq!(e.span.col, 10);
+        assert!(e.msg.contains("unexpected character"));
+        let e = lex("c0 add $q0.1").unwrap_err();
+        assert!(e.msg.contains("register"));
+        let e = lex("br $b0.1, L3 ; wrong").unwrap_err();
+        assert!(e.msg.contains("`;;`"));
+    }
+}

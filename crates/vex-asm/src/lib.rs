@@ -1,0 +1,49 @@
+//! # vex-asm — textual VEX assembly, disassembly and the binary format
+//!
+//! This crate turns the simulator stack into an open tool: arbitrary
+//! workloads can be authored as `.vex` text, round-tripped, cached as
+//! `.vexb` binaries and fed to every technique in the CSMT/CCSI/COSI/OOSI
+//! grid without writing Rust against `KernelBuilder`. Four layers:
+//!
+//! * [`parse_program`] — a hand-rolled lexer/parser for the line-oriented
+//!   assembly syntax (one operation per line, `c0..` cluster prefixes,
+//!   `;;` instruction separators, labels, `.name`/`.clusters`/`.data`
+//!   directives) producing [`vex_isa::Program`] values with span-carrying
+//!   [`AsmError`] diagnostics;
+//! * [`Disasm`] / [`print_program`] — the canonical pretty-printer, with
+//!   `parse(print(p)) == p` enforced by a round-trip property test;
+//! * [`encode`] / [`decode`] — the versioned `.vexb` binary serialization
+//!   (magic `VEXB`, version header, length-prefixed little-endian);
+//! * the `vex` CLI binary — `asm`, `disasm`, `run` and `export-workloads`
+//!   subcommands (see `docs/ASM.md` and the root README).
+//!
+//! ## Example
+//!
+//! ```
+//! use vex_asm::{parse_program, print_program, encode, decode};
+//!
+//! let p = parse_program("\
+//! .name double
+//! .code
+//!   c0 add $r0.1 = $r0.1, $r0.1
+//! ;;
+//!   c0 halt
+//! ;;
+//! ").unwrap();
+//! assert_eq!(p.name, "double");
+//! assert_eq!(parse_program(&print_program(&p)).unwrap(), p);
+//! assert_eq!(decode(&encode(&p)).unwrap(), p);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod binary;
+pub mod diag;
+pub mod lexer;
+pub mod parse;
+pub mod print;
+
+pub use binary::{decode, encode, is_binary, BinError, MAGIC, VERSION};
+pub use diag::{AsmError, Span};
+pub use parse::{parse_program, DEFAULT_CLUSTERS};
+pub use print::{print_program, program_clusters, Disasm};

@@ -1,0 +1,833 @@
+//! Parser: textual VEX assembly → [`vex_isa::Program`].
+//!
+//! See `docs/ASM.md` for the grammar. The parser is two-pass only in the
+//! sense that named-label references are patched once the instruction
+//! count is known; everything else is a single left-to-right walk over
+//! the token stream.
+
+use crate::diag::{AsmError, Span};
+use crate::lexer::{lex, Tok, Token};
+use std::collections::HashMap;
+use vex_isa::{Bundle, Dest, Instruction, Opcode, Operand, Operation, Program};
+
+/// Default cluster count when a file has no `.clusters` directive (the
+/// paper machine).
+pub const DEFAULT_CLUSTERS: u8 = 4;
+
+/// Hard cap on operations per bundle: the `.vexb` format stores the
+/// per-bundle operation count in one byte.
+pub const MAX_BUNDLE_OPS: usize = 255;
+
+/// Parses one `.vex` source file into a [`Program`].
+///
+/// Structural machine checks (issue-width, functional-unit counts,
+/// register locality) are *not* applied here — call
+/// [`Program::validate`] with the machine you intend to run on. The
+/// parser does check branch-target ranges and label resolution.
+pub fn parse_program(src: &str) -> Result<Program, AsmError> {
+    Parser::new(src)?.file()
+}
+
+/// How a branch target was written in the source.
+enum TargetKind {
+    /// `L<n>` absolute instruction index.
+    Absolute(i32),
+    /// A named label, resolved once all labels are known.
+    Named(String),
+}
+
+/// A branch-target reference, kept with its span so resolution and
+/// range errors point at the target token.
+struct TargetRef {
+    inst: usize,
+    bundle: usize,
+    op: usize,
+    kind: TargetKind,
+    span: Span,
+    line: String,
+}
+
+struct Parser<'a> {
+    tokens: Vec<Token>,
+    pos: usize,
+    lines: Vec<&'a str>,
+    clusters: u8,
+    saw_clusters_directive: bool,
+}
+
+impl<'a> Parser<'a> {
+    fn new(src: &'a str) -> Result<Self, AsmError> {
+        Ok(Parser {
+            tokens: lex(src)?,
+            pos: 0,
+            lines: src.lines().collect(),
+            clusters: DEFAULT_CLUSTERS,
+            saw_clusters_directive: false,
+        })
+    }
+
+    // ---- token-stream helpers -------------------------------------
+
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<Token> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn src_line(&self, span: Span) -> String {
+        self.lines
+            .get(span.line.saturating_sub(1) as usize)
+            .copied()
+            .unwrap_or("")
+            .to_string()
+    }
+
+    fn error(&self, span: Span, msg: impl Into<String>) -> AsmError {
+        AsmError::new(span, msg, self.src_line(span))
+    }
+
+    fn eof_span(&self) -> Span {
+        self.tokens.last().map(|t| t.span).unwrap_or_default()
+    }
+
+    /// Consumes newline tokens; returns false at end of input.
+    fn skip_blank_lines(&mut self) -> bool {
+        while let Some(t) = self.peek() {
+            if t.tok == Tok::Newline {
+                self.pos += 1;
+            } else {
+                return true;
+            }
+        }
+        false
+    }
+
+    fn expect_newline(&mut self) -> Result<(), AsmError> {
+        match self.next() {
+            Some(Token {
+                tok: Tok::Newline, ..
+            })
+            | None => Ok(()),
+            Some(t) => Err(self.error(
+                t.span,
+                format!("expected end of line, found {}", t.tok.describe()),
+            )),
+        }
+    }
+
+    // ---- file structure -------------------------------------------
+
+    fn file(&mut self) -> Result<Program, AsmError> {
+        let mut name = String::new();
+        let mut data = Vec::new();
+        let mut saw_code = false;
+
+        // Header: directives until `.code`.
+        while self.skip_blank_lines() {
+            let t = self.next().expect("peeked");
+            match t.tok {
+                Tok::Directive(ref d) => match d.as_str() {
+                    "name" => {
+                        name = self.parse_name_rest()?;
+                    }
+                    "clusters" => {
+                        self.parse_clusters(&t)?;
+                    }
+                    "data" => {
+                        data.push(self.parse_data_segment(&t)?);
+                    }
+                    "code" => {
+                        self.expect_newline()?;
+                        saw_code = true;
+                        break;
+                    }
+                    other => {
+                        return Err(self.error(
+                            t.span,
+                            format!(
+                                "unknown directive `.{other}` (expected .name, .clusters, .data or .code)"
+                            ),
+                        ))
+                    }
+                },
+                _ => {
+                    return Err(self.error(
+                        t.span,
+                        format!(
+                            "expected a directive before `.code`, found {}",
+                            t.tok.describe()
+                        ),
+                    ))
+                }
+            }
+        }
+
+        let instructions = if saw_code {
+            self.parse_code()?
+        } else {
+            Vec::new()
+        };
+
+        Ok(Program::new(name, instructions, data))
+    }
+
+    /// `.name` consumes the rest of its line verbatim (the lexer emits it
+    /// as a single word token).
+    fn parse_name_rest(&mut self) -> Result<String, AsmError> {
+        match self.next() {
+            Some(Token {
+                tok: Tok::Word(w), ..
+            }) => {
+                self.expect_newline()?;
+                Ok(w)
+            }
+            Some(Token {
+                tok: Tok::Newline, ..
+            })
+            | None => Ok(String::new()),
+            Some(t) => Err(self.error(
+                t.span,
+                format!("expected a program name, found {}", t.tok.describe()),
+            )),
+        }
+    }
+
+    fn parse_clusters(&mut self, at: &Token) -> Result<(), AsmError> {
+        match self.next() {
+            Some(Token {
+                tok: Tok::Int(n), ..
+            }) if (1..=16).contains(&n) => {
+                self.clusters = n as u8;
+                self.saw_clusters_directive = true;
+                self.expect_newline()
+            }
+            Some(t) => Err(self.error(
+                t.span,
+                format!(
+                    "`.clusters` takes a count between 1 and 16, found {}",
+                    t.tok.describe()
+                ),
+            )),
+            None => Err(self.error(at.span, "`.clusters` takes a count between 1 and 16")),
+        }
+    }
+
+    /// `.data <base>` followed by lines of two-digit hex bytes.
+    fn parse_data_segment(&mut self, at: &Token) -> Result<vex_isa::DataSegment, AsmError> {
+        let base = match self.next() {
+            Some(Token {
+                tok: Tok::Int(v), ..
+            }) if (0..=u32::MAX as i64).contains(&v) => v as u32,
+            Some(t) => {
+                return Err(self.error(
+                    t.span,
+                    format!("`.data` takes a base address, found {}", t.tok.describe()),
+                ))
+            }
+            None => return Err(self.error(at.span, "`.data` takes a base address")),
+        };
+        self.expect_newline()?;
+
+        let mut bytes = Vec::new();
+        // Byte lines: consume as long as the next line consists purely of
+        // hex-pair tokens.
+        loop {
+            if !self.skip_blank_lines() {
+                break;
+            }
+            let start = self.pos;
+            let mut line_ok = true;
+            let mut line_bytes = Vec::new();
+            while let Some(t) = self.peek() {
+                match &t.tok {
+                    Tok::Newline => break,
+                    Tok::Word(_) | Tok::Int(_) => {
+                        let raw = &t.raw;
+                        if raw.len() == 2 && raw.chars().all(|c| c.is_ascii_hexdigit()) {
+                            line_bytes.push(u8::from_str_radix(raw, 16).expect("checked hex"));
+                            self.pos += 1;
+                        } else {
+                            line_ok = false;
+                            break;
+                        }
+                    }
+                    _ => {
+                        line_ok = false;
+                        break;
+                    }
+                }
+            }
+            if line_ok && self.pos > start {
+                bytes.extend_from_slice(&line_bytes);
+                self.expect_newline()?;
+            } else {
+                // Not a byte line: rewind and let the caller handle it.
+                self.pos = start;
+                break;
+            }
+        }
+        Ok(vex_isa::DataSegment { base, bytes })
+    }
+
+    // ---- code section ---------------------------------------------
+
+    fn parse_code(&mut self) -> Result<Vec<Instruction>, AsmError> {
+        let mut instructions: Vec<Instruction> = Vec::new();
+        let mut labels: HashMap<String, usize> = HashMap::new();
+        let mut targets: Vec<TargetRef> = Vec::new();
+
+        let mut cur = Instruction::nop(self.clusters);
+        let mut cur_has_ops = false;
+        let mut cur_is_nop = false;
+        let mut cur_start: Option<Span> = None;
+
+        while self.skip_blank_lines() {
+            let t = self.next().expect("peeked");
+            match &t.tok {
+                Tok::InstEnd => {
+                    if !cur_has_ops && !cur_is_nop {
+                        return Err(self.error(
+                            t.span,
+                            "empty instruction: write `nop` for an explicit vertical NOP",
+                        ));
+                    }
+                    self.expect_newline()?;
+                    instructions.push(std::mem::replace(&mut cur, Instruction::nop(self.clusters)));
+                    cur_has_ops = false;
+                    cur_is_nop = false;
+                    cur_start = None;
+                }
+                Tok::Word(w) if w == "nop" => {
+                    if cur_has_ops {
+                        return Err(self.error(
+                            t.span,
+                            "`nop` cannot be mixed with operations in one instruction",
+                        ));
+                    }
+                    cur_is_nop = true;
+                    cur_start.get_or_insert(t.span);
+                    self.expect_newline()?;
+                }
+                Tok::Word(w) if self.peek().map(|n| &n.tok) == Some(&Tok::Colon) => {
+                    // Label definition for the *next* instruction.
+                    let w = w.clone();
+                    self.pos += 1; // consume `:`
+                    if is_numeric_label(&w) {
+                        return Err(self.error(
+                            t.span,
+                            format!("label `{w}` is reserved for absolute instruction indices"),
+                        ));
+                    }
+                    if cur_has_ops || cur_is_nop {
+                        return Err(self.error(
+                            t.span,
+                            "labels must appear before an instruction, not inside one",
+                        ));
+                    }
+                    if labels.insert(w.clone(), instructions.len()).is_some() {
+                        return Err(self.error(t.span, format!("duplicate label `{w}`")));
+                    }
+                    self.expect_newline()?;
+                }
+                Tok::Word(w) => {
+                    if cur_is_nop {
+                        return Err(self.error(
+                            t.span,
+                            "`nop` cannot be mixed with operations in one instruction",
+                        ));
+                    }
+                    let cluster = parse_cluster_prefix(w).ok_or_else(|| {
+                        self.error(
+                            t.span,
+                            format!(
+                                "expected a cluster prefix `c0`..`c{}`, a label or `;;`, found `{w}`",
+                                self.clusters - 1
+                            ),
+                        )
+                    })?;
+                    if cluster >= self.clusters {
+                        return Err(self.error(
+                            t.span,
+                            format!(
+                                "cluster c{cluster} out of range: this program has {} clusters{}",
+                                self.clusters,
+                                if self.saw_clusters_directive {
+                                    ""
+                                } else {
+                                    " (default; set `.clusters` to widen)"
+                                }
+                            ),
+                        ));
+                    }
+                    cur_start.get_or_insert(t.span);
+                    let (op, target) = self.parse_operation()?;
+                    let bundle: &mut Bundle = &mut cur.bundles[cluster as usize];
+                    if bundle.ops.len() >= MAX_BUNDLE_OPS {
+                        return Err(self.error(
+                            t.span,
+                            format!(
+                                "more than {MAX_BUNDLE_OPS} operations in one bundle \
+                                 (the binary format stores a one-byte count)"
+                            ),
+                        ));
+                    }
+                    bundle.ops.push(op);
+                    if let Some((kind, span, line)) = target {
+                        targets.push(TargetRef {
+                            inst: instructions.len(),
+                            bundle: cluster as usize,
+                            op: bundle.ops.len() - 1,
+                            kind,
+                            span,
+                            line,
+                        });
+                    }
+                    cur_has_ops = true;
+                }
+                other => {
+                    return Err(self.error(
+                        t.span,
+                        format!(
+                            "expected an operation line, a label or `;;`, found {}",
+                            other.describe()
+                        ),
+                    ))
+                }
+            }
+        }
+
+        if cur_has_ops || cur_is_nop {
+            let span = cur_start.unwrap_or_else(|| self.eof_span());
+            return Err(self.error(span, "unterminated instruction: missing closing `;;`"));
+        }
+
+        // Resolve named labels and range-check every target, pointing the
+        // diagnostic at the target token.
+        for r in targets {
+            let target = match &r.kind {
+                TargetKind::Absolute(t) => *t,
+                TargetKind::Named(label) => *labels.get(label).ok_or_else(|| {
+                    AsmError::new(r.span, format!("undefined label `{label}`"), r.line.clone())
+                })? as i32,
+            };
+            if target < 0 || target as usize >= instructions.len() {
+                let what = match &r.kind {
+                    TargetKind::Absolute(_) => format!("branch target L{target}"),
+                    TargetKind::Named(label) => {
+                        format!("label `{label}` (instruction {target})")
+                    }
+                };
+                return Err(AsmError::new(
+                    r.span,
+                    format!(
+                        "{what} out of range (program has {} instructions)",
+                        instructions.len()
+                    ),
+                    r.line,
+                ));
+            }
+            instructions[r.inst].bundles[r.bundle].ops[r.op].imm = target;
+        }
+
+        Ok(instructions)
+    }
+
+    // ---- operations -----------------------------------------------
+
+    /// Parses one operation (mnemonic + operands up to end of line).
+    /// Control operations also return their branch target (with span)
+    /// for deferred resolution and range checking.
+    #[allow(clippy::type_complexity)]
+    fn parse_operation(
+        &mut self,
+    ) -> Result<(Operation, Option<(TargetKind, Span, String)>), AsmError> {
+        let mn = match self.next() {
+            Some(Token {
+                tok: Tok::Word(w),
+                span,
+                ..
+            }) => (w, span),
+            Some(t) => {
+                return Err(self.error(
+                    t.span,
+                    format!("expected a mnemonic, found {}", t.tok.describe()),
+                ))
+            }
+            None => return Err(self.error(self.eof_span(), "expected a mnemonic")),
+        };
+        let opcode = Opcode::from_mnemonic(&mn.0)
+            .ok_or_else(|| self.error(mn.1, format!("unknown mnemonic `{}`", mn.0)))?;
+
+        let mut op = Operation::new(opcode);
+        let mut target = None;
+
+        if opcode == Opcode::Halt {
+            // No operands.
+        } else if opcode.is_ctrl() {
+            // br/brf:  br $b0.1, L42      goto: goto L42
+            if opcode != Opcode::Goto {
+                op.a = Operand::Breg(self.expect_breg("branch condition")?);
+                self.expect_tok(Tok::Comma)?;
+            }
+            target = Some(self.parse_branch_target()?);
+        } else if opcode == Opcode::Send {
+            // send $r0.1, x7
+            op.a = Operand::Gpr(self.expect_gpr("send source")?);
+            self.expect_tok(Tok::Comma)?;
+            op.imm = self.expect_pair_id()?;
+        } else if opcode == Opcode::Recv {
+            // recv $r1.2 = x7
+            op.dst = Dest::Gpr(self.expect_gpr("receive destination")?);
+            self.expect_tok(Tok::Eq)?;
+            op.imm = self.expect_pair_id()?;
+        } else if opcode.is_load() {
+            // ldw $r1.5 = 8[$r1.2]
+            op.dst = Dest::Gpr(self.expect_gpr("load destination")?);
+            self.expect_tok(Tok::Eq)?;
+            let (base, off) = self.parse_mem_address()?;
+            op.a = Operand::Gpr(base);
+            op.imm = off;
+        } else if opcode.is_store() {
+            // stw 12[$r0.2] = $r0.7
+            let (base, off) = self.parse_mem_address()?;
+            op.a = Operand::Gpr(base);
+            op.imm = off;
+            self.expect_tok(Tok::Eq)?;
+            op.b = self.parse_src_operand("store value")?;
+        } else {
+            // ALU / MUL: `mn dst = src {, src {, src}}`.
+            match self.next() {
+                Some(Token {
+                    tok: Tok::Gpr(r), ..
+                }) => op.dst = Dest::Gpr(r),
+                Some(Token {
+                    tok: Tok::Breg(b),
+                    span,
+                    ..
+                }) => {
+                    if !opcode.is_cmp() {
+                        return Err(self.error(
+                            span,
+                            format!(
+                                "only compares may write a branch register, not `{}`",
+                                opcode.mnemonic()
+                            ),
+                        ));
+                    }
+                    op.dst = Dest::Breg(b);
+                }
+                Some(t) => {
+                    return Err(self.error(
+                        t.span,
+                        format!(
+                            "expected a destination register, found {}",
+                            t.tok.describe()
+                        ),
+                    ))
+                }
+                None => return Err(self.error(self.eof_span(), "expected a destination register")),
+            }
+            self.expect_tok(Tok::Eq)?;
+            let mut srcs = Vec::new();
+            srcs.push(self.parse_src_operand("source operand")?);
+            while self.peek().map(|t| &t.tok) == Some(&Tok::Comma) {
+                self.pos += 1;
+                if srcs.len() == 3 {
+                    let t = self.peek().expect("comma consumed").clone();
+                    return Err(self.error(t.span, "too many operands (at most 3)"));
+                }
+                srcs.push(self.parse_src_operand("source operand")?);
+            }
+            let mut it = srcs.into_iter();
+            op.a = it.next().unwrap_or(Operand::None);
+            op.b = it.next().unwrap_or(Operand::None);
+            op.c = it.next().unwrap_or(Operand::None);
+        }
+
+        self.expect_newline()?;
+        Ok((op, target))
+    }
+
+    fn expect_tok(&mut self, want: Tok) -> Result<(), AsmError> {
+        match self.next() {
+            Some(t) if t.tok == want => Ok(()),
+            Some(t) => Err(self.error(
+                t.span,
+                format!("expected {}, found {}", want.describe(), t.tok.describe()),
+            )),
+            None => Err(self.error(self.eof_span(), format!("expected {}", want.describe()))),
+        }
+    }
+
+    fn expect_gpr(&mut self, what: &str) -> Result<vex_isa::Reg, AsmError> {
+        match self.next() {
+            Some(Token {
+                tok: Tok::Gpr(r), ..
+            }) => Ok(r),
+            Some(t) => Err(self.error(
+                t.span,
+                format!(
+                    "expected a `$r` register ({what}), found {}",
+                    t.tok.describe()
+                ),
+            )),
+            None => Err(self.error(
+                self.eof_span(),
+                format!("expected a `$r` register ({what})"),
+            )),
+        }
+    }
+
+    fn expect_breg(&mut self, what: &str) -> Result<vex_isa::BReg, AsmError> {
+        match self.next() {
+            Some(Token {
+                tok: Tok::Breg(b), ..
+            }) => Ok(b),
+            Some(t) => Err(self.error(
+                t.span,
+                format!(
+                    "expected a `$b` register ({what}), found {}",
+                    t.tok.describe()
+                ),
+            )),
+            None => Err(self.error(
+                self.eof_span(),
+                format!("expected a `$b` register ({what})"),
+            )),
+        }
+    }
+
+    fn parse_src_operand(&mut self, what: &str) -> Result<Operand, AsmError> {
+        match self.next() {
+            Some(Token {
+                tok: Tok::Gpr(r), ..
+            }) => Ok(Operand::Gpr(r)),
+            Some(Token {
+                tok: Tok::Breg(b), ..
+            }) => Ok(Operand::Breg(b)),
+            Some(Token {
+                tok: Tok::Int(v),
+                span,
+                ..
+            }) => Ok(Operand::Imm(self.to_i32(v, span)?)),
+            Some(t) => Err(self.error(
+                t.span,
+                format!(
+                    "expected {what} (register or immediate), found {}",
+                    t.tok.describe()
+                ),
+            )),
+            None => Err(self.error(self.eof_span(), format!("expected {what}"))),
+        }
+    }
+
+    /// `imm[$rC.N]`.
+    fn parse_mem_address(&mut self) -> Result<(vex_isa::Reg, i32), AsmError> {
+        let off = match self.next() {
+            Some(Token {
+                tok: Tok::Int(v),
+                span,
+                ..
+            }) => self.to_i32(v, span)?,
+            Some(t) => {
+                return Err(self.error(
+                    t.span,
+                    format!(
+                        "expected a memory offset (e.g. `8[$r0.2]`), found {}",
+                        t.tok.describe()
+                    ),
+                ))
+            }
+            None => return Err(self.error(self.eof_span(), "expected a memory offset")),
+        };
+        self.expect_tok(Tok::LBracket)?;
+        let base = self.expect_gpr("address base")?;
+        self.expect_tok(Tok::RBracket)?;
+        Ok((base, off))
+    }
+
+    /// `x<id>` inter-cluster pair id.
+    fn expect_pair_id(&mut self) -> Result<i32, AsmError> {
+        match self.next() {
+            Some(Token {
+                tok: Tok::Word(w),
+                span,
+                ..
+            }) if w.starts_with('x') && w.len() > 1 => match w[1..].parse::<i32>() {
+                Ok(v) if v >= 0 => Ok(v),
+                _ => Err(self.error(span, format!("malformed pair id `{w}`"))),
+            },
+            Some(t) => Err(self.error(
+                t.span,
+                format!("expected a pair id like `x7`, found {}", t.tok.describe()),
+            )),
+            None => Err(self.error(self.eof_span(), "expected a pair id like `x7`")),
+        }
+    }
+
+    fn parse_branch_target(&mut self) -> Result<(TargetKind, Span, String), AsmError> {
+        match self.next() {
+            Some(Token {
+                tok: Tok::Word(w),
+                span,
+                ..
+            }) => {
+                let line = self.src_line(span);
+                if let Some(idx) = numeric_label_index(&w) {
+                    Ok((TargetKind::Absolute(idx), span, line))
+                } else {
+                    Ok((TargetKind::Named(w), span, line))
+                }
+            }
+            Some(t) => Err(self.error(
+                t.span,
+                format!(
+                    "expected a branch target (`L<n>` or a label), found {}",
+                    t.tok.describe()
+                ),
+            )),
+            None => Err(self.error(self.eof_span(), "expected a branch target")),
+        }
+    }
+
+    fn to_i32(&self, v: i64, span: Span) -> Result<i32, AsmError> {
+        // Accept the full u32 range too (hex literals like 0xffffffff).
+        if v >= i32::MIN as i64 && v <= u32::MAX as i64 {
+            Ok(v as u32 as i32)
+        } else {
+            Err(self.error(span, format!("immediate `{v}` does not fit in 32 bits")))
+        }
+    }
+}
+
+/// `c0`..`c15` cluster prefix.
+fn parse_cluster_prefix(w: &str) -> Option<u8> {
+    let rest = w.strip_prefix('c')?;
+    if rest.is_empty() || !rest.chars().all(|c| c.is_ascii_digit()) {
+        return None;
+    }
+    rest.parse::<u8>().ok().filter(|&v| v < 16)
+}
+
+/// `L<digits>` absolute instruction-index label.
+fn is_numeric_label(w: &str) -> bool {
+    numeric_label_index(w).is_some()
+}
+
+fn numeric_label_index(w: &str) -> Option<i32> {
+    let rest = w.strip_prefix('L')?;
+    if rest.is_empty() || !rest.chars().all(|c| c.is_ascii_digit()) {
+        return None;
+    }
+    rest.parse::<i32>().ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vex_isa::{BReg, MachineConfig, Reg};
+
+    const MINI: &str = "\
+.name mini
+.clusters 4
+.data 0x1000
+  de ad be ef 01
+.code
+  c0 add $r0.3 = $r0.1, 4
+  c1 ldw $r1.5 = 8[$r1.2]
+;;
+  nop
+;;
+loop:
+  c0 cmplt $b0.1 = $r0.3, 100
+;;
+  c0 br $b0.1, loop
+  c2 stw 12[$r2.2] = $r2.7
+;;
+  c0 halt
+;;
+";
+
+    #[test]
+    fn parses_the_mini_program() {
+        let p = parse_program(MINI).unwrap();
+        assert_eq!(p.name, "mini");
+        assert_eq!(p.len(), 5);
+        assert_eq!(p.data.len(), 1);
+        assert_eq!(p.data[0].base, 0x1000);
+        assert_eq!(p.data[0].bytes, vec![0xde, 0xad, 0xbe, 0xef, 0x01]);
+        assert!(p.instructions[1].is_nop());
+        // Label `loop` resolves to instruction 2.
+        let br = &p.instructions[3].bundles[0].ops[0];
+        assert_eq!(br.opcode, Opcode::Br);
+        assert_eq!(br.imm, 2);
+        assert_eq!(br.a, Operand::Breg(BReg::new(0, 1)));
+        let add = &p.instructions[0].bundles[0].ops[0];
+        assert_eq!(add.dst, Dest::Gpr(Reg::new(0, 3)));
+        assert_eq!(add.a, Operand::Gpr(Reg::new(0, 1)));
+        assert_eq!(add.b, Operand::Imm(4));
+        assert!(p.validate(&MachineConfig::paper_4c4w()).is_ok());
+    }
+
+    #[test]
+    fn parses_comm_pairs_and_absolute_targets() {
+        let src = "\
+.code
+  c0 send $r0.1, x7
+  c1 recv $r1.2 = x7
+;;
+  c0 goto L0
+;;
+";
+        let p = parse_program(src).unwrap();
+        let send = &p.instructions[0].bundles[0].ops[0];
+        let recv = &p.instructions[0].bundles[1].ops[0];
+        assert_eq!(send.opcode, Opcode::Send);
+        assert_eq!(send.imm, 7);
+        assert_eq!(recv.opcode, Opcode::Recv);
+        assert_eq!(recv.dst, Dest::Gpr(Reg::new(1, 2)));
+        assert_eq!(p.instructions[1].bundles[0].ops[0].imm, 0);
+    }
+
+    #[test]
+    fn empty_source_is_an_empty_program() {
+        let p = parse_program("").unwrap();
+        assert!(p.is_empty());
+        let p = parse_program("# just a comment\n").unwrap();
+        assert!(p.is_empty());
+    }
+
+    #[test]
+    fn rejects_unknown_mnemonic_with_span() {
+        let e = parse_program(".code\n  c0 frob $r0.1 = 2\n;;\n").unwrap_err();
+        assert!(e.msg.contains("unknown mnemonic `frob`"), "{e}");
+        assert_eq!(e.span.line, 2);
+    }
+
+    #[test]
+    fn rejects_structural_errors() {
+        let e = parse_program(".code\n;;\n").unwrap_err();
+        assert!(e.msg.contains("empty instruction"), "{e}");
+
+        let e = parse_program(".code\n  c0 halt\n").unwrap_err();
+        assert!(e.msg.contains("unterminated"), "{e}");
+
+        let e = parse_program(".code\n  c9 halt\n;;\n").unwrap_err();
+        assert!(e.msg.contains("out of range"), "{e}");
+
+        let e = parse_program(".code\n  c0 br $b0.1, nowhere\n;;\n").unwrap_err();
+        assert!(e.msg.contains("undefined label `nowhere`"), "{e}");
+
+        let e = parse_program(".code\n  c0 goto L7\n;;\n").unwrap_err();
+        assert!(e.msg.contains("out of range"), "{e}");
+
+        let e = parse_program(".code\n  c0 mov $b0.1 = 5\n;;\n").unwrap_err();
+        assert!(e.msg.contains("only compares"), "{e}");
+    }
+}

@@ -1,0 +1,148 @@
+//! Disassembler: [`Program`] → canonical textual VEX assembly.
+//!
+//! The output is the parser's canonical form, so for every program the
+//! parser can produce, `parse_program(print_program(p)) == p` — enforced
+//! by the round-trip property test in `tests/roundtrip.rs`.
+
+use std::fmt;
+use vex_isa::{Instruction, Program};
+
+/// Bytes per line in `.data` sections.
+const DATA_BYTES_PER_LINE: usize = 16;
+
+/// `Display` adapter rendering a program as `.vex` text.
+///
+/// ```
+/// use vex_asm::{parse_program, Disasm};
+/// let p = parse_program(".code\n  c0 halt\n;;\n").unwrap();
+/// let text = Disasm(&p).to_string();
+/// assert_eq!(parse_program(&text).unwrap(), p);
+/// ```
+pub struct Disasm<'a>(pub &'a Program);
+
+impl fmt::Display for Disasm<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let p = self.0;
+        if p.name.is_empty() {
+            writeln!(f, ".name")?;
+        } else {
+            writeln!(f, ".name {}", p.name)?;
+        }
+        writeln!(f, ".clusters {}", program_clusters(p))?;
+        for seg in &p.data {
+            writeln!(f, ".data 0x{:08x}", seg.base)?;
+            for chunk in seg.bytes.chunks(DATA_BYTES_PER_LINE) {
+                write!(f, " ")?;
+                for b in chunk {
+                    write!(f, " {b:02x}")?;
+                }
+                writeln!(f)?;
+            }
+        }
+        writeln!(f, ".code")?;
+        for inst in &p.instructions {
+            write_instruction(f, inst)?;
+        }
+        Ok(())
+    }
+}
+
+/// Renders a program as canonical `.vex` text.
+pub fn print_program(p: &Program) -> String {
+    Disasm(p).to_string()
+}
+
+/// The cluster width the `.clusters` directive must declare for `p`: the
+/// bundle count of its instructions, or the default for empty programs.
+pub fn program_clusters(p: &Program) -> u8 {
+    p.instructions
+        .first()
+        .map(|i| i.n_clusters())
+        .unwrap_or(crate::parse::DEFAULT_CLUSTERS)
+}
+
+fn write_instruction(f: &mut fmt::Formatter<'_>, inst: &Instruction) -> fmt::Result {
+    if inst.is_nop() {
+        writeln!(f, "  nop")?;
+    } else {
+        for (c, bundle) in inst.bundles.iter().enumerate() {
+            for op in &bundle.ops {
+                // `Operation`'s Display is already the assembly syntax;
+                // trim the trailing space `halt` leaves behind.
+                writeln!(f, "  c{c} {}", op.to_string().trim_end())?;
+            }
+        }
+    }
+    writeln!(f, ";;")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::parse_program;
+    use vex_isa::{BReg, DataSegment, Dest, Instruction, Opcode, Operand, Operation, Program, Reg};
+
+    fn sample() -> Program {
+        let add = Operation::bin(
+            Opcode::Add,
+            Reg::new(0, 3),
+            Operand::Gpr(Reg::new(0, 1)),
+            Operand::Imm(4),
+        );
+        let ld = Operation::load(Opcode::Ldw, Reg::new(1, 5), Reg::new(1, 2), 8);
+        let st = Operation::store(
+            Opcode::Stw,
+            Reg::new(2, 2),
+            -12,
+            Operand::Gpr(Reg::new(2, 7)),
+        );
+        let mut cmp = Operation::new(Opcode::CmpLt);
+        cmp.dst = Dest::Breg(BReg::new(0, 1));
+        cmp.a = Operand::Gpr(Reg::new(0, 3));
+        cmp.b = Operand::Imm(100);
+        let mut br = Operation::new(Opcode::Br);
+        br.a = Operand::Breg(BReg::new(0, 1));
+        br.imm = 0;
+        let mut halt_inst = Instruction::nop(4);
+        halt_inst.bundles[0].ops.push(Operation::new(Opcode::Halt));
+        Program::new(
+            "sample",
+            vec![
+                Instruction::from_ops(4, [(0, add), (1, ld)]),
+                Instruction::nop(4),
+                Instruction::from_ops(4, [(0, cmp), (2, st)]),
+                Instruction::from_ops(4, [(0, br)]),
+                halt_inst,
+            ],
+            vec![DataSegment {
+                base: 0x1000,
+                bytes: (0..40u8).collect(),
+            }],
+        )
+    }
+
+    #[test]
+    fn prints_canonical_text() {
+        let text = print_program(&sample());
+        assert!(text.starts_with(".name sample\n.clusters 4\n.data 0x00001000\n"));
+        assert!(text.contains("\n  c0 add $r0.3 = $r0.1, 4\n"));
+        assert!(text.contains("\n  c1 ldw $r1.5 = 8[$r1.2]\n"));
+        assert!(text.contains("\n  c2 stw -12[$r2.2] = $r2.7\n"));
+        assert!(text.contains("\n  nop\n;;\n"));
+        assert!(text.contains("\n  c0 br $b0.1, L0\n"));
+        assert!(text.contains("\n  c0 halt\n"));
+        // 40 data bytes wrap at 16 per line.
+        assert_eq!(
+            text.matches("\n  00 ").count() + text.matches("\n  10 ").count(),
+            2
+        );
+    }
+
+    #[test]
+    fn roundtrips_the_sample() {
+        let p = sample();
+        let text = print_program(&p);
+        let q = parse_program(&text).expect("printed text must parse");
+        assert_eq!(p, q);
+    }
+}

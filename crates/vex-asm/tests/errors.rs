@@ -1,0 +1,171 @@
+//! Snapshot tests for parser diagnostics: the full rendered message —
+//! position, explanation, source line and caret — is asserted verbatim,
+//! so any change to error output is a conscious one.
+
+use vex_asm::parse_program;
+
+/// Asserts the full rendered diagnostic for `src`.
+#[track_caller]
+fn snapshot(src: &str, expected: &str) {
+    let err = parse_program(src).expect_err("source must not parse");
+    let rendered = err.to_string();
+    assert_eq!(
+        rendered.trim_end(),
+        expected.trim_end(),
+        "\n--- rendered ---\n{rendered}\n--- expected ---\n{expected}"
+    );
+}
+
+#[test]
+fn unknown_mnemonic() {
+    snapshot(
+        ".code\n  c0 addd $r0.1 = $r0.2, 1\n;;\n",
+        "\
+error at line 2:6: unknown mnemonic `addd`
+  |   c0 addd $r0.1 = $r0.2, 1
+  |      ^^^^",
+    );
+}
+
+#[test]
+fn unexpected_character() {
+    snapshot(
+        ".code\n  c0 add @r0.1 = 1\n;;\n",
+        "\
+error at line 2:10: unexpected character `@`
+  |   c0 add @r0.1 = 1
+  |          ^",
+    );
+}
+
+#[test]
+fn malformed_register() {
+    snapshot(
+        ".code\n  c0 add $q0.1 = 1\n;;\n",
+        "\
+error at line 2:10: register must be `$r<cluster>.<index>` or `$b<cluster>.<index>`
+  |   c0 add $q0.1 = 1
+  |          ^^",
+    );
+}
+
+#[test]
+fn single_semicolon() {
+    snapshot(
+        ".code\n  c0 halt\n;\n",
+        "\
+error at line 3:1: single `;` (the instruction separator is `;;`)
+  | ;
+  | ^",
+    );
+}
+
+#[test]
+fn empty_instruction() {
+    snapshot(
+        ".code\n;;\n",
+        "\
+error at line 2:1: empty instruction: write `nop` for an explicit vertical NOP
+  | ;;
+  | ^^",
+    );
+}
+
+#[test]
+fn cluster_out_of_range() {
+    snapshot(
+        ".clusters 2\n.code\n  c2 halt\n;;\n",
+        "\
+error at line 3:3: cluster c2 out of range: this program has 2 clusters
+  |   c2 halt
+  |   ^^",
+    );
+}
+
+#[test]
+fn missing_instruction_terminator() {
+    snapshot(
+        ".code\n  c0 halt\n",
+        "\
+error at line 2:3: unterminated instruction: missing closing `;;`
+  |   c0 halt
+  |   ^^",
+    );
+}
+
+#[test]
+fn undefined_label() {
+    snapshot(
+        ".code\n  c0 goto nowhere\n;;\n",
+        "\
+error at line 2:11: undefined label `nowhere`
+  |   c0 goto nowhere
+  |           ^^^^^^^",
+    );
+}
+
+#[test]
+fn non_compare_writing_branch_register() {
+    snapshot(
+        ".code\n  c0 add $b0.1 = $r0.1, 1\n;;\n",
+        "\
+error at line 2:10: only compares may write a branch register, not `add`
+  |   c0 add $b0.1 = $r0.1, 1
+  |          ^^^^^",
+    );
+}
+
+#[test]
+fn wrong_operand_kind() {
+    snapshot(
+        ".code\n  c0 ldw $r0.1 = $r0.2\n;;\n",
+        "\
+error at line 2:18: expected a memory offset (e.g. `8[$r0.2]`), found register `$r0.2`
+  |   c0 ldw $r0.1 = $r0.2
+  |                  ^^^^^",
+    );
+}
+
+#[test]
+fn too_many_operands() {
+    snapshot(
+        ".code\n  c0 add $r0.1 = 1, 2, 3, 4\n;;\n",
+        "\
+error at line 2:27: too many operands (at most 3)
+  |   c0 add $r0.1 = 1, 2, 3, 4
+  |                           ^",
+    );
+}
+
+#[test]
+fn unknown_directive() {
+    snapshot(
+        ".machine 4\n.code\n  c0 halt\n;;\n",
+        "\
+error at line 1:1: unknown directive `.machine` (expected .name, .clusters, .data or .code)
+  | .machine 4
+  | ^^^^^^^^",
+    );
+}
+
+#[test]
+fn branch_target_out_of_range() {
+    snapshot(
+        ".code\n  c0 goto L9\n;;\n",
+        "\
+error at line 2:11: branch target L9 out of range (program has 1 instructions)
+  |   c0 goto L9
+  |           ^^",
+    );
+}
+
+#[test]
+fn label_past_the_end_is_out_of_range() {
+    snapshot(
+        ".code\n  c0 goto end\n;;\nend:\n",
+        "\
+error at line 2:11: label `end` (instruction 1) out of range (program has 1 instructions)
+  |   c0 goto end
+  |           ^^^",
+    );
+}

@@ -96,7 +96,11 @@ fn ablation_renaming(c: &mut Criterion) {
     let mut g = c.benchmark_group("ablation_renaming");
     g.sample_size(10);
     for renaming in [false, true] {
-        let label = if renaming { "renaming_on" } else { "renaming_off" };
+        let label = if renaming {
+            "renaming_on"
+        } else {
+            "renaming_off"
+        };
         g.bench_function(label, |b| {
             b.iter(|| {
                 let programs = compile_mix(&MIXES[0]);

@@ -150,8 +150,8 @@ pub fn assign_clusters(k: &Kernel, m: &MachineConfig) -> Assignment {
 fn pick(scores: &[f32], load: &Load, op: &IrOp) -> ClusterId {
     let mut best = 0usize;
     let mut best_score = f32::NEG_INFINITY;
-    for c in 0..scores.len() {
-        let s = scores[c] - load.penalty(c, op);
+    for (c, &score) in scores.iter().enumerate() {
+        let s = score - load.penalty(c, op);
         if s > best_score + 1e-6 {
             best_score = s;
             best = c;
@@ -222,12 +222,7 @@ pub fn legalize_xfers(k: &Kernel, a: &Assignment, _m: &MachineConfig) -> LegalKe
     let mut blocks = Vec::with_capacity(k.blocks.len());
 
     for block in &k.blocks {
-        blocks.push(legalize_block(
-            block,
-            a,
-            &mut vreg_cluster,
-            &mut shadows,
-        ));
+        blocks.push(legalize_block(block, a, &mut vreg_cluster, &mut shadows));
     }
 
     LegalKernel {
@@ -305,7 +300,12 @@ fn legalize_block(
 
         // Localise operands, then re-emit the op.
         let new_op = match *op {
-            IrOp::Bin { kind, dst, a: x, b: y } => IrOp::Bin {
+            IrOp::Bin {
+                kind,
+                dst,
+                a: x,
+                b: y,
+            } => IrOp::Bin {
                 kind,
                 dst,
                 a: fix_val(x, cluster, &mut out, &mut valid, vreg_cluster),
@@ -341,19 +341,34 @@ fn legalize_block(
                 off,
                 alias,
             },
-            IrOp::CmpR { kind, dst, a: x, b: y } => IrOp::CmpR {
+            IrOp::CmpR {
+                kind,
+                dst,
+                a: x,
+                b: y,
+            } => IrOp::CmpR {
                 kind,
                 dst,
                 a: fix_val(x, cluster, &mut out, &mut valid, vreg_cluster),
                 b: fix_val(y, cluster, &mut out, &mut valid, vreg_cluster),
             },
-            IrOp::CmpB { kind, dst, a: x, b: y } => IrOp::CmpB {
+            IrOp::CmpB {
+                kind,
+                dst,
+                a: x,
+                b: y,
+            } => IrOp::CmpB {
                 kind,
                 dst,
                 a: fix_val(x, cluster, &mut out, &mut valid, vreg_cluster),
                 b: fix_val(y, cluster, &mut out, &mut valid, vreg_cluster),
             },
-            IrOp::Select { dst, cond, a: x, b: y } => IrOp::Select {
+            IrOp::Select {
+                dst,
+                cond,
+                a: x,
+                b: y,
+            } => IrOp::Select {
                 dst,
                 cond,
                 a: fix_val(x, cluster, &mut out, &mut valid, vreg_cluster),
@@ -365,7 +380,13 @@ fn legalize_block(
         // A select whose destination lives elsewhere computes into a
         // temporary and ships it home.
         let mut emit_tail_xfer: Option<(VReg, VReg, ClusterId)> = None;
-        let new_op = if let IrOp::Select { dst, cond, a: x, b: y } = new_op {
+        let new_op = if let IrOp::Select {
+            dst,
+            cond,
+            a: x,
+            b: y,
+        } = new_op
+        {
             let home = vreg_cluster[dst.0 as usize];
             if home != cluster {
                 let tmp = VReg(vreg_cluster.len() as u32);
@@ -519,7 +540,10 @@ mod tests {
         let asg = assign_clusters(&kernel, &m);
         let used: std::collections::HashSet<_> =
             regs.iter().map(|r| asg.vreg[r.0 as usize]).collect();
-        assert!(used.len() >= 2, "chains all landed on one cluster: {used:?}");
+        assert!(
+            used.len() >= 2,
+            "chains all landed on one cluster: {used:?}"
+        );
     }
 
     #[test]

@@ -224,9 +224,7 @@ impl IrOp {
     /// GPR-class virtual registers read by this op.
     pub fn src_vregs(&self) -> Vec<VReg> {
         let vals: &[Val] = match self {
-            IrOp::Bin { a, b, .. } | IrOp::CmpR { a, b, .. } | IrOp::CmpB { a, b, .. } => {
-                &[*a, *b]
-            }
+            IrOp::Bin { a, b, .. } | IrOp::CmpR { a, b, .. } | IrOp::CmpB { a, b, .. } => &[*a, *b],
             IrOp::Mov { src, .. } => &[*src],
             IrOp::Load { base, .. } => &[*base],
             IrOp::Store { value, base, .. } => &[*value, *base],

@@ -74,7 +74,11 @@ impl std::fmt::Display for CompileError {
             } => write!(
                 f,
                 "cluster {cluster}: {needed} {} needed, {available} available",
-                if *breg { "branch registers" } else { "registers" }
+                if *breg {
+                    "branch registers"
+                } else {
+                    "registers"
+                }
             ),
             CompileError::Malformed(m) => write!(f, "malformed kernel: {m}"),
             CompileError::BadSchedule(m) => write!(f, "schedule verification failed: {m}"),

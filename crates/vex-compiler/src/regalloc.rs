@@ -31,11 +31,7 @@ pub fn allocate(lk: &LegalKernel, m: &MachineConfig) -> Result<RegAlloc, Compile
         if idx >= m.n_gprs as u32 {
             return Err(CompileError::OutOfRegisters {
                 cluster: c,
-                needed: lk
-                    .vreg_cluster
-                    .iter()
-                    .filter(|&&x| x == c)
-                    .count() as u32,
+                needed: lk.vreg_cluster.iter().filter(|&&x| x == c).count() as u32,
                 available: m.n_gprs as u32 - 1,
                 breg: false,
             });
@@ -51,11 +47,7 @@ pub fn allocate(lk: &LegalKernel, m: &MachineConfig) -> Result<RegAlloc, Compile
         if idx >= m.n_bregs as u32 {
             return Err(CompileError::OutOfRegisters {
                 cluster: c,
-                needed: lk
-                    .vbreg_cluster
-                    .iter()
-                    .filter(|&&x| x == c)
-                    .count() as u32,
+                needed: lk.vbreg_cluster.iter().filter(|&&x| x == c).count() as u32,
                 available: m.n_bregs as u32,
                 breg: true,
             });
@@ -103,7 +95,11 @@ mod tests {
         let asg = assign_clusters(&kernel, &m);
         let lk = legalize_xfers(&kernel, &asg, &m);
         match allocate(&lk, &m) {
-            Err(CompileError::OutOfRegisters { cluster: 0, breg: false, .. }) => {}
+            Err(CompileError::OutOfRegisters {
+                cluster: 0,
+                breg: false,
+                ..
+            }) => {}
             other => panic!("expected GPR exhaustion, got {other:?}"),
         }
     }

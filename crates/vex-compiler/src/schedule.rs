@@ -29,8 +29,7 @@ use crate::regalloc::RegAlloc;
 use crate::CompileError;
 use std::collections::HashMap;
 use vex_isa::{
-    ClusterId, Dest, FuKind, Instruction, MachineConfig, Opcode, Operand, Operation,
-    Program,
+    ClusterId, Dest, FuKind, Instruction, MachineConfig, Opcode, Operand, Operation, Program,
 };
 
 /// A dependence edge: the dependent node must issue at least `lat` cycles
@@ -344,7 +343,10 @@ impl ResTable {
 }
 
 /// Schedules every block of a legalised kernel.
-pub fn schedule_kernel(lk: &LegalKernel, m: &MachineConfig) -> Result<KernelSchedule, CompileError> {
+pub fn schedule_kernel(
+    lk: &LegalKernel,
+    m: &MachineConfig,
+) -> Result<KernelSchedule, CompileError> {
     let mut blocks = Vec::with_capacity(lk.blocks.len());
     for (bid, block) in lk.blocks.iter().enumerate() {
         blocks.push(schedule_block(bid, block, lk, m)?);
@@ -399,10 +401,7 @@ fn schedule_block(
     while n_done < n {
         let mut placed_any = false;
         for &i in remaining.iter() {
-            if cycle_of[i] != u32::MAX
-                || preds_done[i] < n_preds[i]
-                || earliest[i] > cycle
-            {
+            if cycle_of[i] != u32::MAX || preds_done[i] < n_preds[i] || earliest[i] > cycle {
                 continue;
             }
             let req = requirements(&block.ops[i], lk);
@@ -559,7 +558,13 @@ pub fn emit(
                     op.a = val(*src, c);
                     insts[inst_idx].bundles[c as usize].ops.push(op);
                 }
-                IrOp::Load { w, dst, base: b, off, .. } => {
+                IrOp::Load {
+                    w,
+                    dst,
+                    base: b,
+                    off,
+                    ..
+                } => {
                     let (breg, off) = match b {
                         Val::V(r) => (alloc.vreg[r.0 as usize], *off),
                         Val::Imm(abs) => (vex_isa::Reg::zero(c), off + abs),
@@ -639,14 +644,15 @@ pub fn emit(
                     taken,
                     ..
                 } => {
-                    let mut op =
-                        Operation::new(if negate { Opcode::Brf } else { Opcode::Br });
+                    let mut op = Operation::new(if negate { Opcode::Brf } else { Opcode::Br });
                     op.a = Operand::Breg(alloc.vbreg[cond.0 as usize]);
                     op.imm = block_start[taken] as i32;
                     insts[inst_idx].bundles[tc].ops.push(op);
                 }
                 Terminator::Halt => {
-                    insts[inst_idx].bundles[tc].ops.push(Operation::new(Opcode::Halt));
+                    insts[inst_idx].bundles[tc]
+                        .ops
+                        .push(Operation::new(Opcode::Halt));
                 }
             }
         }

@@ -11,9 +11,7 @@
 
 use crate::cluster::LegalKernel;
 use crate::ir::{BinKind, CmpKind, IrOp, Kernel, MemWidth, Terminator, Val};
-use crate::schedule::{
-    build_deps, requirements, result_latency, term_emits_op, KernelSchedule,
-};
+use crate::schedule::{build_deps, requirements, result_latency, term_emits_op, KernelSchedule};
 use crate::CompileError;
 use std::collections::HashMap;
 use vex_isa::{FuKind, MachineConfig};
@@ -192,7 +190,9 @@ pub fn interpret(k: &Kernel, max_ops: u64) -> InterpResult {
                     regs[dst.0 as usize] = eval_bin(kind, val(a, &regs), val(b, &regs));
                 }
                 IrOp::Mov { dst, src } => regs[dst.0 as usize] = val(src, &regs),
-                IrOp::Load { w, dst, base, off, .. } => {
+                IrOp::Load {
+                    w, dst, base, off, ..
+                } => {
                     let addr = val(base, &regs).wrapping_add(off as u32);
                     regs[dst.0 as usize] = match w {
                         MemWidth::B => mem.read_u8(addr) as i8 as i32 as u32,

@@ -37,9 +37,7 @@ fn build(spec: &[(u8, u8, u8, u8)], n_regs: u8, iters: u8) -> Kernel {
     let mut k = KernelBuilder::new("prop");
     let body = k.new_block();
     let exit = k.new_block();
-    let regs: Vec<_> = (0..n_regs.max(2))
-        .map(|j| k.vreg_on(j % 4))
-        .collect();
+    let regs: Vec<_> = (0..n_regs.max(2)).map(|j| k.vreg_on(j % 4)).collect();
     let i = k.vreg_on(0);
     for (j, &r) in regs.iter().enumerate() {
         k.movi(r, j as i32 * 7 + 1);

@@ -38,7 +38,10 @@ pub fn renaming(scale: Scale) -> String {
             ]);
         }
     }
-    format!("## Ablation A1: cluster renaming (4-thread)\n\n{}", t.render())
+    format!(
+        "## Ablation A1: cluster renaming (4-thread)\n\n{}",
+        t.render()
+    )
 }
 
 /// A2 — NS-vs-AS gap per ILP class: the paper attributes the gap to the
@@ -82,11 +85,7 @@ pub fn comm_split(scale: Scale) -> String {
 /// avoids needing FAME-style stabilisation).
 pub fn timeslice(scale: Scale) -> String {
     let mut t = Table::new(&["Timeslice", "CSMT IPC", "CCSI AS IPC"]);
-    for ts in [
-        scale.timeslice / 4,
-        scale.timeslice,
-        scale.timeslice * 4,
-    ] {
+    for ts in [scale.timeslice / 4, scale.timeslice, scale.timeslice * 4] {
         let mut row = vec![ts.to_string()];
         for tech in [Technique::csmt(), Technique::ccsi(CommPolicy::AlwaysSplit)] {
             let mut cfg = sim_config(tech, 2, scale, 0x5EED_0007);
@@ -138,7 +137,11 @@ pub fn mt_modes(scale: Scale) -> String {
         ("BMT", MtMode::Blocked, Technique::csmt()),
         ("IMT", MtMode::Interleaved, Technique::csmt()),
         ("CSMT", MtMode::Simultaneous, Technique::csmt()),
-        ("CCSI AS", MtMode::Simultaneous, Technique::ccsi(CommPolicy::AlwaysSplit)),
+        (
+            "CCSI AS",
+            MtMode::Simultaneous,
+            Technique::ccsi(CommPolicy::AlwaysSplit),
+        ),
         ("SMT", MtMode::Simultaneous, Technique::smt()),
     ] {
         let mut cfg = sim_config(tech, 4, scale, 0x5EED_0003);

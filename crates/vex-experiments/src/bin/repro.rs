@@ -15,9 +15,7 @@ fn main() {
             "--quick" => scale = Scale::QUICK,
             "--full" => scale = Scale::FULL,
             "--help" | "-h" => {
-                eprintln!(
-                    "usage: repro [--quick|--full] [fig13|fig14|fig15|fig16|ablate|all]"
-                );
+                eprintln!("usage: repro [--quick|--full] [fig13|fig14|fig15|fig16|ablate|all]");
                 return;
             }
             c => cmds.push(c.to_string()),

@@ -86,5 +86,8 @@ pub fn render(rows: &[Row]) -> String {
             f2(r.ipcp),
         ]);
     }
-    format!("## Figure 13(a): benchmark IPC characterisation\n\n{}", t.render())
+    format!(
+        "## Figure 13(a): benchmark IPC characterisation\n\n{}",
+        t.render()
+    )
 }

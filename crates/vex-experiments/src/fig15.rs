@@ -83,13 +83,7 @@ pub fn render_one(s: &Series) -> String {
         ]);
     }
     let (a, b, c, d) = s.averages();
-    t.row(vec![
-        "avg".to_string(),
-        pct(a),
-        pct(b),
-        pct(c),
-        pct(d),
-    ]);
+    t.row(vec!["avg".to_string(), pct(a), pct(b), pct(c), pct(d)]);
     format!("### {}-thread machine\n{}", s.threads, t.render())
 }
 

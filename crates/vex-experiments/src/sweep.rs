@@ -107,11 +107,7 @@ impl Sweep {
             .position(|(l, _)| *l == tech_label)
             .unwrap_or_else(|| panic!("unknown technique label {tech_label}"));
         self.results
-            .get(&Point {
-                mix,
-                tech,
-                threads,
-            })
+            .get(&Point { mix, tech, threads })
             .expect("grid point simulated")
     }
 

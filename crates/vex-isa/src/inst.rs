@@ -159,9 +159,7 @@ impl Instruction {
                 // (Branch ops may read remote branch registers, like VEX.)
                 if let crate::op::Dest::Gpr(r) = op.dst {
                     if r.cluster as usize != c {
-                        return Err(format!(
-                            "cluster {c}: op `{op}` writes remote register {r}"
-                        ));
+                        return Err(format!("cluster {c}: op `{op}` writes remote register {r}"));
                     }
                 }
                 for r in op.src_gprs() {

@@ -128,6 +128,34 @@ pub enum Opcode {
 }
 
 impl Opcode {
+    /// Every opcode, in declaration (= discriminant) order. This order is
+    /// part of the `vex-asm` binary format: [`Opcode::code`] indexes into
+    /// it, so new opcodes must be appended, never inserted.
+    pub const ALL: [Opcode; 43] = {
+        use Opcode::*;
+        [
+            Add, Sub, And, Or, Xor, Andc, Shl, Shr, Sra, Min, Max, Minu, Maxu, Mov, Sxtb, Sxth,
+            Zxtb, Zxth, Slct, CmpEq, CmpNe, CmpLt, CmpLe, CmpGt, CmpGe, CmpLtu, CmpGeu, Mull, Mulh,
+            Ldw, Ldh, Ldhu, Ldb, Ldbu, Stw, Sth, Stb, Br, Brf, Goto, Halt, Send, Recv,
+        ]
+    };
+
+    /// Stable one-byte encoding of this opcode (its index in [`Opcode::ALL`]).
+    pub fn code(self) -> u8 {
+        self as u8
+    }
+
+    /// Inverse of [`Opcode::code`].
+    pub fn from_code(code: u8) -> Option<Opcode> {
+        Self::ALL.get(code as usize).copied()
+    }
+
+    /// Looks an opcode up by its VEX mnemonic (the inverse of
+    /// [`Opcode::mnemonic`]).
+    pub fn from_mnemonic(s: &str) -> Option<Opcode> {
+        Self::ALL.into_iter().find(|op| op.mnemonic() == s)
+    }
+
     /// The functional-unit class this opcode occupies.
     pub fn fu_kind(self) -> FuKind {
         use Opcode::*;
@@ -351,7 +379,9 @@ impl Operation {
 
     /// Iterator over the GPRs this operation reads.
     pub fn src_gprs(&self) -> impl Iterator<Item = Reg> + '_ {
-        [self.a, self.b, self.c].into_iter().filter_map(Operand::gpr)
+        [self.a, self.b, self.c]
+            .into_iter()
+            .filter_map(Operand::gpr)
     }
 
     /// The functional-unit class of the opcode.
@@ -429,6 +459,17 @@ mod tests {
     use super::*;
 
     #[test]
+    fn opcode_code_and_mnemonic_roundtrip() {
+        for (i, op) in Opcode::ALL.into_iter().enumerate() {
+            assert_eq!(op.code() as usize, i);
+            assert_eq!(Opcode::from_code(op.code()), Some(op));
+            assert_eq!(Opcode::from_mnemonic(op.mnemonic()), Some(op));
+        }
+        assert_eq!(Opcode::from_code(Opcode::ALL.len() as u8), None);
+        assert_eq!(Opcode::from_mnemonic("frobnicate"), None);
+    }
+
+    #[test]
     fn fu_classification() {
         assert_eq!(Opcode::Add.fu_kind(), FuKind::Alu);
         assert_eq!(Opcode::Mull.fu_kind(), FuKind::Mul);
@@ -475,7 +516,12 @@ mod tests {
         let ld = Operation::load(Opcode::Ldw, Reg::new(1, 5), Reg::new(1, 2), 8);
         assert_eq!(ld.to_string(), "ldw $r1.5 = 8[$r1.2]");
 
-        let st = Operation::store(Opcode::Stw, Reg::new(0, 2), 12, Operand::Gpr(Reg::new(0, 7)));
+        let st = Operation::store(
+            Opcode::Stw,
+            Reg::new(0, 2),
+            12,
+            Operand::Gpr(Reg::new(0, 7)),
+        );
         assert_eq!(st.to_string(), "stw 12[$r0.2] = $r0.7");
 
         let mut br = Operation::new(Opcode::Br);

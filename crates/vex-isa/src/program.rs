@@ -106,7 +106,12 @@ impl Program {
 
 impl fmt::Display for Program {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "## program `{}` ({} instructions)", self.name, self.len())?;
+        writeln!(
+            f,
+            "## program `{}` ({} instructions)",
+            self.name,
+            self.len()
+        )?;
         for (i, inst) in self.instructions.iter().enumerate() {
             writeln!(f, "L{i}: {inst}")?;
         }
@@ -132,12 +137,18 @@ mod tests {
         Program::new(
             "mini",
             vec![
-                Instruction::from_ops(4, [(0, add.clone()), (1, {
-                    let mut a = add.clone();
-                    a.dst = crate::op::Dest::Gpr(Reg::new(1, 1));
-                    a.a = Operand::Gpr(Reg::new(1, 1));
-                    a
-                })]),
+                Instruction::from_ops(
+                    4,
+                    [
+                        (0, add.clone()),
+                        (1, {
+                            let mut a = add.clone();
+                            a.dst = crate::op::Dest::Gpr(Reg::new(1, 1));
+                            a.a = Operand::Gpr(Reg::new(1, 1));
+                            a
+                        }),
+                    ],
+                ),
                 Instruction::nop(4),
                 halt_inst,
             ],
@@ -171,6 +182,8 @@ mod tests {
 
     #[test]
     fn validate_accepts_mini_program() {
-        assert!(mini_program().validate(&MachineConfig::paper_4c4w()).is_ok());
+        assert!(mini_program()
+            .validate(&MachineConfig::paper_4c4w())
+            .is_ok());
     }
 }

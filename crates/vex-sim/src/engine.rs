@@ -229,13 +229,8 @@ impl Engine {
             }
 
             // Issue pending work into the packet.
-            let (issued_ops, completed) = issue_thread(
-                t,
-                &mut self.packet,
-                &mut self.mem,
-                &self.cfg,
-                self.cycle,
-            );
+            let (issued_ops, completed) =
+                issue_thread(t, &mut self.packet, &mut self.mem, &self.cfg, self.cycle);
             if issued_ops > 0 {
                 self.packet.threads += 1;
                 t.stats.ops_issued += issued_ops as u64;
@@ -392,8 +387,8 @@ fn issue_thread(
         return (0, true);
     }
 
-    let all_or_nothing = tech.split == SplitPolicy::None
-        || (tech.comm == CommPolicy::NoSplit && fl.has_comm);
+    let all_or_nothing =
+        tech.split == SplitPolicy::None || (tech.comm == CommPolicy::NoSplit && fl.has_comm);
 
     let mut issued_now: u32 = 0;
     let mut misses: u32 = 0;
@@ -504,9 +499,7 @@ fn issue_thread(
         // Thread-level stall until the architectural latency assumption
         // holds again (§IV: less-than-or-equal machine). Overlapping misses
         // within one issue share the penalty window.
-        t.stall_until = t
-            .stall_until
-            .max(cycle + 1 + mem.miss_penalty as u64);
+        t.stall_until = t.stall_until.max(cycle + 1 + mem.miss_penalty as u64);
         t.stats.dmiss_stall_cycles += mem.miss_penalty as u64;
     }
 

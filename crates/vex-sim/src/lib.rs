@@ -61,16 +61,29 @@ use vex_isa::Program;
 
 /// Runs a multiprogrammed workload under `cfg` and returns the statistics.
 pub fn run_workload(cfg: &SimConfig, programs: &[Arc<Program>]) -> SimStats {
+    let (engine, _) = run_programs(cfg, programs);
+    engine.stats
+}
+
+/// Runs a workload under `cfg` and returns the finished engine (for
+/// architectural-state inspection: register files, memory digests) along
+/// with the stop reason. This is the single entry point the `vex` CLI
+/// drives; [`run_workload`] and [`run_single`] are conveniences over it.
+pub fn run_programs(cfg: &SimConfig, programs: &[Arc<Program>]) -> (Engine, StopReason) {
     let mut engine = Engine::new(cfg.clone(), programs);
-    engine.run();
-    engine.stats.clone()
+    let reason = engine.run();
+    (engine, reason)
 }
 
 /// Runs `n_copies` contexts of one program to completion (no respawn, no
 /// instruction limit) — the setup used by the functional-equivalence tests.
 /// Returns the finished engine (for architectural state inspection) and the
 /// statistics.
-pub fn run_single(program: &Arc<Program>, technique: Technique, n_copies: u8) -> (Engine, SimStats) {
+pub fn run_single(
+    program: &Arc<Program>,
+    technique: Technique,
+    n_copies: u8,
+) -> (Engine, SimStats) {
     let cfg = SimConfig {
         technique,
         n_threads: n_copies.max(1),
@@ -82,9 +95,7 @@ pub fn run_single(program: &Arc<Program>, technique: Technique, n_copies: u8) ->
         memory: MemoryMode::Real,
         ..SimConfig::paper(technique, n_copies.max(1))
     };
-    let programs: Vec<Arc<Program>> = (0..n_copies.max(1))
-        .map(|_| Arc::clone(program))
-        .collect();
+    let programs: Vec<Arc<Program>> = (0..n_copies.max(1)).map(|_| Arc::clone(program)).collect();
     let mut engine = Engine::new(cfg, &programs);
     let reason = engine.run();
     assert_eq!(

@@ -292,10 +292,7 @@ mod tests {
     fn figure1_pair_iii() {
         let m = MachineConfig::small(4, 2);
         // Thread 0 uses clusters 1 and 2 only.
-        let t0 = Instruction::from_ops(
-            4,
-            [(1, op(Opcode::Ldw, 1)), (2, op(Opcode::Stw, 2))],
-        );
+        let t0 = Instruction::from_ops(4, [(1, op(Opcode::Ldw, 1)), (2, op(Opcode::Stw, 2))]);
         // Thread 1 uses clusters 0 and 3.
         let t1 = Instruction::from_ops(
             4,

@@ -5,9 +5,7 @@ use std::sync::Arc;
 use vex_compiler::compile;
 use vex_compiler::ir::{CmpKind, KernelBuilder, MemWidth, Val};
 use vex_isa::MachineConfig;
-use vex_sim::{
-    CommPolicy, Engine, MemoryMode, SimConfig, SplitPolicy, Technique,
-};
+use vex_sim::{CommPolicy, Engine, MemoryMode, SimConfig, SplitPolicy, Technique};
 
 /// A kernel whose loop body is dominated by cross-cluster transfers.
 fn comm_heavy() -> Arc<vex_isa::Program> {
@@ -73,9 +71,8 @@ fn no_split_policy_blocks_comm_instruction_splitting() {
 
     let ns = run(&p, Technique::ccsi(CommPolicy::NoSplit), 4);
     let asp = run(&p, Technique::ccsi(CommPolicy::AlwaysSplit), 4);
-    let splits = |e: &Engine| -> u64 {
-        e.contexts.iter().map(|t| t.stats.split_instructions).sum()
-    };
+    let splits =
+        |e: &Engine| -> u64 { e.contexts.iter().map(|t| t.stats.split_instructions).sum() };
     assert!(
         splits(&asp) > splits(&ns),
         "AS must split more than NS: {} vs {}",

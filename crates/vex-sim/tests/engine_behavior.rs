@@ -3,12 +3,10 @@
 //! in-order split-issue invariant, and the timeslice scheduler.
 
 use std::sync::Arc;
-use vex_compiler::ir::{CmpKind, KernelBuilder, MemWidth, Val};
 use vex_compiler::compile;
+use vex_compiler::ir::{CmpKind, KernelBuilder, MemWidth, Val};
 use vex_isa::{Instruction, MachineConfig, Opcode, Operand, Operation, Program, Reg};
-use vex_sim::{
-    CommPolicy, Engine, MemoryMode, SimConfig, StopReason, Technique,
-};
+use vex_sim::{CommPolicy, Engine, MemoryMode, SimConfig, StopReason, Technique};
 
 fn cfg(machine: MachineConfig, technique: Technique, n: u8) -> SimConfig {
     SimConfig {
@@ -112,7 +110,12 @@ fn memory_port_contention_stalls_pipeline() {
             Operand::Imm(1),
         )
     };
-    let st0 = Operation::store(Opcode::Stw, Reg::new(0, 1), 0x40, Operand::Gpr(Reg::new(0, 2)));
+    let st0 = Operation::store(
+        Opcode::Stw,
+        Reg::new(0, 1),
+        0x40,
+        Operand::Gpr(Reg::new(0, 2)),
+    );
     let ld0 = Operation::load(Opcode::Ldw, Reg::new(0, 3), Reg::new(0, 0), 0x80);
 
     let halt = |n: u8| {

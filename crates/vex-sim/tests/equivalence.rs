@@ -11,7 +11,7 @@
 
 use proptest::prelude::*;
 use std::sync::Arc;
-use vex_compiler::ir::{BinKind, CmpKind, KernelBuilder, Kernel, MemWidth, Val, VReg};
+use vex_compiler::ir::{BinKind, CmpKind, Kernel, KernelBuilder, MemWidth, VReg, Val};
 use vex_compiler::{compile, verify::interpret};
 use vex_isa::MachineConfig;
 use vex_sim::{CommPolicy, Technique};
@@ -93,13 +93,7 @@ fn feature_rich_kernel_is_equivalent_everywhere() {
     k.store(MemWidth::W, clamped, Val::Imm(SCRATCH as i32), 0, 1);
     k.load(MemWidth::W, t, Val::Imm(SCRATCH as i32), 0, 1);
     k.add(acc1, acc1, t);
-    k.store(
-        MemWidth::W,
-        acc0,
-        Val::Imm(SCRATCH as i32 + 0x100),
-        0,
-        2,
-    );
+    k.store(MemWidth::W, acc0, Val::Imm(SCRATCH as i32 + 0x100), 0, 2);
     k.add(i, i, 1);
     k.cond_br(CmpKind::Lt, i, 25, body, exit);
 
@@ -144,12 +138,12 @@ fn register_swap_semantics_preserved() {
 /// Specification of one random body operation.
 #[derive(Clone, Debug)]
 enum OpSpec {
-    Bin(u8, u8, u8, BinKind),     // dst, a, b indices
-    Mov(u8, i32),                 // dst, imm
-    Load(u8, u8),                 // dst, slot
-    Store(u8, u8),                // src, slot
-    Cmp(u8, u8, u8, CmpKind),     // dst, a, b
-    Select(u8, u8, u8, CmpKind),  // dst, a, b
+    Bin(u8, u8, u8, BinKind),    // dst, a, b indices
+    Mov(u8, i32),                // dst, imm
+    Load(u8, u8),                // dst, slot
+    Store(u8, u8),               // src, slot
+    Cmp(u8, u8, u8, CmpKind),    // dst, a, b
+    Select(u8, u8, u8, CmpKind), // dst, a, b
 }
 
 fn bin_kind() -> impl Strategy<Value = BinKind> {
@@ -190,19 +184,13 @@ fn op_spec(n_regs: u8) -> impl Strategy<Value = OpSpec> {
         (r.clone(), 0..16u8).prop_map(|(v, s)| OpSpec::Store(v, s)),
         (r.clone(), 0..n_regs, 0..n_regs, cmp_kind())
             .prop_map(|(d, a, b, k)| OpSpec::Cmp(d, a, b, k)),
-        (r, 0..n_regs, 0..n_regs, cmp_kind())
-            .prop_map(|(d, a, b, k)| OpSpec::Select(d, a, b, k)),
+        (r, 0..n_regs, 0..n_regs, cmp_kind()).prop_map(|(d, a, b, k)| OpSpec::Select(d, a, b, k)),
     ]
 }
 
 /// Assembles a kernel: init every register, loop `iters` times over the
 /// random body, dump all registers, halt.
-fn build_random_kernel(
-    n_regs: u8,
-    pins: &[u8],
-    body_ops: &[OpSpec],
-    iters: u8,
-) -> Kernel {
+fn build_random_kernel(n_regs: u8, pins: &[u8], body_ops: &[OpSpec], iters: u8) -> Kernel {
     let mut k = KernelBuilder::new("prop");
     let body = k.new_block();
     let exit = k.new_block();
@@ -344,7 +332,17 @@ fn heterogeneous_workload_preserves_both_programs() {
         };
         let mut e = vex_sim::Engine::new(cfg, &[Arc::clone(&pa), Arc::clone(&pb)]);
         e.run();
-        assert_eq!(e.contexts[0].mem.digest(), da, "{}: A diverged", tech.label());
-        assert_eq!(e.contexts[1].mem.digest(), db, "{}: B diverged", tech.label());
+        assert_eq!(
+            e.contexts[0].mem.digest(),
+            da,
+            "{}: A diverged",
+            tech.label()
+        );
+        assert_eq!(
+            e.contexts[1].mem.digest(),
+            db,
+            "{}: B diverged",
+            tech.label()
+        );
     }
 }

@@ -12,9 +12,7 @@
 
 use std::sync::Arc;
 use vex_isa::{Instruction, MachineConfig, Opcode, Operand, Operation, Program, Reg};
-use vex_sim::{
-    CommPolicy, Engine, MemoryMode, SimConfig, Technique,
-};
+use vex_sim::{CommPolicy, Engine, MemoryMode, SimConfig, Technique};
 
 fn alu(c: u8, i: u8) -> Operation {
     Operation::bin(
@@ -30,7 +28,12 @@ fn ld(c: u8) -> Operation {
 }
 
 fn st(c: u8) -> Operation {
-    Operation::store(Opcode::Stw, Reg::new(c, 0), 0x40, Operand::Gpr(Reg::new(c, 1)))
+    Operation::store(
+        Opcode::Stw,
+        Reg::new(c, 0),
+        0x40,
+        Operand::Gpr(Reg::new(c, 1)),
+    )
 }
 
 fn mul(c: u8, i: u8) -> Operation {
@@ -120,7 +123,12 @@ fn figure5_cosi_and_oosi_reduce_4_to_3_cycles() {
         vec![
             Instruction::from_ops(
                 2,
-                [(0, mul(0, 1)), (0, alu(0, 2)), (1, alu(1, 1)), (1, alu(1, 2))],
+                [
+                    (0, mul(0, 1)),
+                    (0, alu(0, 2)),
+                    (1, alu(1, 1)),
+                    (1, alu(1, 2)),
+                ],
             ),
             Instruction::from_ops(2, [(1, alu(1, 3)), (1, alu(1, 4))]),
         ],

@@ -37,7 +37,9 @@ fn kernel(name: &str, seed: i32) -> Arc<vex_isa::Program> {
 }
 
 fn run(mode: MtMode, n: u8) -> Engine {
-    let programs: Vec<_> = (0..n).map(|j| kernel(&format!("k{j}"), j as i32 + 2)).collect();
+    let programs: Vec<_> = (0..n)
+        .map(|j| kernel(&format!("k{j}"), j as i32 + 2))
+        .collect();
     let cfg = SimConfig {
         machine: MachineConfig::paper_4c4w(),
         technique: Technique::csmt(),

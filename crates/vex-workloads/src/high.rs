@@ -8,6 +8,10 @@
 //! hurt them disproportionally (§VI-B). Unroll factors are the calibration
 //! knobs that set each kernel's ILP.
 
+// Index loops below drive both array access and address arithmetic; the
+// iterator form clippy suggests obscures the stride math.
+#![allow(clippy::needless_range_loop)]
+
 use crate::util::DataRng;
 use vex_compiler::ir::{CmpKind, Kernel, KernelBuilder, MemWidth, VReg, Val};
 
@@ -272,19 +276,37 @@ pub fn idct() -> Kernel {
             }
             idct8_like(&mut k, &v, &t, dc);
             for j in 0..8 {
-                k.store(MemWidth::W, v[j], Val::Imm(scr), row * 32 + (j as i32) * 4, 20 + c);
+                k.store(
+                    MemWidth::W,
+                    v[j],
+                    Val::Imm(scr),
+                    row * 32 + (j as i32) * 4,
+                    20 + c,
+                );
             }
         }
         // Column pass with saturation, on the partner cluster.
         for col in 0..8 {
             for j in 0..8 {
-                k.load(MemWidth::W, v2[j], Val::Imm(scr), (j as i32) * 32 + col * 4, 20 + c);
+                k.load(
+                    MemWidth::W,
+                    v2[j],
+                    Val::Imm(scr),
+                    (j as i32) * 32 + col * 4,
+                    20 + c,
+                );
             }
             idct8_like(&mut k, &v2, &t2, dcq);
             for j in 0..8 {
                 k.max(v2[j], v2[j], 0);
                 k.min(v2[j], v2[j], 255);
-                k.store(MemWidth::W, v2[j], obase2, (j as i32) * 32 + col * 4, 30 + c);
+                k.store(
+                    MemWidth::W,
+                    v2[j],
+                    obase2,
+                    (j as i32) * 32 + col * 4,
+                    30 + c,
+                );
             }
         }
     }

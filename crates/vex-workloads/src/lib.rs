@@ -190,6 +190,16 @@ pub fn compile_benchmark(name: &str) -> Arc<Program> {
     )
 }
 
+/// Compiles every built-in benchmark for the paper machine, in
+/// [`BENCHMARKS`] order — the export hook behind `vex export-workloads`,
+/// which dumps each one as `.vex` text.
+pub fn compile_all() -> Vec<(&'static str, Arc<Program>)> {
+    BENCHMARKS
+        .iter()
+        .map(|b| (b.name, compile_benchmark(b.name)))
+        .collect()
+}
+
 /// A 4-thread workload mix from Figure 13(b).
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub struct Mix {

@@ -54,8 +54,8 @@ pub fn mcf() -> Kernel {
     // footprint variety of the real binary.
     k.load(MemWidth::W, cost, p, 4, 1); // cost of current arc
     k.add(acc, acc, cost); // travels 0 -> 1
-    // The next arc depends on the cost (mcf's dual ascent walks different
-    // arc lists), making the chase two dependent loads deep.
+                           // The next arc depends on the cost (mcf's dual ascent walks different
+                           // arc lists), making the chase two dependent loads deep.
     k.and(hi, cost, 8);
     k.add(hi, hi, p);
     k.load(MemWidth::W, p, hi, 0, 1);
@@ -279,7 +279,9 @@ pub fn gsmencode() -> Kernel {
     let clamped = k.vreg_on(1);
     let energy = k.vreg_on(3);
     // Filter taps live in registers, split over two clusters.
-    let taps: Vec<_> = (0..8).map(|j| k.vreg_on(if j < 4 { 0 } else { 1 })).collect();
+    let taps: Vec<_> = (0..8)
+        .map(|j| k.vreg_on(if j < 4 { 0 } else { 1 }))
+        .collect();
 
     k.data(SAMPLES as u32, window);
     k.movi(i, 0);

@@ -7,6 +7,10 @@
 //! drops to ~⅔, as the paper reports), `djpeg` re-decodes a cache-resident
 //! set of blocks (IPCr ≈ IPCp).
 
+// Index loops below drive both array access and address arithmetic; the
+// iterator form clippy suggests obscures the stride math.
+#![allow(clippy::needless_range_loop)]
+
 use crate::util::DataRng;
 use vex_compiler::ir::{CmpKind, Kernel, KernelBuilder, MemWidth, VReg, Val};
 
@@ -29,8 +33,12 @@ fn g721(name: &'static str, encode: bool) -> Kernel {
     let x = k.vreg_on(0);
     // Zero-predictor delay line: six taps, three per cluster, so the
     // predictor sum crosses clusters (send/recv traffic like BUG output).
-    let d: Vec<VReg> = (0..6).map(|j| k.vreg_on(if j < 3 { 0 } else { 1 })).collect();
-    let c: Vec<VReg> = (0..6).map(|j| k.vreg_on(if j < 3 { 0 } else { 1 })).collect();
+    let d: Vec<VReg> = (0..6)
+        .map(|j| k.vreg_on(if j < 3 { 0 } else { 1 }))
+        .collect();
+    let c: Vec<VReg> = (0..6)
+        .map(|j| k.vreg_on(if j < 3 { 0 } else { 1 }))
+        .collect();
     let p0 = k.vreg_on(0);
     let p1 = k.vreg_on(1);
     let pred = k.vreg_on(0);
@@ -77,9 +85,9 @@ fn g721(name: &'static str, encode: bool) -> Kernel {
     k.sra(t, err, 31);
     k.xor(mag, err, t);
     k.sub(mag, mag, t); // |err|
-    // Successive-approximation quantiser: each stage subtracts the
-    // threshold it passed, so the stages are strictly serial through `mag`
-    // (GPR compare + mask arithmetic, sparing the branch-register file).
+                        // Successive-approximation quantiser: each stage subtracts the
+                        // threshold it passed, so the stages are strictly serial through `mag`
+                        // (GPR compare + mask arithmetic, sparing the branch-register file).
     k.movi(code, 0);
     let thr = k.vreg_on(2);
     let ge = k.vreg_on(2);
@@ -126,13 +134,7 @@ fn g721(name: &'static str, encode: bool) -> Kernel {
     let oaddr = k.vreg_on(3);
     k.and(oaddr, i, 1023);
     k.shl(oaddr, oaddr, 2);
-    k.store(
-        MemWidth::W,
-        if encode { code } else { pred },
-        oaddr,
-        OUT,
-        2,
-    );
+    k.store(MemWidth::W, if encode { code } else { pred }, oaddr, OUT, 2);
     k.add(i, i, 1);
     k.cond_br(CmpKind::Lt, i, N, body, exit);
 
@@ -155,13 +157,7 @@ pub fn g721decode() -> Kernel {
 /// Emits a DCT-like 8-point butterfly network from `src` into `dst`
 /// (deterministic integer transform in the spirit of JPEG's AAN kernels:
 /// even part pure adds/shifts, odd part multiply-based rotations).
-fn dct8_like(
-    k: &mut KernelBuilder,
-    src: &[VReg; 8],
-    dst: &[VReg; 8],
-    tmp: &[VReg; 8],
-    dc: VReg,
-) {
+fn dct8_like(k: &mut KernelBuilder, src: &[VReg; 8], dst: &[VReg; 8], tmp: &[VReg; 8], dc: VReg) {
     // DC recurrence couples consecutive rows/columns like the real code's
     // DPCM of DC coefficients.
     k.add(src[0], src[0], dc);
@@ -260,13 +256,25 @@ fn jpeg(
         }
         dct8_like(&mut k, &s, &o, &t, dc);
         for j in 0..8 {
-            k.store(MemWidth::W, o[j], Val::Imm(SCRATCH), row * 32 + j as i32 * 4, 2);
+            k.store(
+                MemWidth::W,
+                o[j],
+                Val::Imm(SCRATCH),
+                row * 32 + j as i32 * 4,
+                2,
+            );
         }
     }
     // Column pass reads the scratch transposed, on the other cluster pair.
     for col in 0..8 {
         for j in 0..8 {
-            k.load(MemWidth::W, s2[j], Val::Imm(SCRATCH), (j as i32) * 32 + col * 4, 2);
+            k.load(
+                MemWidth::W,
+                s2[j],
+                Val::Imm(SCRATCH),
+                (j as i32) * 32 + col * 4,
+                2,
+            );
         }
         dct8_like(&mut k, &s2, &o2, &t2, dc2);
         for j in 0..8 {

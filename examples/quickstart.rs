@@ -5,8 +5,8 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use clustered_vliw_smt::compiler::ir::{CmpKind, KernelBuilder, MemWidth, Val};
 use clustered_vliw_smt::compiler::compile;
+use clustered_vliw_smt::compiler::ir::{CmpKind, KernelBuilder, MemWidth, Val};
 use clustered_vliw_smt::isa::MachineConfig;
 use clustered_vliw_smt::sim::{run_single, Technique};
 use std::sync::Arc;

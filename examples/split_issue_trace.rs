@@ -57,7 +57,11 @@ fn run(tech: Technique, t0: &Arc<Program>, t1: &Arc<Program>) {
             ev.ctx,
             ev.ops,
             ev.inst_idx,
-            if ev.completed { "  [last part -> commits]" } else { "  [split]" }
+            if ev.completed {
+                "  [last part -> commits]"
+            } else {
+                "  [split]"
+            }
         );
     }
     println!();
@@ -71,7 +75,12 @@ fn main() {
             Instruction::from_ops(2, [(0, alu(0, 1)), (0, alu(0, 2))]),
             Instruction::from_ops(
                 2,
-                [(0, alu(0, 3)), (0, alu(0, 4)), (1, alu(1, 1)), (1, alu(1, 2))],
+                [
+                    (0, alu(0, 3)),
+                    (0, alu(0, 4)),
+                    (1, alu(1, 1)),
+                    (1, alu(1, 2)),
+                ],
             ),
         ],
     );
@@ -79,10 +88,7 @@ fn main() {
     let t1 = program(
         "T1",
         vec![
-            Instruction::from_ops(
-                2,
-                [(0, alu(0, 5)), (0, alu(0, 6)), (1, alu(1, 3))],
-            ),
+            Instruction::from_ops(2, [(0, alu(0, 5)), (0, alu(0, 6)), (1, alu(1, 3))]),
             Instruction::from_ops(2, [(1, alu(1, 4)), (1, alu(1, 5))]),
         ],
     );

@@ -15,9 +15,12 @@
 //! * [`workloads`] — the twelve calibrated benchmark kernels and the nine
 //!   workload mixes of Figure 13.
 //! * [`experiments`] — harness regenerating every figure of the evaluation.
+//! * [`asm`] — textual VEX assembly frontend, disassembler and the `.vexb`
+//!   binary program format behind the `vex` CLI.
 //!
 //! See `examples/quickstart.rs` for a five-minute tour.
 
+pub use vex_asm as asm;
 pub use vex_compiler as compiler;
 pub use vex_experiments as experiments;
 pub use vex_isa as isa;

@@ -101,7 +101,7 @@ fn perfect_memory_dominates_real_memory() {
                 respawn: true,
                 machine: clustered_vliw_smt::isa::MachineConfig::paper_4c4w(),
             };
-            clustered_vliw_smt::sim::run_workload(&cfg, &[program.clone()]).ipc()
+            clustered_vliw_smt::sim::run_workload(&cfg, std::slice::from_ref(&program)).ipc()
         };
         let real = run(MemoryMode::Real);
         let perfect = run(MemoryMode::Perfect);
