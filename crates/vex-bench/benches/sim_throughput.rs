@@ -1,0 +1,135 @@
+//! Simulator-throughput benchmark: how many simulated cycles per second of
+//! wall clock does `Engine::step` sustain on a fixed slice of the paper's
+//! evaluation grid?
+//!
+//! The slice is 3 representative mixes (`llhh`, `mmhh`, `hhhh`) × all 8
+//! technique points × 4 hardware threads at `Scale::QUICK`, seeded exactly
+//! like `Sweep::run` so the work is reproducible run-to-run. The metric is
+//! simulated-cycles/second (higher is better); every run also rewrites
+//! `BENCH_sim_throughput.json` at the repository root so CI and later PRs
+//! have a perf trajectory to compare against.
+//!
+//! Run with `cargo bench --bench sim_throughput`. Override the artifact
+//! location with `BENCH_SIM_THROUGHPUT_OUT=/path/to.json`.
+
+use std::sync::Arc;
+use std::time::Instant;
+use vex_experiments::{sweep::sim_config, Scale};
+use vex_isa::Program;
+use vex_sim::Technique;
+use vex_workloads::{compile_mix, MIXES};
+
+/// Mix indices of the measured slice (llhh, mmhh, hhhh).
+const MIX_SLICE: [usize; 3] = [5, 7, 8];
+/// Hardware threads for every point.
+const THREADS: u8 = 4;
+/// Timed repetitions per point; the best (fastest) rep is reported to
+/// suppress scheduler noise, like Criterion's minimum-time estimator.
+const REPS: u32 = 3;
+
+struct PointResult {
+    label: String,
+    sim_cycles: u64,
+    wall_secs: f64,
+}
+
+impl PointResult {
+    fn cycles_per_sec(&self) -> f64 {
+        self.sim_cycles as f64 / self.wall_secs
+    }
+}
+
+fn run_point(programs: &[Arc<Program>], tech: Technique, seed: u64) -> (u64, f64) {
+    let cfg = sim_config(tech, THREADS, Scale::QUICK, seed);
+    let mut best = f64::INFINITY;
+    let mut cycles = 0u64;
+    for _ in 0..REPS {
+        let start = Instant::now();
+        let stats = vex_sim::run_workload(&cfg, programs);
+        let secs = start.elapsed().as_secs_f64();
+        cycles = stats.cycles;
+        if secs < best {
+            best = secs;
+        }
+    }
+    (cycles, best)
+}
+
+fn main() {
+    let techniques = Technique::figure16_set();
+    let mut results: Vec<PointResult> = Vec::new();
+
+    for &mi in &MIX_SLICE {
+        let mix = &MIXES[mi];
+        let programs = compile_mix(mix);
+        // One untimed run warms compilation/caches outside the timed region.
+        let warm_cfg = sim_config(
+            Technique::csmt(),
+            THREADS,
+            Scale::QUICK,
+            0x5EED_0000 + mi as u64,
+        );
+        let _ = vex_sim::run_workload(&warm_cfg, &programs);
+        for (name, tech) in &techniques {
+            let (sim_cycles, wall_secs) = run_point(&programs, *tech, 0x5EED_0000 + mi as u64);
+            let r = PointResult {
+                label: format!("{}/{}", mix.name, name.replace(' ', "_")),
+                sim_cycles,
+                wall_secs,
+            };
+            println!(
+                "bench: sim_throughput/{:<20} {:>10.0} sim-cycles {:>9.3} ms  {:>12.0} cycles/s",
+                r.label,
+                r.sim_cycles as f64,
+                r.wall_secs * 1e3,
+                r.cycles_per_sec()
+            );
+            results.push(r);
+        }
+    }
+
+    let total_cycles: u64 = results.iter().map(|r| r.sim_cycles).sum();
+    let total_secs: f64 = results.iter().map(|r| r.wall_secs).sum();
+    let aggregate = total_cycles as f64 / total_secs;
+    println!(
+        "bench: sim_throughput/AGGREGATE {total_cycles} sim-cycles in {:.3} s = {:.0} cycles/s",
+        total_secs, aggregate
+    );
+
+    // Hand-rolled JSON (no serde in the offline build environment).
+    let mut json = String::from("{\n");
+    json.push_str("  \"benchmark\": \"sim_throughput\",\n");
+    json.push_str(&format!("  \"threads\": {THREADS},\n"));
+    json.push_str(&format!("  \"reps\": {REPS},\n"));
+    json.push_str("  \"scale\": \"QUICK\",\n");
+    json.push_str(&format!(
+        "  \"aggregate_cycles_per_sec\": {:.1},\n",
+        aggregate
+    ));
+    json.push_str(&format!("  \"total_sim_cycles\": {total_cycles},\n"));
+    json.push_str(&format!("  \"total_wall_secs\": {:.6},\n", total_secs));
+    json.push_str("  \"points\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"label\": \"{}\", \"sim_cycles\": {}, \"wall_secs\": {:.6}, \"cycles_per_sec\": {:.1}}}{}\n",
+            r.label,
+            r.sim_cycles,
+            r.wall_secs,
+            r.cycles_per_sec(),
+            if i + 1 == results.len() { "" } else { "," }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+
+    let out = std::env::var("BENCH_SIM_THROUGHPUT_OUT").unwrap_or_else(|_| {
+        concat!(
+            env!("CARGO_MANIFEST_DIR"),
+            "/../../BENCH_sim_throughput.json"
+        )
+        .to_string()
+    });
+    match std::fs::write(&out, &json) {
+        Ok(()) => println!("wrote {out}"),
+        Err(e) => eprintln!("warning: could not write {out}: {e}"),
+    }
+}

@@ -68,6 +68,13 @@ impl ClusterResources {
             FuKind::Recv => self.recv,
         }
     }
+
+    /// Unit counts for every class, indexed by [`FuKind::index`] — the
+    /// array form the simulator's per-cycle fit checks compare against.
+    #[inline]
+    pub const fn counts(&self) -> [u8; FuKind::COUNT] {
+        [self.alu, self.mul, self.mem, self.br, self.send, self.recv]
+    }
 }
 
 /// Assumed operation latencies, exposed to the compiler (NUAL).

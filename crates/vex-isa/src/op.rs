@@ -26,6 +26,28 @@ pub enum FuKind {
     Recv,
 }
 
+impl FuKind {
+    /// Number of functional-unit classes.
+    pub const COUNT: usize = 6;
+
+    /// Every class, indexed by [`FuKind::index`].
+    pub const ALL: [FuKind; Self::COUNT] = [
+        FuKind::Alu,
+        FuKind::Mul,
+        FuKind::Mem,
+        FuKind::Br,
+        FuKind::Send,
+        FuKind::Recv,
+    ];
+
+    /// Dense index of this class (discriminant order), for per-class
+    /// counter arrays.
+    #[inline]
+    pub const fn index(self) -> usize {
+        self as usize
+    }
+}
+
 /// Operation codes. Semantics operate on 32-bit two's-complement words.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub enum Opcode {

@@ -56,12 +56,18 @@ impl CacheStats {
     }
 }
 
+/// Tag value marking an invalid line. Real tags are `asid << 32 | line`
+/// with a 16-bit ASID and a ≤27-bit line index, so they never collide with
+/// the sentinel; folding validity into the tag keeps the hit loop to a
+/// single compare per way.
+const INVALID_TAG: u64 = u64::MAX;
+
 #[derive(Clone, Copy, Debug)]
 struct Line {
     /// Tag combines the address tag with the ASID so multiprogrammed threads
-    /// contend for capacity without aliasing (u64: asid in the high bits).
+    /// contend for capacity without aliasing (u64: asid in the high bits);
+    /// [`INVALID_TAG`] marks an empty way.
     tag: u64,
-    valid: bool,
     /// Monotonic timestamp of last touch; smallest = LRU victim.
     last_use: u64,
 }
@@ -92,8 +98,7 @@ impl Cache {
             params,
             lines: vec![
                 Line {
-                    tag: 0,
-                    valid: false,
+                    tag: INVALID_TAG,
                     last_use: 0
                 };
                 (n_sets * params.assoc) as usize
@@ -123,7 +128,7 @@ impl Cache {
     /// Invalidates all lines and clears statistics.
     pub fn flush(&mut self) {
         for l in &mut self.lines {
-            l.valid = false;
+            l.tag = INVALID_TAG;
         }
         self.stats = CacheStats::default();
     }
@@ -132,16 +137,28 @@ impl Cache {
     /// Returns `true` on hit.
     #[inline]
     pub fn access(&mut self, asid: u16, addr: u32) -> bool {
+        self.access_line(asid, addr >> self.set_shift)
+    }
+
+    /// Accesses cache line `line_idx` (`addr >> log2(line_bytes)`) in
+    /// address space `asid`. This is the hot entry point: callers that walk
+    /// several consecutive lines of one fetch (see `MemSystem::fetch_access`)
+    /// step the line index directly instead of recomputing set and tag from
+    /// a byte address each time.
+    #[inline]
+    pub fn access_line(&mut self, asid: u16, line_idx: u32) -> bool {
         self.tick += 1;
-        let set = ((addr >> self.set_shift) & self.set_mask) as usize;
-        let tag = ((asid as u64) << 32) | (addr >> self.set_shift) as u64;
+        let set = (line_idx & self.set_mask) as usize;
+        // ASID folded into the tag once; validity is folded in too
+        // (INVALID_TAG), so the hit loop is one compare per way.
+        let tag = ((asid as u64) << 32) | line_idx as u64;
         let ways = self.params.assoc as usize;
         let base = set * ways;
         let set_lines = &mut self.lines[base..base + ways];
 
         // Hit path: touch and return.
         for line in set_lines.iter_mut() {
-            if line.valid && line.tag == tag {
+            if line.tag == tag {
                 line.last_use = self.tick;
                 self.stats.hits += 1;
                 return true;
@@ -154,7 +171,7 @@ impl Cache {
         let mut oldest = u64::MAX;
         #[allow(unused_assignments)]
         for (i, line) in set_lines.iter().enumerate() {
-            if !line.valid {
+            if line.tag == INVALID_TAG {
                 victim = i;
                 oldest = 0;
                 break;
@@ -164,12 +181,11 @@ impl Cache {
                 victim = i;
             }
         }
-        if set_lines[victim].valid {
+        if set_lines[victim].tag != INVALID_TAG {
             self.stats.evictions += 1;
         }
         set_lines[victim] = Line {
             tag,
-            valid: true,
             last_use: self.tick,
         };
         false

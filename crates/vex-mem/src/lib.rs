@@ -74,18 +74,20 @@ impl MemSystem {
 
     /// Instruction fetch covering `[addr, addr + len)`: returns the stall
     /// penalty (0 if every spanned line hits). Misses on multiple lines of
-    /// one fetch overlap, as the critical-word transfers pipeline.
+    /// one fetch overlap, as the critical-word transfers pipeline. Spanned
+    /// lines are probed by stepping the line index directly
+    /// ([`Cache::access_line`]), not by rebuilding set/tag per byte address.
     #[inline]
     pub fn fetch_access(&mut self, asid: u16, addr: u32, len: u32) -> u32 {
         if self.perfect {
             return 0;
         }
-        let line = self.icache.params().line_bytes;
-        let first = addr / line;
-        let last = (addr + len.max(1) - 1) / line;
+        let shift = self.icache.params().line_bytes.trailing_zeros();
+        let first = addr >> shift;
+        let last = (addr + len.max(1) - 1) >> shift;
         let mut penalty = 0;
         for l in first..=last {
-            if !self.icache.access(asid, l * line) {
+            if !self.icache.access_line(asid, l) {
                 penalty = self.miss_penalty;
             }
         }

@@ -98,6 +98,39 @@ proptest! {
     }
 }
 
+proptest! {
+    /// The fetch path (line-index stepping over spanned lines) produces
+    /// exactly the same `CacheStats` as probing the reference model line by
+    /// line: the hit/miss/eviction *counts* pin the fast path, not just the
+    /// per-access outcomes.
+    #[test]
+    fn fetch_access_stats_match_reference_model(
+        fetches in prop::collection::vec((0u16..3, 0u32..16384, 1u32..96), 1..300)
+    ) {
+        let mut sys = vex_mem::MemSystem::paper();
+        let params = sys.icache.params();
+        let mut model = RefLru::new(params);
+        let (mut hits, mut misses) = (0u64, 0u64);
+        for (asid, addr, len) in fetches {
+            let pen = sys.fetch_access(asid, addr, len);
+            let mut missed = false;
+            let line = params.line_bytes;
+            for l in (addr / line)..=((addr + len.max(1) - 1) / line) {
+                if model.access(asid, l * line) {
+                    hits += 1;
+                } else {
+                    misses += 1;
+                    missed = true;
+                }
+            }
+            prop_assert_eq!(pen > 0, missed, "penalty disagrees with model");
+        }
+        let s = sys.icache.stats();
+        prop_assert_eq!(s.hits, hits, "hit count diverged");
+        prop_assert_eq!(s.misses, misses, "miss count diverged");
+    }
+}
+
 /// Functional memory: a write-then-read sequence behaves like a HashMap of
 /// bytes (model-based).
 mod memory_model {

@@ -1,0 +1,461 @@
+//! Pre-decoded programs: the static half of [`crate::thread::OpRecord`],
+//! computed once per [`Program`] instead of on every activation.
+//!
+//! [`ThreadCtx::activate`](crate::thread::ThreadCtx::activate) evaluates an
+//! entire instruction functionally each time it is fetched. Before this
+//! module existed, that meant re-matching every opcode, re-classifying
+//! operands and destinations, and re-scanning bundles for send/recv pairs —
+//! per activation, per context, every few cycles. None of that depends on
+//! architectural state, so it is hoisted here: [`DecodedProgram`] holds, per
+//! instruction, the flattened operation table ([`DecodedOp`]), the bundle
+//! mask, the communication flag, the fetch address/length, and the send
+//! sources for inter-cluster transfers. Activation is left with pure value
+//! evaluation (register/memory reads plus [`crate::exec::eval`]).
+//!
+//! Contexts running the same program share one table via `Arc`: the engine
+//! deduplicates by `Arc::ptr_eq` when it builds a workload, so an
+//! `n`-thread run of one benchmark decodes it exactly once.
+
+use std::sync::Arc;
+use vex_isa::{Dest, FuKind, Opcode, Operand, Program};
+
+/// Width/signedness of a pre-decoded load.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum LoadWidth {
+    /// 32-bit word (`ldw`).
+    W,
+    /// Sign-extended halfword (`ldh`).
+    H,
+    /// Zero-extended halfword (`ldhu`).
+    Hu,
+    /// Sign-extended byte (`ldb`).
+    B,
+    /// Zero-extended byte (`ldbu`).
+    Bu,
+}
+
+/// A general-purpose register coordinate `(logical cluster, index)`.
+pub type RegCoord = (u8, u8);
+
+/// What an operation *does* at activation, with every static decision
+/// already made. Only values (register reads, memory reads, ALU results)
+/// are computed when a record is built from one of these.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum OpEval {
+    /// Memory read into an optional GPR destination.
+    Load {
+        /// Access width.
+        width: LoadWidth,
+        /// Base-address operand.
+        base: Operand,
+        /// Byte offset added to the base.
+        off: u32,
+        /// Destination GPR, if the compiler kept the result.
+        dst: Option<RegCoord>,
+    },
+    /// Memory write, delay-buffered until commit.
+    Store {
+        /// Access size in bytes (1, 2 or 4).
+        size: u8,
+        /// Base-address operand.
+        base: Operand,
+        /// Byte offset added to the base.
+        off: u32,
+        /// Value operand.
+        value: Operand,
+    },
+    /// Inter-cluster send. The value capture happens via
+    /// [`DecodedProgram::sends_of`] before records are built, so the record
+    /// itself carries no effect.
+    Send,
+    /// Inter-cluster receive of transfer pair `pair` into `dst`.
+    Recv {
+        /// Transfer pair id (0..16).
+        pair: u8,
+        /// Destination GPR, if any.
+        dst: Option<RegCoord>,
+    },
+    /// Conditional branch: taken when the branch register (`None` reads
+    /// false) equals `taken_if`.
+    CondBr {
+        /// Branch-register coordinate, if the condition operand named one.
+        cond: Option<RegCoord>,
+        /// Target instruction index.
+        target: usize,
+        /// Polarity: `true` for `br`, `false` for `brf`.
+        taken_if: bool,
+    },
+    /// Unconditional branch.
+    Goto {
+        /// Target instruction index.
+        target: usize,
+    },
+    /// End of the program run.
+    Halt,
+    /// ALU/MUL operation writing a GPR.
+    AluGpr {
+        /// Opcode, dispatched by [`crate::exec::eval`].
+        op: Opcode,
+        /// First source.
+        a: Operand,
+        /// Second source.
+        b: Operand,
+        /// Select condition (branch register), if the `c` operand named one.
+        cond: Option<RegCoord>,
+        /// Destination GPR.
+        dst: RegCoord,
+    },
+    /// Compare-class operation writing a branch register.
+    AluBreg {
+        /// Opcode, dispatched by [`crate::exec::eval_cond`].
+        op: Opcode,
+        /// First source.
+        a: Operand,
+        /// Second source.
+        b: Operand,
+        /// Destination branch register.
+        dst: RegCoord,
+    },
+    /// Operation with no architectural effect (result discarded). Still
+    /// occupies its functional unit and issue slot.
+    Effectless,
+}
+
+/// Static issue-resource demand of one bundle: how many slots and
+/// functional units of each class the bundle claims on its cluster. A
+/// bundle never splits, so this never depends on how much of the
+/// instruction already issued — the engine's merge fit checks compare these
+/// tables against the packet instead of re-scanning in-flight records.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct ClusterDemand {
+    /// Logical cluster of the bundle.
+    pub log_cluster: u8,
+    /// Issue slots demanded (operation count).
+    pub slots: u8,
+    /// This bundle's operations as a subrange of the instruction's
+    /// record/op table (relative to `op_range.0`): records are pushed in
+    /// bundle order, so a bundle's records are always contiguous.
+    pub rec_range: (u16, u16),
+    /// Units demanded per class, indexed by [`FuKind::index`].
+    pub fu: [u8; FuKind::COUNT],
+}
+
+/// The static half of one operation's in-flight record.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct DecodedOp {
+    /// Logical cluster of the bundle containing the op.
+    pub log_cluster: u8,
+    /// Functional-unit class (issue resource accounting).
+    pub fu: FuKind,
+    /// Pre-classified evaluation recipe.
+    pub eval: OpEval,
+}
+
+/// Per-instruction static metadata.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct DecodedInst {
+    /// Range of this instruction's operations in [`DecodedProgram::ops`].
+    pub op_range: (u32, u32),
+    /// Range of this instruction's send sources in
+    /// [`DecodedProgram::sends`].
+    pub send_range: (u32, u32),
+    /// Range of this instruction's per-bundle resource demands in
+    /// [`DecodedProgram::demands`].
+    pub demand_range: (u32, u32),
+    /// Bit `c` set iff logical cluster `c` has a non-empty bundle.
+    pub bundle_mask: u16,
+    /// Whether any operation is an inter-cluster send/recv (NS policy).
+    pub has_comm: bool,
+    /// Fetch byte address (instruction-cache modelling).
+    pub fetch_addr: u32,
+    /// Encoded size in bytes.
+    pub fetch_len: u32,
+}
+
+/// A fully pre-decoded program, shared between all contexts that run it.
+#[derive(Clone, PartialEq, Debug)]
+pub struct DecodedProgram {
+    /// Flattened operation table, grouped by instruction in bundle order
+    /// (the same order `activate` used to walk `Instruction::bundles`).
+    pub ops: Vec<DecodedOp>,
+    /// Flattened `(pair id, source operand)` table for send value capture.
+    pub sends: Vec<(u8, Operand)>,
+    /// Flattened per-bundle resource-demand table, one entry per non-empty
+    /// bundle, in cluster order.
+    pub demands: Vec<ClusterDemand>,
+    /// Per-instruction metadata, indexed by instruction index.
+    pub insts: Vec<DecodedInst>,
+}
+
+impl DecodedProgram {
+    /// Decodes every instruction of `program`. Called once per distinct
+    /// program per engine; everything here is hot-loop work that used to
+    /// run on every activation.
+    pub fn decode(program: &Program) -> Self {
+        let mut ops = Vec::with_capacity(program.total_ops() as usize);
+        let mut sends = Vec::new();
+        let mut demands = Vec::new();
+        let mut insts = Vec::with_capacity(program.len());
+
+        for (idx, inst) in program.instructions.iter().enumerate() {
+            let op_start = ops.len() as u32;
+            let send_start = sends.len() as u32;
+            let demand_start = demands.len() as u32;
+            let mut bundle_mask = 0u16;
+            let mut has_comm = false;
+
+            for (c, bundle) in inst.bundles.iter().enumerate() {
+                if bundle.is_empty() {
+                    continue;
+                }
+                bundle_mask |= 1 << c;
+                let rec_lo = (ops.len() as u32 - op_start) as u16;
+                let mut demand = ClusterDemand {
+                    log_cluster: c as u8,
+                    slots: bundle.ops.len() as u8,
+                    rec_range: (rec_lo, rec_lo + bundle.ops.len() as u16),
+                    fu: [0; FuKind::COUNT],
+                };
+                for op in &bundle.ops {
+                    if op.opcode.is_comm() {
+                        has_comm = true;
+                    }
+                    if op.opcode == Opcode::Send {
+                        sends.push((op.imm as u8 & 15, op.a));
+                    }
+                    let fu = op.fu_kind();
+                    demand.fu[fu.index()] += 1;
+                    ops.push(DecodedOp {
+                        log_cluster: c as u8,
+                        fu,
+                        eval: decode_eval(op, program.len()),
+                    });
+                }
+                demands.push(demand);
+            }
+
+            insts.push(DecodedInst {
+                op_range: (op_start, ops.len() as u32),
+                send_range: (send_start, sends.len() as u32),
+                demand_range: (demand_start, demands.len() as u32),
+                bundle_mask,
+                has_comm,
+                fetch_addr: program.inst_addr[idx],
+                fetch_len: inst.encoded_size(),
+            });
+        }
+
+        DecodedProgram {
+            ops,
+            sends,
+            demands,
+            insts,
+        }
+    }
+
+    /// Convenience: decode behind an `Arc` for sharing across contexts.
+    pub fn decode_arc(program: &Program) -> Arc<Self> {
+        Arc::new(Self::decode(program))
+    }
+
+    /// Number of instructions (equals `Program::len`).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.insts.len()
+    }
+
+    /// Whether the program has no instructions.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.insts.is_empty()
+    }
+
+    /// Static metadata of instruction `idx`.
+    #[inline]
+    pub fn inst(&self, idx: usize) -> &DecodedInst {
+        &self.insts[idx]
+    }
+
+    /// Operations of an instruction, in activation order.
+    #[inline]
+    pub fn ops_of(&self, di: &DecodedInst) -> &[DecodedOp] {
+        &self.ops[di.op_range.0 as usize..di.op_range.1 as usize]
+    }
+
+    /// Send sources of an instruction, for transfer value capture.
+    #[inline]
+    pub fn sends_of(&self, di: &DecodedInst) -> &[(u8, Operand)] {
+        &self.sends[di.send_range.0 as usize..di.send_range.1 as usize]
+    }
+
+    /// Per-bundle resource demands of an instruction, in cluster order.
+    #[inline]
+    pub fn demands_of(&self, di: &DecodedInst) -> &[ClusterDemand] {
+        &self.demands[di.demand_range.0 as usize..di.demand_range.1 as usize]
+    }
+}
+
+/// Classifies one operation, mirroring the `match op.opcode` that
+/// `ThreadCtx::activate` performed per activation before pre-decoding.
+///
+/// Control targets outside the program (possible only for programs that
+/// skipped [`Program::validate`], e.g. negative immediates) are clamped to
+/// `program_len`: any out-of-range `pc` behaves identically (the engine's
+/// fell-off-the-end path), and the clamp keeps targets clear of the
+/// record encoding's `u32` control sentinels.
+fn decode_eval(op: &vex_isa::Operation, program_len: usize) -> OpEval {
+    let gpr_dst = |d: Dest| -> Option<RegCoord> {
+        match d {
+            Dest::Gpr(r) => Some((r.cluster, r.index)),
+            _ => None,
+        }
+    };
+    let breg_cond = |o: Operand| -> Option<RegCoord> {
+        match o {
+            Operand::Breg(b) => Some((b.cluster, b.index)),
+            _ => None,
+        }
+    };
+    let target = |imm: i32| -> usize { (imm as usize).min(program_len) };
+
+    match op.opcode {
+        o if o.is_load() => OpEval::Load {
+            width: match o {
+                Opcode::Ldw => LoadWidth::W,
+                Opcode::Ldh => LoadWidth::H,
+                Opcode::Ldhu => LoadWidth::Hu,
+                Opcode::Ldb => LoadWidth::B,
+                Opcode::Ldbu => LoadWidth::Bu,
+                _ => unreachable!(),
+            },
+            base: op.a,
+            off: op.imm as u32,
+            dst: gpr_dst(op.dst),
+        },
+        o if o.is_store() => OpEval::Store {
+            size: match o {
+                Opcode::Stw => 4,
+                Opcode::Sth => 2,
+                _ => 1,
+            },
+            base: op.a,
+            off: op.imm as u32,
+            value: op.b,
+        },
+        Opcode::Send => OpEval::Send,
+        Opcode::Recv => OpEval::Recv {
+            pair: op.imm as u8 & 15,
+            dst: gpr_dst(op.dst),
+        },
+        Opcode::Br => OpEval::CondBr {
+            cond: breg_cond(op.a),
+            target: target(op.imm),
+            taken_if: true,
+        },
+        Opcode::Brf => OpEval::CondBr {
+            cond: breg_cond(op.a),
+            target: target(op.imm),
+            taken_if: false,
+        },
+        Opcode::Goto => OpEval::Goto {
+            target: target(op.imm),
+        },
+        Opcode::Halt => OpEval::Halt,
+        o => match op.dst {
+            Dest::Gpr(d) => OpEval::AluGpr {
+                op: o,
+                a: op.a,
+                b: op.b,
+                cond: breg_cond(op.c),
+                dst: (d.cluster, d.index),
+            },
+            Dest::Breg(d) => OpEval::AluBreg {
+                op: o,
+                a: op.a,
+                b: op.b,
+                dst: (d.cluster, d.index),
+            },
+            Dest::None => OpEval::Effectless,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vex_isa::{Instruction, Operation, Reg};
+
+    fn program() -> Program {
+        let ld = Operation::load(Opcode::Ldh, Reg::new(1, 3), Reg::new(1, 2), 8);
+        let mut send = Operation::new(Opcode::Send);
+        send.a = Operand::Gpr(Reg::new(0, 1));
+        send.imm = 3;
+        let mut recv = Operation::new(Opcode::Recv);
+        recv.dst = Dest::Gpr(Reg::new(2, 4));
+        recv.imm = 3;
+        let mut halt = Instruction::nop(4);
+        halt.bundles[0].ops.push(Operation::new(Opcode::Halt));
+        Program::new(
+            "decode-test",
+            vec![
+                Instruction::from_ops(4, [(0, send), (1, ld), (2, recv)]),
+                Instruction::nop(4),
+                halt,
+            ],
+            vec![],
+        )
+    }
+
+    #[test]
+    fn tables_mirror_instruction_structure() {
+        let p = program();
+        let d = DecodedProgram::decode(&p);
+        assert_eq!(d.len(), 3);
+
+        let i0 = d.inst(0);
+        assert_eq!(d.ops_of(i0).len(), 3);
+        assert_eq!(i0.bundle_mask, 0b0111);
+        assert!(i0.has_comm);
+        assert_eq!(d.sends_of(i0), &[(3, Operand::Gpr(Reg::new(0, 1)))]);
+        assert_eq!(i0.fetch_addr, p.inst_addr[0]);
+        assert_eq!(i0.fetch_len, p.instructions[0].encoded_size());
+
+        // Vertical NOP: no ops, no bundles, still one fetch syllable.
+        let i1 = d.inst(1);
+        assert!(d.ops_of(i1).is_empty());
+        assert_eq!(i1.bundle_mask, 0);
+        assert_eq!(i1.fetch_len, 4);
+
+        let i2 = d.inst(2);
+        assert_eq!(d.ops_of(i2).len(), 1);
+        assert_eq!(d.ops_of(i2)[0].eval, OpEval::Halt);
+        assert_eq!(d.ops_of(i2)[0].fu, FuKind::Br);
+    }
+
+    #[test]
+    fn load_and_recv_decode_statically() {
+        let p = program();
+        let d = DecodedProgram::decode(&p);
+        let ops = d.ops_of(d.inst(0));
+        assert_eq!(ops[0].eval, OpEval::Send);
+        assert_eq!(ops[0].fu, FuKind::Send);
+        assert_eq!(
+            ops[1].eval,
+            OpEval::Load {
+                width: LoadWidth::H,
+                base: Operand::Gpr(Reg::new(1, 2)),
+                off: 8,
+                dst: Some((1, 3)),
+            }
+        );
+        assert_eq!(
+            ops[2].eval,
+            OpEval::Recv {
+                pair: 3,
+                dst: Some((2, 4)),
+            }
+        );
+        assert_eq!(ops[1].log_cluster, 1);
+        assert_eq!(ops[2].log_cluster, 2);
+    }
+}

@@ -21,12 +21,13 @@
 //! threads, replacing threads at random at each expiry (§VI-A).
 
 use crate::config::{CommPolicy, MemoryMode, MergePolicy, MtMode, SimConfig, SplitPolicy};
-use crate::packet::Packet;
+use crate::decode::{ClusterDemand, DecodedProgram};
+use crate::packet::{Packet, MAX_CLUSTERS};
 use crate::rng::SplitMix64;
 use crate::stats::SimStats;
-use crate::thread::{CtrlEffect, ThreadCtx};
+use crate::thread::{phys_cluster, CtrlEffect, ThreadCtx};
 use std::sync::Arc;
-use vex_isa::{FuKind, Program};
+use vex_isa::Program;
 use vex_mem::MemSystem;
 
 /// One issue event, recorded when tracing is enabled: context `ctx` issued
@@ -82,6 +83,19 @@ pub struct Engine {
     /// Sticky slot for Block MT: the thread that keeps issuing until it
     /// blocks on a long-latency event.
     bmt_current: usize,
+    /// Scratch: contexts committing this cycle. Reused across `step` calls
+    /// so the steady-state cycle loop performs no heap allocation.
+    commit_scratch: Vec<usize>,
+    /// Scratch: runnable-context pool for [`Engine::assign_slots`].
+    slot_pool: Vec<usize>,
+    /// Retired contexts so far; termination checks compare against
+    /// `contexts.len()` instead of rescanning every context every cycle.
+    retired_count: usize,
+    /// Latched when any context crosses `cfg.inst_limit` at commit.
+    inst_limit_hit: bool,
+    /// `cycle % n_hw`, maintained incrementally (hardware divides are slow
+    /// enough to show up in a loop this tight).
+    rr_offset: usize,
 }
 
 impl Engine {
@@ -93,10 +107,23 @@ impl Engine {
             MemoryMode::Real => MemSystem::paper(),
             MemoryMode::Perfect => MemSystem::perfect(),
         };
+        // Pre-decode each distinct program exactly once; contexts running
+        // the same `Arc<Program>` share one decode table.
+        let mut decode_cache: Vec<(Arc<Program>, Arc<DecodedProgram>)> = Vec::new();
         let contexts: Vec<ThreadCtx> = programs
             .iter()
             .enumerate()
-            .map(|(i, p)| ThreadCtx::new(Arc::clone(p), i as u16, cfg.machine.n_clusters, 0))
+            .map(|(i, p)| {
+                let decoded = match decode_cache.iter().find(|(q, _)| Arc::ptr_eq(p, q)) {
+                    Some((_, d)) => Arc::clone(d),
+                    None => {
+                        let d = DecodedProgram::decode_arc(p);
+                        decode_cache.push((Arc::clone(p), Arc::clone(&d)));
+                        d
+                    }
+                };
+                ThreadCtx::with_decoded(Arc::clone(p), decoded, i as u16, cfg.machine.n_clusters, 0)
+            })
             .collect();
         let n_threads = cfg.n_threads;
         let timeslice = cfg.timeslice;
@@ -117,6 +144,13 @@ impl Engine {
             next_switch: timeslice,
             rotation: 0,
             bmt_current: 0,
+            commit_scratch: Vec::with_capacity(n_threads as usize),
+            slot_pool: Vec::new(),
+            retired_count: 0,
+            // Degenerate `inst_limit: 0` configurations terminate before
+            // the first cycle, exactly like the old full-rescan check.
+            inst_limit_hit: cfg.inst_limit == 0,
+            rr_offset: 0,
             cfg,
         };
         e.assign_slots();
@@ -124,37 +158,43 @@ impl Engine {
     }
 
     /// Turns on issue tracing (used by the figure-replication tests and the
-    /// trace-printing example).
+    /// trace-printing example). Capacity is reserved up front so tracing
+    /// does not reintroduce steady-state reallocation churn.
     pub fn enable_trace(&mut self) {
-        self.trace = Some(Vec::new());
+        let hint = (self.cfg.inst_limit.saturating_mul(2)).min(1 << 16) as usize;
+        self.trace = Some(Vec::with_capacity(hint.max(1024)));
     }
 
     /// (Re)assigns benchmark contexts to hardware slots. Single-thread
     /// machines rotate serially; multithreaded machines pick replacements
     /// at random (§VI-A).
     fn assign_slots(&mut self) {
-        let runnable: Vec<usize> = (0..self.contexts.len())
-            .filter(|&i| !self.contexts[i].retired)
-            .collect();
-        if runnable.is_empty() {
+        // `pool` is a reusable scratch buffer: it first holds the runnable
+        // set, then is narrowed in place to the chosen contexts. The RNG
+        // call sequence is identical to the old allocating version.
+        let mut pool = std::mem::take(&mut self.slot_pool);
+        pool.clear();
+        pool.extend((0..self.contexts.len()).filter(|&i| !self.contexts[i].retired));
+        if pool.is_empty() {
             self.slots.iter_mut().for_each(|s| *s = None);
+            self.slot_pool = pool;
             return;
         }
         let n_hw = self.slots.len();
-        let chosen: Vec<usize> = if runnable.len() <= n_hw {
-            runnable
+        if pool.len() <= n_hw {
+            // Everyone runs.
         } else if n_hw == 1 {
             // Serial order for the single-thread machine.
-            self.rotation = (self.rotation + 1) % runnable.len();
-            vec![runnable[self.rotation]]
+            self.rotation = (self.rotation + 1) % pool.len();
+            let c = pool[self.rotation];
+            pool.clear();
+            pool.push(c);
         } else {
-            let mut pool = runnable;
             self.rng.shuffle(&mut pool);
             pool.truncate(n_hw);
-            pool
-        };
+        }
         self.slots.iter_mut().for_each(|s| *s = None);
-        for (slot, &ci) in chosen.iter().enumerate() {
+        for (slot, &ci) in pool.iter().enumerate() {
             self.slots[slot] = Some(ci);
             self.contexts[ci].rename = if self.cfg.renaming {
                 (slot as u8) % self.cfg.machine.n_clusters
@@ -162,6 +202,47 @@ impl Engine {
                 0
             };
         }
+        self.slot_pool = pool;
+    }
+
+    /// Advances the cycle counter (and the statistics mirror plus the
+    /// round-robin offset) by `k` cycles.
+    #[inline]
+    fn advance_cycles(&mut self, k: u64) {
+        self.stats.cycles += k;
+        self.cycle += k;
+        self.rr_offset = ((self.rr_offset as u64 + k) % self.slots.len() as u64) as usize;
+    }
+
+    /// Cycles until the next scheduled engine event (timeslice switch or
+    /// the `max_cycles` safety bound) — the horizon a batched dead-cycle
+    /// update may cover without changing observable behaviour.
+    #[inline]
+    fn cycles_until_next_event(&self) -> u64 {
+        self.next_switch
+            .saturating_sub(self.cycle)
+            .min(self.cfg.max_cycles.saturating_sub(self.cycle))
+    }
+
+    /// If no hardware thread can act this cycle, returns the earliest cycle
+    /// at which one wakes (`u64::MAX` when every slot is empty or retired).
+    /// Returns `None` as soon as any slotted, non-retired context is
+    /// unstalled — such a cycle must run the full issue loop.
+    #[inline]
+    fn all_stalled_until(&self) -> Option<u64> {
+        let mut wake = u64::MAX;
+        for slot in &self.slots {
+            let Some(ci) = *slot else { continue };
+            let t = &self.contexts[ci];
+            if t.retired {
+                continue;
+            }
+            if t.stall_until <= self.cycle {
+                return None;
+            }
+            wake = wake.min(t.stall_until);
+        }
+        Some(wake)
     }
 
     /// Advances one cycle.
@@ -173,12 +254,29 @@ impl Engine {
         }
 
         if self.global_stall > 0 {
-            // Whole-pipeline stall from memory-port contention.
-            self.global_stall -= 1;
-            self.stats.memport_stall_cycles += 1;
-            self.stats.empty_cycles += 1;
-            self.stats.cycles += 1;
-            self.cycle += 1;
+            // Whole-pipeline stall from memory-port contention. Consume the
+            // whole stall window in one call (bounded by the next timeslice
+            // switch and the cycle cap); the per-cycle bookkeeping is linear
+            // so the batched update is bit-identical to stepping.
+            let k = self.global_stall.min(self.cycles_until_next_event()).max(1);
+            self.global_stall -= k;
+            self.stats.memport_stall_cycles += k;
+            self.stats.empty_cycles += k;
+            self.advance_cycles(k);
+            return;
+        }
+
+        // Dead-cycle fast path: if every hardware thread is stalled (cache
+        // miss / branch penalty), nothing can issue until the earliest
+        // `stall_until`. Those cycles only count `cycles`/`empty_cycles`,
+        // so they are consumed in bulk. A cycle in which any thread *could*
+        // act (even if it then issues nothing) is never skipped.
+        if let Some(wake) = self.all_stalled_until() {
+            let k = (wake - self.cycle)
+                .min(self.cycles_until_next_event())
+                .max(1);
+            self.stats.empty_cycles += k;
+            self.advance_cycles(k);
             return;
         }
 
@@ -186,16 +284,23 @@ impl Engine {
         let n_hw = self.slots.len();
         // Priority order: SMT-class rotates every cycle (§VI-A); Block MT
         // starts from the sticky thread so it keeps running until blocked.
+        debug_assert_eq!(self.rr_offset, (self.cycle % n_hw as u64) as usize);
         let offset = match self.cfg.mt_mode {
-            MtMode::Blocked => self.bmt_current % n_hw,
-            _ => (self.cycle % n_hw as u64) as usize,
+            MtMode::Blocked => self.bmt_current,
+            _ => self.rr_offset,
         };
         // The pre-SMT baselines issue from at most one thread per cycle.
         let single_issue = self.cfg.mt_mode != MtMode::Simultaneous;
-        let mut commits: Vec<usize> = Vec::with_capacity(n_hw);
+        let mut commits = std::mem::take(&mut self.commit_scratch);
+        commits.clear();
 
         for k in 0..n_hw {
-            let slot = (offset + k) % n_hw;
+            // `offset + k < 2 * n_hw`, so the wrap is a compare-subtract
+            // rather than a hardware divide on the hottest loop.
+            let mut slot = offset + k;
+            if slot >= n_hw {
+                slot -= n_hw;
+            }
             let Some(ci) = self.slots[slot] else { continue };
             let t = &mut self.contexts[ci];
             if t.retired || self.cycle < t.stall_until {
@@ -204,19 +309,19 @@ impl Engine {
 
             // Fetch/activate if nothing is in flight.
             if !t.inflight.active {
-                if t.pc >= t.program.len() {
+                if t.pc >= t.decoded.len() {
                     // Fell off the end: treat like halt.
                     if self.cfg.respawn {
                         t.respawn();
                     } else {
                         t.retired = true;
+                        self.retired_count += 1;
                         continue;
                     }
                 }
                 if !t.fetch_paid {
-                    let addr = t.program.inst_addr[t.pc];
-                    let len = t.program.instructions[t.pc].encoded_size();
-                    let pen = self.mem.fetch_access(t.asid, addr, len);
+                    let di = t.decoded.inst(t.pc);
+                    let pen = self.mem.fetch_access(t.asid, di.fetch_addr, di.fetch_len);
                     if pen > 0 {
                         t.stall_until = self.cycle + pen as u64;
                         t.fetch_paid = true;
@@ -258,20 +363,24 @@ impl Engine {
         }
 
         // Commit phase: drain delay buffers, count buffered-store port
-        // demand, resolve control flow.
-        let mut commit_mem: Vec<u8> = vec![0; self.cfg.machine.n_clusters as usize];
-        for ci in commits {
+        // demand, resolve control flow. The per-cluster demand counter is a
+        // stack array (n_clusters ≤ MAX_CLUSTERS), not a fresh vector.
+        let mut commit_mem = [0u8; MAX_CLUSTERS];
+        for &ci in &commits {
             let t = &mut self.contexts[ci];
             let n_clusters = self.cfg.machine.n_clusters;
-            // Split accounting + buffered-store port demand.
+            // Split accounting + buffered-store port demand. A store issued
+            // at an *earlier* cycle than the commit can only exist when the
+            // instruction split (`parts > 1`), so the record scan is skipped
+            // for every whole-issued instruction.
             if t.inflight.parts > 1 {
                 t.stats.split_instructions += 1;
                 t.stats.split_parts += t.inflight.parts as u64;
-            }
-            for rec in &t.inflight.records {
-                if rec.store.is_some() && rec.issued_at < self.cycle {
-                    let p = t.phys_cluster(rec.log_cluster, n_clusters);
-                    commit_mem[p as usize] += 1;
+                for rec in &t.inflight.records {
+                    if rec.has_store() && rec.issued_at < self.cycle {
+                        let p = t.phys_cluster(rec.log_cluster, n_clusters);
+                        commit_mem[p as usize] += 1;
+                    }
                 }
             }
             match t.commit_writes() {
@@ -287,24 +396,35 @@ impl Engine {
                     } else {
                         t.stats.runs_completed += 1;
                         t.retired = true;
+                        self.retired_count += 1;
                     }
                 }
                 None => {}
             }
+            if t.stats.insts_retired >= self.cfg.inst_limit {
+                self.inst_limit_hit = true;
+            }
         }
+
+        commits.clear();
+        self.commit_scratch = commits;
 
         // Memory-port over-subscription (issued + committing buffered
         // stores versus ports) stalls the pipeline for the excess (§V-D).
         let ports = self.cfg.machine.cluster.mem;
         let mut overflow = 0u64;
-        for (p, &extra) in commit_mem.iter().enumerate() {
-            let demand = self.packet.mem_issued[p] + extra;
-            overflow += demand.saturating_sub(ports) as u64;
+        for (&issued, &extra) in self
+            .packet
+            .mem_issued
+            .iter()
+            .zip(commit_mem.iter())
+            .take(self.cfg.machine.n_clusters as usize)
+        {
+            overflow += (issued + extra).saturating_sub(ports) as u64;
         }
         self.global_stall += overflow;
 
         // Cycle bookkeeping.
-        self.stats.cycles += 1;
         self.stats.total_ops += self.packet.ops as u64;
         if self.packet.ops == 0 {
             self.stats.empty_cycles += 1;
@@ -314,21 +434,29 @@ impl Engine {
         if self.packet.threads >= 2 {
             self.stats.merged_cycles += 1;
         }
+        let n_hw = self.slots.len();
+        self.stats.cycles += 1;
         self.cycle += 1;
+        self.rr_offset += 1;
+        if self.rr_offset == n_hw {
+            self.rr_offset = 0;
+        }
     }
 
     fn termination(&self) -> Option<StopReason> {
         if self.cycle >= self.cfg.max_cycles {
             return Some(StopReason::MaxCycles);
         }
-        if self.contexts.iter().all(|t| t.retired) {
+        // Both conditions are latched incrementally where they change
+        // (retire sites, commit) so this check is O(1) per cycle.
+        debug_assert_eq!(
+            self.retired_count == self.contexts.len(),
+            self.contexts.iter().all(|t| t.retired)
+        );
+        if self.retired_count == self.contexts.len() {
             return Some(StopReason::AllRetired);
         }
-        if self
-            .contexts
-            .iter()
-            .any(|t| t.stats.insts_retired >= self.cfg.inst_limit)
-        {
+        if self.inst_limit_hit {
             return Some(StopReason::InstLimit);
         }
         None
@@ -365,17 +493,17 @@ fn issue_thread(
     let n_clusters = cfg.machine.n_clusters;
     let rename = t.rename;
     let asid = t.asid;
-    let phys = |c: u8| -> u8 {
-        let p = c + rename;
-        if p >= n_clusters {
-            p - n_clusters
-        } else {
-            p
-        }
-    };
+    let phys = |c: u8| phys_cluster(c, rename, n_clusters);
     let tech = cfg.technique;
 
-    let fl = &mut t.inflight;
+    let ThreadCtx {
+        decoded,
+        inflight,
+        stall_until,
+        stats,
+        ..
+    } = t;
+    let fl = inflight;
     debug_assert!(fl.active);
 
     // A vertical NOP issues trivially (consumes the thread's cycle only).
@@ -395,31 +523,29 @@ fn issue_thread(
 
     if all_or_nothing {
         let fits = match tech.merge {
+            // Cluster-level merge: the whole physical footprint collides
+            // iff the rotated bundle mask intersects the busy mask.
             MergePolicy::Cluster => {
-                let mut mask = fl.pending_bundles;
-                let mut ok = true;
-                while mask != 0 {
-                    let c = mask.trailing_zeros() as u8;
-                    mask &= mask - 1;
-                    if !packet.cluster_free(phys(c)) {
-                        ok = false;
-                        break;
-                    }
-                }
-                ok
+                rotl_mask(fl.pending_bundles, rename, n_clusters) & packet.busy_mask() == 0
             }
-            MergePolicy::Operation => bundles_fit(fl, packet, &cfg.machine, phys, u16::MAX),
+            MergePolicy::Operation => demand_fits(
+                packet,
+                decoded.demands_of(decoded.inst(fl.inst_idx)),
+                &cfg.machine,
+                rename,
+                u16::MAX,
+            ),
         };
         if fits {
-            for idx in 0..fl.records.len() {
-                if fl.records[idx].issued_at == u64::MAX {
-                    let rec = &mut fl.records[idx];
-                    packet.place_op(phys(rec.log_cluster), rec.fu);
-                    rec.issued_at = cycle;
-                    issued_now += 1;
-                    if let Some(addr) = rec.mem_addr {
-                        misses += mem.data_access(asid, addr);
-                    }
+            // An all-or-nothing instruction can never be partially issued,
+            // so every record is pending here.
+            for rec in fl.records.iter_mut() {
+                debug_assert_eq!(rec.issued_at, u64::MAX);
+                packet.place_op(phys(rec.log_cluster), rec.fu);
+                rec.issued_at = cycle;
+                issued_now += 1;
+                if let Some(addr) = rec.mem_probe() {
+                    misses += mem.data_access(asid, addr);
                 }
             }
             fl.pending_bundles = 0;
@@ -428,30 +554,33 @@ fn issue_thread(
     } else {
         match tech.split {
             SplitPolicy::Cluster => {
-                let mut mask = fl.pending_bundles;
-                while mask != 0 {
-                    let c = mask.trailing_zeros() as u8;
-                    mask &= mask - 1;
+                // Demands are stored in ascending cluster order, so this
+                // walks pending bundles exactly like the old bit-scan; each
+                // bundle's records are the contiguous `rec_range` slice.
+                let demands = decoded.demands_of(decoded.inst(fl.inst_idx));
+                for d in demands {
+                    let c = d.log_cluster;
+                    if fl.pending_bundles & (1 << c) == 0 {
+                        continue;
+                    }
                     let p = phys(c);
                     let fits = match tech.merge {
                         MergePolicy::Cluster => packet.cluster_free(p),
                         MergePolicy::Operation => {
-                            bundles_fit(fl, packet, &cfg.machine, phys, 1 << c)
+                            demand_fits(packet, demands, &cfg.machine, rename, 1 << c)
                         }
                     };
                     if fits {
-                        for idx in 0..fl.records.len() {
-                            if fl.records[idx].log_cluster == c
-                                && fl.records[idx].issued_at == u64::MAX
-                            {
-                                let rec = &mut fl.records[idx];
-                                packet.place_op(p, rec.fu);
-                                rec.issued_at = cycle;
-                                issued_now += 1;
-                                fl.n_pending -= 1;
-                                if let Some(addr) = rec.mem_addr {
-                                    misses += mem.data_access(asid, addr);
-                                }
+                        let (lo, hi) = (d.rec_range.0 as usize, d.rec_range.1 as usize);
+                        for rec in fl.records[lo..hi].iter_mut() {
+                            debug_assert_eq!(rec.log_cluster, c);
+                            debug_assert_eq!(rec.issued_at, u64::MAX);
+                            packet.place_op(p, rec.fu);
+                            rec.issued_at = cycle;
+                            issued_now += 1;
+                            fl.n_pending -= 1;
+                            if let Some(addr) = rec.mem_probe() {
+                                misses += mem.data_access(asid, addr);
                             }
                         }
                         fl.pending_bundles &= !(1 << c);
@@ -459,27 +588,27 @@ fn issue_thread(
                 }
             }
             SplitPolicy::Operation => {
-                for idx in 0..fl.records.len() {
-                    if fl.records[idx].issued_at != u64::MAX {
+                // Single pass: place what fits, and rebuild the
+                // pending-bundle mask from whatever stays behind. FU limits
+                // are hoisted out of the per-record loop.
+                let max_slots = cfg.machine.cluster.slots;
+                let limits = cfg.machine.cluster.counts();
+                let mut mask = 0u16;
+                for rec in fl.records.iter_mut() {
+                    if rec.issued_at != u64::MAX {
                         continue;
                     }
-                    let p = phys(fl.records[idx].log_cluster);
-                    let fu = fl.records[idx].fu;
-                    if packet.op_fits(p, fu, &cfg.machine) {
-                        let rec = &mut fl.records[idx];
-                        packet.place_op(p, fu);
+                    let p = phys(rec.log_cluster);
+                    let k = rec.fu.index();
+                    if packet.slots_used(p) < max_slots && packet.fu_used_idx(p, k) < limits[k] {
+                        packet.place_op(p, rec.fu);
                         rec.issued_at = cycle;
                         issued_now += 1;
                         fl.n_pending -= 1;
-                        if let Some(addr) = rec.mem_addr {
+                        if let Some(addr) = rec.mem_probe() {
                             misses += mem.data_access(asid, addr);
                         }
-                    }
-                }
-                // Recompute the pending-bundle mask for consistency.
-                let mut mask = 0u16;
-                for rec in &fl.records {
-                    if rec.issued_at == u64::MAX {
+                    } else {
                         mask |= 1 << rec.log_cluster;
                     }
                 }
@@ -499,65 +628,48 @@ fn issue_thread(
         // Thread-level stall until the architectural latency assumption
         // holds again (§IV: less-than-or-equal machine). Overlapping misses
         // within one issue share the penalty window.
-        t.stall_until = t.stall_until.max(cycle + 1 + mem.miss_penalty as u64);
-        t.stats.dmiss_stall_cycles += mem.miss_penalty as u64;
+        *stall_until = (*stall_until).max(cycle + 1 + mem.miss_penalty as u64);
+        stats.dmiss_stall_cycles += mem.miss_penalty as u64;
     }
 
-    (issued_now, t.inflight.n_pending == 0)
+    (issued_now, fl.n_pending == 0)
 }
 
-/// Operation-level fit check for all pending records whose logical cluster
-/// is in `mask`, treated as indivisible bundles per cluster.
-fn bundles_fit(
-    fl: &crate::thread::InFlight,
+/// Rotates the low `n` bits of `mask` left by `r` (cluster renaming applied
+/// to a whole logical-cluster mask at once).
+#[inline]
+fn rotl_mask(mask: u16, r: u8, n: u8) -> u16 {
+    if r == 0 {
+        return mask;
+    }
+    let m = mask as u32;
+    (((m << r) | (m >> (n - r))) & ((1u32 << n) - 1)) as u16
+}
+
+/// Operation-level fit check for the bundles whose logical cluster is in
+/// `mask`, treated as indivisible units. The demand side comes from the
+/// pre-decoded [`ClusterDemand`] table — bundles never split, so their
+/// resource footprint is static and nothing needs to re-scan the in-flight
+/// records on each attempt.
+#[inline]
+fn demand_fits(
     packet: &Packet,
+    demands: &[ClusterDemand],
     m: &vex_isa::MachineConfig,
-    phys: impl Fn(u8) -> u8,
+    rename: u8,
     mask: u16,
 ) -> bool {
-    // Aggregate per physical cluster the slots/FU demanded.
-    let mut extra_slots = [0u8; 16];
-    let mut extra_fu = [[0u8; 6]; 16];
-    let fu_idx = |k: FuKind| -> usize {
-        match k {
-            FuKind::Alu => 0,
-            FuKind::Mul => 1,
-            FuKind::Mem => 2,
-            FuKind::Br => 3,
-            FuKind::Send => 4,
-            FuKind::Recv => 5,
-        }
-    };
-    for rec in &fl.records {
-        if rec.issued_at != u64::MAX || (mask & (1 << rec.log_cluster)) == 0 {
+    let limits = m.cluster.counts();
+    for d in demands {
+        if mask & (1 << d.log_cluster) == 0 {
             continue;
         }
-        let p = phys(rec.log_cluster) as usize;
-        extra_slots[p] += 1;
-        extra_fu[p][fu_idx(rec.fu)] += 1;
-    }
-    for p in 0..m.n_clusters {
-        let pi = p as usize;
-        if extra_slots[pi] == 0 {
-            continue;
-        }
-        if packet.slots_used(p) + extra_slots[pi] > m.cluster.slots {
+        let p = phys_cluster(d.log_cluster, rename, m.n_clusters);
+        if packet.slots_used(p) + d.slots > m.cluster.slots {
             return false;
         }
-        for (k, kind) in [
-            FuKind::Alu,
-            FuKind::Mul,
-            FuKind::Mem,
-            FuKind::Br,
-            FuKind::Send,
-            FuKind::Recv,
-        ]
-        .iter()
-        .enumerate()
-        {
-            if extra_fu[pi][k] > 0
-                && packet.fu_used(p, *kind) + extra_fu[pi][k] > m.cluster.count(*kind)
-            {
+        for (k, &limit) in limits.iter().enumerate() {
+            if d.fu[k] > 0 && packet.fu_used_idx(p, k) + d.fu[k] > limit {
                 return false;
             }
         }

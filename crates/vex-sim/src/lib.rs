@@ -43,6 +43,7 @@
 #![warn(missing_docs)]
 
 pub mod config;
+pub mod decode;
 pub mod engine;
 pub mod exec;
 pub mod packet;
@@ -51,8 +52,9 @@ pub mod stats;
 pub mod thread;
 
 pub use config::{CommPolicy, MemoryMode, MergePolicy, MtMode, SimConfig, SplitPolicy, Technique};
+pub use decode::{DecodedInst, DecodedOp, DecodedProgram, OpEval};
 pub use engine::{Engine, IssueEvent, StopReason};
-pub use packet::{can_merge_pair, merge_hierarchy_holds, Packet};
+pub use packet::{can_merge_pair, merge_hierarchy_holds, Packet, MAX_CLUSTERS};
 pub use stats::{speedup_pct, SimStats, ThreadStats};
 pub use thread::ThreadCtx;
 

@@ -17,53 +17,58 @@
 
 use vex_isa::{Bundle, FuKind, Instruction, MachineConfig};
 
-fn fu_index(k: FuKind) -> usize {
-    match k {
-        FuKind::Alu => 0,
-        FuKind::Mul => 1,
-        FuKind::Mem => 2,
-        FuKind::Br => 3,
-        FuKind::Send => 4,
-        FuKind::Recv => 5,
-    }
-}
+/// Upper bound on physical clusters the packet tracks. Fixed so the whole
+/// per-cycle issue state lives in a few flat arrays (~150 bytes) that reset
+/// with straight-line stores instead of heap-backed vectors. The rest of
+/// the simulator already assumes this bound (`pending_bundles: u16`).
+pub const MAX_CLUSTERS: usize = 16;
 
-/// Per-cycle issue state across all clusters.
+/// Number of functional-unit classes ([`FuKind`] variants).
+const N_FU: usize = FuKind::COUNT;
+
+/// Per-cycle issue state across all clusters. All storage is inline
+/// fixed-size arrays: creating or resetting a packet never allocates.
 #[derive(Clone, Debug)]
 pub struct Packet {
     n_clusters: u8,
-    slots: Vec<u8>,
-    used_fu: Vec<[u8; 6]>,
-    cluster_busy: Vec<bool>,
+    slots: [u8; MAX_CLUSTERS],
+    used_fu: [[u8; N_FU]; MAX_CLUSTERS],
+    /// Bit `p` set iff physical cluster `p` holds at least one op.
+    cluster_busy: u16,
     /// Operations placed this cycle (for IPC/waste accounting).
     pub ops: u32,
     /// Distinct threads contributing to this packet.
     pub threads: u32,
     /// Memory operations issued per physical cluster this cycle (the issue
     /// half of the §V-D port-contention accounting).
-    pub mem_issued: Vec<u8>,
+    pub mem_issued: [u8; MAX_CLUSTERS],
 }
 
 impl Packet {
-    /// An empty packet for an `n_clusters` machine.
+    /// An empty packet for an `n_clusters` machine (at most
+    /// [`MAX_CLUSTERS`]).
     pub fn new(n_clusters: u8) -> Self {
+        assert!(
+            n_clusters as usize <= MAX_CLUSTERS,
+            "packet supports at most {MAX_CLUSTERS} clusters"
+        );
         Packet {
             n_clusters,
-            slots: vec![0; n_clusters as usize],
-            used_fu: vec![[0; 6]; n_clusters as usize],
-            cluster_busy: vec![false; n_clusters as usize],
+            slots: [0; MAX_CLUSTERS],
+            used_fu: [[0; N_FU]; MAX_CLUSTERS],
+            cluster_busy: 0,
             ops: 0,
             threads: 0,
-            mem_issued: vec![0; n_clusters as usize],
+            mem_issued: [0; MAX_CLUSTERS],
         }
     }
 
-    /// Clears the packet for the next cycle, retaining allocations.
+    /// Clears the packet for the next cycle (plain stores, no allocation).
     pub fn reset(&mut self) {
-        self.slots.iter_mut().for_each(|s| *s = 0);
-        self.used_fu.iter_mut().for_each(|f| *f = [0; 6]);
-        self.cluster_busy.iter_mut().for_each(|b| *b = false);
-        self.mem_issued.iter_mut().for_each(|m| *m = 0);
+        self.slots = [0; MAX_CLUSTERS];
+        self.used_fu = [[0; N_FU]; MAX_CLUSTERS];
+        self.cluster_busy = 0;
+        self.mem_issued = [0; MAX_CLUSTERS];
         self.ops = 0;
         self.threads = 0;
     }
@@ -71,33 +76,43 @@ impl Packet {
     /// Cluster-level collision check: is physical cluster `p` untouched?
     #[inline]
     pub fn cluster_free(&self, p: u8) -> bool {
-        !self.cluster_busy[p as usize]
+        self.cluster_busy & (1 << p) == 0
+    }
+
+    /// Bitmask of busy physical clusters (bit `p` set iff cluster `p`
+    /// holds at least one op). Lets cluster-level merge checks test a whole
+    /// instruction's footprint in one AND.
+    #[inline]
+    pub fn busy_mask(&self) -> u16 {
+        self.cluster_busy
+    }
+
+    /// Physical-cluster array index. Callers pass `p < n_clusters ≤ 16`;
+    /// the mask makes that obvious to the optimiser so the hot accessors
+    /// compile without bounds checks.
+    #[inline]
+    fn pi(&self, p: u8) -> usize {
+        debug_assert!(p < self.n_clusters);
+        (p as usize) & (MAX_CLUSTERS - 1)
     }
 
     /// Operation-level collision check for one op of class `fu` on cluster
     /// `p`.
     #[inline]
     pub fn op_fits(&self, p: u8, fu: FuKind, m: &MachineConfig) -> bool {
-        let pi = p as usize;
-        self.slots[pi] < m.cluster.slots && self.used_fu[pi][fu_index(fu)] < m.cluster.count(fu)
+        let pi = self.pi(p);
+        self.slots[pi] < m.cluster.slots && self.used_fu[pi][fu.index()] < m.cluster.count(fu)
     }
 
     /// Operation-level collision check for a whole bundle on cluster `p`.
     pub fn bundle_fits(&self, p: u8, bundle: &Bundle, m: &MachineConfig) -> bool {
-        let pi = p as usize;
+        let pi = self.pi(p);
         if self.slots[pi] as usize + bundle.ops.len() > m.cluster.slots as usize {
             return false;
         }
-        for kind in [
-            FuKind::Alu,
-            FuKind::Mul,
-            FuKind::Mem,
-            FuKind::Br,
-            FuKind::Send,
-            FuKind::Recv,
-        ] {
+        for kind in FuKind::ALL {
             let extra = bundle.fu_count(kind);
-            if extra > 0 && self.used_fu[pi][fu_index(kind)] + extra > m.cluster.count(kind) {
+            if extra > 0 && self.used_fu[pi][kind.index()] + extra > m.cluster.count(kind) {
                 return false;
             }
         }
@@ -107,10 +122,10 @@ impl Packet {
     /// Claims resources for one op.
     #[inline]
     pub fn place_op(&mut self, p: u8, fu: FuKind) {
-        let pi = p as usize;
+        let pi = self.pi(p);
         self.slots[pi] += 1;
-        self.used_fu[pi][fu_index(fu)] += 1;
-        self.cluster_busy[pi] = true;
+        self.used_fu[pi][fu.index()] += 1;
+        self.cluster_busy |= 1 << p;
         self.ops += 1;
         if fu == FuKind::Mem {
             self.mem_issued[pi] += 1;
@@ -118,13 +133,23 @@ impl Packet {
     }
 
     /// Slots used on physical cluster `p` (test/diagnostic accessor).
+    #[inline]
     pub fn slots_used(&self, p: u8) -> u8 {
-        self.slots[p as usize]
+        self.slots[self.pi(p)]
     }
 
     /// Functional units of class `fu` already claimed on cluster `p`.
+    #[inline]
     pub fn fu_used(&self, p: u8, fu: FuKind) -> u8 {
-        self.used_fu[p as usize][fu_index(fu)]
+        self.used_fu[self.pi(p)][fu.index()]
+    }
+
+    /// Functional units already claimed on cluster `p`, by dense class
+    /// index ([`FuKind::index`]) — the form the engine's pre-decoded demand
+    /// check compares against.
+    #[inline]
+    pub fn fu_used_idx(&self, p: u8, k: usize) -> u8 {
+        self.used_fu[self.pi(p)][k]
     }
 
     /// Total unused slots across the machine for this cycle.

@@ -1,7 +1,7 @@
 //! Run statistics: IPC, waste decomposition and event counters.
 
 /// Per-benchmark-context counters.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
 pub struct ThreadStats {
     /// RISC operations issued (NOPs excluded) — the numerator of IPC.
     pub ops_issued: u64,
@@ -22,7 +22,7 @@ pub struct ThreadStats {
 }
 
 /// Whole-run statistics.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
 pub struct SimStats {
     /// Simulated cycles.
     pub cycles: u64,
@@ -72,6 +72,42 @@ impl SimStats {
         } else {
             self.wasted_slots as f64 / (busy as f64 * issue_width as f64)
         }
+    }
+
+    /// Canonical, line-oriented dump of every counter, including the
+    /// per-thread ones. Two runs are bit-identical iff their snapshots are
+    /// byte-identical — the golden determinism tests diff this string, so
+    /// its format is stable on purpose (one `key=value` list per line).
+    pub fn snapshot(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "cycles={} total_ops={} total_insts={} empty={} wasted={} merged={} memport={} switches={}",
+            self.cycles,
+            self.total_ops,
+            self.total_insts,
+            self.empty_cycles,
+            self.wasted_slots,
+            self.merged_cycles,
+            self.memport_stall_cycles,
+            self.context_switches,
+        );
+        for (i, t) in self.per_thread.iter().enumerate() {
+            let _ = writeln!(
+                out,
+                "  t{i}: ops={} insts={} runs={} dmiss={} imiss={} branch={} split_insts={} split_parts={}",
+                t.ops_issued,
+                t.insts_retired,
+                t.runs_completed,
+                t.dmiss_stall_cycles,
+                t.imiss_stall_cycles,
+                t.branch_stall_cycles,
+                t.split_instructions,
+                t.split_parts,
+            );
+        }
+        out
     }
 }
 

@@ -17,11 +17,35 @@
 //! operation's effects in [`OpRecord`]s; issuing a part is then purely a
 //! timing event, and commit replays the recorded effects.
 
+use crate::decode::{DecodedProgram, LoadWidth, OpEval};
 use crate::exec::{eval, eval_cond};
+use crate::packet::MAX_CLUSTERS;
 use crate::stats::ThreadStats;
 use std::sync::Arc;
-use vex_isa::{Dest, Opcode, Operand, Program};
+use vex_isa::{FuKind, Operand, Program};
 use vex_mem::Memory;
+
+/// GPR file type: one 64-register bank per cluster, fixed at
+/// [`MAX_CLUSTERS`] banks so register reads index with a mask instead of a
+/// bounds check (register coordinates are validated at program build time).
+pub type GprFile = [[u32; 64]; MAX_CLUSTERS];
+
+/// Branch-register file type (8 one-bit registers per cluster).
+pub type BregFile = [[bool; 8]; MAX_CLUSTERS];
+
+/// Physical cluster executing logical cluster `c` under renaming rotation
+/// `rename` on an `n_clusters` machine (§IV). The single rotation helper:
+/// the engine's issue path, the fit checks and [`ThreadCtx::phys_cluster`]
+/// all delegate here.
+#[inline]
+pub fn phys_cluster(c: u8, rename: u8, n_clusters: u8) -> u8 {
+    let p = c + rename;
+    if p >= n_clusters {
+        p - n_clusters
+    } else {
+        p
+    }
+}
 
 /// Control-flow effect of an instruction, resolved at activation.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -32,36 +56,101 @@ pub enum CtrlEffect {
     Halt,
 }
 
-/// A pending store captured in the delay buffer.
+/// One operation of the in-flight instruction with its precomputed effects,
+/// packed into 32 bytes: the record buffer is rewritten on every activation
+/// and re-scanned on every issue attempt, so its width is hot-loop traffic.
+///
+/// Only the *values* here are computed at activation; the static facts
+/// (`log_cluster`, `fu`) are copied straight from the shared
+/// [`DecodedProgram`] table so the issue loop can stay on one array.
+/// Effects are flag-encoded: a GPR/branch-register write, a buffered store
+/// and a control effect are mutually exclusive by construction (loads write
+/// a GPR, stores store, branches branch), so one `val`/`dst` pair serves
+/// them all.
 #[derive(Clone, Copy, Debug)]
-pub struct StoreReq {
-    /// Effective byte address.
-    pub addr: u32,
-    /// Access size in bytes (1, 2 or 4).
-    pub size: u8,
-    /// Value (low bits used for sub-word sizes).
-    pub value: u32,
-}
-
-/// One operation of the in-flight instruction with its precomputed effects.
-#[derive(Clone, Debug)]
 pub struct OpRecord {
+    /// Cycle at which the op issued (`u64::MAX` while pending).
+    pub issued_at: u64,
+    /// GPR/branch-register write value, or store value.
+    val: u32,
+    /// Effective byte address probed in the data cache at issue (valid iff
+    /// [`OpRecord::mem_probe`] — also the buffered store's address).
+    mem_addr: u32,
+    /// Control effect: `CTRL_NONE`, `CTRL_HALT`, or a taken-branch target.
+    ctrl: u32,
+    /// Destination register coordinate (cluster, index), for GPR/breg
+    /// writes.
+    dst: (u8, u8),
     /// Logical cluster of the bundle containing the op.
     pub log_cluster: u8,
     /// Functional-unit class (for issue resource accounting).
-    pub fu: vex_isa::FuKind,
-    /// GPR write: (logical cluster, index, value).
-    pub gpr_write: Option<(u8, u8, u32)>,
-    /// Branch-register write: (logical cluster, index, value).
-    pub breg_write: Option<(u8, u8, bool)>,
-    /// Store request (delay-buffered until commit).
-    pub store: Option<StoreReq>,
+    pub fu: FuKind,
+    /// Effect flags (`F_*`).
+    flags: u8,
+}
+
+/// `ctrl` sentinel: no control effect.
+const CTRL_NONE: u32 = u32::MAX;
+/// `ctrl` sentinel: halt. Branch targets are instruction indices and stay
+/// far below both sentinels (programs are bounded by memory long before
+/// 2^32 - 2 instructions).
+const CTRL_HALT: u32 = u32::MAX - 1;
+
+/// Writes a GPR (`dst`, `val`).
+const F_GPR: u8 = 1 << 0;
+/// Writes a branch register (`dst`; value in `F_BREG_VAL`).
+const F_BREG: u8 = 1 << 1;
+/// The branch-register value written under `F_BREG`.
+const F_BREG_VAL: u8 = 1 << 2;
+/// Buffered store of `val` to `mem_addr` (size in `F_SIZE_*`).
+const F_STORE: u8 = 1 << 3;
+/// Probes the data cache at `mem_addr` when issuing.
+const F_MEM: u8 = 1 << 4;
+/// Store size: bytes = 1 << ((flags >> 5) & 3).
+const F_SIZE_SHIFT: u8 = 5;
+
+impl OpRecord {
+    /// A pending record with no effects for cluster `log_cluster`, class
+    /// `fu`.
+    #[inline]
+    fn pending(log_cluster: u8, fu: FuKind) -> Self {
+        OpRecord {
+            issued_at: u64::MAX,
+            val: 0,
+            mem_addr: 0,
+            ctrl: CTRL_NONE,
+            dst: (0, 0),
+            log_cluster,
+            fu,
+            flags: 0,
+        }
+    }
+
     /// Data-cache address to probe when this op issues (loads and stores).
-    pub mem_addr: Option<u32>,
-    /// Control effect (branches resolve at commit).
-    pub ctrl: Option<CtrlEffect>,
-    /// Cycle at which the op issued (`u64::MAX` while pending).
-    pub issued_at: u64,
+    #[inline]
+    pub fn mem_probe(&self) -> Option<u32> {
+        if self.flags & F_MEM != 0 {
+            Some(self.mem_addr)
+        } else {
+            None
+        }
+    }
+
+    /// Whether this record buffers a store until commit.
+    #[inline]
+    pub fn has_store(&self) -> bool {
+        self.flags & F_STORE != 0
+    }
+
+    /// Control effect carried by this record, if any.
+    #[inline]
+    pub fn ctrl(&self) -> Option<CtrlEffect> {
+        match self.ctrl {
+            CTRL_NONE => None,
+            CTRL_HALT => Some(CtrlEffect::Halt),
+            target => Some(CtrlEffect::Taken(target as usize)),
+        }
+    }
 }
 
 /// The in-flight instruction. Buffers are reused across activations to keep
@@ -94,6 +183,9 @@ pub struct InFlight {
 pub struct ThreadCtx {
     /// The program this context runs.
     pub program: Arc<Program>,
+    /// Pre-decoded static metadata, shared between contexts running the
+    /// same program (see [`DecodedProgram`]).
+    pub decoded: Arc<DecodedProgram>,
     /// Address-space id used to tag cache lines.
     pub asid: u16,
     /// Cluster-renaming rotation for this context (0 disables).
@@ -101,9 +193,9 @@ pub struct ThreadCtx {
     /// Next instruction to fetch.
     pub pc: usize,
     /// GPR files, `regs[logical_cluster][index]`; index 0 reads zero.
-    pub regs: Vec<[u32; 64]>,
+    pub regs: Box<GprFile>,
     /// Branch-register files.
-    pub bregs: Vec<[bool; 8]>,
+    pub bregs: Box<BregFile>,
     /// Private functional memory.
     pub mem: Memory,
     /// In-flight instruction state (delay buffers included).
@@ -121,19 +213,36 @@ pub struct ThreadCtx {
 
 impl ThreadCtx {
     /// Creates a context at the program entry with zeroed registers and the
-    /// initial data image loaded.
+    /// initial data image loaded, decoding the program privately. When
+    /// several contexts run the same program, decode it once and use
+    /// [`ThreadCtx::with_decoded`] instead (as [`crate::Engine::new`] does).
     pub fn new(program: Arc<Program>, asid: u16, n_clusters: u8, rename: u8) -> Self {
+        let decoded = DecodedProgram::decode_arc(&program);
+        Self::with_decoded(program, decoded, asid, n_clusters, rename)
+    }
+
+    /// Creates a context sharing a pre-decoded table.
+    pub fn with_decoded(
+        program: Arc<Program>,
+        decoded: Arc<DecodedProgram>,
+        asid: u16,
+        n_clusters: u8,
+        rename: u8,
+    ) -> Self {
+        debug_assert_eq!(decoded.len(), program.len());
+        assert!(n_clusters as usize <= MAX_CLUSTERS);
         let mut mem = Memory::new();
         for seg in &program.data {
             mem.write_bytes(seg.base, &seg.bytes);
         }
         ThreadCtx {
             program,
+            decoded,
             asid,
             rename,
             pc: 0,
-            regs: vec![[0u32; 64]; n_clusters as usize],
-            bregs: vec![[false; 8]; n_clusters as usize],
+            regs: Box::new([[0u32; 64]; MAX_CLUSTERS]),
+            bregs: Box::new([[false; 8]; MAX_CLUSTERS]),
             mem,
             inflight: InFlight::default(),
             stall_until: 0,
@@ -146,42 +255,14 @@ impl ThreadCtx {
     /// Physical cluster executing this context's logical cluster `c`.
     #[inline]
     pub fn phys_cluster(&self, c: u8, n_clusters: u8) -> u8 {
-        let p = c + self.rename;
-        if p >= n_clusters {
-            p - n_clusters
-        } else {
-            p
-        }
-    }
-
-    #[inline]
-    fn read_gpr(&self, cluster: u8, index: u8) -> u32 {
-        if index == 0 {
-            0
-        } else {
-            self.regs[cluster as usize][index as usize]
-        }
-    }
-
-    #[inline]
-    fn read_operand(&self, o: Operand) -> u32 {
-        match o {
-            Operand::Gpr(r) => self.read_gpr(r.cluster, r.index),
-            Operand::Imm(i) => i as u32,
-            Operand::Breg(_) | Operand::None => 0,
-        }
-    }
-
-    #[inline]
-    fn read_breg_operand(&self, o: Operand) -> bool {
-        match o {
-            Operand::Breg(b) => self.bregs[b.cluster as usize][b.index as usize],
-            _ => false,
-        }
+        phys_cluster(c, self.rename, n_clusters)
     }
 
     /// Activates the instruction at `pc`: evaluates every operation against
     /// the (stable) pre-instruction state and fills the in-flight record.
+    /// All static decode work comes from the shared [`DecodedProgram`]
+    /// table; this function only reads registers/memory and computes
+    /// values, reusing the record buffer (no allocation, no re-decode).
     ///
     /// Inter-cluster pairs are resolved here: the `recv` value equals the
     /// `send` source read from pre-instruction state, which is the unique
@@ -189,133 +270,126 @@ impl ThreadCtx {
     /// the two bundles (§V-E).
     pub fn activate(&mut self) {
         debug_assert!(!self.inflight.active);
-        let program = Arc::clone(&self.program);
-        let inst = &program.instructions[self.pc];
+        let ThreadCtx {
+            decoded,
+            inflight,
+            regs,
+            bregs,
+            mem,
+            pc,
+            ..
+        } = self;
+        let di = decoded.inst(*pc);
 
-        // Send values, indexed by pair id.
+        // Send values, indexed by pair id (pre-instruction reads, §V-E).
         let mut xfer_vals = [0u32; 16];
-        for bundle in &inst.bundles {
-            for op in &bundle.ops {
-                if op.opcode == Opcode::Send {
-                    let v = self.read_operand(op.a);
-                    xfer_vals[op.imm as usize & 15] = v;
-                }
-            }
+        for &(pair, src) in decoded.sends_of(di) {
+            xfer_vals[pair as usize] = operand_val(regs, src);
         }
 
-        let mut records = std::mem::take(&mut self.inflight.records);
-        records.clear();
-        let mut pending_bundles: u16 = 0;
-        let mut has_comm = false;
-
-        for (c, bundle) in inst.bundles.iter().enumerate() {
-            if bundle.is_empty() {
-                continue;
-            }
-            pending_bundles |= 1 << c;
-            for op in &bundle.ops {
-                if op.opcode.is_comm() {
-                    has_comm = true;
-                }
-                let mut rec = OpRecord {
-                    log_cluster: c as u8,
-                    fu: op.fu_kind(),
-                    gpr_write: None,
-                    breg_write: None,
-                    store: None,
-                    mem_addr: None,
-                    ctrl: None,
-                    issued_at: u64::MAX,
-                };
-                match op.opcode {
-                    o if o.is_load() => {
-                        let base = self.read_operand(op.a);
-                        let addr = base.wrapping_add(op.imm as u32);
-                        rec.mem_addr = Some(addr);
-                        let v = match o {
-                            Opcode::Ldw => self.mem.read_u32(addr),
-                            Opcode::Ldh => self.mem.read_u16(addr) as i16 as i32 as u32,
-                            Opcode::Ldhu => self.mem.read_u16(addr) as u32,
-                            Opcode::Ldb => self.mem.read_u8(addr) as i8 as i32 as u32,
-                            Opcode::Ldbu => self.mem.read_u8(addr) as u32,
-                            _ => unreachable!(),
-                        };
-                        if let Dest::Gpr(d) = op.dst {
-                            rec.gpr_write = Some((d.cluster, d.index, v));
-                        }
-                    }
-                    o if o.is_store() => {
-                        let base = self.read_operand(op.a);
-                        let addr = base.wrapping_add(op.imm as u32);
-                        let value = self.read_operand(op.b);
-                        let size = match o {
-                            Opcode::Stw => 4,
-                            Opcode::Sth => 2,
-                            Opcode::Stb => 1,
-                            _ => unreachable!(),
-                        };
-                        rec.mem_addr = Some(addr);
-                        rec.store = Some(StoreReq { addr, size, value });
-                    }
-                    Opcode::Send => {
-                        // Value already captured into xfer_vals.
-                    }
-                    Opcode::Recv => {
-                        let v = xfer_vals[op.imm as usize & 15];
-                        if let Dest::Gpr(d) = op.dst {
-                            rec.gpr_write = Some((d.cluster, d.index, v));
-                        }
-                    }
-                    Opcode::Br => {
-                        if self.read_breg_operand(op.a) {
-                            rec.ctrl = Some(CtrlEffect::Taken(op.imm as usize));
-                        }
-                    }
-                    Opcode::Brf => {
-                        if !self.read_breg_operand(op.a) {
-                            rec.ctrl = Some(CtrlEffect::Taken(op.imm as usize));
-                        }
-                    }
-                    Opcode::Goto => {
-                        rec.ctrl = Some(CtrlEffect::Taken(op.imm as usize));
-                    }
-                    Opcode::Halt => {
-                        rec.ctrl = Some(CtrlEffect::Halt);
-                    }
-                    o => {
-                        // Register-result ALU/MUL class.
-                        let a = self.read_operand(op.a);
-                        let b = self.read_operand(op.b);
-                        match op.dst {
-                            Dest::Gpr(d) => {
-                                let c_in = self.read_breg_operand(op.c);
-                                let v = eval(o, a, b, c_in);
-                                rec.gpr_write = Some((d.cluster, d.index, v));
-                            }
-                            Dest::Breg(d) => {
-                                let v = eval_cond(o, a, b);
-                                rec.breg_write = Some((d.cluster, d.index, v));
-                            }
-                            Dest::None => {}
-                        }
+        inflight.records.clear();
+        for dop in decoded.ops_of(di) {
+            let mut rec = OpRecord::pending(dop.log_cluster, dop.fu);
+            match dop.eval {
+                OpEval::Load {
+                    width,
+                    base,
+                    off,
+                    dst,
+                } => {
+                    let addr = operand_val(regs, base).wrapping_add(off);
+                    rec.mem_addr = addr;
+                    rec.flags = F_MEM;
+                    let v = match width {
+                        LoadWidth::W => mem.read_u32(addr),
+                        LoadWidth::H => mem.read_u16(addr) as i16 as i32 as u32,
+                        LoadWidth::Hu => mem.read_u16(addr) as u32,
+                        LoadWidth::B => mem.read_u8(addr) as i8 as i32 as u32,
+                        LoadWidth::Bu => mem.read_u8(addr) as u32,
+                    };
+                    if let Some((c, i)) = dst {
+                        rec.flags |= F_GPR;
+                        rec.dst = (c, i);
+                        rec.val = v;
                     }
                 }
-                records.push(rec);
+                OpEval::Store {
+                    size,
+                    base,
+                    off,
+                    value,
+                } => {
+                    let addr = operand_val(regs, base).wrapping_add(off);
+                    rec.mem_addr = addr;
+                    rec.val = operand_val(regs, value);
+                    rec.flags = F_MEM | F_STORE | (size.trailing_zeros() as u8) << F_SIZE_SHIFT;
+                }
+                OpEval::Send => {
+                    // Value already captured into xfer_vals.
+                }
+                OpEval::Recv { pair, dst } => {
+                    if let Some((c, i)) = dst {
+                        rec.flags = F_GPR;
+                        rec.dst = (c, i);
+                        rec.val = xfer_vals[pair as usize];
+                    }
+                }
+                OpEval::CondBr {
+                    cond,
+                    target,
+                    taken_if,
+                } => {
+                    if breg_val(bregs, cond) == taken_if {
+                        rec.ctrl = target as u32;
+                    }
+                }
+                OpEval::Goto { target } => {
+                    rec.ctrl = target as u32;
+                }
+                OpEval::Halt => {
+                    rec.ctrl = CTRL_HALT;
+                }
+                OpEval::AluGpr {
+                    op,
+                    a,
+                    b,
+                    cond,
+                    dst: (c, i),
+                } => {
+                    rec.val = eval(
+                        op,
+                        operand_val(regs, a),
+                        operand_val(regs, b),
+                        breg_val(bregs, cond),
+                    );
+                    rec.flags = F_GPR;
+                    rec.dst = (c, i);
+                }
+                OpEval::AluBreg {
+                    op,
+                    a,
+                    b,
+                    dst: (c, i),
+                } => {
+                    let v = eval_cond(op, operand_val(regs, a), operand_val(regs, b));
+                    rec.flags = F_BREG | if v { F_BREG_VAL } else { 0 };
+                    rec.dst = (c, i);
+                }
+                OpEval::Effectless => {}
             }
+            inflight.records.push(rec);
         }
 
-        let fl = &mut self.inflight;
-        fl.active = true;
-        fl.inst_idx = self.pc;
-        fl.n_pending = records.len() as u32;
-        fl.records = records;
-        fl.pending_bundles = pending_bundles;
-        fl.has_comm = has_comm;
-        fl.first_issue = u64::MAX;
-        fl.parts = 0;
+        inflight.active = true;
+        inflight.inst_idx = *pc;
+        inflight.n_pending = inflight.records.len() as u32;
+        inflight.pending_bundles = di.bundle_mask;
+        inflight.has_comm = di.has_comm;
+        inflight.first_issue = u64::MAX;
+        inflight.parts = 0;
         // Advance pc to the fall-through successor; a taken branch
         // overrides it at commit.
-        self.pc += 1;
+        *pc += 1;
     }
 
     /// Applies the committed instruction's architectural effects (delay
@@ -323,33 +397,39 @@ impl ThreadCtx {
     /// Returns the control effect, if any.
     pub fn commit_writes(&mut self) -> Option<CtrlEffect> {
         debug_assert!(self.inflight.active && self.inflight.n_pending == 0);
+        let ThreadCtx {
+            inflight,
+            regs,
+            bregs,
+            mem,
+            ..
+        } = self;
         let mut ctrl = None;
-        // Move records out to appease the borrow checker; the buffer swaps
-        // back afterwards so capacity is retained.
-        let mut records = std::mem::take(&mut self.inflight.records);
-        for rec in &records {
-            if let Some((c, i, v)) = rec.gpr_write {
+        for rec in &inflight.records {
+            if rec.flags & F_GPR != 0 {
+                let (c, i) = rec.dst;
                 if i != 0 {
-                    self.regs[c as usize][i as usize] = v;
+                    regs[c as usize & (MAX_CLUSTERS - 1)][i as usize & 63] = rec.val;
                 }
             }
-            if let Some((c, i, v)) = rec.breg_write {
-                self.bregs[c as usize][i as usize] = v;
+            if rec.flags & F_BREG != 0 {
+                let (c, i) = rec.dst;
+                bregs[c as usize & (MAX_CLUSTERS - 1)][i as usize & 7] =
+                    rec.flags & F_BREG_VAL != 0;
             }
-            if let Some(st) = rec.store {
-                match st.size {
-                    1 => self.mem.write_u8(st.addr, st.value as u8),
-                    2 => self.mem.write_u16(st.addr, st.value as u16),
-                    _ => self.mem.write_u32(st.addr, st.value),
+            if rec.flags & F_STORE != 0 {
+                match 1u8 << (rec.flags >> F_SIZE_SHIFT & 3) {
+                    1 => mem.write_u8(rec.mem_addr, rec.val as u8),
+                    2 => mem.write_u16(rec.mem_addr, rec.val as u16),
+                    _ => mem.write_u32(rec.mem_addr, rec.val),
                 }
             }
-            if rec.ctrl.is_some() {
-                ctrl = rec.ctrl;
+            if rec.ctrl != CTRL_NONE {
+                ctrl = rec.ctrl();
             }
         }
-        records.clear();
-        self.inflight.records = records;
-        self.inflight.active = false;
+        inflight.records.clear();
+        inflight.active = false;
         self.stats.insts_retired += 1;
         ctrl
     }
@@ -360,19 +440,48 @@ impl ThreadCtx {
     pub fn respawn(&mut self) {
         self.pc = 0;
         self.fetch_paid = false;
-        self.mem.clear();
-        let program = Arc::clone(&self.program);
+        let ThreadCtx { program, mem, .. } = self;
+        mem.clear();
         for seg in &program.data {
-            self.mem.write_bytes(seg.base, &seg.bytes);
+            mem.write_bytes(seg.base, &seg.bytes);
         }
         self.stats.runs_completed += 1;
+    }
+}
+
+/// Reads a source operand value against the pre-instruction register state.
+/// GPR index 0 reads zero architecturally. Indices are masked to the file
+/// bounds (coordinates are validated at program build time), so the read
+/// compiles without bounds checks.
+#[inline]
+fn operand_val(regs: &GprFile, o: Operand) -> u32 {
+    match o {
+        Operand::Gpr(r) => {
+            if r.index == 0 {
+                0
+            } else {
+                regs[r.cluster as usize & (MAX_CLUSTERS - 1)][r.index as usize & 63]
+            }
+        }
+        Operand::Imm(i) => i as u32,
+        Operand::Breg(_) | Operand::None => 0,
+    }
+}
+
+/// Reads a pre-decoded branch-register condition; `None` (the operand did
+/// not name a branch register) reads false, matching the legacy decoder.
+#[inline]
+fn breg_val(bregs: &BregFile, cond: Option<(u8, u8)>) -> bool {
+    match cond {
+        Some((c, i)) => bregs[c as usize & (MAX_CLUSTERS - 1)][i as usize & 7],
+        None => false,
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use vex_isa::{Instruction, Operation, Reg};
+    use vex_isa::{Dest, Instruction, Opcode, Operation, Reg};
 
     fn one_inst_program(inst: Instruction) -> Arc<Program> {
         let mut halt = Instruction::nop(4);

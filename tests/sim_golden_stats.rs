@@ -1,0 +1,101 @@
+//! Golden *determinism* test: the full `SimStats` counter set — cycles,
+//! ops, stalls, splits, per-thread breakdowns — must stay bit-identical
+//! across all 8 technique points of the paper's grid, for both the
+//! hand-written `tests/fixtures/golden.vex` program and a compiled
+//! benchmark, at a fixed seed.
+//!
+//! The snapshot in `tests/fixtures/golden_stats.txt` was captured from the
+//! engine *before* the pre-decode/packet refactor, so this test pins the
+//! refactor (and all future perf work on the hot path) to the original
+//! cycle-accurate behaviour. Any intentional timing-model change must
+//! regenerate the fixture and justify the diff:
+//!
+//! ```sh
+//! UPDATE_GOLDEN=1 cargo test --test sim_golden_stats
+//! ```
+
+use clustered_vliw_smt::asm::parse_program;
+use clustered_vliw_smt::isa::{MachineConfig, Program};
+use clustered_vliw_smt::sim::{run_workload, CommPolicy, MemoryMode, MtMode, SimConfig, Technique};
+use clustered_vliw_smt::workloads::compile_benchmark;
+use std::sync::Arc;
+
+const GOLDEN: &str = include_str!("fixtures/golden.vex");
+const SNAPSHOT: &str = include_str!("fixtures/golden_stats.txt");
+
+/// The eight technique points of Figure 16, in display order.
+fn grid() -> Vec<(&'static str, Technique)> {
+    Technique::figure16_set()
+}
+
+/// A configuration that exercises every moving part the refactor touches:
+/// more contexts than hardware threads (so the random timeslice scheduler
+/// runs), real caches, renaming, respawn, and a small instruction budget.
+fn snapshot_config(tech: Technique) -> SimConfig {
+    SimConfig {
+        machine: MachineConfig::paper_4c4w(),
+        technique: tech,
+        mt_mode: MtMode::Simultaneous,
+        n_threads: 2,
+        renaming: true,
+        memory: MemoryMode::Real,
+        timeslice: 500,
+        inst_limit: 5_000,
+        max_cycles: 1_000_000,
+        seed: 0xDEAD_BEEF,
+        respawn: true,
+    }
+}
+
+fn render(programs: &[Arc<Program>], label: &str) -> String {
+    let mut out = String::new();
+    for (name, tech) in grid() {
+        let stats = run_workload(&snapshot_config(tech), programs);
+        out.push_str(&format!("[{label} / {name}]\n{}", stats.snapshot()));
+    }
+    out
+}
+
+fn full_snapshot() -> String {
+    let golden = Arc::new(parse_program(GOLDEN).expect("golden fixture must parse"));
+    let golden_workload: Vec<Arc<Program>> = (0..3).map(|_| Arc::clone(&golden)).collect();
+
+    let idct = compile_benchmark("idct");
+    let idct_workload: Vec<Arc<Program>> = (0..3).map(|_| Arc::clone(&idct)).collect();
+
+    format!(
+        "{}{}",
+        render(&golden_workload, "golden.vex"),
+        render(&idct_workload, "idct"),
+    )
+}
+
+#[test]
+fn simstats_bit_identical_across_technique_grid() {
+    let got = full_snapshot();
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        let path = concat!(
+            env!("CARGO_MANIFEST_DIR"),
+            "/tests/fixtures/golden_stats.txt"
+        );
+        std::fs::write(path, &got).expect("write golden snapshot");
+        return;
+    }
+    assert_eq!(
+        got, SNAPSHOT,
+        "SimStats diverged from the golden snapshot; if the timing model \
+         changed intentionally, re-bless with UPDATE_GOLDEN=1"
+    );
+}
+
+#[test]
+fn repeated_runs_are_deterministic() {
+    // Same config, same seed, fresh engine: byte-identical counters.
+    let p = compile_benchmark("colorspace");
+    let programs: Vec<Arc<Program>> = (0..4).map(|_| Arc::clone(&p)).collect();
+    let cfg = snapshot_config(Technique::ccsi(CommPolicy::AlwaysSplit));
+    let a = run_workload(&cfg, &programs);
+    let b = run_workload(&cfg, &programs);
+    assert_eq!(a, b);
+    assert_eq!(a.snapshot(), b.snapshot());
+}
