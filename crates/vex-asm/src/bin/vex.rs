@@ -5,17 +5,23 @@
 //! vex asm [FILE] [-o OUT]        assemble .vex text to .vexb binary
 //! vex disasm [FILE] [-o OUT]     decode .vexb back to canonical text
 //! vex run [FILE...] [options]    run programs through the simulator
+//! vex run --spec SPEC.toml       run a single-point spec file
+//! vex sweep SPEC.toml [--out F]  execute a sweep spec, emit JSON results
 //! vex export-workloads [DIR]     dump the built-in benchmarks as .vex
 //! ```
 //!
 //! `FILE` defaults to stdin (`-`); `run` autodetects text vs binary input
 //! by the `VEXB` magic, so `vex asm prog.vex | vex run --threads 4` works.
+//! Spec files are the declarative grid format of `vex-spec` (grammar in
+//! `docs/SPECS.md`; examples under `examples/*.toml`).
 
 use std::io::{Read, Write};
 use std::process::ExitCode;
 use std::sync::Arc;
+use vex_experiments::SweepRunner;
 use vex_isa::{MachineConfig, Program};
 use vex_sim::{CommPolicy, MemoryMode, MtMode, SimConfig, StopReason, Technique};
+use vex_spec::SweepSpec;
 
 const USAGE: &str = "\
 vex — textual VEX assembly tools for the SMT clustered VLIW simulator
@@ -24,10 +30,20 @@ USAGE:
     vex asm [FILE] [-o OUT]          assemble text to .vexb (stdin/stdout default)
     vex disasm [FILE] [-o OUT]       decode .vexb to canonical .vex text
     vex run [FILE...] [OPTIONS]      simulate programs (text or .vexb input)
+    vex run --spec SPEC.toml         simulate a single-point spec file
+    vex sweep SPEC.toml [OPTIONS]    run a sweep spec (see docs/SPECS.md)
     vex export-workloads [DIR]       write the 12 built-in benchmarks as .vex
     vex help                         show this message
 
+SWEEP OPTIONS:
+    --out FILE                            write JSON results to FILE
+                                          (default: stdout)
+    --workers N                           simulation fan-out     [default: #cores]
+
 RUN OPTIONS:
+    --spec FILE                           take the whole configuration from a
+                                          spec expanding to exactly one point
+                                          (no other options allowed)
     --technique csmt|smt|ccsi|cosi|oosi   issue technique        [default: ccsi]
     --comm ns|as                          split communication instructions
                                           (ns = never, as = always) [default: ns]
@@ -57,6 +73,7 @@ fn main() -> ExitCode {
         "asm" => cmd_asm(rest),
         "disasm" => cmd_disasm(rest),
         "run" => cmd_run(rest),
+        "sweep" => cmd_sweep(rest),
         "export-workloads" => cmd_export(rest),
         "help" | "--help" | "-h" => {
             print!("{USAGE}");
@@ -196,6 +213,116 @@ fn cmd_export(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+// ---- spec-driven runs ---------------------------------------------
+
+/// Reads and parses a sweep spec, prefixing diagnostics with the path.
+fn load_spec(path: &str) -> Result<SweepSpec, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("reading `{path}`: {e}"))?;
+    SweepSpec::parse(&text).map_err(|e| format!("{path}:\n{e}"))
+}
+
+/// The program resolver handed to the sweep runner: `.vex`/`.vexb` mix
+/// members load through the same autodetecting frontend as `vex run`.
+fn resolve_program(path: &str) -> Result<Program, String> {
+    load_program(path)
+}
+
+fn cmd_sweep(args: &[String]) -> Result<(), String> {
+    let mut spec_path: Option<String> = None;
+    let mut out_path: Option<String> = None;
+    let mut workers: Option<usize> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--out" => {
+                out_path = Some(
+                    it.next()
+                        .ok_or_else(|| "`--out` needs a path".to_string())?
+                        .clone(),
+                )
+            }
+            "--workers" => {
+                let v = it
+                    .next()
+                    .ok_or_else(|| "`--workers` needs a count".to_string())?;
+                workers = Some(
+                    v.parse()
+                        .ok()
+                        .filter(|&n| n >= 1)
+                        .ok_or_else(|| format!("bad worker count `{v}`"))?,
+                );
+            }
+            f if !f.starts_with('-') => {
+                if spec_path.is_some() {
+                    return Err("`vex sweep` takes exactly one spec file".to_string());
+                }
+                spec_path = Some(f.to_string());
+            }
+            other => return Err(format!("unknown option `{other}` for `vex sweep`")),
+        }
+    }
+    let spec_path =
+        spec_path.ok_or_else(|| "usage: vex sweep SPEC.toml [--out FILE]".to_string())?;
+    let spec = load_spec(&spec_path)?;
+
+    let mut runner = SweepRunner::new(&spec).loader(&resolve_program);
+    if let Some(n) = workers {
+        runner = runner.workers(n);
+    }
+    let t0 = std::time::Instant::now();
+    let outcome = runner.run()?;
+    eprintln!(
+        "[vex sweep] {}: {} points in {:.1}s",
+        spec.name,
+        outcome.points.len(),
+        t0.elapsed().as_secs_f32()
+    );
+    let json = outcome.to_json();
+    match out_path {
+        Some(p) => {
+            std::fs::write(&p, &json).map_err(|e| format!("writing `{p}`: {e}"))?;
+            outln(&format!("wrote {p}"))
+        }
+        None => out(json.as_bytes()),
+    }
+}
+
+/// `vex run --spec FILE`: the whole configuration — machine, caches,
+/// technique, workload — comes from a spec that must expand to exactly
+/// one grid point.
+fn cmd_run_spec(path: &str) -> Result<(), String> {
+    let spec = load_spec(path)?;
+    let points = spec.expand();
+    let [run] = points.as_slice() else {
+        return Err(format!(
+            "`{path}` expands to {} grid points; `vex run --spec` needs exactly one \
+             (sweep it with `vex sweep {path}`)",
+            points.len()
+        ));
+    };
+    let machine = &run.machine.config;
+    let workload: Vec<Arc<Program>> = run
+        .mix
+        .members
+        .iter()
+        .map(|m| match m {
+            vex_spec::WorkloadRef::Builtin(name) => {
+                vex_workloads::compile_benchmark_for(name, machine)
+            }
+            vex_spec::WorkloadRef::Path(p) => {
+                let program = load_program(p)?;
+                program.validate(machine).map_err(|e| {
+                    format!("`{p}` does not fit machine `{}`: {e}", run.machine.name)
+                })?;
+                Ok(Arc::new(program))
+            }
+        })
+        .collect::<Result<_, _>>()?;
+    let cfg = run.to_sim_config();
+    let (engine, reason) = vex_sim::run_programs(&cfg, &workload);
+    print_report(&cfg, &workload, &engine, reason)
+}
+
 struct RunOpts {
     inputs: Vec<String>,
     technique: String,
@@ -300,6 +427,17 @@ fn parse_u64(v: &str, flag: &str) -> Result<u64, String> {
 }
 
 fn cmd_run(args: &[String]) -> Result<(), String> {
+    if args.iter().any(|a| a == "--spec") {
+        match args {
+            [flag, path] if flag == "--spec" => return cmd_run_spec(path),
+            _ => {
+                return Err(
+                    "`--spec` replaces every other `vex run` option: vex run --spec FILE"
+                        .to_string(),
+                )
+            }
+        }
+    }
     let opts = parse_run_args(args)?;
     let programs: Vec<Arc<Program>> = opts
         .inputs
@@ -348,6 +486,7 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
 
     let cfg = SimConfig {
         machine,
+        caches: vex_sim::MemConfig::paper(),
         technique,
         n_threads,
         renaming: opts.renaming,

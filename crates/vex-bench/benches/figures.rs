@@ -1,6 +1,6 @@
 //! Criterion benchmarks that regenerate every figure of the paper at
 //! reduced scale — one group per table/figure — plus microbenchmarks of
-//! the simulator's hot paths and the DESIGN.md ablations.
+//! the simulator's hot paths and the ablation studies in `vex-experiments`.
 //!
 //! `cargo bench` prints the measured series (figure shapes) through
 //! Criterion; `cargo run --release -p vex-experiments --bin repro` prints
@@ -25,6 +25,7 @@ fn fig13_benchmark_ipc(c: &mut Criterion) {
                 || program.clone(),
                 |p| {
                     let cfg = SimConfig {
+                        caches: vex_mem::MemConfig::paper(),
                         technique: Technique::csmt(),
                         n_threads: 1,
                         renaming: false,
@@ -46,9 +47,19 @@ fn fig13_benchmark_ipc(c: &mut Criterion) {
     g.finish();
 }
 
+/// The sweep grid's per-point configuration at QUICK scale (the paper
+/// testbed with the experiment harness's budgets and a fixed seed).
+fn quick_cfg(tech: Technique, threads: u8, seed: u64) -> SimConfig {
+    SimConfig {
+        max_cycles: 2_000_000_000,
+        seed,
+        ..SimConfig::paper_at(tech, threads, Scale::QUICK)
+    }
+}
+
 fn run_mix_point(mix_idx: usize, tech: Technique, threads: u8) -> f64 {
     let programs = compile_mix(&MIXES[mix_idx]);
-    let cfg = vex_experiments::sweep::sim_config(tech, threads, Scale::QUICK, 42);
+    let cfg = quick_cfg(tech, threads, 42);
     vex_sim::run_workload(&cfg, &programs).ipc()
 }
 
@@ -84,7 +95,7 @@ fn fig15_split_speedup(c: &mut Criterion) {
 fn fig16_absolute_ipc(c: &mut Criterion) {
     let mut g = c.benchmark_group("fig16_absolute_ipc");
     g.sample_size(10);
-    for (label, tech) in Technique::figure16_set() {
+    for (label, tech) in Technique::FIGURE16_SET {
         let id = label.replace(' ', "_").to_lowercase();
         g.bench_function(id, |b| b.iter(|| run_mix_point(8, tech, 2)));
     }
@@ -104,8 +115,7 @@ fn ablation_renaming(c: &mut Criterion) {
         g.bench_function(label, |b| {
             b.iter(|| {
                 let programs = compile_mix(&MIXES[0]);
-                let mut cfg =
-                    vex_experiments::sweep::sim_config(Technique::csmt(), 4, Scale::QUICK, 42);
+                let mut cfg = quick_cfg(Technique::csmt(), 4, 42);
                 cfg.renaming = renaming;
                 vex_sim::run_workload(&cfg, &programs).ipc()
             })
@@ -128,6 +138,7 @@ fn micro_engine_throughput(c: &mut Criterion) {
         g.bench_function(label, |b| {
             b.iter(|| {
                 let cfg = SimConfig {
+                    caches: vex_mem::MemConfig::paper(),
                     technique: tech,
                     n_threads: 4,
                     renaming: true,

@@ -2,30 +2,32 @@
 //! wall clock does `Engine::step` sustain on a fixed slice of the paper's
 //! evaluation grid?
 //!
-//! The slice is 3 representative mixes (`llhh`, `mmhh`, `hhhh`) × all 8
-//! technique points × 4 hardware threads at `Scale::QUICK`, seeded exactly
-//! like `Sweep::run` so the work is reproducible run-to-run. The metric is
-//! simulated-cycles/second (higher is better); every run also rewrites
-//! `BENCH_sim_throughput.json` at the repository root so CI and later PRs
-//! have a perf trajectory to compare against.
+//! The grid is *data*, not code: it loads from the checked-in
+//! `examples/bench_throughput.toml` spec (3 representative mixes × all 8
+//! technique points × 4 hardware threads at quick scale, seeded exactly
+//! like the paper grid) and executes through the shared
+//! `vex_experiments::SweepRunner` with a single worker, so the timed
+//! region is one serial simulation per point. Each pass re-runs the whole
+//! spec; the best (fastest) of three passes is reported per point to
+//! suppress scheduler noise, like Criterion's minimum-time estimator.
+//!
+//! The metric is simulated-cycles/second (higher is better); every run
+//! also rewrites `BENCH_sim_throughput.json` at the repository root so CI
+//! and later PRs have a perf trajectory to compare against.
 //!
 //! Run with `cargo bench --bench sim_throughput`. Override the artifact
 //! location with `BENCH_SIM_THROUGHPUT_OUT=/path/to.json`.
 
-use std::sync::Arc;
-use std::time::Instant;
-use vex_experiments::{sweep::sim_config, Scale};
-use vex_isa::Program;
-use vex_sim::Technique;
-use vex_workloads::{compile_mix, MIXES};
+use vex_experiments::SweepRunner;
+use vex_spec::SweepSpec;
 
-/// Mix indices of the measured slice (llhh, mmhh, hhhh).
-const MIX_SLICE: [usize; 3] = [5, 7, 8];
-/// Hardware threads for every point.
-const THREADS: u8 = 4;
-/// Timed repetitions per point; the best (fastest) rep is reported to
-/// suppress scheduler noise, like Criterion's minimum-time estimator.
+/// Timed passes over the spec; the best rep per point is reported.
 const REPS: u32 = 3;
+
+const SPEC_PATH: &str = concat!(
+    env!("CARGO_MANIFEST_DIR"),
+    "/../../examples/bench_throughput.toml"
+);
 
 struct PointResult {
     label: String,
@@ -39,53 +41,78 @@ impl PointResult {
     }
 }
 
-fn run_point(programs: &[Arc<Program>], tech: Technique, seed: u64) -> (u64, f64) {
-    let cfg = sim_config(tech, THREADS, Scale::QUICK, seed);
-    let mut best = f64::INFINITY;
-    let mut cycles = 0u64;
-    for _ in 0..REPS {
-        let start = Instant::now();
-        let stats = vex_sim::run_workload(&cfg, programs);
-        let secs = start.elapsed().as_secs_f64();
-        cycles = stats.cycles;
-        if secs < best {
-            best = secs;
-        }
+/// The artifact's `scale` tag: the matching preset name, or `custom`.
+fn scale_name(spec: &SweepSpec) -> &'static str {
+    use vex_sim::Scale;
+    match spec.scale() {
+        s if s == Scale::QUICK => "QUICK",
+        s if s == Scale::DEFAULT => "DEFAULT",
+        s if s == Scale::FULL => "FULL",
+        s if s == Scale::PAPER => "PAPER",
+        _ => "custom",
     }
-    (cycles, best)
 }
 
 fn main() {
-    let techniques = Technique::figure16_set();
-    let mut results: Vec<PointResult> = Vec::new();
+    let text =
+        std::fs::read_to_string(SPEC_PATH).unwrap_or_else(|e| panic!("reading {SPEC_PATH}: {e}"));
+    let spec = SweepSpec::parse(&text).unwrap_or_else(|e| panic!("{SPEC_PATH}:\n{e}"));
+    // The artifact schema has one `threads` header and `mix/TECH` point
+    // labels; a multi-valued thread or machine axis would silently
+    // collide labels, so reject such a spec loudly.
+    assert_eq!(
+        spec.threads.len(),
+        1,
+        "{SPEC_PATH}: the throughput artifact schema needs a single thread count"
+    );
+    assert_eq!(
+        spec.machines.len(),
+        1,
+        "{SPEC_PATH}: the throughput artifact schema needs a single machine"
+    );
 
-    for &mi in &MIX_SLICE {
-        let mix = &MIXES[mi];
-        let programs = compile_mix(mix);
-        // One untimed run warms compilation/caches outside the timed region.
-        let warm_cfg = sim_config(
-            Technique::csmt(),
-            THREADS,
-            Scale::QUICK,
-            0x5EED_0000 + mi as u64,
-        );
-        let _ = vex_sim::run_workload(&warm_cfg, &programs);
-        for (name, tech) in &techniques {
-            let (sim_cycles, wall_secs) = run_point(&programs, *tech, 0x5EED_0000 + mi as u64);
-            let r = PointResult {
-                label: format!("{}/{}", mix.name, name.replace(' ', "_")),
-                sim_cycles,
-                wall_secs,
-            };
-            println!(
-                "bench: sim_throughput/{:<20} {:>10.0} sim-cycles {:>9.3} ms  {:>12.0} cycles/s",
-                r.label,
-                r.sim_cycles as f64,
-                r.wall_secs * 1e3,
-                r.cycles_per_sec()
+    // Best-of-N over whole serial passes: pass 1 also serves as warm-up
+    // for compilation and the host's caches (the minimum discards it if
+    // it was cold).
+    let mut results: Vec<PointResult> = Vec::new();
+    for rep in 0..REPS {
+        let outcome = SweepRunner::new(&spec)
+            .workers(1)
+            .run()
+            .unwrap_or_else(|e| panic!("bench sweep failed: {e}"));
+        for (i, p) in outcome.points.iter().enumerate() {
+            let label = format!(
+                "{}/{}",
+                p.run.mix.name,
+                p.run.technique.label().replace(' ', "_")
             );
-            results.push(r);
+            if rep == 0 {
+                results.push(PointResult {
+                    label,
+                    sim_cycles: p.stats.cycles,
+                    wall_secs: p.wall_secs,
+                });
+            } else {
+                assert_eq!(results[i].label, label, "point order must be stable");
+                assert_eq!(
+                    results[i].sim_cycles, p.stats.cycles,
+                    "simulation must be deterministic across reps"
+                );
+                if p.wall_secs < results[i].wall_secs {
+                    results[i].wall_secs = p.wall_secs;
+                }
+            }
         }
+    }
+
+    for r in &results {
+        println!(
+            "bench: sim_throughput/{:<20} {:>10.0} sim-cycles {:>9.3} ms  {:>12.0} cycles/s",
+            r.label,
+            r.sim_cycles as f64,
+            r.wall_secs * 1e3,
+            r.cycles_per_sec()
+        );
     }
 
     let total_cycles: u64 = results.iter().map(|r| r.sim_cycles).sum();
@@ -99,9 +126,10 @@ fn main() {
     // Hand-rolled JSON (no serde in the offline build environment).
     let mut json = String::from("{\n");
     json.push_str("  \"benchmark\": \"sim_throughput\",\n");
-    json.push_str(&format!("  \"threads\": {THREADS},\n"));
+    json.push_str(&format!("  \"spec\": \"{}\",\n", spec.name));
+    json.push_str(&format!("  \"threads\": {},\n", spec.threads[0]));
     json.push_str(&format!("  \"reps\": {REPS},\n"));
-    json.push_str("  \"scale\": \"QUICK\",\n");
+    json.push_str(&format!("  \"scale\": \"{}\",\n", scale_name(&spec)));
     json.push_str(&format!(
         "  \"aggregate_cycles_per_sec\": {:.1},\n",
         aggregate

@@ -1,36 +1,55 @@
-//! Ablation studies beyond the paper's figures (DESIGN.md A1–A3):
-//! cluster renaming, communication-split sensitivity, and timeslice
-//! stability.
+//! Ablation studies beyond the paper's figures (docs/SPECS.md lists the
+//! corresponding spec shapes): cluster renaming, communication-split
+//! sensitivity, timeslice stability, thread scaling and multithreading
+//! disciplines. Each ablation is a thin spec-builder over the shared
+//! [`SweepRunner`]: it varies exactly one scalar of a small [`SweepSpec`]
+//! and tabulates the results.
 
-use crate::sweep::sim_config;
+use crate::runner::{SweepOutcome, SweepRunner};
 use crate::table::{f2, pct, Table};
 use crate::Scale;
-use vex_sim::{speedup_pct, CommPolicy, MtMode, SimConfig, Technique};
-use vex_workloads::{compile_mix, MIXES};
+use vex_sim::{speedup_pct, CommPolicy, MtMode, Technique};
+use vex_spec::{MixSpec, SweepSpec, DEFAULT_SEED};
 
-fn run_cfg(cfg: &SimConfig, mix_idx: usize) -> f64 {
-    let programs = compile_mix(&MIXES[mix_idx]);
-    vex_sim::run_workload(cfg, &programs).ipc()
+/// A base ablation spec: the given built-in mixes, techniques and thread
+/// counts on the paper machine at `scale`.
+fn spec(scale: Scale, mixes: &[&str], techniques: &[Technique], threads: &[u8]) -> SweepSpec {
+    let mut s = SweepSpec::base(scale);
+    s.name = "ablation".to_string();
+    s.mixes = mixes
+        .iter()
+        .map(|m| MixSpec::builtin(m, DEFAULT_SEED))
+        .collect();
+    s.techniques = techniques.to_vec();
+    s.threads = threads.to_vec();
+    s
+}
+
+fn run(spec: &SweepSpec) -> SweepOutcome {
+    SweepRunner::new(spec).run().expect("ablation sweep")
 }
 
 /// A1 — cluster renaming on/off for CSMT and CCSI AS on the `llll` and
 /// `hhhh` mixes (4 threads): renaming removes the cluster-0 bias so every
 /// merging technique should gain.
 pub fn renaming(scale: Scale) -> String {
+    let techs = [
+        ("CSMT", Technique::csmt()),
+        ("CCSI AS", Technique::ccsi(CommPolicy::AlwaysSplit)),
+    ];
+    let on_spec = spec(scale, &["llll", "hhhh"], &[techs[0].1, techs[1].1], &[4]);
+    let mut off_spec = on_spec.clone();
+    off_spec.renaming = false;
+    let on = run(&on_spec);
+    let off = run(&off_spec);
+
     let mut t = Table::new(&["Mix", "Technique", "IPC off", "IPC on", "gain"]);
-    for &(mname, mix_idx) in &[("llll", 0usize), ("hhhh", 8usize)] {
-        for (label, tech) in [
-            ("CSMT", Technique::csmt()),
-            ("CCSI AS", Technique::ccsi(CommPolicy::AlwaysSplit)),
-        ] {
-            let mut on = sim_config(tech, 4, scale, 0x5EED_0000 + mix_idx as u64);
-            let mut off = on.clone();
-            on.renaming = true;
-            off.renaming = false;
-            let ipc_on = run_cfg(&on, mix_idx);
-            let ipc_off = run_cfg(&off, mix_idx);
+    for mix in ["llll", "hhhh"] {
+        for (label, _) in techs {
+            let ipc_on = on.ipc(mix, label, 4);
+            let ipc_off = off.ipc(mix, label, 4);
             t.row(vec![
-                mname.to_string(),
+                mix.to_string(),
                 label.to_string(),
                 f2(ipc_off),
                 f2(ipc_on),
@@ -48,26 +67,26 @@ pub fn renaming(scale: Scale) -> String {
 /// send/recv density of high-ILP code; comparing a low mix (`llll`)
 /// against a high mix (`hhhh`) makes the correlation visible.
 pub fn comm_split(scale: Scale) -> String {
+    let outcome = run(&spec(
+        scale,
+        &["llll", "mmhh", "hhhh"],
+        &[
+            Technique::ccsi(CommPolicy::NoSplit),
+            Technique::ccsi(CommPolicy::AlwaysSplit),
+            Technique::oosi(CommPolicy::NoSplit),
+            Technique::oosi(CommPolicy::AlwaysSplit),
+        ],
+        &[2],
+    ));
+
     let mut t = Table::new(&["Mix", "Technique", "IPC NS", "IPC AS", "AS gain"]);
-    for &(mname, mix_idx) in &[("llll", 0usize), ("mmhh", 7usize), ("hhhh", 8usize)] {
-        for (label, ns, asp) in [
-            (
-                "CCSI",
-                Technique::ccsi(CommPolicy::NoSplit),
-                Technique::ccsi(CommPolicy::AlwaysSplit),
-            ),
-            (
-                "OOSI",
-                Technique::oosi(CommPolicy::NoSplit),
-                Technique::oosi(CommPolicy::AlwaysSplit),
-            ),
-        ] {
-            let seed = 0x5EED_0000 + mix_idx as u64;
-            let ipc_ns = run_cfg(&sim_config(ns, 2, scale, seed), mix_idx);
-            let ipc_as = run_cfg(&sim_config(asp, 2, scale, seed), mix_idx);
+    for mix in ["llll", "mmhh", "hhhh"] {
+        for base in ["CCSI", "OOSI"] {
+            let ipc_ns = outcome.ipc(mix, &format!("{base} NS"), 2);
+            let ipc_as = outcome.ipc(mix, &format!("{base} AS"), 2);
             t.row(vec![
-                mname.to_string(),
-                label.to_string(),
+                mix.to_string(),
+                base.to_string(),
                 f2(ipc_ns),
                 f2(ipc_as),
                 pct(speedup_pct(ipc_ns, ipc_as)),
@@ -84,15 +103,17 @@ pub fn comm_split(scale: Scale) -> String {
 /// across a wide range of timeslice lengths (the paper's respawning setup
 /// avoids needing FAME-style stabilisation).
 pub fn timeslice(scale: Scale) -> String {
+    let techs = [Technique::csmt(), Technique::ccsi(CommPolicy::AlwaysSplit)];
     let mut t = Table::new(&["Timeslice", "CSMT IPC", "CCSI AS IPC"]);
     for ts in [scale.timeslice / 4, scale.timeslice, scale.timeslice * 4] {
-        let mut row = vec![ts.to_string()];
-        for tech in [Technique::csmt(), Technique::ccsi(CommPolicy::AlwaysSplit)] {
-            let mut cfg = sim_config(tech, 2, scale, 0x5EED_0007);
-            cfg.timeslice = ts;
-            row.push(f2(run_cfg(&cfg, 7)));
-        }
-        t.row(row);
+        let mut s = spec(scale, &["mmhh"], &techs, &[2]);
+        s.timeslice = ts;
+        let outcome = run(&s);
+        t.row(vec![
+            ts.to_string(),
+            f2(outcome.ipc("mmhh", "CSMT", 2)),
+            f2(outcome.ipc("mmhh", "CCSI AS", 2)),
+        ]);
     }
     format!(
         "## Ablation A3: timeslice sensitivity (mmhh, 2-thread)\n\n{}",
@@ -106,17 +127,24 @@ pub fn timeslice(scale: Scale) -> String {
 /// verifies that all techniques collapse to identical performance when
 /// there is nothing to merge.
 pub fn thread_scaling(scale: Scale) -> String {
+    let techs = [
+        ("CSMT", Technique::csmt()),
+        ("CCSI AS", Technique::ccsi(CommPolicy::AlwaysSplit)),
+        ("SMT", Technique::smt()),
+        ("OOSI AS", Technique::oosi(CommPolicy::AlwaysSplit)),
+    ];
+    let outcome = run(&spec(
+        scale,
+        &["llhh"],
+        &[techs[0].1, techs[1].1, techs[2].1, techs[3].1],
+        &[1, 2, 4],
+    ));
+
     let mut t = Table::new(&["Threads", "CSMT", "CCSI AS", "SMT", "OOSI AS"]);
     for threads in [1u8, 2, 4] {
         let mut row = vec![threads.to_string()];
-        for tech in [
-            Technique::csmt(),
-            Technique::ccsi(CommPolicy::AlwaysSplit),
-            Technique::smt(),
-            Technique::oosi(CommPolicy::AlwaysSplit),
-        ] {
-            let cfg = sim_config(tech, threads, scale, 0x5EED_0005);
-            row.push(f2(run_cfg(&cfg, 5)));
+        for (label, _) in techs {
+            row.push(f2(outcome.ipc("llhh", label, threads)));
         }
         t.row(row);
     }
@@ -144,10 +172,10 @@ pub fn mt_modes(scale: Scale) -> String {
         ),
         ("SMT", MtMode::Simultaneous, Technique::smt()),
     ] {
-        let mut cfg = sim_config(tech, 4, scale, 0x5EED_0003);
-        cfg.mt_mode = mode;
-        let programs = compile_mix(&MIXES[3]);
-        let stats = vex_sim::run_workload(&cfg, &programs);
+        let mut s = spec(scale, &["llmm"], &[tech], &[4]);
+        s.mt = mode;
+        let outcome = run(&s);
+        let stats = outcome.stats("llmm", tech.label(), 4);
         t.row(vec![
             label.to_string(),
             f2(stats.ipc()),
@@ -159,4 +187,26 @@ pub fn mt_modes(scale: Scale) -> String {
         "## Ablation A5: multithreading disciplines on llmm (4-thread)\n\n{}",
         t.render()
     )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vex_sim::MemoryMode;
+
+    #[test]
+    fn perfect_memory_beats_real_memory() {
+        let quick = Scale {
+            inst_limit: 2_000,
+            timeslice: 1_000,
+        };
+        let mut s = spec(quick, &["llmh"], &[Technique::csmt()], &[2]);
+        let real = run(&s).ipc("llmh", "CSMT", 2);
+        s.memory = MemoryMode::Perfect;
+        let perfect = run(&s).ipc("llmh", "CSMT", 2);
+        assert!(
+            perfect >= real,
+            "perfect {perfect:.3} must be >= real {real:.3}"
+        );
+    }
 }

@@ -2,10 +2,12 @@
 //! and perfect memory (IPCp) on the single-threaded 16-issue machine,
 //! side by side with the paper's numbers.
 
+use crate::runner::SweepRunner;
 use crate::table::{f2, Table};
-use crate::{default_workers, parallel_map, Scale};
-use vex_sim::{MemoryMode, SimConfig, Technique};
-use vex_workloads::{compile_benchmark, BENCHMARKS};
+use crate::Scale;
+use vex_sim::{MemoryMode, Technique};
+use vex_spec::{MixSpec, SweepSpec};
+use vex_workloads::BENCHMARKS;
 
 /// One benchmark's measured and reference numbers.
 #[derive(Clone, Debug)]
@@ -24,42 +26,49 @@ pub struct Row {
     pub paper_ipcp: f64,
 }
 
+/// The characterisation spec: every benchmark alone on the single-thread
+/// 16-issue machine, CSMT, no renaming, no timeslice switching.
+fn spec(scale: Scale, memory: MemoryMode) -> SweepSpec {
+    let mut s = SweepSpec::base(scale);
+    s.name = "fig13-characterisation".to_string();
+    s.techniques = vec![Technique::csmt()];
+    s.threads = vec![1];
+    s.renaming = false;
+    s.memory = memory;
+    s.timeslice = u64::MAX;
+    s.mixes = BENCHMARKS
+        .iter()
+        .map(|b| MixSpec::single(b.name, 7))
+        .collect();
+    s
+}
+
 /// Runs the characterisation at the given scale.
 pub fn run(scale: Scale) -> Vec<Row> {
-    let jobs: Vec<_> = BENCHMARKS
-        .iter()
-        .flat_map(|b| {
-            [MemoryMode::Real, MemoryMode::Perfect].map(|mem| {
-                move || {
-                    let program = compile_benchmark(b.name);
-                    let cfg = SimConfig {
-                        technique: Technique::csmt(),
-                        n_threads: 1,
-                        renaming: false,
-                        memory: mem,
-                        timeslice: u64::MAX,
-                        inst_limit: scale.inst_limit,
-                        max_cycles: 2_000_000_000,
-                        seed: 7,
-                        mt_mode: vex_sim::MtMode::Simultaneous,
-                        respawn: true,
-                        machine: vex_isa::MachineConfig::paper_4c4w(),
-                    };
-                    vex_sim::run_workload(&cfg, &[program]).ipc()
-                }
-            })
-        })
-        .collect();
-    let ipcs = parallel_map(jobs, default_workers());
+    // The memory mode is a spec scalar, so the two 12-point sweeps are
+    // separate runner invocations; overlap them so the combined fan-out
+    // still fills machines with more cores than benchmarks.
+    let real_spec = spec(scale, MemoryMode::Real);
+    let perfect_spec = spec(scale, MemoryMode::Perfect);
+    let (real, perfect) = std::thread::scope(|s| {
+        let perfect = s.spawn(|| SweepRunner::new(&perfect_spec).run());
+        let real = SweepRunner::new(&real_spec).run();
+        (
+            real.expect("fig13 real-memory sweep"),
+            perfect
+                .join()
+                .expect("fig13 perfect-memory thread")
+                .expect("fig13 perfect-memory sweep"),
+        )
+    });
 
     BENCHMARKS
         .iter()
-        .enumerate()
-        .map(|(i, b)| Row {
+        .map(|b| Row {
             name: b.name,
             class: b.ilp.letter(),
-            ipcr: ipcs[2 * i],
-            ipcp: ipcs[2 * i + 1],
+            ipcr: real.ipc(b.name, "CSMT", 1),
+            ipcp: perfect.ipc(b.name, "CSMT", 1),
             paper_ipcr: b.paper_ipcr,
             paper_ipcp: b.paper_ipcp,
         })

@@ -22,7 +22,7 @@ pub struct Results {
 
 /// Computes the averages from a sweep.
 pub fn run(sweep: &Sweep) -> Results {
-    let labels: Vec<&'static str> = Technique::figure16_set().iter().map(|(l, _)| *l).collect();
+    let labels: Vec<&'static str> = Technique::FIGURE16_SET.iter().map(|(l, _)| *l).collect();
     let ipc2 = labels.iter().map(|l| sweep.avg_ipc(l, 2)).collect();
     let ipc4 = labels.iter().map(|l| sweep.avg_ipc(l, 4)).collect();
     Results { labels, ipc2, ipc4 }

@@ -1,7 +1,7 @@
 //! # vex-experiments — regenerating the paper's evaluation
 //!
 //! One module per figure of Gupta et al. (IPDPS-W 2010) §VI, plus the
-//! ablations called out in DESIGN.md:
+//! ablation studies (their spec shapes are catalogued in `docs/SPECS.md`):
 //!
 //! * [`fig13`] — the benchmark characterisation table (IPCr / IPCp),
 //! * [`fig14`] — CCSI speedups over CSMT (cluster-level merging),
@@ -10,11 +10,15 @@
 //! * [`ablate`] — cluster renaming, communication-split and timeslice
 //!   sensitivity studies.
 //!
-//! All figures consume a shared [`sweep::Sweep`] so each (mix, technique,
-//! thread-count) point is simulated exactly once; runs fan out over OS
-//! threads with `std::thread::scope`. Absolute IPC values will not match a
-//! 2010 ST200-class testbed, but the *shape* — who wins, by what factor,
-//! where NS hurts — is the reproduction target (see EXPERIMENTS.md).
+//! Every module is a thin builder of declarative `vex_spec::SweepSpec`
+//! values executed by the shared [`runner::SweepRunner`], which prepares
+//! each distinct (machine, program) pair once and fans the grid out over
+//! OS threads with `std::thread::scope`. The figure renderers consume a
+//! [`sweep::Sweep`] view over the paper grid so each (mix, technique,
+//! thread-count) point is simulated exactly once. Absolute IPC values will
+//! not match a 2010 ST200-class testbed, but the *shape* — who wins, by
+//! what factor, where NS hurts — is the reproduction target (see
+//! `docs/PERF.md` for how the simulator's own throughput is tracked).
 
 #![warn(missing_docs)]
 
@@ -23,36 +27,15 @@ pub mod fig13;
 pub mod fig14;
 pub mod fig15;
 pub mod fig16;
+pub mod runner;
 pub mod sweep;
 pub mod table;
 
-/// Scale of an experiment run (the paper uses 200M instructions and 5M
-/// cycle timeslices; we scale down proportionally).
-#[derive(Clone, Copy, Debug)]
-pub struct Scale {
-    /// Per-benchmark instruction budget terminating a run.
-    pub inst_limit: u64,
-    /// Timeslice length in cycles.
-    pub timeslice: u64,
-}
-
-impl Scale {
-    /// Quick runs for smoke tests and Criterion benches.
-    pub const QUICK: Scale = Scale {
-        inst_limit: 40_000,
-        timeslice: 10_000,
-    };
-    /// Default scale: stable IPC, seconds per figure.
-    pub const DEFAULT: Scale = Scale {
-        inst_limit: 150_000,
-        timeslice: 25_000,
-    };
-    /// Closer to the paper's ratios (slower).
-    pub const FULL: Scale = Scale {
-        inst_limit: 600_000,
-        timeslice: 100_000,
-    };
-}
+pub use runner::{PointResult, SweepOutcome, SweepRunner};
+/// The run-scale presets now live in `vex-sim` next to `SimConfig` (one
+/// source of truth for instruction budgets and timeslices); re-exported
+/// here for the experiment-facing API.
+pub use vex_sim::Scale;
 
 /// Runs `jobs` closures on up to `workers` OS threads, preserving output
 /// order. Used to fan the simulation grid out across cores.

@@ -1,0 +1,269 @@
+//! The one sweep engine: expands a [`SweepSpec`] into deduplicated run
+//! points, prepares every distinct (machine, workload-member) program
+//! exactly once — compile for built-ins, a pluggable loader for `.vex` /
+//! `.vexb` paths — shares each `Arc<DecodedProgram>` across all points it
+//! appears in, fans the grid out over [`parallel_map`], and returns
+//! structured results (with a JSON form for artifacts).
+//!
+//! Every sweep in the repository executes here: the figure modules,
+//! the ablations, `bin/repro`, the `sim_throughput` bench and the
+//! `vex sweep` CLI are all thin spec-builders over this runner.
+
+use crate::{default_workers, parallel_map};
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Instant;
+use vex_isa::Program;
+use vex_sim::{run_prepared, PreparedProgram, SimStats};
+use vex_spec::{RunSpec, SweepSpec, WorkloadRef};
+use vex_workloads::compile_benchmark_for;
+
+/// Resolves a `.vex`/`.vexb` path to a program. The runner itself has no
+/// parser dependency; the `vex` CLI plugs `vex_asm` in here.
+pub type ProgramLoader<'a> = &'a (dyn Fn(&str) -> Result<Program, String> + Sync);
+
+/// One simulated grid point.
+#[derive(Clone, Debug)]
+pub struct PointResult {
+    /// The fully-resolved point.
+    pub run: RunSpec,
+    /// Its statistics.
+    pub stats: SimStats,
+    /// Wall-clock seconds of the simulation itself (program preparation
+    /// is shared across points and excluded).
+    pub wall_secs: f64,
+}
+
+/// All results of a sweep, in expansion order (mix-major).
+#[derive(Clone, Debug)]
+pub struct SweepOutcome {
+    /// The spec that was run.
+    pub spec: SweepSpec,
+    /// One result per deduplicated grid point.
+    pub points: Vec<PointResult>,
+}
+
+impl SweepOutcome {
+    /// Statistics at a grid point, matched by mix name, technique label
+    /// and thread count (the first machine that matches — single-machine
+    /// specs have exactly one).
+    pub fn stats(&self, mix: &str, tech_label: &str, threads: u8) -> &SimStats {
+        self.points
+            .iter()
+            .find(|p| {
+                p.run.mix.name == mix
+                    && p.run.technique.label() == tech_label
+                    && p.run.threads == threads
+            })
+            .map(|p| &p.stats)
+            .unwrap_or_else(|| panic!("no sweep point ({mix}, {tech_label}, {threads}T)"))
+    }
+
+    /// IPC at a grid point.
+    pub fn ipc(&self, mix: &str, tech_label: &str, threads: u8) -> f64 {
+        self.stats(mix, tech_label, threads).ipc()
+    }
+
+    /// Structured results as a JSON document (hand-rolled: the build
+    /// environment has no serde), one object per point plus the sweep
+    /// header — the artifact format CI uploads.
+    pub fn to_json(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::from("{\n");
+        let _ = writeln!(out, "  \"spec\": \"{}\",", self.spec.name);
+        let _ = writeln!(out, "  \"inst_limit\": {},", self.spec.inst_limit);
+        let _ = writeln!(out, "  \"timeslice\": {},", self.spec.timeslice);
+        let _ = writeln!(out, "  \"points\": [");
+        for (i, p) in self.points.iter().enumerate() {
+            let s = &p.stats;
+            let _ = write!(
+                out,
+                "    {{\"mix\": \"{}\", \"technique\": \"{}\", \"threads\": {}, \
+                 \"machine\": \"{}\", \"seed\": {}, \"cycles\": {}, \"ops\": {}, \
+                 \"insts\": {}, \"ipc\": {:.6}, \"merged_cycles\": {}, \
+                 \"empty_cycles\": {}, \"wall_secs\": {:.6}}}",
+                p.run.mix.name,
+                p.run.technique.label().replace(' ', "_"),
+                p.run.threads,
+                p.run.machine.name,
+                p.run.mix.seed,
+                s.cycles,
+                s.total_ops,
+                s.total_insts,
+                s.ipc(),
+                s.merged_cycles,
+                s.empty_cycles,
+                p.wall_secs,
+            );
+            let _ = writeln!(out, "{}", if i + 1 == self.points.len() { "" } else { "," });
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+}
+
+/// Executes a [`SweepSpec`]. Build with [`SweepRunner::new`], optionally
+/// cap [`SweepRunner::workers`] (benches use 1 for clean timing) or plug a
+/// [`SweepRunner::loader`] for path workloads, then [`SweepRunner::run`].
+pub struct SweepRunner<'a> {
+    spec: &'a SweepSpec,
+    workers: usize,
+    loader: Option<ProgramLoader<'a>>,
+}
+
+impl<'a> SweepRunner<'a> {
+    /// A runner over `spec` with one worker per available core.
+    pub fn new(spec: &'a SweepSpec) -> Self {
+        SweepRunner {
+            spec,
+            workers: default_workers(),
+            loader: None,
+        }
+    }
+
+    /// Caps the fan-out (1 = serial, for timing-sensitive callers).
+    pub fn workers(mut self, n: usize) -> Self {
+        self.workers = n.max(1);
+        self
+    }
+
+    /// Plugs in a resolver for `.vex`/`.vexb` mix members.
+    pub fn loader(mut self, loader: ProgramLoader<'a>) -> Self {
+        self.loader = Some(loader);
+        self
+    }
+
+    /// Runs the whole grid: every distinct (machine, member) program is
+    /// prepared once, then all points fan out in parallel.
+    pub fn run(&self) -> Result<SweepOutcome, String> {
+        let points = self.spec.expand();
+        if points.is_empty() {
+            return Err(format!(
+                "spec `{}` expands to no run points (empty axis)",
+                self.spec.name
+            ));
+        }
+
+        // Prepare each distinct (machine, member) program exactly once.
+        // Keyed by machine *index* because machines with identical
+        // geometry were already collapsed by `expand`.
+        let mut prepared: HashMap<(usize, String), PreparedProgram> = HashMap::new();
+        for p in &points {
+            for member in &p.mix.members {
+                let key = (p.machine_index, member.as_str().to_string());
+                if prepared.contains_key(&key) {
+                    continue;
+                }
+                let machine = &p.machine.config;
+                let program: Arc<Program> = match member {
+                    WorkloadRef::Builtin(name) => compile_benchmark_for(name, machine)
+                        .map_err(|e| format!("mix `{}`: {e}", p.mix.name))?,
+                    WorkloadRef::Path(path) => {
+                        let Some(loader) = self.loader else {
+                            return Err(format!(
+                                "mix `{}` member `{path}` is a program file but this runner \
+                                 has no loader (run it through the `vex` CLI)",
+                                p.mix.name
+                            ));
+                        };
+                        let program = loader(path)?;
+                        program.validate(machine).map_err(|e| {
+                            format!("`{path}` does not fit machine `{}`: {e}", p.machine.name)
+                        })?;
+                        Arc::new(program)
+                    }
+                };
+                prepared.insert(key, PreparedProgram::prepare(program));
+            }
+        }
+
+        let jobs: Vec<_> = points
+            .into_iter()
+            .map(|run| {
+                let workload: Vec<PreparedProgram> = run
+                    .mix
+                    .members
+                    .iter()
+                    .map(|m| prepared[&(run.machine_index, m.as_str().to_string())].clone())
+                    .collect();
+                move || {
+                    let cfg = run.to_sim_config();
+                    let start = Instant::now();
+                    let stats = run_prepared(&cfg, &workload);
+                    PointResult {
+                        run,
+                        stats,
+                        wall_secs: start.elapsed().as_secs_f64(),
+                    }
+                }
+            })
+            .collect();
+
+        let points = parallel_map(jobs, self.workers);
+        Ok(SweepOutcome {
+            spec: self.spec.clone(),
+            points,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vex_sim::{Scale, SimConfig, Technique};
+    use vex_spec::MixSpec;
+
+    /// A spec-driven point must be bit-identical to the same point run
+    /// directly through `run_workload` (shared decode must not matter).
+    #[test]
+    fn runner_matches_direct_run() {
+        let mut spec = SweepSpec::base(Scale {
+            inst_limit: 3_000,
+            timeslice: 500,
+        });
+        spec.techniques = vec![Technique::ccsi(vex_sim::CommPolicy::AlwaysSplit)];
+        spec.threads = vec![2];
+        spec.mixes = vec![MixSpec::builtin("llhh", vex_spec::DEFAULT_SEED)];
+        let outcome = SweepRunner::new(&spec).run().unwrap();
+        assert_eq!(outcome.points.len(), 1);
+
+        let cfg: SimConfig = spec.expand()[0].to_sim_config();
+        let programs = vex_workloads::compile_mix(
+            vex_workloads::MIXES
+                .iter()
+                .find(|m| m.name == "llhh")
+                .unwrap(),
+        );
+        let direct = vex_sim::run_workload(&cfg, &programs);
+        assert_eq!(outcome.points[0].stats, direct);
+    }
+
+    #[test]
+    fn path_member_without_loader_is_an_error() {
+        let mut spec = SweepSpec::base(Scale::QUICK);
+        spec.mixes = vec![MixSpec {
+            name: "disk".into(),
+            members: vec![vex_spec::WorkloadRef::Path("nope.vexb".into())],
+            seed: 1,
+        }];
+        let err = SweepRunner::new(&spec).run().unwrap_err();
+        assert!(err.contains("no loader"), "{err}");
+    }
+
+    #[test]
+    fn json_is_emitted_per_point() {
+        let mut spec = SweepSpec::base(Scale {
+            inst_limit: 1_000,
+            timeslice: 500,
+        });
+        spec.name = "json-smoke".into();
+        spec.techniques = vec![Technique::csmt(), Technique::smt()];
+        spec.threads = vec![2];
+        spec.mixes = vec![MixSpec::builtin("llll", 7)];
+        let outcome = SweepRunner::new(&spec).run().unwrap();
+        let json = outcome.to_json();
+        assert_eq!(json.matches("\"technique\"").count(), 2);
+        assert!(json.contains("\"spec\": \"json-smoke\""), "{json}");
+        assert!(json.contains("\"machine\": \"paper\""), "{json}");
+    }
+}

@@ -1,19 +1,21 @@
-//! The shared simulation grid: every (mix, technique, thread-count) point
-//! simulated once, in parallel, then served to all figure renderers.
+//! The shared simulation grid of the figure set — now a thin view over
+//! the declarative layer: [`Sweep::run`] builds the paper-grid
+//! [`SweepSpec`] and executes it on the shared [`SweepRunner`], then
+//! indexes the results for the figure renderers.
 
-use crate::{default_workers, parallel_map, Scale};
+use crate::runner::SweepRunner;
+use crate::Scale;
 use std::collections::HashMap;
-use std::sync::Arc;
-use vex_isa::Program;
-use vex_sim::{MemoryMode, SimConfig, SimStats, Technique};
-use vex_workloads::{compile_benchmark, Mix, MIXES};
+use vex_sim::{SimStats, Technique};
+use vex_spec::SweepSpec;
+use vex_workloads::MIXES;
 
 /// Key of one grid point.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub struct Point {
     /// Workload mix index into [`MIXES`].
     pub mix: usize,
-    /// Technique label index into [`Technique::figure16_set`].
+    /// Technique label index into [`Technique::FIGURE16_SET`].
     pub tech: usize,
     /// Hardware threads (1, 2 or 4).
     pub threads: u8,
@@ -26,71 +28,37 @@ pub struct Sweep {
     results: HashMap<Point, SimStats>,
 }
 
-/// Builds the simulator configuration shared by all sweep points.
-pub fn sim_config(technique: Technique, threads: u8, scale: Scale, seed: u64) -> SimConfig {
-    SimConfig {
-        technique,
-        n_threads: threads,
-        renaming: true,
-        memory: MemoryMode::Real,
-        timeslice: scale.timeslice,
-        inst_limit: scale.inst_limit,
-        max_cycles: 2_000_000_000,
-        seed,
-        mt_mode: vex_sim::MtMode::Simultaneous,
-        respawn: true,
-        machine: vex_isa::MachineConfig::paper_4c4w(),
-    }
-}
-
 impl Sweep {
     /// Runs the whole grid: 9 mixes × 8 techniques × {2, 4} threads.
     /// The replacement-scheduler seed depends only on the mix, so every
     /// technique sees the identical timeslice schedule (fair comparison).
     pub fn run(scale: Scale) -> Sweep {
-        let techniques = Technique::figure16_set();
-        // Compile each distinct benchmark once.
-        let mut programs: HashMap<&'static str, Arc<Program>> = HashMap::new();
-        for mix in MIXES {
-            for name in mix.members {
-                programs
-                    .entry(name)
-                    .or_insert_with(|| compile_benchmark(name));
-            }
-        }
-
-        let mut points = Vec::new();
-        for (mi, _mix) in MIXES.iter().enumerate() {
-            for ti in 0..techniques.len() {
-                for &threads in &[2u8, 4] {
-                    points.push(Point {
-                        mix: mi,
-                        tech: ti,
-                        threads,
-                    });
-                }
-            }
-        }
-
-        let jobs: Vec<_> = points
-            .iter()
-            .map(|&p| {
-                let mix: &Mix = &MIXES[p.mix];
-                let progs: Vec<Arc<Program>> = mix
-                    .members
+        let spec = SweepSpec::paper_grid(scale);
+        let outcome = SweepRunner::new(&spec)
+            .run()
+            .expect("paper grid must be runnable");
+        let results = outcome
+            .points
+            .into_iter()
+            .map(|p| {
+                let tech = Technique::FIGURE16_SET
                     .iter()
-                    .map(|n| Arc::clone(&programs[n]))
-                    .collect();
-                let tech = techniques[p.tech].1;
-                move || {
-                    let cfg = sim_config(tech, p.threads, scale, 0x5EED_0000 + p.mix as u64);
-                    vex_sim::run_workload(&cfg, &progs)
-                }
+                    .position(|&(_, t)| t == p.run.technique)
+                    .expect("grid technique");
+                let mix = MIXES
+                    .iter()
+                    .position(|m| m.name == p.run.mix.name)
+                    .expect("grid mix");
+                (
+                    Point {
+                        mix,
+                        tech,
+                        threads: p.run.threads,
+                    },
+                    p.stats,
+                )
             })
             .collect();
-
-        let stats = parallel_map(jobs, default_workers());
-        let results = points.into_iter().zip(stats).collect();
         Sweep { scale, results }
     }
 
@@ -101,8 +69,7 @@ impl Sweep {
 
     /// Full statistics at a grid point.
     pub fn stats(&self, mix: usize, tech_label: &str, threads: u8) -> &SimStats {
-        let techniques = Technique::figure16_set();
-        let tech = techniques
+        let tech = Technique::FIGURE16_SET
             .iter()
             .position(|(l, _)| *l == tech_label)
             .unwrap_or_else(|| panic!("unknown technique label {tech_label}"));

@@ -24,9 +24,76 @@ pub mod memory;
 pub use cache::{Cache, CacheParams, CacheStats};
 pub use memory::Memory;
 
+#[cfg(test)]
+mod memconfig_tests {
+    use super::*;
+
+    #[test]
+    fn custom_geometry_reaches_the_caches() {
+        let cfg = MemConfig {
+            icache: CacheParams {
+                size_bytes: 8 * 1024,
+                assoc: 2,
+                line_bytes: 64,
+            },
+            dcache: CacheParams {
+                size_bytes: 256 * 1024,
+                assoc: 8,
+                line_bytes: 32,
+            },
+            miss_penalty: 35,
+        };
+        let mut m = MemSystem::new(cfg, false);
+        assert_eq!(m.icache.params(), cfg.icache);
+        assert_eq!(m.dcache.params(), cfg.dcache);
+        assert_eq!(m.data_access(0, 0x100), 35);
+        assert_eq!(m.data_access(0, 0x100), 0);
+    }
+
+    #[test]
+    fn paper_constructor_matches_config() {
+        let m = MemSystem::paper();
+        assert_eq!(m.icache.params(), MemConfig::paper().icache);
+        assert_eq!(m.miss_penalty, PAPER_MISS_PENALTY);
+        assert!(!m.perfect);
+    }
+}
+
 /// The paper's cache-miss penalty in cycles (400MHz core, 50ns DRAM critical
 /// word: §VI-A footnote).
 pub const PAPER_MISS_PENALTY: u32 = 20;
+
+/// Full memory-hierarchy geometry: both cache shapes plus the miss penalty.
+///
+/// This is the *configuration* a [`MemSystem`] is built from; run specs and
+/// `SimConfig` carry a `MemConfig` so non-paper cache geometries are
+/// reachable without touching the simulator.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct MemConfig {
+    /// Instruction-cache geometry.
+    pub icache: CacheParams,
+    /// Data-cache geometry.
+    pub dcache: CacheParams,
+    /// Extra cycles a thread stalls on a miss (either cache).
+    pub miss_penalty: u32,
+}
+
+impl MemConfig {
+    /// The paper's memory system: 64KB 4-way I$ and D$, 20-cycle miss.
+    pub const fn paper() -> Self {
+        MemConfig {
+            icache: CacheParams::paper(),
+            dcache: CacheParams::paper(),
+            miss_penalty: PAPER_MISS_PENALTY,
+        }
+    }
+}
+
+impl Default for MemConfig {
+    fn default() -> Self {
+        Self::paper()
+    }
+}
 
 /// Instruction + data cache pair with shared timing policy.
 #[derive(Clone, Debug)]
@@ -42,21 +109,26 @@ pub struct MemSystem {
 }
 
 impl MemSystem {
+    /// Builds a memory system with the given geometry. `perfect` short-
+    /// circuits every access to a hit (the *IPCp* runs), leaving the cache
+    /// arrays untouched.
+    pub fn new(cfg: MemConfig, perfect: bool) -> Self {
+        MemSystem {
+            icache: Cache::new(cfg.icache),
+            dcache: Cache::new(cfg.dcache),
+            miss_penalty: cfg.miss_penalty,
+            perfect,
+        }
+    }
+
     /// The paper's memory system: 64KB 4-way I$ and D$, 20-cycle miss.
     pub fn paper() -> Self {
-        MemSystem {
-            icache: Cache::new(CacheParams::paper()),
-            dcache: Cache::new(CacheParams::paper()),
-            miss_penalty: PAPER_MISS_PENALTY,
-            perfect: false,
-        }
+        Self::new(MemConfig::paper(), false)
     }
 
     /// Perfect memory: all accesses hit in the assumed latency.
     pub fn perfect() -> Self {
-        let mut m = Self::paper();
-        m.perfect = true;
-        m
+        Self::new(MemConfig::paper(), true)
     }
 
     /// Data access: returns the stall penalty in cycles (0 on hit).

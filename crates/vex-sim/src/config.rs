@@ -2,6 +2,44 @@
 //! and the run parameters of §VI-A.
 
 use vex_isa::MachineConfig;
+use vex_mem::MemConfig;
+
+/// Scale of a run: the per-benchmark instruction budget and the
+/// multitasking timeslice, which always move together (the paper uses 200M
+/// instructions and 5M-cycle timeslices; every preset scales both down
+/// proportionally). Living next to [`SimConfig`] means the experiment
+/// harness and the simulator share one set of run-scale constants and
+/// cannot drift apart.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Scale {
+    /// Per-benchmark instruction budget terminating a run.
+    pub inst_limit: u64,
+    /// Timeslice length in cycles.
+    pub timeslice: u64,
+}
+
+impl Scale {
+    /// Quick runs for smoke tests and Criterion benches.
+    pub const QUICK: Scale = Scale {
+        inst_limit: 40_000,
+        timeslice: 10_000,
+    };
+    /// Default scale: stable IPC, seconds per figure.
+    pub const DEFAULT: Scale = Scale {
+        inst_limit: 150_000,
+        timeslice: 25_000,
+    };
+    /// Closer to the paper's ratios (slower).
+    pub const FULL: Scale = Scale {
+        inst_limit: 600_000,
+        timeslice: 100_000,
+    };
+    /// The scale [`SimConfig::paper`] runs at (between DEFAULT and FULL).
+    pub const PAPER: Scale = Scale {
+        inst_limit: 300_000,
+        timeslice: 50_000,
+    };
+}
 
 /// How instructions from different threads merge into one execution packet.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
@@ -105,35 +143,56 @@ impl Technique {
     }
 
     /// All eight configurations evaluated in the paper's Figure 16, in its
-    /// display order, with short labels.
-    pub fn figure16_set() -> Vec<(&'static str, Technique)> {
-        use CommPolicy::*;
-        vec![
-            ("CSMT", Technique::csmt()),
-            ("CCSI NS", Technique::ccsi(NoSplit)),
-            ("CCSI AS", Technique::ccsi(AlwaysSplit)),
-            ("SMT", Technique::smt()),
-            ("COSI NS", Technique::cosi(NoSplit)),
-            ("COSI AS", Technique::cosi(AlwaysSplit)),
-            ("OOSI NS", Technique::oosi(NoSplit)),
-            ("OOSI AS", Technique::oosi(AlwaysSplit)),
-        ]
+    /// display order, with short labels. A `const` array: the grid is
+    /// consulted on hot sweep-indexing paths, so it must not allocate.
+    pub const FIGURE16_SET: [(&'static str, Technique); 8] = [
+        ("CSMT", Technique::csmt()),
+        ("CCSI NS", Technique::ccsi(CommPolicy::NoSplit)),
+        ("CCSI AS", Technique::ccsi(CommPolicy::AlwaysSplit)),
+        ("SMT", Technique::smt()),
+        ("COSI NS", Technique::cosi(CommPolicy::NoSplit)),
+        ("COSI AS", Technique::cosi(CommPolicy::AlwaysSplit)),
+        ("OOSI NS", Technique::oosi(CommPolicy::NoSplit)),
+        ("OOSI AS", Technique::oosi(CommPolicy::AlwaysSplit)),
+    ];
+
+    /// Short display label ("CCSI AS" etc.). Every (merge, split, comm)
+    /// combination has a fixed name, so no allocation is involved.
+    pub const fn label(&self) -> &'static str {
+        match (self.merge, self.split, self.comm) {
+            (MergePolicy::Cluster, SplitPolicy::None, _) => "CSMT",
+            (MergePolicy::Operation, SplitPolicy::None, _) => "SMT",
+            (MergePolicy::Cluster, SplitPolicy::Cluster, CommPolicy::NoSplit) => "CCSI NS",
+            (MergePolicy::Cluster, SplitPolicy::Cluster, CommPolicy::AlwaysSplit) => "CCSI AS",
+            (MergePolicy::Operation, SplitPolicy::Cluster, CommPolicy::NoSplit) => "COSI NS",
+            (MergePolicy::Operation, SplitPolicy::Cluster, CommPolicy::AlwaysSplit) => "COSI AS",
+            (MergePolicy::Operation, SplitPolicy::Operation, CommPolicy::NoSplit) => "OOSI NS",
+            (MergePolicy::Operation, SplitPolicy::Operation, CommPolicy::AlwaysSplit) => "OOSI AS",
+            (MergePolicy::Cluster, SplitPolicy::Operation, CommPolicy::NoSplit) => "C-OSI(!) NS",
+            (MergePolicy::Cluster, SplitPolicy::Operation, CommPolicy::AlwaysSplit) => {
+                "C-OSI(!) AS"
+            }
+        }
     }
 
-    /// Short display label ("CCSI AS" etc.).
-    pub fn label(&self) -> String {
-        let base = match (self.merge, self.split) {
-            (MergePolicy::Cluster, SplitPolicy::None) => return "CSMT".to_string(),
-            (MergePolicy::Operation, SplitPolicy::None) => return "SMT".to_string(),
-            (MergePolicy::Cluster, SplitPolicy::Cluster) => "CCSI",
-            (MergePolicy::Operation, SplitPolicy::Cluster) => "COSI",
-            (MergePolicy::Operation, SplitPolicy::Operation) => "OOSI",
-            (MergePolicy::Cluster, SplitPolicy::Operation) => "C-OSI(!)",
-        };
-        match self.comm {
-            CommPolicy::NoSplit => format!("{base} NS"),
-            CommPolicy::AlwaysSplit => format!("{base} AS"),
-        }
+    /// Looks a technique up by its grid label (case-insensitive; `_` may
+    /// stand in for the space, as in bench point names like `CCSI_AS`).
+    pub fn from_label(label: &str) -> Option<Technique> {
+        let norm: String = label
+            .trim()
+            .chars()
+            .map(|c| {
+                if c == '_' {
+                    ' '
+                } else {
+                    c.to_ascii_uppercase()
+                }
+            })
+            .collect();
+        Self::FIGURE16_SET
+            .iter()
+            .find(|(l, _)| *l == norm)
+            .map(|(_, t)| *t)
     }
 }
 
@@ -163,10 +222,13 @@ pub enum MemoryMode {
 }
 
 /// Full run configuration.
-#[derive(Clone, Debug)]
+#[derive(Clone, PartialEq, Debug)]
 pub struct SimConfig {
     /// Machine description (defaults to the paper's 4-cluster, 4-issue).
     pub machine: MachineConfig,
+    /// Cache geometry and miss penalty consumed by [`MemoryMode::Real`]
+    /// runs (perfect-memory runs ignore it).
+    pub caches: MemConfig,
     /// Issue technique.
     pub technique: Technique,
     /// Multithreading discipline (the intro's BMT/IMT baselines versus
@@ -194,16 +256,25 @@ pub struct SimConfig {
 
 impl SimConfig {
     /// A configuration mirroring the paper's experimental setup, scaled
-    /// down: same machine/caches, smaller timeslice and instruction budget.
+    /// down: same machine/caches, smaller timeslice and instruction budget
+    /// ([`Scale::PAPER`]).
     pub fn paper(technique: Technique, n_threads: u8) -> Self {
+        Self::paper_at(technique, n_threads, Scale::PAPER)
+    }
+
+    /// The paper configuration at an explicit [`Scale`] — the single place
+    /// the run-scale constants enter a `SimConfig`, so the simulator and
+    /// the experiment harness cannot encode different budgets.
+    pub fn paper_at(technique: Technique, n_threads: u8, scale: Scale) -> Self {
         SimConfig {
             machine: MachineConfig::paper_4c4w(),
+            caches: MemConfig::paper(),
             technique,
             n_threads,
             renaming: true,
             memory: MemoryMode::Real,
-            timeslice: 50_000,
-            inst_limit: 300_000,
+            timeslice: scale.timeslice,
+            inst_limit: scale.inst_limit,
             max_cycles: 50_000_000,
             seed: 0xC0FFEE,
             mt_mode: crate::config::MtMode::Simultaneous,
@@ -227,6 +298,29 @@ mod tests {
 
     #[test]
     fn figure16_has_eight_points() {
-        assert_eq!(Technique::figure16_set().len(), 8);
+        assert_eq!(Technique::FIGURE16_SET.len(), 8);
+    }
+
+    #[test]
+    fn grid_labels_round_trip() {
+        for (label, tech) in Technique::FIGURE16_SET {
+            assert_eq!(tech.label(), label);
+            assert_eq!(Technique::from_label(label), Some(tech));
+            assert_eq!(Technique::from_label(&label.to_lowercase()), Some(tech));
+            assert_eq!(
+                Technique::from_label(&label.replace(' ', "_")),
+                Some(tech),
+                "underscore form of {label}"
+            );
+        }
+        assert_eq!(Technique::from_label("WXYZ"), None);
+    }
+
+    #[test]
+    fn paper_config_matches_paper_scale() {
+        let cfg = SimConfig::paper(Technique::csmt(), 2);
+        assert_eq!(cfg.timeslice, Scale::PAPER.timeslice);
+        assert_eq!(cfg.inst_limit, Scale::PAPER.inst_limit);
+        assert_eq!(cfg, SimConfig::paper_at(Technique::csmt(), 2, Scale::PAPER));
     }
 }

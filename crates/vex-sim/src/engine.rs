@@ -98,33 +98,69 @@ pub struct Engine {
     rr_offset: usize,
 }
 
+/// A program paired with its shared pre-decode table, ready to drop into an
+/// engine without re-decoding. Sweep harnesses prepare each distinct
+/// (program, machine) workload member once and reuse it across every
+/// (technique, thread-count) point of a grid.
+#[derive(Clone, Debug)]
+pub struct PreparedProgram {
+    /// The program.
+    pub program: Arc<Program>,
+    /// Its decode table (depends only on the program, not the run config).
+    pub decoded: Arc<DecodedProgram>,
+}
+
+impl PreparedProgram {
+    /// Decodes `program` once, producing a reusable workload member.
+    pub fn prepare(program: Arc<Program>) -> Self {
+        let decoded = DecodedProgram::decode_arc(&program);
+        PreparedProgram { program, decoded }
+    }
+}
+
 impl Engine {
     /// Builds an engine over a workload (one context per program).
     pub fn new(cfg: SimConfig, programs: &[Arc<Program>]) -> Self {
-        assert!(!programs.is_empty(), "workload must contain programs");
-        assert!(cfg.n_threads >= 1);
-        let mem = match cfg.memory {
-            MemoryMode::Real => MemSystem::paper(),
-            MemoryMode::Perfect => MemSystem::perfect(),
-        };
         // Pre-decode each distinct program exactly once; contexts running
         // the same `Arc<Program>` share one decode table.
-        let mut decode_cache: Vec<(Arc<Program>, Arc<DecodedProgram>)> = Vec::new();
-        let contexts: Vec<ThreadCtx> = programs
+        let mut decode_cache: Vec<PreparedProgram> = Vec::new();
+        let prepared: Vec<PreparedProgram> = programs
+            .iter()
+            .map(
+                |p| match decode_cache.iter().find(|q| Arc::ptr_eq(p, &q.program)) {
+                    Some(q) => q.clone(),
+                    None => {
+                        let q = PreparedProgram::prepare(Arc::clone(p));
+                        decode_cache.push(q.clone());
+                        q
+                    }
+                },
+            )
+            .collect();
+        Self::with_prepared(cfg, &prepared)
+    }
+
+    /// Builds an engine over pre-decoded workload members (one context per
+    /// entry). The decode tables are shared, not copied — this is how a
+    /// sweep amortises decoding across its whole grid.
+    pub fn with_prepared(cfg: SimConfig, workload: &[PreparedProgram]) -> Self {
+        assert!(!workload.is_empty(), "workload must contain programs");
+        assert!(cfg.n_threads >= 1);
+        let mem = MemSystem::new(cfg.caches, cfg.memory == MemoryMode::Perfect);
+        let contexts: Vec<ThreadCtx> = workload
             .iter()
             .enumerate()
             .map(|(i, p)| {
-                let decoded = match decode_cache.iter().find(|(q, _)| Arc::ptr_eq(p, q)) {
-                    Some((_, d)) => Arc::clone(d),
-                    None => {
-                        let d = DecodedProgram::decode_arc(p);
-                        decode_cache.push((Arc::clone(p), Arc::clone(&d)));
-                        d
-                    }
-                };
-                ThreadCtx::with_decoded(Arc::clone(p), decoded, i as u16, cfg.machine.n_clusters, 0)
+                ThreadCtx::with_decoded(
+                    Arc::clone(&p.program),
+                    Arc::clone(&p.decoded),
+                    i as u16,
+                    cfg.machine.n_clusters,
+                    0,
+                )
             })
             .collect();
+        let n_programs = contexts.len();
         let n_threads = cfg.n_threads;
         let timeslice = cfg.timeslice;
         let seed = cfg.seed;
@@ -134,7 +170,7 @@ impl Engine {
             slots: vec![None; n_threads as usize],
             cycle: 0,
             stats: SimStats {
-                per_thread: vec![Default::default(); programs.len()],
+                per_thread: vec![Default::default(); n_programs],
                 ..Default::default()
             },
             trace: None,

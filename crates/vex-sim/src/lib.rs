@@ -51,12 +51,15 @@ pub mod rng;
 pub mod stats;
 pub mod thread;
 
-pub use config::{CommPolicy, MemoryMode, MergePolicy, MtMode, SimConfig, SplitPolicy, Technique};
+pub use config::{
+    CommPolicy, MemoryMode, MergePolicy, MtMode, Scale, SimConfig, SplitPolicy, Technique,
+};
 pub use decode::{DecodedInst, DecodedOp, DecodedProgram, OpEval};
-pub use engine::{Engine, IssueEvent, StopReason};
+pub use engine::{Engine, IssueEvent, PreparedProgram, StopReason};
 pub use packet::{can_merge_pair, merge_hierarchy_holds, Packet, MAX_CLUSTERS};
 pub use stats::{speedup_pct, SimStats, ThreadStats};
 pub use thread::ThreadCtx;
+pub use vex_mem::MemConfig;
 
 use std::sync::Arc;
 use vex_isa::Program;
@@ -75,6 +78,15 @@ pub fn run_programs(cfg: &SimConfig, programs: &[Arc<Program>]) -> (Engine, Stop
     let mut engine = Engine::new(cfg.clone(), programs);
     let reason = engine.run();
     (engine, reason)
+}
+
+/// Runs a workload of pre-decoded programs under `cfg` and returns the
+/// statistics. Sweep harnesses use this entry so one [`PreparedProgram`]
+/// decode serves every grid point the program appears in.
+pub fn run_prepared(cfg: &SimConfig, workload: &[PreparedProgram]) -> SimStats {
+    let mut engine = Engine::with_prepared(cfg.clone(), workload);
+    engine.run();
+    engine.stats
 }
 
 /// Runs `n_copies` contexts of one program to completion (no respawn, no

@@ -36,6 +36,7 @@ fn comm_heavy() -> Arc<vex_isa::Program> {
 
 fn run(p: &Arc<vex_isa::Program>, tech: Technique, n: u8) -> Engine {
     let cfg = SimConfig {
+        caches: vex_mem::MemConfig::paper(),
         machine: MachineConfig::paper_4c4w(),
         technique: tech,
         n_threads: n,
@@ -138,6 +139,7 @@ fn icache_stalls_track_code_footprint() {
 
     let run_real = |p: &Arc<vex_isa::Program>| {
         let cfg = SimConfig {
+            caches: vex_mem::MemConfig::paper(),
             machine: m.clone(),
             technique: Technique::csmt(),
             n_threads: 1,

@@ -10,6 +10,7 @@ use vex_sim::{CommPolicy, Engine, MemoryMode, SimConfig, StopReason, Technique};
 
 fn cfg(machine: MachineConfig, technique: Technique, n: u8) -> SimConfig {
     SimConfig {
+        caches: vex_mem::MemConfig::paper(),
         machine,
         technique,
         n_threads: n,
@@ -280,6 +281,7 @@ fn timeslice_scheduler_rotates_and_respawns() {
     let p = strider("short", 0, 40);
     let programs: Vec<Arc<Program>> = (0..4).map(|_| Arc::clone(&p)).collect();
     let cfg = SimConfig {
+        caches: vex_mem::MemConfig::paper(),
         machine: m,
         technique: Technique::csmt(),
         n_threads: 2,

@@ -65,6 +65,7 @@ fn run_example(
     t1: &Arc<Program>,
 ) -> u64 {
     let cfg = SimConfig {
+        caches: vex_mem::MemConfig::paper(),
         machine,
         technique,
         n_threads: 2,
@@ -209,6 +210,7 @@ fn single_thread_timing_is_technique_invariant() {
         .iter()
         .map(|&t| {
             let cfg = SimConfig {
+                caches: vex_mem::MemConfig::paper(),
                 machine: m.clone(),
                 technique: t,
                 n_threads: 1,

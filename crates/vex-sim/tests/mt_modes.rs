@@ -41,6 +41,7 @@ fn run(mode: MtMode, n: u8) -> Engine {
         .map(|j| kernel(&format!("k{j}"), j as i32 + 2))
         .collect();
     let cfg = SimConfig {
+        caches: vex_mem::MemConfig::paper(),
         machine: MachineConfig::paper_4c4w(),
         technique: Technique::csmt(),
         n_threads: n,

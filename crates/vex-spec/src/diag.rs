@@ -1,0 +1,78 @@
+//! Span-carrying diagnostics for spec files, rendered in the same
+//! compiler-style caret format as `vex-asm`'s assembly errors.
+
+use std::fmt;
+
+/// A source position: 1-based line and column of the offending token.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct Span {
+    /// 1-based line number.
+    pub line: u32,
+    /// 1-based column number.
+    pub col: u32,
+    /// Length of the offending token in characters (0 for end-of-line).
+    pub len: u32,
+}
+
+impl Span {
+    /// Builds a span.
+    pub fn new(line: u32, col: u32, len: u32) -> Self {
+        Span { line, col, len }
+    }
+}
+
+/// A spec error with enough context to render a caret diagnostic.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct SpecError {
+    /// Where the error was detected.
+    pub span: Span,
+    /// What went wrong.
+    pub msg: String,
+    /// The full source line the span points into (for rendering).
+    pub source_line: String,
+}
+
+impl SpecError {
+    /// Builds an error at `span`; `source_line` is the raw text of that
+    /// line.
+    pub fn new(span: Span, msg: impl Into<String>, source_line: impl Into<String>) -> Self {
+        SpecError {
+            span,
+            msg: msg.into(),
+            source_line: source_line.into(),
+        }
+    }
+}
+
+impl fmt::Display for SpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "error at line {}:{}: {}",
+            self.span.line, self.span.col, self.msg
+        )?;
+        writeln!(f, "  | {}", self.source_line)?;
+        let pad = " ".repeat(self.span.col.saturating_sub(1) as usize);
+        let carets = "^".repeat((self.span.len.max(1)) as usize);
+        write!(f, "  | {pad}{carets}")
+    }
+}
+
+impl std::error::Error for SpecError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_caret_under_offending_token() {
+        let e = SpecError::new(
+            Span::new(4, 12, 2),
+            "machine has 32 clusters but the simulator supports at most 16",
+            "clusters = 32",
+        );
+        let text = e.to_string();
+        assert!(text.contains("line 4:12"), "{text}");
+        assert!(text.contains("^^"), "{text}");
+    }
+}

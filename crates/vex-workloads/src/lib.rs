@@ -179,15 +179,36 @@ pub fn by_name(name: &str) -> Option<&'static Benchmark> {
 /// Builds and compiles a benchmark for the paper machine.
 ///
 /// Panics on unknown names or compile errors — the twelve kernels are part
-/// of the crate and must always compile.
+/// of the crate and must always compile for their home machine.
 pub fn compile_benchmark(name: &str) -> Arc<Program> {
+    compile_benchmark_for(name, &MachineConfig::paper_4c4w())
+        .unwrap_or_else(|e| panic!("benchmark `{name}`: {e}"))
+}
+
+/// Builds and compiles a benchmark for an arbitrary machine — the retarget
+/// hook behind design-space sweeps over non-paper geometries.
+///
+/// The kernels pin some values to clusters of the paper's 4-cluster
+/// machine; on a machine with fewer clusters those pins wrap modulo the
+/// cluster count (on the paper machine this is the identity, so
+/// [`compile_benchmark`] output is unchanged). Retargeting can genuinely
+/// fail — folding four pinned clusters onto fewer can exceed a cluster's
+/// register file — so compile errors come back as `Err` for the sweep
+/// runner to report. Unknown names still panic (a code bug, not data).
+pub fn compile_benchmark_for(name: &str, m: &MachineConfig) -> Result<Arc<Program>, String> {
     let b = by_name(name).unwrap_or_else(|| panic!("unknown benchmark `{name}`"));
-    let kernel = (b.build)();
-    let m = MachineConfig::paper_4c4w();
-    Arc::new(
-        vex_compiler::compile(&kernel, &m)
-            .unwrap_or_else(|e| panic!("benchmark `{name}` failed to compile: {e}")),
-    )
+    let mut kernel = (b.build)();
+    for pin in kernel.pins.iter_mut().flatten() {
+        *pin %= m.n_clusters;
+    }
+    vex_compiler::compile(&kernel, m)
+        .map(Arc::new)
+        .map_err(|e| {
+            format!(
+                "benchmark `{name}` failed to compile for {}x{}-issue: {e}",
+                m.n_clusters, m.cluster.slots
+            )
+        })
 }
 
 /// Compiles every built-in benchmark for the paper machine, in
@@ -288,6 +309,24 @@ mod tests {
             let p = compile_benchmark(b.name);
             assert!(p.validate(&m).is_ok(), "{} invalid", b.name);
             assert!(p.len() > 4, "{} suspiciously short", b.name);
+        }
+    }
+
+    #[test]
+    fn benchmarks_retarget_to_other_machines() {
+        // Widening never hurts: everything compiles on an 8-cluster
+        // machine. Narrowing folds pins and register pressure together —
+        // the llhh members (the 2-cluster example spec's mix) must fit.
+        let wide = MachineConfig::small(8, 4);
+        for b in BENCHMARKS {
+            let p = compile_benchmark_for(b.name, &wide).expect("8-cluster compile");
+            assert!(p.validate(&wide).is_ok(), "{} invalid on 8x4", b.name);
+        }
+        let narrow = MachineConfig::small(2, 2);
+        let llhh = MIXES.iter().find(|m| m.name == "llhh").unwrap();
+        for name in llhh.members {
+            let p = compile_benchmark_for(name, &narrow).expect("2-cluster compile");
+            assert!(p.validate(&narrow).is_ok(), "{name} invalid on 2x2");
         }
     }
 }

@@ -50,6 +50,7 @@ fn main() {
         let mut ipcs = Vec::new();
         for tech in [Technique::csmt(), Technique::ccsi(CommPolicy::AlwaysSplit)] {
             let cfg = SimConfig {
+                caches: vex_mem::MemConfig::paper(),
                 machine: machine.clone(),
                 technique: tech,
                 n_threads: 4,

@@ -30,8 +30,9 @@ fn main() {
     );
 
     let machine = MachineConfig::paper_4c4w();
-    for (label, tech) in Technique::figure16_set() {
+    for (label, tech) in Technique::FIGURE16_SET {
         let cfg = SimConfig {
+            caches: vex_mem::MemConfig::paper(),
             machine: machine.clone(),
             technique: tech,
             n_threads: 4,

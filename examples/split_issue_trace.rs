@@ -31,6 +31,7 @@ fn program(name: &str, ins: Vec<Instruction>) -> Arc<Program> {
 
 fn run(tech: Technique, t0: &Arc<Program>, t1: &Arc<Program>) {
     let cfg = SimConfig {
+        caches: vex_mem::MemConfig::paper(),
         machine: MachineConfig::small(2, 3),
         technique: tech,
         n_threads: 2,

@@ -14,7 +14,10 @@
 //!   CSMT, SMT and operation-level split-issue (OOSI).
 //! * [`workloads`] — the twelve calibrated benchmark kernels and the nine
 //!   workload mixes of Figure 13.
-//! * [`experiments`] — harness regenerating every figure of the evaluation.
+//! * [`spec`] — declarative run/sweep specifications (TOML-subset parser,
+//!   canonical printer, grid expansion); see `docs/SPECS.md`.
+//! * [`experiments`] — the shared sweep runner plus the harness
+//!   regenerating every figure of the evaluation.
 //! * [`asm`] — textual VEX assembly frontend, disassembler and the `.vexb`
 //!   binary program format behind the `vex` CLI.
 //!
@@ -26,4 +29,5 @@ pub use vex_experiments as experiments;
 pub use vex_isa as isa;
 pub use vex_mem as mem;
 pub use vex_sim as sim;
+pub use vex_spec as spec;
 pub use vex_workloads as workloads;

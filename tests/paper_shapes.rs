@@ -15,6 +15,7 @@ const TOL: f64 = 0.995; // allow 0.5% scheduling noise
 fn ipc(mix_idx: usize, tech: Technique, threads: u8) -> f64 {
     let programs = compile_mix(&MIXES[mix_idx]);
     let cfg = SimConfig {
+        caches: vex_mem::MemConfig::paper(),
         technique: tech,
         n_threads: threads,
         renaming: true,
@@ -89,6 +90,7 @@ fn perfect_memory_dominates_real_memory() {
         let program = clustered_vliw_smt::workloads::compile_benchmark(name);
         let run = |memory| {
             let cfg = SimConfig {
+                caches: vex_mem::MemConfig::paper(),
                 technique: Technique::csmt(),
                 n_threads: 1,
                 renaming: false,

@@ -25,7 +25,7 @@ const SNAPSHOT: &str = include_str!("fixtures/golden_stats.txt");
 
 /// The eight technique points of Figure 16, in display order.
 fn grid() -> Vec<(&'static str, Technique)> {
-    Technique::figure16_set()
+    Technique::FIGURE16_SET.to_vec()
 }
 
 /// A configuration that exercises every moving part the refactor touches:
@@ -34,6 +34,7 @@ fn grid() -> Vec<(&'static str, Technique)> {
 fn snapshot_config(tech: Technique) -> SimConfig {
     SimConfig {
         machine: MachineConfig::paper_4c4w(),
+        caches: vex_mem::MemConfig::paper(),
         technique: tech,
         mt_mode: MtMode::Simultaneous,
         n_threads: 2,
