@@ -43,7 +43,9 @@ SWEEP OPTIONS:
 RUN OPTIONS:
     --spec FILE                           take the whole configuration from a
                                           spec expanding to exactly one point
-                                          (no other options allowed)
+                                          (only --profile may accompany it)
+    --profile                             print the simulator fast-path profile
+                                          (cache filters, TLBs, issue scans)
     --technique csmt|smt|ccsi|cosi|oosi   issue technique        [default: ccsi]
     --comm ns|as                          split communication instructions
                                           (ns = never, as = always) [default: ns]
@@ -290,7 +292,7 @@ fn cmd_sweep(args: &[String]) -> Result<(), String> {
 /// `vex run --spec FILE`: the whole configuration — machine, caches,
 /// technique, workload — comes from a spec that must expand to exactly
 /// one grid point.
-fn cmd_run_spec(path: &str) -> Result<(), String> {
+fn cmd_run_spec(path: &str, profile: bool) -> Result<(), String> {
     let spec = load_spec(path)?;
     let points = spec.expand();
     let [run] = points.as_slice() else {
@@ -320,11 +322,17 @@ fn cmd_run_spec(path: &str) -> Result<(), String> {
         .collect::<Result<_, _>>()?;
     let cfg = run.to_sim_config();
     let (engine, reason) = vex_sim::run_programs(&cfg, &workload);
-    print_report(&cfg, &workload, &engine, reason)
+    print_report(&cfg, &workload, &engine, reason)?;
+    if profile {
+        outln("")?;
+        out(engine.profile().render().as_bytes())?;
+    }
+    Ok(())
 }
 
 struct RunOpts {
     inputs: Vec<String>,
+    profile: bool,
     technique: String,
     comm: CommPolicy,
     threads: Option<u8>,
@@ -342,6 +350,7 @@ struct RunOpts {
 fn parse_run_args(args: &[String]) -> Result<RunOpts, String> {
     let mut o = RunOpts {
         inputs: Vec::new(),
+        profile: false,
         technique: "ccsi".to_string(),
         comm: CommPolicy::NoSplit,
         threads: None,
@@ -404,6 +413,7 @@ fn parse_run_args(args: &[String]) -> Result<RunOpts, String> {
                 }
             }
             "--no-renaming" => o.renaming = false,
+            "--profile" => o.profile = true,
             "--respawn" => o.respawn = true,
             "--no-validate" => o.validate = false,
             "--timeslice" => o.timeslice = parse_u64(&value(&mut it, a)?, a)?,
@@ -428,11 +438,17 @@ fn parse_u64(v: &str, flag: &str) -> Result<u64, String> {
 
 fn cmd_run(args: &[String]) -> Result<(), String> {
     if args.iter().any(|a| a == "--spec") {
-        match args {
-            [flag, path] if flag == "--spec" => return cmd_run_spec(path),
+        let profile = args.iter().any(|a| a == "--profile");
+        let rest: Vec<&String> = args
+            .iter()
+            .filter(|a| *a != "--profile" && *a != "--spec")
+            .collect();
+        match rest.as_slice() {
+            [path] => return cmd_run_spec(path, profile),
             _ => {
                 return Err(
-                    "`--spec` replaces every other `vex run` option: vex run --spec FILE"
+                    "`--spec` replaces every other `vex run` option (except --profile): \
+                     vex run --spec FILE [--profile]"
                         .to_string(),
                 )
             }
@@ -499,7 +515,12 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
         respawn: opts.respawn,
     };
     let (engine, reason) = vex_sim::run_programs(&cfg, &workload);
-    print_report(&cfg, &workload, &engine, reason)
+    print_report(&cfg, &workload, &engine, reason)?;
+    if opts.profile {
+        outln("")?;
+        out(engine.profile().render().as_bytes())?;
+    }
+    Ok(())
 }
 
 fn print_report(

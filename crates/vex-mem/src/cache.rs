@@ -72,12 +72,26 @@ struct Line {
     last_use: u64,
 }
 
+/// Entries in the MRU filter (direct-mapped by ASID low bits): the
+/// interleaved per-thread access streams of an SMT run each keep their own
+/// latch, so one thread's fetches do not evict another's.
+const MRU_WAYS: usize = 8;
+
 /// A set-associative, allocate-on-miss, true-LRU cache.
 ///
 /// The cache carries no data — it only answers "would this access hit?" —
 /// because the simulator keeps architectural bytes in [`crate::Memory`].
 /// Stores allocate like loads (write-allocate); write-back traffic is not
 /// modelled separately, matching the paper's single "miss penalty" cost.
+///
+/// An MRU *filter* — a tiny direct-mapped (by ASID) cache of
+/// `(tag, way index)` pairs — sits in front of the set arrays:
+/// re-accessing a thread's most recent line (the dominant pattern of the
+/// sequential I-fetch stream) skips the set walk and goes straight to the
+/// resident way. The filter is invisible to the timing model: a filter
+/// hit performs the *identical* `last_use`/`tick`/counter updates the
+/// full-path hit would, it merely skips locating the way, so LRU state
+/// and stats are equal to the unfiltered cache by construction.
 #[derive(Clone, Debug)]
 pub struct Cache {
     params: CacheParams,
@@ -86,6 +100,17 @@ pub struct Cache {
     set_mask: u32,
     tick: u64,
     stats: CacheStats,
+    /// MRU filter: `(tag, index into lines)` per ASID class. Invariant:
+    /// an entry with a real tag always points at the way currently holding
+    /// that tag (fills sweep the filter for the evicted tag, and hits
+    /// never move lines). [`Cache::flush`] resets it.
+    mru: [(u64, u32); MRU_WAYS],
+    /// Accesses absorbed by the MRU filter (a subset of `stats.hits`).
+    filter_hits: u64,
+    /// Tag evicted by the most recent allocating miss ([`INVALID_TAG`]
+    /// before the first eviction). Diagnostic: lets the model-based tests
+    /// pin the *eviction order*, not just the counts.
+    last_victim: u64,
 }
 
 impl Cache {
@@ -107,6 +132,9 @@ impl Cache {
             set_mask: n_sets - 1,
             tick: 0,
             stats: CacheStats::default(),
+            mru: [(INVALID_TAG, 0); MRU_WAYS],
+            filter_hits: 0,
+            last_victim: INVALID_TAG,
         }
     }
 
@@ -123,14 +151,52 @@ impl Cache {
     /// Resets counters (not contents).
     pub fn reset_stats(&mut self) {
         self.stats = CacheStats::default();
+        self.filter_hits = 0;
     }
 
-    /// Invalidates all lines and clears statistics.
+    /// Accesses absorbed by the MRU filter so far (a subset of
+    /// `stats().hits` — the filter is timing-transparent).
+    pub fn filter_hits(&self) -> u64 {
+        self.filter_hits
+    }
+
+    /// Tag evicted by the most recent allocating miss, or `None` if no
+    /// eviction has happened since construction/flush. Tags combine the
+    /// ASID (high 32 bits) with the line index, as stored in the ways.
+    pub fn last_victim(&self) -> Option<u64> {
+        match self.last_victim {
+            INVALID_TAG => None,
+            t => Some(t),
+        }
+    }
+
+    /// Recency order of a set's resident tags, most recently used first
+    /// (diagnostic: the model-based tests compare this against a reference
+    /// LRU to pin future eviction order). Filter hits perform the same
+    /// `last_use` update as full-path hits, so this order matches an
+    /// unfiltered cache exactly.
+    pub fn set_recency(&self, set: u32) -> Vec<u64> {
+        let ways = self.params.assoc as usize;
+        let base = (set & self.set_mask) as usize * ways;
+        let mut resident: Vec<&Line> = self.lines[base..base + ways]
+            .iter()
+            .filter(|l| l.tag != INVALID_TAG)
+            .collect();
+        resident.sort_by_key(|l| std::cmp::Reverse(l.last_use));
+        resident.iter().map(|l| l.tag).collect()
+    }
+
+    /// Invalidates all lines and clears statistics. Also drops the MRU
+    /// filter: its tags are no longer resident, so letting them survive
+    /// would turn post-flush accesses into phantom hits.
     pub fn flush(&mut self) {
         for l in &mut self.lines {
             l.tag = INVALID_TAG;
         }
         self.stats = CacheStats::default();
+        self.mru = [(INVALID_TAG, 0); MRU_WAYS];
+        self.filter_hits = 0;
+        self.last_victim = INVALID_TAG;
     }
 
     /// Accesses `addr` in address space `asid`; allocates on miss.
@@ -145,22 +211,37 @@ impl Cache {
     /// several consecutive lines of one fetch (see `MemSystem::fetch_access`)
     /// step the line index directly instead of recomputing set and tag from
     /// a byte address each time.
+    ///
+    /// The MRU-filter fast path goes straight to the resident way: it
+    /// performs exactly the updates the full hit path would (`tick`,
+    /// `last_use`, hit counter) and skips only the set/way *search*, so
+    /// the timing model cannot observe the filter at all.
     #[inline]
     pub fn access_line(&mut self, asid: u16, line_idx: u32) -> bool {
-        self.tick += 1;
-        let set = (line_idx & self.set_mask) as usize;
         // ASID folded into the tag once; validity is folded in too
         // (INVALID_TAG), so the hit loop is one compare per way.
         let tag = ((asid as u64) << 32) | line_idx as u64;
+        let slot = (asid as usize) & (MRU_WAYS - 1);
+        let (mru_tag, mru_idx) = self.mru[slot];
+        if tag == mru_tag {
+            self.filter_hits += 1;
+            self.tick += 1;
+            self.lines[mru_idx as usize].last_use = self.tick;
+            self.stats.hits += 1;
+            return true;
+        }
+        self.tick += 1;
+        let set = (line_idx & self.set_mask) as usize;
         let ways = self.params.assoc as usize;
         let base = set * ways;
         let set_lines = &mut self.lines[base..base + ways];
 
-        // Hit path: touch and return.
-        for line in set_lines.iter_mut() {
+        // Hit path: touch, latch and return.
+        for (w, line) in set_lines.iter_mut().enumerate() {
             if line.tag == tag {
                 line.last_use = self.tick;
                 self.stats.hits += 1;
+                self.mru[slot] = (tag, (base + w) as u32);
                 return true;
             }
         }
@@ -183,11 +264,23 @@ impl Cache {
         }
         if set_lines[victim].tag != INVALID_TAG {
             self.stats.evictions += 1;
+            let victim_tag = set_lines[victim].tag;
+            self.last_victim = victim_tag;
+            // Preserve the filter invariant: any slot latching the evicted
+            // tag no longer points at a way holding it. Runs on the (rare)
+            // eviction path only.
+            for e in &mut self.mru {
+                if e.0 == victim_tag {
+                    e.0 = INVALID_TAG;
+                }
+            }
         }
         set_lines[victim] = Line {
             tag,
             last_use: self.tick,
         };
+        // The freshly filled line is this ASID's most recent access.
+        self.mru[slot] = (tag, (base + victim) as u32);
         false
     }
 }
@@ -253,5 +346,64 @@ mod tests {
         c.access(0, 0x00);
         c.flush();
         assert!(!c.access(0, 0x00));
+    }
+
+    #[test]
+    fn mru_filter_absorbs_repeat_accesses() {
+        let mut c = tiny();
+        assert!(!c.access(0, 0x00)); // miss fills and latches
+        assert_eq!(c.filter_hits(), 0);
+        assert!(c.access(0, 0x00)); // same line: filter hit
+        assert!(c.access(0, 0x0f)); // still the same line
+        assert_eq!(c.filter_hits(), 2);
+        assert_eq!(c.stats().hits, 2, "filter hits count as plain hits");
+        assert!(!c.access(1, 0x00), "different ASID must not filter-hit");
+    }
+
+    #[test]
+    fn flush_drops_the_mru_filter() {
+        // The respawn path: a flush after a latched access must not leave
+        // a phantom resident line behind.
+        let mut c = tiny();
+        c.access(0, 0x00);
+        c.access(0, 0x00); // latched
+        c.flush();
+        assert_eq!(c.filter_hits(), 0);
+        assert!(!c.access(0, 0x00), "post-flush access must cold-miss");
+        assert_eq!(c.stats().misses, 1);
+        assert_eq!(c.last_victim(), None, "flush clears the victim record");
+    }
+
+    #[test]
+    fn filter_never_changes_eviction_order() {
+        // Fill set 0's two ways, latch-hit the MRU one repeatedly, then
+        // allocate a third line: the LRU victim must be the *other* way,
+        // exactly as in an unfiltered cache.
+        let mut c = tiny();
+        c.access(0, 0x00); // way A
+        c.access(0, 0x20); // way B (now MRU)
+        for _ in 0..5 {
+            assert!(c.access(0, 0x20)); // filter hits, no LRU churn
+        }
+        c.access(0, 0x40); // evicts A (0x00), the true LRU
+        assert_eq!(c.last_victim(), Some(0x00 >> 4));
+        assert!(c.access(0, 0x20), "B must survive");
+        assert!(!c.access(0, 0x00), "A must have been evicted");
+    }
+
+    #[test]
+    fn set_recency_orders_mru_first() {
+        let mut c = tiny();
+        c.access(0, 0x00);
+        c.access(0, 0x20);
+        // 0x00 is not latched (0x20 is), so this takes the full hit path
+        // and bumps its recency back to MRU.
+        c.access(0, 0x00);
+        assert_eq!(c.set_recency(0), vec![0x00 >> 4, 0x20 >> 4]);
+        let mut d = tiny();
+        d.access(0, 0x00);
+        d.access(0, 0x00); // latched: recency order must not change
+        d.access(0, 0x20);
+        assert_eq!(d.set_recency(0), vec![0x20 >> 4, 0x00 >> 4]);
     }
 }

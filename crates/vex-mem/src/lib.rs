@@ -22,7 +22,7 @@ pub mod cache;
 pub mod memory;
 
 pub use cache::{Cache, CacheParams, CacheStats};
-pub use memory::Memory;
+pub use memory::{Memory, PageLookupStats};
 
 #[cfg(test)]
 mod memconfig_tests {
@@ -106,6 +106,9 @@ pub struct MemSystem {
     pub miss_penalty: u32,
     /// When true, every access hits (the paper's perfect-memory *IPCp* mode).
     pub perfect: bool,
+    /// `log2(icache line)` cached off the geometry: `fetch_access` runs
+    /// ~once per instruction and should not re-derive it per call.
+    fetch_shift: u32,
 }
 
 impl MemSystem {
@@ -118,6 +121,7 @@ impl MemSystem {
             dcache: Cache::new(cfg.dcache),
             miss_penalty: cfg.miss_penalty,
             perfect,
+            fetch_shift: cfg.icache.line_bytes.trailing_zeros(),
         }
     }
 
@@ -154,9 +158,8 @@ impl MemSystem {
         if self.perfect {
             return 0;
         }
-        let shift = self.icache.params().line_bytes.trailing_zeros();
-        let first = addr >> shift;
-        let last = (addr + len.max(1) - 1) >> shift;
+        let first = addr >> self.fetch_shift;
+        let last = (addr + len.max(1) - 1) >> self.fetch_shift;
         let mut penalty = 0;
         for l in first..=last {
             if !self.icache.access_line(asid, l) {

@@ -6,9 +6,15 @@ use proptest::prelude::*;
 use vex_mem::{Cache, CacheParams};
 
 /// Naive reference: per set, a most-recently-used-first list of tags.
+/// Tracks hit/miss/eviction counts and the exact eviction sequence, so the
+/// MRU-filtered implementation can be pinned to the unfiltered model in
+/// aggregate *and* in replacement order.
 struct RefLru {
     params: CacheParams,
     sets: Vec<Vec<u64>>,
+    hits: u64,
+    misses: u64,
+    evicted: Vec<u64>,
 }
 
 impl RefLru {
@@ -16,11 +22,17 @@ impl RefLru {
         RefLru {
             sets: vec![Vec::new(); params.n_sets() as usize],
             params,
+            hits: 0,
+            misses: 0,
+            evicted: Vec::new(),
         }
     }
 
     fn access(&mut self, asid: u16, addr: u32) -> bool {
-        let line = addr / self.params.line_bytes;
+        self.access_line(asid, addr / self.params.line_bytes)
+    }
+
+    fn access_line(&mut self, asid: u16, line: u32) -> bool {
         let set = (line % self.params.n_sets()) as usize;
         let tag = ((asid as u64) << 32) | line as u64;
         let ways = self.params.assoc as usize;
@@ -28,10 +40,14 @@ impl RefLru {
         if let Some(pos) = s.iter().position(|&t| t == tag) {
             let t = s.remove(pos);
             s.insert(0, t);
+            self.hits += 1;
             true
         } else {
             s.insert(0, tag);
-            s.truncate(ways);
+            if s.len() > ways {
+                self.evicted.push(s.pop().unwrap());
+            }
+            self.misses += 1;
             false
         }
     }
@@ -99,6 +115,48 @@ proptest! {
 }
 
 proptest! {
+    /// `access` and `access_line` interleaved through the MRU-filtered
+    /// cache agree with the unfiltered reference model per access, in the
+    /// aggregate `CacheStats`, in the *eviction order* (every evicted tag,
+    /// in sequence), and in each set's final recency order. This is the
+    /// property that licenses the filter fast path: it must be invisible
+    /// to the timing model.
+    #[test]
+    fn mru_filter_is_timing_transparent(
+        ops in prop::collection::vec(
+            (any::<bool>(), 0u16..3, 0u32..2048), 1..800)
+    ) {
+        let params = tiny_params(); // 8 sets, 4 ways, 32B lines
+        let mut cache = Cache::new(params);
+        let mut model = RefLru::new(params);
+        let mut real_evictions: Vec<u64> = Vec::new();
+        for (i, (by_line, asid, x)) in ops.iter().enumerate() {
+            let evictions_before = cache.stats().evictions;
+            let (real, want) = if *by_line {
+                // Direct line-index entry point (the fetch path's form).
+                (cache.access_line(*asid, *x), model.access_line(*asid, *x))
+            } else {
+                (cache.access(*asid, *x), model.access(*asid, *x))
+            };
+            prop_assert_eq!(real, want, "outcome diverged at access {}", i);
+            if cache.stats().evictions > evictions_before {
+                real_evictions.push(cache.last_victim().expect("eviction recorded"));
+            }
+        }
+        let s = cache.stats();
+        prop_assert_eq!(s.hits, model.hits, "hit counts diverged");
+        prop_assert_eq!(s.misses, model.misses, "miss counts diverged");
+        prop_assert_eq!(s.evictions, model.evicted.len() as u64);
+        prop_assert_eq!(&real_evictions, &model.evicted, "eviction order diverged");
+        for set in 0..params.n_sets() {
+            prop_assert_eq!(
+                cache.set_recency(set),
+                model.sets[set as usize].clone(),
+                "recency order diverged in set {}", set
+            );
+        }
+    }
+
     /// The fetch path (line-index stepping over spanned lines) produces
     /// exactly the same `CacheStats` as probing the reference model line by
     /// line: the hit/miss/eviction *counts* pin the fast path, not just the

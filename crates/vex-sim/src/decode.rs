@@ -16,6 +16,7 @@
 //! deduplicates by `Arc::ptr_eq` when it builds a workload, so an
 //! `n`-thread run of one benchmark decodes it exactly once.
 
+use crate::packet::pack_demand;
 use std::sync::Arc;
 use vex_isa::{Dest, FuKind, Opcode, Operand, Program};
 
@@ -37,32 +38,55 @@ pub enum LoadWidth {
 /// A general-purpose register coordinate `(logical cluster, index)`.
 pub type RegCoord = (u8, u8);
 
+/// Pre-resolved source operand: the **flat** GPR-file index
+/// (`cluster * 64 + index`, see [`crate::thread::GprFile`]), or [`SRC_IMM`]
+/// meaning "read the op's `imm` field". Register zero of any cluster is a
+/// valid flat index and architecturally reads zero (its slot is never
+/// written), so `Breg`/`None` operands resolve to flat index 0 and read
+/// zero without a special case.
+pub type SrcRef = u16;
+
+/// [`SrcRef`] sentinel: the operand is the op's immediate.
+pub const SRC_IMM: SrcRef = u16::MAX;
+
+/// Flat-destination sentinel: no GPR/branch-register write (result
+/// discarded, or the destination was the immutable register zero).
+pub const DST_NONE: u16 = u16::MAX;
+
+/// Flat branch-register sentinel: the condition operand named no branch
+/// register; it reads false.
+pub const BREG_NONE: u16 = u16::MAX;
+
 /// What an operation *does* at activation, with every static decision
-/// already made. Only values (register reads, memory reads, ALU results)
-/// are computed when a record is built from one of these.
-#[derive(Clone, PartialEq, Eq, Debug)]
+/// already made — opcode classified, operands resolved to flat register
+/// indices or immediates, immutable-destination writes dropped, and
+/// constant operations folded. Only values (register reads, memory reads,
+/// ALU results) are computed when a record is built from one of these.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum OpEval {
     /// Memory read into an optional GPR destination.
     Load {
         /// Access width.
         width: LoadWidth,
-        /// Base-address operand.
-        base: Operand,
+        /// Base-address source (immediate bases fold into `off`).
+        base: SrcRef,
         /// Byte offset added to the base.
         off: u32,
-        /// Destination GPR, if the compiler kept the result.
-        dst: Option<RegCoord>,
+        /// Flat destination GPR, or [`DST_NONE`].
+        dst: u16,
     },
     /// Memory write, delay-buffered until commit.
     Store {
         /// Access size in bytes (1, 2 or 4).
         size: u8,
-        /// Base-address operand.
-        base: Operand,
+        /// Base-address source (immediate bases fold into `off`).
+        base: SrcRef,
         /// Byte offset added to the base.
         off: u32,
-        /// Value operand.
-        value: Operand,
+        /// Value source.
+        value: SrcRef,
+        /// Immediate consumed by `value` when it is [`SRC_IMM`].
+        val_imm: u32,
     },
     /// Inter-cluster send. The value capture happens via
     /// [`DecodedProgram::sends_of`] before records are built, so the record
@@ -72,14 +96,14 @@ pub enum OpEval {
     Recv {
         /// Transfer pair id (0..16).
         pair: u8,
-        /// Destination GPR, if any.
-        dst: Option<RegCoord>,
+        /// Flat destination GPR, or [`DST_NONE`].
+        dst: u16,
     },
-    /// Conditional branch: taken when the branch register (`None` reads
-    /// false) equals `taken_if`.
+    /// Conditional branch: taken when the branch register equals
+    /// `taken_if`.
     CondBr {
-        /// Branch-register coordinate, if the condition operand named one.
-        cond: Option<RegCoord>,
+        /// Flat branch-register index, or [`BREG_NONE`] (reads false).
+        cond: u16,
         /// Target instruction index.
         target: usize,
         /// Polarity: `true` for `br`, `false` for `brf`.
@@ -97,24 +121,50 @@ pub enum OpEval {
         /// Opcode, dispatched by [`crate::exec::eval`].
         op: Opcode,
         /// First source.
-        a: Operand,
+        a: SrcRef,
         /// Second source.
-        b: Operand,
-        /// Select condition (branch register), if the `c` operand named one.
-        cond: Option<RegCoord>,
-        /// Destination GPR.
-        dst: RegCoord,
+        b: SrcRef,
+        /// Immediate consumed by whichever of `a`/`b` is [`SRC_IMM`]
+        /// (two-immediate operations are constant-folded at decode).
+        imm: u32,
+        /// Select condition (flat branch register or [`BREG_NONE`]).
+        cond: u16,
+        /// Flat destination GPR (never [`DST_NONE`]: destination-less
+        /// operations decode to [`OpEval::Effectless`]).
+        dst: u16,
+    },
+    /// A `slct` whose both data sources are immediates (cannot fold: the
+    /// outcome still depends on the branch register at activation).
+    SlctImm {
+        /// Value when the condition is true.
+        a: u32,
+        /// Value when the condition is false.
+        b: u32,
+        /// Flat branch-register condition, or [`BREG_NONE`].
+        cond: u16,
+        /// Flat destination GPR.
+        dst: u16,
     },
     /// Compare-class operation writing a branch register.
     AluBreg {
         /// Opcode, dispatched by [`crate::exec::eval_cond`].
         op: Opcode,
         /// First source.
-        a: Operand,
+        a: SrcRef,
         /// Second source.
-        b: Operand,
-        /// Destination branch register.
-        dst: RegCoord,
+        b: SrcRef,
+        /// Immediate consumed by whichever of `a`/`b` is [`SRC_IMM`].
+        imm: u32,
+        /// Flat destination branch register.
+        dst: u16,
+    },
+    /// A branch-register write whose value folded to a constant at decode
+    /// (compare of two immediates).
+    BregConst {
+        /// The folded truth value.
+        v: bool,
+        /// Flat destination branch register.
+        dst: u16,
     },
     /// Operation with no architectural effect (result discarded). Still
     /// occupies its functional unit and issue slot.
@@ -138,6 +188,10 @@ pub struct ClusterDemand {
     pub rec_range: (u16, u16),
     /// Units demanded per class, indexed by [`FuKind::index`].
     pub fu: [u8; FuKind::COUNT],
+    /// The same demand as one packed resource word
+    /// ([`crate::packet::Packet`] lane layout): a whole-bundle fit check or
+    /// claim is a single 64-bit add against the packet.
+    pub packed: u64,
 }
 
 /// The static half of one operation's in-flight record.
@@ -178,8 +232,9 @@ pub struct DecodedProgram {
     /// Flattened operation table, grouped by instruction in bundle order
     /// (the same order `activate` used to walk `Instruction::bundles`).
     pub ops: Vec<DecodedOp>,
-    /// Flattened `(pair id, source operand)` table for send value capture.
-    pub sends: Vec<(u8, Operand)>,
+    /// Flattened `(pair id, source, immediate)` table for send value
+    /// capture, sources pre-resolved like every other operand.
+    pub sends: Vec<(u8, SrcRef, u32)>,
     /// Flattened per-bundle resource-demand table, one entry per non-empty
     /// bundle, in cluster order.
     pub demands: Vec<ClusterDemand>,
@@ -215,13 +270,15 @@ impl DecodedProgram {
                     slots: bundle.ops.len() as u8,
                     rec_range: (rec_lo, rec_lo + bundle.ops.len() as u16),
                     fu: [0; FuKind::COUNT],
+                    packed: 0,
                 };
                 for op in &bundle.ops {
                     if op.opcode.is_comm() {
                         has_comm = true;
                     }
                     if op.opcode == Opcode::Send {
-                        sends.push((op.imm as u8 & 15, op.a));
+                        let (src, imm) = resolve_src(op.a);
+                        sends.push((op.imm as u8 & 15, src, imm.unwrap_or(0)));
                     }
                     let fu = op.fu_kind();
                     demand.fu[fu.index()] += 1;
@@ -231,6 +288,7 @@ impl DecodedProgram {
                         eval: decode_eval(op, program.len()),
                     });
                 }
+                demand.packed = pack_demand(&demand.fu, demand.slots);
                 demands.push(demand);
             }
 
@@ -284,19 +342,50 @@ impl DecodedProgram {
 
     /// Send sources of an instruction, for transfer value capture.
     #[inline]
-    pub fn sends_of(&self, di: &DecodedInst) -> &[(u8, Operand)] {
+    pub fn sends_of(&self, di: &DecodedInst) -> &[(u8, SrcRef, u32)] {
         &self.sends[di.send_range.0 as usize..di.send_range.1 as usize]
     }
 
     /// Per-bundle resource demands of an instruction, in cluster order.
     #[inline]
     pub fn demands_of(&self, di: &DecodedInst) -> &[ClusterDemand] {
-        &self.demands[di.demand_range.0 as usize..di.demand_range.1 as usize]
+        self.demands_in(di.demand_range)
+    }
+
+    /// Demand-table slice for a raw range (the in-flight state caches its
+    /// instruction's range so the issue stage skips the `DecodedInst`
+    /// load).
+    #[inline]
+    pub fn demands_in(&self, range: (u32, u32)) -> &[ClusterDemand] {
+        &self.demands[range.0 as usize..range.1 as usize]
+    }
+}
+
+/// Flat GPR-file index of a register coordinate.
+#[inline]
+fn gpr_flat(c: u8, i: u8) -> u16 {
+    c as u16 * 64 + i as u16
+}
+
+/// Resolves a source operand to a [`SrcRef`] plus its immediate, if any.
+/// `Breg`/`None` operands read zero, like the legacy evaluator: they
+/// resolve to flat index 0 (cluster 0's immutable register zero).
+#[inline]
+fn resolve_src(o: Operand) -> (SrcRef, Option<u32>) {
+    match o {
+        Operand::Gpr(r) => (gpr_flat(r.cluster, r.index), None),
+        Operand::Imm(i) => (SRC_IMM, Some(i as u32)),
+        Operand::Breg(_) | Operand::None => (0, None),
     }
 }
 
 /// Classifies one operation, mirroring the `match op.opcode` that
 /// `ThreadCtx::activate` performed per activation before pre-decoding.
+/// Beyond classification, every operand is resolved to a flat register
+/// index or an immediate ([`resolve_src`]), writes to the immutable
+/// register zero are dropped ([`DST_NONE`] / [`OpEval::Effectless`] — they
+/// were value-discarding no-ops in the legacy evaluator too), and ALU
+/// operations over two immediates are folded to their constant result.
 ///
 /// Control targets outside the program (possible only for programs that
 /// skipped [`Program::validate`], e.g. negative immediates) are clamped to
@@ -304,44 +393,57 @@ impl DecodedProgram {
 /// fell-off-the-end path), and the clamp keeps targets clear of the
 /// record encoding's `u32` control sentinels.
 fn decode_eval(op: &vex_isa::Operation, program_len: usize) -> OpEval {
-    let gpr_dst = |d: Dest| -> Option<RegCoord> {
+    let gpr_dst = |d: Dest| -> u16 {
         match d {
-            Dest::Gpr(r) => Some((r.cluster, r.index)),
-            _ => None,
+            // Register zero is immutable: the legacy path evaluated the
+            // value and discarded it at commit, so dropping the write here
+            // is observationally identical.
+            Dest::Gpr(r) if r.index != 0 => gpr_flat(r.cluster, r.index),
+            _ => DST_NONE,
         }
     };
-    let breg_cond = |o: Operand| -> Option<RegCoord> {
+    let breg_cond = |o: Operand| -> u16 {
         match o {
-            Operand::Breg(b) => Some((b.cluster, b.index)),
-            _ => None,
+            Operand::Breg(b) => b.cluster as u16 * 8 + b.index as u16,
+            _ => BREG_NONE,
         }
     };
     let target = |imm: i32| -> usize { (imm as usize).min(program_len) };
 
     match op.opcode {
-        o if o.is_load() => OpEval::Load {
-            width: match o {
-                Opcode::Ldw => LoadWidth::W,
-                Opcode::Ldh => LoadWidth::H,
-                Opcode::Ldhu => LoadWidth::Hu,
-                Opcode::Ldb => LoadWidth::B,
-                Opcode::Ldbu => LoadWidth::Bu,
-                _ => unreachable!(),
-            },
-            base: op.a,
-            off: op.imm as u32,
-            dst: gpr_dst(op.dst),
-        },
-        o if o.is_store() => OpEval::Store {
-            size: match o {
-                Opcode::Stw => 4,
-                Opcode::Sth => 2,
-                _ => 1,
-            },
-            base: op.a,
-            off: op.imm as u32,
-            value: op.b,
-        },
+        o if o.is_load() => {
+            let (base, base_imm) = resolve_src(op.a);
+            OpEval::Load {
+                width: match o {
+                    Opcode::Ldw => LoadWidth::W,
+                    Opcode::Ldh => LoadWidth::H,
+                    Opcode::Ldhu => LoadWidth::Hu,
+                    Opcode::Ldb => LoadWidth::B,
+                    Opcode::Ldbu => LoadWidth::Bu,
+                    _ => unreachable!(),
+                },
+                // An immediate base folds into the offset; flat index 0
+                // reads zero, so the addition stays `base + off`.
+                base: if base_imm.is_some() { 0 } else { base },
+                off: (op.imm as u32).wrapping_add(base_imm.unwrap_or(0)),
+                dst: gpr_dst(op.dst),
+            }
+        }
+        o if o.is_store() => {
+            let (base, base_imm) = resolve_src(op.a);
+            let (value, val_imm) = resolve_src(op.b);
+            OpEval::Store {
+                size: match o {
+                    Opcode::Stw => 4,
+                    Opcode::Sth => 2,
+                    _ => 1,
+                },
+                base: if base_imm.is_some() { 0 } else { base },
+                off: (op.imm as u32).wrapping_add(base_imm.unwrap_or(0)),
+                value,
+                val_imm: val_imm.unwrap_or(0),
+            }
+        }
         Opcode::Send => OpEval::Send,
         Opcode::Recv => OpEval::Recv {
             pair: op.imm as u8 & 15,
@@ -361,22 +463,60 @@ fn decode_eval(op: &vex_isa::Operation, program_len: usize) -> OpEval {
             target: target(op.imm),
         },
         Opcode::Halt => OpEval::Halt,
-        o => match op.dst {
-            Dest::Gpr(d) => OpEval::AluGpr {
-                op: o,
-                a: op.a,
-                b: op.b,
-                cond: breg_cond(op.c),
-                dst: (d.cluster, d.index),
-            },
-            Dest::Breg(d) => OpEval::AluBreg {
-                op: o,
-                a: op.a,
-                b: op.b,
-                dst: (d.cluster, d.index),
-            },
-            Dest::None => OpEval::Effectless,
-        },
+        o => {
+            let (a, a_imm) = resolve_src(op.a);
+            let (b, b_imm) = resolve_src(op.b);
+            let imm = a_imm.or(b_imm).unwrap_or(0);
+            match op.dst {
+                Dest::Gpr(d) if d.index != 0 => {
+                    let cond = breg_cond(op.c);
+                    let dst = gpr_flat(d.cluster, d.index);
+                    match (a_imm, b_imm) {
+                        (Some(ia), Some(ib)) if o == Opcode::Slct => OpEval::SlctImm {
+                            a: ia,
+                            b: ib,
+                            cond,
+                            dst,
+                        },
+                        (Some(ia), Some(ib)) => OpEval::AluGpr {
+                            // Constant under any condition (only `slct`
+                            // reads `cond`): fold to a move of the result.
+                            op: Opcode::Mov,
+                            a: SRC_IMM,
+                            b: 0,
+                            imm: crate::exec::eval(o, ia, ib, false),
+                            cond,
+                            dst,
+                        },
+                        _ => OpEval::AluGpr {
+                            op: o,
+                            a,
+                            b,
+                            imm,
+                            cond,
+                            dst,
+                        },
+                    }
+                }
+                Dest::Breg(d) => {
+                    let dst = d.cluster as u16 * 8 + d.index as u16;
+                    match (a_imm, b_imm) {
+                        (Some(ia), Some(ib)) => OpEval::BregConst {
+                            v: crate::exec::eval_cond(o, ia, ib),
+                            dst,
+                        },
+                        _ => OpEval::AluBreg {
+                            op: o,
+                            a,
+                            b,
+                            imm,
+                            dst,
+                        },
+                    }
+                }
+                _ => OpEval::Effectless,
+            }
+        }
     }
 }
 
@@ -416,7 +556,7 @@ mod tests {
         assert_eq!(d.ops_of(i0).len(), 3);
         assert_eq!(i0.bundle_mask, 0b0111);
         assert!(i0.has_comm);
-        assert_eq!(d.sends_of(i0), &[(3, Operand::Gpr(Reg::new(0, 1)))]);
+        assert_eq!(d.sends_of(i0), &[(3, 1u16, 0u32)]); // flat r0.1, no imm
         assert_eq!(i0.fetch_addr, p.inst_addr[0]);
         assert_eq!(i0.fetch_len, p.instructions[0].encoded_size());
 
@@ -443,16 +583,16 @@ mod tests {
             ops[1].eval,
             OpEval::Load {
                 width: LoadWidth::H,
-                base: Operand::Gpr(Reg::new(1, 2)),
+                base: 64 + 2, // flat r1.2
                 off: 8,
-                dst: Some((1, 3)),
+                dst: 64 + 3, // flat r1.3
             }
         );
         assert_eq!(
             ops[2].eval,
             OpEval::Recv {
                 pair: 3,
-                dst: Some((2, 4)),
+                dst: 2 * 64 + 4, // flat r2.4
             }
         );
         assert_eq!(ops[1].log_cluster, 1);

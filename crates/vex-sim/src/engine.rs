@@ -23,11 +23,12 @@
 use crate::config::{CommPolicy, MemoryMode, MergePolicy, MtMode, SimConfig, SplitPolicy};
 use crate::decode::{ClusterDemand, DecodedProgram};
 use crate::packet::{Packet, MAX_CLUSTERS};
+use crate::profile::{CacheProfile, Profile};
 use crate::rng::SplitMix64;
 use crate::stats::SimStats;
 use crate::thread::{phys_cluster, CtrlEffect, ThreadCtx};
 use std::sync::Arc;
-use vex_isa::Program;
+use vex_isa::{FuKind, Program};
 use vex_mem::MemSystem;
 
 /// One issue event, recorded when tracing is enabled: context `ctx` issued
@@ -118,6 +119,41 @@ impl PreparedProgram {
     }
 }
 
+/// `SPLIT` const-generic encoding of [`SplitPolicy`].
+const SPLIT_NONE: u8 = 0;
+/// Cluster-level split-issue.
+const SPLIT_CLUSTER: u8 = 1;
+/// Operation-level split-issue.
+const SPLIT_OP: u8 = 2;
+
+/// Expands `body` with the const-generic pair (`MERGE_OP: bool`,
+/// `SPLIT: u8`) matching a [`Technique`] — the one place the merge/split
+/// policy is turned into a compile-time shape. The `comm` policy stays a
+/// runtime check: it only gates the per-instruction `has_comm` flag, not
+/// the loop structure.
+macro_rules! dispatch_technique {
+    ($tech:expr, |$mo:ident, $sp:ident| $body:expr) => {{
+        macro_rules! arm {
+            ($mov:literal, $spv:expr) => {{
+                #[allow(non_upper_case_globals)]
+                {
+                    const $mo: bool = $mov;
+                    const $sp: u8 = $spv;
+                    $body
+                }
+            }};
+        }
+        match ($tech.merge, $tech.split) {
+            (MergePolicy::Cluster, SplitPolicy::None) => arm!(false, SPLIT_NONE),
+            (MergePolicy::Cluster, SplitPolicy::Cluster) => arm!(false, SPLIT_CLUSTER),
+            (MergePolicy::Cluster, SplitPolicy::Operation) => arm!(false, SPLIT_OP),
+            (MergePolicy::Operation, SplitPolicy::None) => arm!(true, SPLIT_NONE),
+            (MergePolicy::Operation, SplitPolicy::Cluster) => arm!(true, SPLIT_CLUSTER),
+            (MergePolicy::Operation, SplitPolicy::Operation) => arm!(true, SPLIT_OP),
+        }
+    }};
+}
+
 impl Engine {
     /// Builds an engine over a workload (one context per program).
     pub fn new(cfg: SimConfig, programs: &[Arc<Program>]) -> Self {
@@ -146,6 +182,26 @@ impl Engine {
     pub fn with_prepared(cfg: SimConfig, workload: &[PreparedProgram]) -> Self {
         assert!(!workload.is_empty(), "workload must contain programs");
         assert!(cfg.n_threads >= 1);
+        // The issue stage's empty-packet fast path and the packet's packed
+        // lanes both rely on every bundle fitting the machine's per-cluster
+        // resources — the invariant `Program::validate` enforces. A hard
+        // assert (once per program, tiny tables) because `--no-validate`
+        // callers reach this in release builds too, and an over-wide bundle
+        // would otherwise corrupt the packed fit arithmetic silently.
+        for p in workload {
+            for d in &p.decoded.demands {
+                assert!(
+                    d.slots <= cfg.machine.cluster.slots
+                        && d.fu
+                            .iter()
+                            .zip(cfg.machine.cluster.counts())
+                            .all(|(&n, limit)| n <= limit),
+                    "program `{}` has a bundle exceeding the machine's \
+                     resources; run Program::validate before simulating",
+                    p.program.name
+                );
+            }
+        }
         let mem = MemSystem::new(cfg.caches, cfg.memory == MemoryMode::Perfect);
         let contexts: Vec<ThreadCtx> = workload
             .iter()
@@ -174,7 +230,7 @@ impl Engine {
                 ..Default::default()
             },
             trace: None,
-            packet: Packet::new(cfg.machine.n_clusters),
+            packet: Packet::new(&cfg.machine),
             global_stall: 0,
             rng: SplitMix64::new(seed),
             next_switch: timeslice,
@@ -260,29 +316,16 @@ impl Engine {
             .min(self.cfg.max_cycles.saturating_sub(self.cycle))
     }
 
-    /// If no hardware thread can act this cycle, returns the earliest cycle
-    /// at which one wakes (`u64::MAX` when every slot is empty or retired).
-    /// Returns `None` as soon as any slotted, non-retired context is
-    /// unstalled — such a cycle must run the full issue loop.
-    #[inline]
-    fn all_stalled_until(&self) -> Option<u64> {
-        let mut wake = u64::MAX;
-        for slot in &self.slots {
-            let Some(ci) = *slot else { continue };
-            let t = &self.contexts[ci];
-            if t.retired {
-                continue;
-            }
-            if t.stall_until <= self.cycle {
-                return None;
-            }
-            wake = wake.min(t.stall_until);
-        }
-        Some(wake)
+    /// Advances one cycle. Single-step API: dispatches on the technique
+    /// per call; [`Engine::run`] instead dispatches **once** and loops a
+    /// fully monomorphized cycle, with the issue stage inlined into it.
+    pub fn step(&mut self) {
+        dispatch_technique!(self.cfg.technique, |MO, SP| self.step_inner::<MO, SP>())
     }
 
-    /// Advances one cycle.
-    pub fn step(&mut self) {
+    /// One cycle, monomorphized over the technique (`MERGE_OP`, `SPLIT` as
+    /// in [`issue_thread`]).
+    fn step_inner<const MERGE_OP: bool, const SPLIT: u8>(&mut self) {
         if self.cycle >= self.next_switch {
             self.next_switch += self.cfg.timeslice;
             self.assign_slots();
@@ -302,20 +345,6 @@ impl Engine {
             return;
         }
 
-        // Dead-cycle fast path: if every hardware thread is stalled (cache
-        // miss / branch penalty), nothing can issue until the earliest
-        // `stall_until`. Those cycles only count `cycles`/`empty_cycles`,
-        // so they are consumed in bulk. A cycle in which any thread *could*
-        // act (even if it then issues nothing) is never skipped.
-        if let Some(wake) = self.all_stalled_until() {
-            let k = (wake - self.cycle)
-                .min(self.cycles_until_next_event())
-                .max(1);
-            self.stats.empty_cycles += k;
-            self.advance_cycles(k);
-            return;
-        }
-
         self.packet.reset();
         let n_hw = self.slots.len();
         // Priority order: SMT-class rotates every cycle (§VI-A); Block MT
@@ -330,6 +359,16 @@ impl Engine {
         let mut commits = std::mem::take(&mut self.commit_scratch);
         commits.clear();
 
+        // Dead-window detection, fused into the issue loop (it used to be
+        // a separate pre-scan over the same contexts): if no slotted,
+        // non-retired context was issuable *at the start of this cycle*,
+        // the cycles until the earliest `stall_until` are all empty and are
+        // consumed in bulk after the per-cycle bookkeeping below — which,
+        // for such a cycle, increments exactly `cycles`/`empty_cycles`, so
+        // cycle-by-cycle and batched execution are bit-identical.
+        let mut any_runnable = false;
+        let mut wake = u64::MAX;
+
         for k in 0..n_hw {
             // `offset + k < 2 * n_hw`, so the wrap is a compare-subtract
             // rather than a hardware divide on the hottest loop.
@@ -339,9 +378,14 @@ impl Engine {
             }
             let Some(ci) = self.slots[slot] else { continue };
             let t = &mut self.contexts[ci];
-            if t.retired || self.cycle < t.stall_until {
+            if t.retired {
                 continue;
             }
+            if self.cycle < t.stall_until {
+                wake = wake.min(t.stall_until);
+                continue;
+            }
+            any_runnable = true;
 
             // Fetch/activate if nothing is in flight.
             if !t.inflight.active {
@@ -370,8 +414,13 @@ impl Engine {
             }
 
             // Issue pending work into the packet.
-            let (issued_ops, completed) =
-                issue_thread(t, &mut self.packet, &mut self.mem, &self.cfg, self.cycle);
+            let (issued_ops, completed) = issue_thread::<MERGE_OP, SPLIT>(
+                t,
+                &mut self.packet,
+                &mut self.mem,
+                &self.cfg,
+                self.cycle,
+            );
             if issued_ops > 0 {
                 self.packet.threads += 1;
                 t.stats.ops_issued += issued_ops as u64;
@@ -405,17 +454,22 @@ impl Engine {
         for &ci in &commits {
             let t = &mut self.contexts[ci];
             let n_clusters = self.cfg.machine.n_clusters;
-            // Split accounting + buffered-store port demand. A store issued
+            // Split accounting + buffered-store port demand. Stores issued
             // at an *earlier* cycle than the commit can only exist when the
-            // instruction split (`parts > 1`), so the record scan is skipped
-            // for every whole-issued instruction.
+            // instruction split (`parts > 1`); the issue stage counted them
+            // per logical cluster as they issued (`InFlight::early_stores`),
+            // so commit just applies the (current) physical mapping — no
+            // record scan.
             if t.inflight.parts > 1 {
                 t.stats.split_instructions += 1;
                 t.stats.split_parts += t.inflight.parts as u64;
-                for rec in &t.inflight.records {
-                    if rec.has_store() && rec.issued_at < self.cycle {
-                        let p = t.phys_cluster(rec.log_cluster, n_clusters);
-                        commit_mem[p as usize] += 1;
+                for (c, &n) in t.inflight.early_stores[..n_clusters as usize]
+                    .iter()
+                    .enumerate()
+                {
+                    if n > 0 {
+                        let p = t.phys_cluster(c as u8, n_clusters);
+                        commit_mem[p as usize] += n;
                     }
                 }
             }
@@ -449,16 +503,27 @@ impl Engine {
         // stores versus ports) stalls the pipeline for the excess (§V-D).
         let ports = self.cfg.machine.cluster.mem;
         let mut overflow = 0u64;
-        for (&issued, &extra) in self
-            .packet
-            .mem_issued
+        for (p, &extra) in commit_mem
             .iter()
-            .zip(commit_mem.iter())
+            .enumerate()
             .take(self.cfg.machine.n_clusters as usize)
         {
-            overflow += (issued + extra).saturating_sub(ports) as u64;
+            overflow += (self.packet.mem_issued(p as u8) + extra).saturating_sub(ports) as u64;
         }
         self.global_stall += overflow;
+
+        // Remaining dead cycles after this one, when nothing was runnable:
+        // the window up to the earliest wake (or the next engine event)
+        // counts only `cycles`/`empty_cycles`, exactly like the per-cycle
+        // path below, so it is consumed in one jump after the bookkeeping.
+        let dead_window = if any_runnable {
+            0
+        } else {
+            wake.saturating_sub(self.cycle)
+                .min(self.cycles_until_next_event())
+                .max(1)
+                - 1
+        };
 
         // Cycle bookkeeping.
         self.stats.total_ops += self.packet.ops as u64;
@@ -476,6 +541,10 @@ impl Engine {
         self.rr_offset += 1;
         if self.rr_offset == n_hw {
             self.rr_offset = 0;
+        }
+        if dead_window > 0 {
+            self.stats.empty_cycles += dead_window;
+            self.advance_cycles(dead_window);
         }
     }
 
@@ -498,15 +567,49 @@ impl Engine {
         None
     }
 
-    /// Runs to termination and returns the reason.
+    /// Runs to termination and returns the reason. The merge/split policy
+    /// is resolved exactly once here; the whole cycle loop below it is a
+    /// monomorphized instantiation with no per-cycle technique dispatch.
     pub fn run(&mut self) -> StopReason {
+        dispatch_technique!(self.cfg.technique, |MO, SP| self.run_inner::<MO, SP>())
+    }
+
+    fn run_inner<const MERGE_OP: bool, const SPLIT: u8>(&mut self) -> StopReason {
         loop {
             if let Some(r) = self.termination() {
                 self.collect_per_thread();
                 return r;
             }
-            self.step();
+            self.step_inner::<MERGE_OP, SPLIT>();
         }
+    }
+
+    /// Aggregates the fast-path counters (cache MRU filters, per-context
+    /// software TLBs, issue-stage scan work) into one [`Profile`] block.
+    /// Cheap enough to call at any point of a run.
+    pub fn profile(&self) -> Profile {
+        let cache_profile = |c: &vex_mem::Cache| {
+            let s = c.stats();
+            CacheProfile {
+                accesses: s.accesses(),
+                hits: s.hits,
+                filter_hits: c.filter_hits(),
+            }
+        };
+        let mut p = Profile {
+            cycles: self.stats.cycles,
+            icache: cache_profile(&self.mem.icache),
+            dcache: cache_profile(&self.mem.dcache),
+            ..Default::default()
+        };
+        for t in &self.contexts {
+            let ls = t.mem.lookup_stats();
+            p.tlb_hits += ls.tlb_hits;
+            p.page_walks += ls.walks;
+            p.issue_calls += t.issue_calls;
+            p.issue_scans += t.issue_scans;
+        }
+        p
     }
 
     fn collect_per_thread(&mut self) {
@@ -519,7 +622,18 @@ impl Engine {
 
 /// Issues as much of `t`'s pending instruction as the technique admits.
 /// Returns `(ops placed this cycle, instruction fully issued)`.
-fn issue_thread(
+///
+/// Monomorphized over the technique: `MERGE_OP` is true for
+/// operation-level merging, `SPLIT` is one of `SPLIT_NONE` /
+/// `SPLIT_CLUSTER` / `SPLIT_OP`. Placement happens at bundle granularity
+/// wherever bundles cannot split, using the pre-decoded
+/// [`ClusterDemand`] tables ([`Packet::place_bundle`]); only the
+/// operation-level split path still walks individual records, and that walk
+/// starts at the [`InFlight::first_pending`] cursor. Data-cache probes step
+/// through records in table order in every path, so the cache's access
+/// sequence — and therefore its stats and LRU state — is identical to the
+/// record-at-a-time implementation this replaces.
+fn issue_thread<const MERGE_OP: bool, const SPLIT: u8>(
     t: &mut ThreadCtx,
     packet: &mut Packet,
     mem: &mut MemSystem,
@@ -530,135 +644,184 @@ fn issue_thread(
     let rename = t.rename;
     let asid = t.asid;
     let phys = |c: u8| phys_cluster(c, rename, n_clusters);
-    let tech = cfg.technique;
 
     let ThreadCtx {
         decoded,
         inflight,
         stall_until,
         stats,
+        issue_calls,
+        issue_scans,
         ..
     } = t;
     let fl = inflight;
     debug_assert!(fl.active);
+    *issue_calls += 1;
 
     // A vertical NOP issues trivially (consumes the thread's cycle only).
     if fl.n_pending == 0 {
         if fl.parts == 0 {
             fl.parts = 1;
-            fl.first_issue = cycle;
         }
         return (0, true);
     }
 
     let all_or_nothing =
-        tech.split == SplitPolicy::None || (tech.comm == CommPolicy::NoSplit && fl.has_comm);
+        SPLIT == SPLIT_NONE || (cfg.technique.comm == CommPolicy::NoSplit && fl.has_comm);
 
     let mut issued_now: u32 = 0;
     let mut misses: u32 = 0;
+    // Buffered stores placed by *this* call, per logical cluster. Merged
+    // into `fl.early_stores` only if the instruction does not complete
+    // here: commit must count exactly the stores issued before its cycle.
+    let mut call_stores = [0u8; MAX_CLUSTERS];
+    let mut any_store = false;
 
     if all_or_nothing {
-        let fits = match tech.merge {
+        // Figure 7(b): the first thread into an empty packet always issues
+        // whole — a validated program's demands cannot exceed the machine's
+        // per-cluster resources, so the policy check is skipped entirely.
+        let fits = if packet.busy_mask() == 0 {
+            *issue_scans += 1;
+            true
+        } else if MERGE_OP {
+            let demands = decoded.demands_in(fl.demand_range);
+            *issue_scans += demands.len() as u64;
+            demand_fits(packet, demands, &cfg.machine, rename, u16::MAX)
+        } else {
             // Cluster-level merge: the whole physical footprint collides
-            // iff the rotated bundle mask intersects the busy mask.
-            MergePolicy::Cluster => {
-                rotl_mask(fl.pending_bundles, rename, n_clusters) & packet.busy_mask() == 0
-            }
-            MergePolicy::Operation => demand_fits(
-                packet,
-                decoded.demands_of(decoded.inst(fl.inst_idx)),
-                &cfg.machine,
-                rename,
-                u16::MAX,
-            ),
+            // iff the rotated bundle mask intersects the busy mask — the
+            // demand tables are only consulted when placement happens.
+            *issue_scans += 1;
+            rotl_mask(fl.pending_bundles, rename, n_clusters) & packet.busy_mask() == 0
         };
         if fits {
             // An all-or-nothing instruction can never be partially issued,
-            // so every record is pending here.
-            for rec in fl.records.iter_mut() {
-                debug_assert_eq!(rec.issued_at, u64::MAX);
-                packet.place_op(phys(rec.log_cluster), rec.fu);
-                rec.issued_at = cycle;
-                issued_now += 1;
-                if let Some(addr) = rec.mem_probe() {
-                    misses += mem.data_access(asid, addr);
-                }
-            }
-            fl.pending_bundles = 0;
-            fl.n_pending = 0;
-        }
-    } else {
-        match tech.split {
-            SplitPolicy::Cluster => {
-                // Demands are stored in ascending cluster order, so this
-                // walks pending bundles exactly like the old bit-scan; each
-                // bundle's records are the contiguous `rec_range` slice.
-                let demands = decoded.demands_of(decoded.inst(fl.inst_idx));
-                for d in demands {
-                    let c = d.log_cluster;
-                    if fl.pending_bundles & (1 << c) == 0 {
-                        continue;
-                    }
-                    let p = phys(c);
-                    let fits = match tech.merge {
-                        MergePolicy::Cluster => packet.cluster_free(p),
-                        MergePolicy::Operation => {
-                            demand_fits(packet, demands, &cfg.machine, rename, 1 << c)
-                        }
-                    };
-                    if fits {
-                        let (lo, hi) = (d.rec_range.0 as usize, d.rec_range.1 as usize);
-                        for rec in fl.records[lo..hi].iter_mut() {
-                            debug_assert_eq!(rec.log_cluster, c);
-                            debug_assert_eq!(rec.issued_at, u64::MAX);
-                            packet.place_op(p, rec.fu);
-                            rec.issued_at = cycle;
-                            issued_now += 1;
-                            fl.n_pending -= 1;
-                            if let Some(addr) = rec.mem_probe() {
-                                misses += mem.data_access(asid, addr);
-                            }
-                        }
-                        fl.pending_bundles &= !(1 << c);
-                    }
-                }
-            }
-            SplitPolicy::Operation => {
-                // Single pass: place what fits, and rebuild the
-                // pending-bundle mask from whatever stays behind. FU limits
-                // are hoisted out of the per-record loop.
-                let max_slots = cfg.machine.cluster.slots;
-                let limits = cfg.machine.cluster.counts();
-                let mut mask = 0u16;
-                for rec in fl.records.iter_mut() {
-                    if rec.issued_at != u64::MAX {
-                        continue;
-                    }
-                    let p = phys(rec.log_cluster);
-                    let k = rec.fu.index();
-                    if packet.slots_used(p) < max_slots && packet.fu_used_idx(p, k) < limits[k] {
-                        packet.place_op(p, rec.fu);
-                        rec.issued_at = cycle;
-                        issued_now += 1;
-                        fl.n_pending -= 1;
+            // so every record is pending and whole bundles place at once.
+            // `parts` stays 1, so commit never consults `early_stores`.
+            let demands = decoded.demands_in(fl.demand_range);
+            for d in demands {
+                packet.place_bundle(phys(d.log_cluster), d.slots, d.packed);
+                if d.fu[FuKind::Mem.index()] > 0 {
+                    let (lo, hi) = (d.rec_range.0 as usize, d.rec_range.1 as usize);
+                    for rec in &fl.records[lo..hi] {
                         if let Some(addr) = rec.mem_probe() {
                             misses += mem.data_access(asid, addr);
                         }
-                    } else {
-                        mask |= 1 << rec.log_cluster;
                     }
                 }
-                fl.pending_bundles = mask;
             }
-            SplitPolicy::None => unreachable!("handled by all_or_nothing"),
+            issued_now = fl.n_pending;
+            fl.pending_bundles = 0;
+            fl.n_pending = 0;
         }
+    } else if SPLIT == SPLIT_CLUSTER {
+        if !MERGE_OP {
+            // Every pending bundle's physical cluster already busy? Then
+            // nothing can place this cycle and the demand tables need not
+            // be touched at all — the common outcome for the lower-priority
+            // threads of a saturated cycle.
+            *issue_scans += 1;
+            let pending_phys = rotl_mask(fl.pending_bundles, rename, n_clusters);
+            if pending_phys & !packet.busy_mask() == 0 {
+                return (0, false);
+            }
+        }
+        // Demands are stored in ascending cluster order, so this walks
+        // pending bundles exactly like the old bit-scan; each bundle's
+        // records are the contiguous `rec_range` slice, only consulted for
+        // data-cache probes and buffered-store accounting.
+        let demands = decoded.demands_in(fl.demand_range);
+        *issue_scans += demands.len() as u64;
+        // First thread into an empty packet: every pending bundle fits
+        // (Figure 7(b)), so the per-bundle policy checks collapse.
+        let packet_empty = packet.busy_mask() == 0;
+        for d in demands {
+            let c = d.log_cluster;
+            if fl.pending_bundles & (1 << c) == 0 {
+                continue;
+            }
+            let p = phys(c);
+            let fits = packet_empty
+                || if MERGE_OP {
+                    // One bundle, one packed check — the demand word holds
+                    // the bundle's whole slot/FU footprint.
+                    packet.demand_fits_packed(p, d.packed)
+                } else {
+                    packet.cluster_free(p)
+                };
+            if fits {
+                packet.place_bundle(p, d.slots, d.packed);
+                if d.fu[FuKind::Mem.index()] > 0 {
+                    let (lo, hi) = (d.rec_range.0 as usize, d.rec_range.1 as usize);
+                    for rec in &fl.records[lo..hi] {
+                        debug_assert_eq!(rec.log_cluster, c);
+                        if let Some(addr) = rec.mem_probe() {
+                            misses += mem.data_access(asid, addr);
+                            if rec.has_store() {
+                                call_stores[c as usize] += 1;
+                                any_store = true;
+                            }
+                        }
+                    }
+                }
+                issued_now += d.slots as u32;
+                fl.n_pending -= d.slots as u32;
+                fl.pending_bundles &= !(1 << c);
+            }
+        }
+    } else {
+        // Operation-level split: single pass from the pending cursor; place
+        // what fits, rebuild the pending-bundle mask from what stays, and
+        // advance the cursor past the issued prefix. FU limits are hoisted
+        // out of the per-record loop.
+        let mut mask = 0u16;
+        let start = fl.first_pending as usize;
+        let mut first_left = usize::MAX;
+        *issue_scans += (fl.records.len() - start) as u64;
+        // First thread into an empty packet: all pending records fit
+        // (they are a subset of one validated instruction's demands).
+        let packet_empty = packet.busy_mask() == 0;
+        for (i, rec) in fl.records[start..].iter_mut().enumerate() {
+            if !rec.is_pending() {
+                continue;
+            }
+            let p = phys(rec.log_cluster);
+            if packet_empty || packet.op_fits(p, rec.fu, &cfg.machine) {
+                packet.place_op(p, rec.fu);
+                rec.mark_issued();
+                issued_now += 1;
+                fl.n_pending -= 1;
+                if let Some(addr) = rec.mem_probe() {
+                    misses += mem.data_access(asid, addr);
+                    if rec.has_store() {
+                        call_stores[rec.log_cluster as usize] += 1;
+                        any_store = true;
+                    }
+                }
+            } else {
+                mask |= 1 << rec.log_cluster;
+                if first_left == usize::MAX {
+                    first_left = start + i;
+                }
+            }
+        }
+        fl.pending_bundles = mask;
+        fl.first_pending = if first_left == usize::MAX {
+            fl.records.len() as u32
+        } else {
+            first_left as u32
+        };
     }
 
     if issued_now > 0 {
-        if fl.first_issue == u64::MAX {
-            fl.first_issue = cycle;
-        }
         fl.parts += 1;
+    }
+    let completed = fl.n_pending == 0;
+    if !completed && any_store {
+        for (total, &now) in fl.early_stores.iter_mut().zip(&call_stores) {
+            *total += now;
+        }
     }
     if misses > 0 {
         // Thread-level stall until the architectural latency assumption
@@ -668,7 +831,7 @@ fn issue_thread(
         stats.dmiss_stall_cycles += mem.miss_penalty as u64;
     }
 
-    (issued_now, fl.n_pending == 0)
+    (issued_now, completed)
 }
 
 /// Rotates the low `n` bits of `mask` left by `r` (cluster renaming applied
@@ -685,8 +848,8 @@ fn rotl_mask(mask: u16, r: u8, n: u8) -> u16 {
 /// Operation-level fit check for the bundles whose logical cluster is in
 /// `mask`, treated as indivisible units. The demand side comes from the
 /// pre-decoded [`ClusterDemand`] table — bundles never split, so their
-/// resource footprint is static and nothing needs to re-scan the in-flight
-/// records on each attempt.
+/// resource footprint is static and each bundle's check is one packed add
+/// against the packet's per-cluster lane word.
 #[inline]
 fn demand_fits(
     packet: &Packet,
@@ -695,19 +858,13 @@ fn demand_fits(
     rename: u8,
     mask: u16,
 ) -> bool {
-    let limits = m.cluster.counts();
     for d in demands {
         if mask & (1 << d.log_cluster) == 0 {
             continue;
         }
         let p = phys_cluster(d.log_cluster, rename, m.n_clusters);
-        if packet.slots_used(p) + d.slots > m.cluster.slots {
+        if !packet.demand_fits_packed(p, d.packed) {
             return false;
-        }
-        for (k, &limit) in limits.iter().enumerate() {
-            if d.fu[k] > 0 && packet.fu_used_idx(p, k) + d.fu[k] > limit {
-                return false;
-            }
         }
     }
     true

@@ -47,6 +47,7 @@ pub mod decode;
 pub mod engine;
 pub mod exec;
 pub mod packet;
+pub mod profile;
 pub mod rng;
 pub mod stats;
 pub mod thread;
@@ -57,6 +58,7 @@ pub use config::{
 pub use decode::{DecodedInst, DecodedOp, DecodedProgram, OpEval};
 pub use engine::{Engine, IssueEvent, PreparedProgram, StopReason};
 pub use packet::{can_merge_pair, merge_hierarchy_holds, Packet, MAX_CLUSTERS};
+pub use profile::{CacheProfile, Profile};
 pub use stats::{speedup_pct, SimStats, ThreadStats};
 pub use thread::ThreadCtx;
 pub use vex_mem::MemConfig;

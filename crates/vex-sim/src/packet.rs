@@ -26,49 +26,79 @@ pub const MAX_CLUSTERS: usize = 16;
 /// Number of functional-unit classes ([`FuKind`] variants).
 const N_FU: usize = FuKind::COUNT;
 
-/// Per-cycle issue state across all clusters. All storage is inline
-/// fixed-size arrays: creating or resetting a packet never allocates.
+/// Lane index (bit shift) of the issue-slot count in a packed resource
+/// word: FU classes occupy lanes `0..N_FU` (8 bits each, by
+/// [`FuKind::index`]), the slot count lane 7.
+const SLOTS_SHIFT: u32 = 56;
+
+// Lane 7 is the slot count; adding an FU class past lane 6 would alias it.
+const _: () = assert!(N_FU < 8, "FU classes must leave lane 7 for slots");
+
+/// Per-lane overflow test mask for the packed fit check: with biases of
+/// `63 - limit` per lane, a lane exceeds its limit iff bits 6/7 of the
+/// biased sum are set. Lane sums stay below 190 (`used`, `demand` and the
+/// bias are each ≤ 63), so lanes never carry into each other.
+const FIT_MASK: u64 = 0xC0C0_C0C0_C0C0_C0C0;
+
+/// Packs per-class FU counts plus a slot count into one resource word,
+/// lane layout as above.
+#[inline]
+pub(crate) fn pack_demand(fu: &[u8; N_FU], slots: u8) -> u64 {
+    let mut w = (slots as u64) << SLOTS_SHIFT;
+    for (k, &n) in fu.iter().enumerate() {
+        w |= (n as u64) << (8 * k);
+    }
+    w
+}
+
+/// Per-cycle issue state across all clusters. Each cluster's whole
+/// resource usage — issue slots plus every FU class — lives in **one
+/// packed `u64`** (SWAR lanes), so claiming a pre-decoded bundle is a
+/// single add and a collision check is an add-and-mask against the
+/// per-lane limits baked into `fit_bias`. Creating or resetting a packet
+/// never allocates.
 #[derive(Clone, Debug)]
 pub struct Packet {
     n_clusters: u8,
-    slots: [u8; MAX_CLUSTERS],
-    used_fu: [[u8; N_FU]; MAX_CLUSTERS],
+    /// Packed per-cluster resource usage (see [`pack_demand`] lanes).
+    used: [u64; MAX_CLUSTERS],
+    /// Per-lane `63 - limit` biases for the machine this packet serves.
+    fit_bias: u64,
     /// Bit `p` set iff physical cluster `p` holds at least one op.
     cluster_busy: u16,
     /// Operations placed this cycle (for IPC/waste accounting).
     pub ops: u32,
     /// Distinct threads contributing to this packet.
     pub threads: u32,
-    /// Memory operations issued per physical cluster this cycle (the issue
-    /// half of the §V-D port-contention accounting).
-    pub mem_issued: [u8; MAX_CLUSTERS],
 }
 
 impl Packet {
-    /// An empty packet for an `n_clusters` machine (at most
-    /// [`MAX_CLUSTERS`]).
-    pub fn new(n_clusters: u8) -> Self {
+    /// An empty packet for `machine` (at most [`MAX_CLUSTERS`] clusters;
+    /// every per-cluster resource limit must be ≤ 63 so the packed-lane
+    /// arithmetic cannot overflow — orders of magnitude above any machine
+    /// in the paper's design space).
+    pub fn new(machine: &MachineConfig) -> Self {
         assert!(
-            n_clusters as usize <= MAX_CLUSTERS,
+            machine.n_clusters as usize <= MAX_CLUSTERS,
             "packet supports at most {MAX_CLUSTERS} clusters"
         );
         Packet {
-            n_clusters,
-            slots: [0; MAX_CLUSTERS],
-            used_fu: [[0; N_FU]; MAX_CLUSTERS],
+            n_clusters: machine.n_clusters,
+            used: [0; MAX_CLUSTERS],
+            fit_bias: bias_for(machine),
             cluster_busy: 0,
             ops: 0,
             threads: 0,
-            mem_issued: [0; MAX_CLUSTERS],
         }
     }
 
     /// Clears the packet for the next cycle (plain stores, no allocation).
+    /// Only the first `n_clusters` entries are reset: placement never
+    /// writes beyond the machine's cluster count, so the tail stays zero
+    /// forever and resetting it every cycle would be pure memset traffic.
     pub fn reset(&mut self) {
-        self.slots = [0; MAX_CLUSTERS];
-        self.used_fu = [[0; N_FU]; MAX_CLUSTERS];
+        self.used[..self.n_clusters as usize].fill(0);
         self.cluster_busy = 0;
-        self.mem_issued = [0; MAX_CLUSTERS];
         self.ops = 0;
         self.threads = 0;
     }
@@ -96,60 +126,89 @@ impl Packet {
         (p as usize) & (MAX_CLUSTERS - 1)
     }
 
-    /// Operation-level collision check for one op of class `fu` on cluster
-    /// `p`.
+    /// Packed fit check: would claiming `demand` (a [`pack_demand`] word)
+    /// on cluster `p` exceed any slot or FU limit?
     #[inline]
-    pub fn op_fits(&self, p: u8, fu: FuKind, m: &MachineConfig) -> bool {
-        let pi = self.pi(p);
-        self.slots[pi] < m.cluster.slots && self.used_fu[pi][fu.index()] < m.cluster.count(fu)
+    pub(crate) fn demand_fits_packed(&self, p: u8, demand: u64) -> bool {
+        (self.used[self.pi(p)] + demand + self.fit_bias) & FIT_MASK == 0
     }
 
-    /// Operation-level collision check for a whole bundle on cluster `p`.
+    /// Operation-level collision check for one op of class `fu` on cluster
+    /// `p`. `m` must be the machine this packet was built for — the limits
+    /// are baked into `fit_bias` at construction.
+    #[inline]
+    pub fn op_fits(&self, p: u8, fu: FuKind, m: &MachineConfig) -> bool {
+        debug_assert_eq!(
+            self.fit_bias,
+            bias_for(m),
+            "packet built for another machine"
+        );
+        self.demand_fits_packed(p, op_word(fu))
+    }
+
+    /// Operation-level collision check for a whole bundle on cluster `p`
+    /// (`m` must be this packet's machine, as in [`Packet::op_fits`]).
     pub fn bundle_fits(&self, p: u8, bundle: &Bundle, m: &MachineConfig) -> bool {
-        let pi = self.pi(p);
-        if self.slots[pi] as usize + bundle.ops.len() > m.cluster.slots as usize {
-            return false;
-        }
+        debug_assert_eq!(
+            self.fit_bias,
+            bias_for(m),
+            "packet built for another machine"
+        );
+        let mut fu = [0u8; N_FU];
         for kind in FuKind::ALL {
-            let extra = bundle.fu_count(kind);
-            if extra > 0 && self.used_fu[pi][kind.index()] + extra > m.cluster.count(kind) {
-                return false;
-            }
+            fu[kind.index()] = bundle.fu_count(kind);
         }
-        true
+        self.demand_fits_packed(p, pack_demand(&fu, bundle.ops.len() as u8))
     }
 
     /// Claims resources for one op.
     #[inline]
     pub fn place_op(&mut self, p: u8, fu: FuKind) {
         let pi = self.pi(p);
-        self.slots[pi] += 1;
-        self.used_fu[pi][fu.index()] += 1;
+        self.used[pi] += op_word(fu);
         self.cluster_busy |= 1 << p;
         self.ops += 1;
-        if fu == FuKind::Mem {
-            self.mem_issued[pi] += 1;
-        }
+    }
+
+    /// Claims a whole bundle's resources in one shot from its pre-decoded
+    /// packed demand word: `slots` issue slots plus the FU lanes of
+    /// `demand`. Equivalent to calling [`Packet::place_op`] for every
+    /// operation of the bundle (bundles never split, so the engine's
+    /// non-operation-level issue paths place at this granularity and skip
+    /// the per-record walk entirely).
+    #[inline]
+    pub fn place_bundle(&mut self, p: u8, slots: u8, demand: u64) {
+        let pi = self.pi(p);
+        self.used[pi] += demand;
+        self.cluster_busy |= 1 << p;
+        self.ops += slots as u32;
     }
 
     /// Slots used on physical cluster `p` (test/diagnostic accessor).
     #[inline]
     pub fn slots_used(&self, p: u8) -> u8 {
-        self.slots[self.pi(p)]
+        (self.used[self.pi(p)] >> SLOTS_SHIFT) as u8
     }
 
     /// Functional units of class `fu` already claimed on cluster `p`.
     #[inline]
     pub fn fu_used(&self, p: u8, fu: FuKind) -> u8 {
-        self.used_fu[self.pi(p)][fu.index()]
+        self.fu_used_idx(p, fu.index())
     }
 
     /// Functional units already claimed on cluster `p`, by dense class
-    /// index ([`FuKind::index`]) — the form the engine's pre-decoded demand
-    /// check compares against.
+    /// index ([`FuKind::index`]).
     #[inline]
     pub fn fu_used_idx(&self, p: u8, k: usize) -> u8 {
-        self.used_fu[self.pi(p)][k]
+        (self.used[self.pi(p)] >> (8 * (k & 7))) as u8 & 0x3f
+    }
+
+    /// Memory operations issued on cluster `p` this cycle (the issue half
+    /// of the §V-D port-contention accounting) — the Mem lane of the
+    /// packed usage word.
+    #[inline]
+    pub fn mem_issued(&self, p: u8) -> u8 {
+        self.fu_used(p, FuKind::Mem)
     }
 
     /// Total unused slots across the machine for this cycle.
@@ -164,6 +223,27 @@ impl Packet {
     }
 }
 
+/// Packed demand word of a single operation: one FU of class `fu`, one
+/// issue slot.
+#[inline]
+fn op_word(fu: FuKind) -> u64 {
+    (1u64 << (8 * (fu.index() & 7))) | (1u64 << SLOTS_SHIFT)
+}
+
+/// Per-lane `63 - limit` bias word for a machine (the construction-time
+/// half of the packed fit check). Limits must stay ≤ 63 so lane sums
+/// cannot carry.
+fn bias_for(machine: &MachineConfig) -> u64 {
+    let limits = machine.cluster.counts();
+    let mut bias = 0u64;
+    for (k, &limit) in limits.iter().enumerate() {
+        assert!(limit <= 63, "FU limit {limit} exceeds packed-lane range");
+        bias |= ((63 - limit) as u64) << (8 * k);
+    }
+    assert!(machine.cluster.slots <= 63, "slot limit exceeds lane range");
+    bias | ((63 - machine.cluster.slots) as u64) << SLOTS_SHIFT
+}
+
 /// Pure combinational model of the paper's merge question, used by the
 /// figure-replication tests and by anyone who wants to reason about a pair
 /// of instructions without running the engine:
@@ -174,7 +254,7 @@ pub fn can_merge_pair(
     m: &MachineConfig,
     cluster_level: bool,
 ) -> bool {
-    let mut p = Packet::new(m.n_clusters);
+    let mut p = Packet::new(m);
     place_whole(&mut p, a);
     if cluster_level {
         (0..m.n_clusters).all(|c| b.bundles[c as usize].is_empty() || p.cluster_free(c))
@@ -221,7 +301,7 @@ mod tests {
     #[test]
     fn slots_limit_bundle() {
         let m = MachineConfig::paper_4c4w();
-        let mut p = Packet::new(4);
+        let mut p = Packet::new(&m);
         for _ in 0..4 {
             assert!(p.op_fits(0, FuKind::Alu, &m));
             p.place_op(0, FuKind::Alu);
@@ -233,17 +313,17 @@ mod tests {
     #[test]
     fn mem_unit_is_scarce() {
         let m = MachineConfig::paper_4c4w();
-        let mut p = Packet::new(4);
+        let mut p = Packet::new(&m);
         assert!(p.op_fits(0, FuKind::Mem, &m));
         p.place_op(0, FuKind::Mem);
         assert!(!p.op_fits(0, FuKind::Mem, &m));
-        assert_eq!(p.mem_issued[0], 1);
+        assert_eq!(p.mem_issued(0), 1);
     }
 
     #[test]
     fn cluster_free_tracks_any_use() {
         let m = MachineConfig::paper_4c4w();
-        let mut p = Packet::new(4);
+        let mut p = Packet::new(&m);
         assert!(p.cluster_free(2));
         p.place_op(2, FuKind::Alu);
         assert!(!p.cluster_free(2));

@@ -1,0 +1,148 @@
+//! Always-on, feature-light performance counters for the simulator's own
+//! fast paths (not the simulated machine — see [`crate::stats`] for that).
+//!
+//! The memory-system and issue-stage optimisations (docs/PERF.md) each
+//! carry a cheap counter: the cache MRU filter counts absorbed accesses,
+//! the per-context software TLB counts hits versus page-directory walks,
+//! and the issue stage counts how many record/demand-table entries it
+//! examined. [`crate::Engine::profile`] aggregates them into a [`Profile`]
+//! after (or during) a run; `vex run --profile` prints the block.
+
+/// One cache's access counters, filter hits included.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct CacheProfile {
+    /// Total accesses (hits + misses).
+    pub accesses: u64,
+    /// Hits (filter hits included).
+    pub hits: u64,
+    /// Accesses absorbed by the MRU filter (subset of `hits`).
+    pub filter_hits: u64,
+}
+
+impl CacheProfile {
+    /// Fraction of accesses absorbed by the MRU filter, in [0, 1].
+    pub fn filter_rate(&self) -> f64 {
+        ratio(self.filter_hits, self.accesses)
+    }
+
+    /// Miss ratio in [0, 1].
+    pub fn miss_ratio(&self) -> f64 {
+        ratio(self.accesses - self.hits, self.accesses)
+    }
+}
+
+/// Aggregated fast-path counters of one engine run.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct Profile {
+    /// Simulated cycles the counters cover.
+    pub cycles: u64,
+    /// Instruction-cache counters.
+    pub icache: CacheProfile,
+    /// Data-cache counters.
+    pub dcache: CacheProfile,
+    /// Page lookups absorbed by the per-context software TLBs.
+    pub tlb_hits: u64,
+    /// Full page-directory walks (TLB misses), summed over contexts.
+    pub page_walks: u64,
+    /// Issue-stage attempts (one per runnable thread per cycle).
+    pub issue_calls: u64,
+    /// Record/demand-table entries the issue stage examined.
+    pub issue_scans: u64,
+}
+
+impl Profile {
+    /// Fraction of page lookups served by the TLBs, in [0, 1].
+    pub fn tlb_hit_rate(&self) -> f64 {
+        ratio(self.tlb_hits, self.tlb_hits + self.page_walks)
+    }
+
+    /// Average table entries examined per issue attempt.
+    pub fn scans_per_call(&self) -> f64 {
+        ratio(self.issue_scans, self.issue_calls)
+    }
+
+    /// Average table entries examined per simulated cycle.
+    pub fn scans_per_cycle(&self) -> f64 {
+        ratio(self.issue_scans, self.cycles)
+    }
+
+    /// Human-readable counter block (the `vex run --profile` output).
+    pub fn render(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        let _ = writeln!(out, "## simulator fast-path profile");
+        let mut cache = |name: &str, c: &CacheProfile| {
+            let _ = writeln!(
+                out,
+                "{name}  accesses {:>10}  filter hits {:>10} ({:>5.1}%)  miss ratio {:.3}%",
+                c.accesses,
+                c.filter_hits,
+                c.filter_rate() * 100.0,
+                c.miss_ratio() * 100.0,
+            );
+        };
+        cache("I$ ", &self.icache);
+        cache("D$ ", &self.dcache);
+        let _ = writeln!(
+            out,
+            "TLB lookups {:>10}  hits {:>10} ({:>5.1}%)  directory walks {}",
+            self.tlb_hits + self.page_walks,
+            self.tlb_hits,
+            self.tlb_hit_rate() * 100.0,
+            self.page_walks,
+        );
+        let _ = writeln!(
+            out,
+            "issue calls {:>10}  scans {:>10}  ({:.2} scans/call, {:.2} scans/cycle)",
+            self.issue_calls,
+            self.issue_scans,
+            self.scans_per_call(),
+            self.scans_per_cycle(),
+        );
+        out
+    }
+}
+
+fn ratio(num: u64, den: u64) -> f64 {
+    if den == 0 {
+        0.0
+    } else {
+        num as f64 / den as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rates_are_well_defined_on_empty_profiles() {
+        let p = Profile::default();
+        assert_eq!(p.tlb_hit_rate(), 0.0);
+        assert_eq!(p.icache.filter_rate(), 0.0);
+        assert_eq!(p.scans_per_cycle(), 0.0);
+        assert!(p.render().contains("simulator fast-path profile"));
+    }
+
+    #[test]
+    fn render_reports_percentages() {
+        let p = Profile {
+            cycles: 100,
+            icache: CacheProfile {
+                accesses: 200,
+                hits: 199,
+                filter_hits: 100,
+            },
+            tlb_hits: 75,
+            page_walks: 25,
+            issue_calls: 400,
+            issue_scans: 800,
+            ..Default::default()
+        };
+        let text = p.render();
+        assert!(text.contains("( 50.0%)"), "filter rate:\n{text}");
+        assert!(text.contains("( 75.0%)"), "tlb rate:\n{text}");
+        assert!(text.contains("2.00 scans/call"), "{text}");
+        assert!(text.contains("8.00 scans/cycle"), "{text}");
+    }
+}

@@ -17,21 +17,24 @@
 //! operation's effects in [`OpRecord`]s; issuing a part is then purely a
 //! timing event, and commit replays the recorded effects.
 
-use crate::decode::{DecodedProgram, LoadWidth, OpEval};
+use crate::decode::{DecodedProgram, LoadWidth, OpEval, SrcRef, BREG_NONE, DST_NONE, SRC_IMM};
 use crate::exec::{eval, eval_cond};
 use crate::packet::MAX_CLUSTERS;
 use crate::stats::ThreadStats;
 use std::sync::Arc;
-use vex_isa::{FuKind, Operand, Program};
+use vex_isa::{FuKind, Program};
 use vex_mem::Memory;
 
-/// GPR file type: one 64-register bank per cluster, fixed at
-/// [`MAX_CLUSTERS`] banks so register reads index with a mask instead of a
-/// bounds check (register coordinates are validated at program build time).
-pub type GprFile = [[u32; 64]; MAX_CLUSTERS];
+/// GPR file type: 64 registers × [`MAX_CLUSTERS`] banks, stored **flat**
+/// so a pre-resolved [`SrcRef`] reads with a single masked index (no
+/// per-access cluster/index arithmetic, no bounds check). Slot
+/// `cluster * 64 + index`; every cluster's register zero slot is never
+/// written, so it reads the architectural zero for free.
+pub type GprFile = [u32; MAX_CLUSTERS * 64];
 
-/// Branch-register file type (8 one-bit registers per cluster).
-pub type BregFile = [[bool; 8]; MAX_CLUSTERS];
+/// Branch-register file type (8 one-bit registers × [`MAX_CLUSTERS`]
+/// clusters, flat like [`GprFile`]).
+pub type BregFile = [bool; MAX_CLUSTERS * 8];
 
 /// Physical cluster executing logical cluster `c` under renaming rotation
 /// `rename` on an `n_clusters` machine (§IV). The single rotation helper:
@@ -57,8 +60,11 @@ pub enum CtrlEffect {
 }
 
 /// One operation of the in-flight instruction with its precomputed effects,
-/// packed into 32 bytes: the record buffer is rewritten on every activation
+/// packed into 20 bytes: the record buffer is rewritten on every activation
 /// and re-scanned on every issue attempt, so its width is hot-loop traffic.
+/// (The issue timestamp that used to live here is gone: pending state is a
+/// flag bit plus the [`InFlight::first_pending`] cursor, and the
+/// buffered-store port accounting moved to [`InFlight::early_stores`].)
 ///
 /// Only the *values* here are computed at activation; the static facts
 /// (`log_cluster`, `fu`) are copied straight from the shared
@@ -69,8 +75,6 @@ pub enum CtrlEffect {
 /// them all.
 #[derive(Clone, Copy, Debug)]
 pub struct OpRecord {
-    /// Cycle at which the op issued (`u64::MAX` while pending).
-    pub issued_at: u64,
     /// GPR/branch-register write value, or store value.
     val: u32,
     /// Effective byte address probed in the data cache at issue (valid iff
@@ -78,9 +82,8 @@ pub struct OpRecord {
     mem_addr: u32,
     /// Control effect: `CTRL_NONE`, `CTRL_HALT`, or a taken-branch target.
     ctrl: u32,
-    /// Destination register coordinate (cluster, index), for GPR/breg
-    /// writes.
-    dst: (u8, u8),
+    /// Flat destination index into the GPR or branch-register file.
+    dst: u16,
     /// Logical cluster of the bundle containing the op.
     pub log_cluster: u8,
     /// Functional-unit class (for issue resource accounting).
@@ -108,6 +111,10 @@ const F_STORE: u8 = 1 << 3;
 const F_MEM: u8 = 1 << 4;
 /// Store size: bytes = 1 << ((flags >> 5) & 3).
 const F_SIZE_SHIFT: u8 = 5;
+/// The record has not issued yet. Only the operation-level split-issue
+/// path reads or clears this bit (the other techniques track pending work
+/// at bundle granularity via [`InFlight::pending_bundles`]).
+const F_PENDING: u8 = 1 << 7;
 
 impl OpRecord {
     /// A pending record with no effects for cluster `log_cluster`, class
@@ -115,14 +122,13 @@ impl OpRecord {
     #[inline]
     fn pending(log_cluster: u8, fu: FuKind) -> Self {
         OpRecord {
-            issued_at: u64::MAX,
             val: 0,
             mem_addr: 0,
             ctrl: CTRL_NONE,
-            dst: (0, 0),
+            dst: 0,
             log_cluster,
             fu,
-            flags: 0,
+            flags: F_PENDING,
         }
     }
 
@@ -142,6 +148,19 @@ impl OpRecord {
         self.flags & F_STORE != 0
     }
 
+    /// Whether this record is still waiting to issue (operation-level
+    /// split-issue bookkeeping).
+    #[inline]
+    pub fn is_pending(&self) -> bool {
+        self.flags & F_PENDING != 0
+    }
+
+    /// Marks the record issued (clears the pending bit).
+    #[inline]
+    pub fn mark_issued(&mut self) {
+        self.flags &= !F_PENDING;
+    }
+
     /// Control effect carried by this record, if any.
     #[inline]
     pub fn ctrl(&self) -> Option<CtrlEffect> {
@@ -155,60 +174,97 @@ impl OpRecord {
 
 /// The in-flight instruction. Buffers are reused across activations to keep
 /// the per-instruction cost allocation-free on the steady state.
+///
+/// `repr(C)` so the field order below is the memory order: everything the
+/// per-cycle issue scan touches (`active` through the `records` pointer)
+/// packs into the struct's first cache line; the commit-only
+/// `early_stores` block sits behind it.
 #[derive(Clone, Debug, Default)]
+#[repr(C)]
 pub struct InFlight {
     /// Whether an instruction is currently active.
     pub active: bool,
+    /// Whether the instruction contains send/recv operations (NS policy).
+    pub has_comm: bool,
+    /// Bitmask of logical clusters with pending (unissued) bundles.
+    pub pending_bundles: u16,
+    /// Number of not-yet-issued records.
+    pub n_pending: u32,
+    /// Cursor into `records`: everything below this index has issued, so
+    /// the operation-level split-issue scan starts here instead of at the
+    /// array head (records can still issue out of order past the cursor;
+    /// those are skipped via [`OpRecord::is_pending`]).
+    pub first_pending: u32,
+    /// Distinct cycles in which parts issued.
+    pub parts: u32,
+    /// The instruction's demand-table range, copied from its
+    /// [`crate::decode::DecodedInst`] at activation so issue attempts go
+    /// straight to the demand slice.
+    pub demand_range: (u32, u32),
     /// Instruction index in the program.
     pub inst_idx: usize,
     /// Precomputed operation records.
     pub records: Vec<OpRecord>,
-    /// Number of not-yet-issued records.
-    pub n_pending: u32,
-    /// Bitmask of logical clusters with pending (unissued) bundles.
-    pub pending_bundles: u16,
-    /// Whether the instruction contains send/recv operations (NS policy).
-    pub has_comm: bool,
-    /// Cycle of first issue (for split statistics).
-    pub first_issue: u64,
-    /// Distinct cycles in which parts issued.
-    pub parts: u32,
+    /// Buffered stores issued in *earlier* cycles than the final part,
+    /// counted per **logical** cluster as they issue. At commit these are
+    /// the stores that need data-cache ports alongside the final part
+    /// (§V-D); the physical mapping is applied at commit time, exactly like
+    /// the record scan this replaces (cluster renaming can change while an
+    /// instruction is in flight across a timeslice switch).
+    pub early_stores: [u8; MAX_CLUSTERS],
 }
 
 /// Architectural + microarchitectural state of one benchmark context.
 ///
 /// A context persists across timeslices; the multitasking scheduler maps
 /// contexts onto hardware thread slots.
+///
+/// `repr(C)`: the engine touches `stall_until`/`retired`/`fetch_paid`/
+/// `pc`/`asid`/`rename` plus the head of `inflight` for **every slotted
+/// context every cycle** (runnability check, fetch, issue). Pinning those
+/// to the struct's first cache line keeps the per-cycle scheduler scan to
+/// one line per context instead of wherever rustc's default field
+/// reordering lands them.
 #[derive(Clone, Debug)]
+#[repr(C)]
 pub struct ThreadCtx {
-    /// The program this context runs.
-    pub program: Arc<Program>,
-    /// Pre-decoded static metadata, shared between contexts running the
-    /// same program (see [`DecodedProgram`]).
-    pub decoded: Arc<DecodedProgram>,
+    /// The context may not issue before this cycle (miss/branch stalls).
+    pub stall_until: u64,
+    /// Next instruction to fetch.
+    pub pc: usize,
     /// Address-space id used to tag cache lines.
     pub asid: u16,
     /// Cluster-renaming rotation for this context (0 disables).
     pub rename: u8,
-    /// Next instruction to fetch.
-    pub pc: usize,
-    /// GPR files, `regs[logical_cluster][index]`; index 0 reads zero.
-    pub regs: Box<GprFile>,
-    /// Branch-register files.
-    pub bregs: Box<BregFile>,
-    /// Private functional memory.
-    pub mem: Memory,
-    /// In-flight instruction state (delay buffers included).
-    pub inflight: InFlight,
-    /// The context may not issue before this cycle (miss/branch stalls).
-    pub stall_until: u64,
     /// Program run finished and respawning is disabled.
     pub retired: bool,
     /// The I-cache access for `pc` was already performed (and missed); do
     /// not probe again when the stall expires.
     pub fetch_paid: bool,
+    /// In-flight instruction state (delay buffers included); its own hot
+    /// head (`active` … the record pointer) continues this cache line.
+    pub inflight: InFlight,
+    /// Pre-decoded static metadata, shared between contexts running the
+    /// same program (see [`DecodedProgram`]).
+    pub decoded: Arc<DecodedProgram>,
+    /// GPR file, indexed flat (`cluster * 64 + index`); register zero of
+    /// each cluster reads zero.
+    pub regs: Box<GprFile>,
+    /// Branch-register file, indexed flat (`cluster * 8 + index`).
+    pub bregs: Box<BregFile>,
+    /// Private functional memory.
+    pub mem: Memory,
+    /// The program this context runs.
+    pub program: Arc<Program>,
     /// Event counters.
     pub stats: ThreadStats,
+    /// Profiling: issue-stage attempts for this context (one per cycle the
+    /// context tried to place work). Lives outside [`ThreadStats`] so the
+    /// golden timing snapshots stay purely architectural.
+    pub issue_calls: u64,
+    /// Profiling: record/demand-table entries the issue stage examined
+    /// across all attempts (the `--profile` scans-per-cycle numerator).
+    pub issue_scans: u64,
 }
 
 impl ThreadCtx {
@@ -241,14 +297,16 @@ impl ThreadCtx {
             asid,
             rename,
             pc: 0,
-            regs: Box::new([[0u32; 64]; MAX_CLUSTERS]),
-            bregs: Box::new([[false; 8]; MAX_CLUSTERS]),
+            regs: Box::new([0u32; MAX_CLUSTERS * 64]),
+            bregs: Box::new([false; MAX_CLUSTERS * 8]),
             mem,
             inflight: InFlight::default(),
             stall_until: 0,
             retired: false,
             fetch_paid: false,
             stats: ThreadStats::default(),
+            issue_calls: 0,
+            issue_scans: 0,
         }
     }
 
@@ -283,8 +341,8 @@ impl ThreadCtx {
 
         // Send values, indexed by pair id (pre-instruction reads, §V-E).
         let mut xfer_vals = [0u32; 16];
-        for &(pair, src) in decoded.sends_of(di) {
-            xfer_vals[pair as usize] = operand_val(regs, src);
+        for &(pair, src, imm) in decoded.sends_of(di) {
+            xfer_vals[pair as usize] = src_val(regs, src, imm);
         }
 
         inflight.records.clear();
@@ -297,20 +355,19 @@ impl ThreadCtx {
                     off,
                     dst,
                 } => {
-                    let addr = operand_val(regs, base).wrapping_add(off);
+                    let addr = reg_at(regs, base).wrapping_add(off);
                     rec.mem_addr = addr;
-                    rec.flags = F_MEM;
-                    let v = match width {
-                        LoadWidth::W => mem.read_u32(addr),
-                        LoadWidth::H => mem.read_u16(addr) as i16 as i32 as u32,
-                        LoadWidth::Hu => mem.read_u16(addr) as u32,
-                        LoadWidth::B => mem.read_u8(addr) as i8 as i32 as u32,
-                        LoadWidth::Bu => mem.read_u8(addr) as u32,
-                    };
-                    if let Some((c, i)) = dst {
+                    rec.flags |= F_MEM;
+                    if dst != DST_NONE {
                         rec.flags |= F_GPR;
-                        rec.dst = (c, i);
-                        rec.val = v;
+                        rec.dst = dst;
+                        rec.val = match width {
+                            LoadWidth::W => mem.read_u32(addr),
+                            LoadWidth::H => mem.read_u16(addr) as i16 as i32 as u32,
+                            LoadWidth::Hu => mem.read_u16(addr) as u32,
+                            LoadWidth::B => mem.read_u8(addr) as i8 as i32 as u32,
+                            LoadWidth::Bu => mem.read_u8(addr) as u32,
+                        };
                     }
                 }
                 OpEval::Store {
@@ -318,19 +375,20 @@ impl ThreadCtx {
                     base,
                     off,
                     value,
+                    val_imm,
                 } => {
-                    let addr = operand_val(regs, base).wrapping_add(off);
+                    let addr = reg_at(regs, base).wrapping_add(off);
                     rec.mem_addr = addr;
-                    rec.val = operand_val(regs, value);
-                    rec.flags = F_MEM | F_STORE | (size.trailing_zeros() as u8) << F_SIZE_SHIFT;
+                    rec.val = src_val(regs, value, val_imm);
+                    rec.flags |= F_MEM | F_STORE | (size.trailing_zeros() as u8) << F_SIZE_SHIFT;
                 }
                 OpEval::Send => {
                     // Value already captured into xfer_vals.
                 }
                 OpEval::Recv { pair, dst } => {
-                    if let Some((c, i)) = dst {
-                        rec.flags = F_GPR;
-                        rec.dst = (c, i);
+                    if dst != DST_NONE {
+                        rec.flags |= F_GPR;
+                        rec.dst = dst;
                         rec.val = xfer_vals[pair as usize];
                     }
                 }
@@ -339,7 +397,7 @@ impl ThreadCtx {
                     target,
                     taken_if,
                 } => {
-                    if breg_val(bregs, cond) == taken_if {
+                    if breg_at(bregs, cond) == taken_if {
                         rec.ctrl = target as u32;
                     }
                 }
@@ -353,27 +411,32 @@ impl ThreadCtx {
                     op,
                     a,
                     b,
+                    imm,
                     cond,
-                    dst: (c, i),
+                    dst,
                 } => {
                     rec.val = eval(
                         op,
-                        operand_val(regs, a),
-                        operand_val(regs, b),
-                        breg_val(bregs, cond),
+                        src_val(regs, a, imm),
+                        src_val(regs, b, imm),
+                        breg_at(bregs, cond),
                     );
-                    rec.flags = F_GPR;
-                    rec.dst = (c, i);
+                    rec.flags |= F_GPR;
+                    rec.dst = dst;
                 }
-                OpEval::AluBreg {
-                    op,
-                    a,
-                    b,
-                    dst: (c, i),
-                } => {
-                    let v = eval_cond(op, operand_val(regs, a), operand_val(regs, b));
-                    rec.flags = F_BREG | if v { F_BREG_VAL } else { 0 };
-                    rec.dst = (c, i);
+                OpEval::SlctImm { a, b, cond, dst } => {
+                    rec.val = if breg_at(bregs, cond) { a } else { b };
+                    rec.flags |= F_GPR;
+                    rec.dst = dst;
+                }
+                OpEval::AluBreg { op, a, b, imm, dst } => {
+                    let v = eval_cond(op, src_val(regs, a, imm), src_val(regs, b, imm));
+                    rec.flags |= F_BREG | if v { F_BREG_VAL } else { 0 };
+                    rec.dst = dst;
+                }
+                OpEval::BregConst { v, dst } => {
+                    rec.flags |= F_BREG | if v { F_BREG_VAL } else { 0 };
+                    rec.dst = dst;
                 }
                 OpEval::Effectless => {}
             }
@@ -384,9 +447,11 @@ impl ThreadCtx {
         inflight.inst_idx = *pc;
         inflight.n_pending = inflight.records.len() as u32;
         inflight.pending_bundles = di.bundle_mask;
+        inflight.demand_range = di.demand_range;
         inflight.has_comm = di.has_comm;
-        inflight.first_issue = u64::MAX;
+        inflight.first_pending = 0;
         inflight.parts = 0;
+        inflight.early_stores = [0; MAX_CLUSTERS];
         // Advance pc to the fall-through successor; a taken branch
         // overrides it at commit.
         *pc += 1;
@@ -407,15 +472,12 @@ impl ThreadCtx {
         let mut ctrl = None;
         for rec in &inflight.records {
             if rec.flags & F_GPR != 0 {
-                let (c, i) = rec.dst;
-                if i != 0 {
-                    regs[c as usize & (MAX_CLUSTERS - 1)][i as usize & 63] = rec.val;
-                }
+                // Decode filtered register-zero destinations to
+                // `Effectless`/`DST_NONE`, so every surviving write lands.
+                regs[rec.dst as usize & (MAX_CLUSTERS * 64 - 1)] = rec.val;
             }
             if rec.flags & F_BREG != 0 {
-                let (c, i) = rec.dst;
-                bregs[c as usize & (MAX_CLUSTERS - 1)][i as usize & 7] =
-                    rec.flags & F_BREG_VAL != 0;
+                bregs[rec.dst as usize & (MAX_CLUSTERS * 8 - 1)] = rec.flags & F_BREG_VAL != 0;
             }
             if rec.flags & F_STORE != 0 {
                 match 1u8 << (rec.flags >> F_SIZE_SHIFT & 3) {
@@ -449,39 +511,37 @@ impl ThreadCtx {
     }
 }
 
-/// Reads a source operand value against the pre-instruction register state.
-/// GPR index 0 reads zero architecturally. Indices are masked to the file
-/// bounds (coordinates are validated at program build time), so the read
-/// compiles without bounds checks.
+/// Reads a flat GPR slot (register-zero slots are never written, so the
+/// architectural zero comes out of the array like any other value). The
+/// mask makes the bound obvious to the optimiser; decode validated the
+/// index.
 #[inline]
-fn operand_val(regs: &GprFile, o: Operand) -> u32 {
-    match o {
-        Operand::Gpr(r) => {
-            if r.index == 0 {
-                0
-            } else {
-                regs[r.cluster as usize & (MAX_CLUSTERS - 1)][r.index as usize & 63]
-            }
-        }
-        Operand::Imm(i) => i as u32,
-        Operand::Breg(_) | Operand::None => 0,
+fn reg_at(regs: &GprFile, code: SrcRef) -> u32 {
+    regs[code as usize & (MAX_CLUSTERS * 64 - 1)]
+}
+
+/// Reads a pre-resolved source: the op's immediate, or a flat GPR slot.
+#[inline]
+fn src_val(regs: &GprFile, code: SrcRef, imm: u32) -> u32 {
+    if code == SRC_IMM {
+        imm
+    } else {
+        reg_at(regs, code)
     }
 }
 
-/// Reads a pre-decoded branch-register condition; `None` (the operand did
-/// not name a branch register) reads false, matching the legacy decoder.
+/// Reads a pre-resolved branch-register condition; [`BREG_NONE`] (the
+/// operand did not name a branch register) reads false, matching the
+/// legacy decoder.
 #[inline]
-fn breg_val(bregs: &BregFile, cond: Option<(u8, u8)>) -> bool {
-    match cond {
-        Some((c, i)) => bregs[c as usize & (MAX_CLUSTERS - 1)][i as usize & 7],
-        None => false,
-    }
+fn breg_at(bregs: &BregFile, cond: u16) -> bool {
+    cond != BREG_NONE && bregs[cond as usize & (MAX_CLUSTERS * 8 - 1)]
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use vex_isa::{Dest, Instruction, Opcode, Operation, Reg};
+    use vex_isa::{Dest, Instruction, Opcode, Operand, Operation, Reg};
 
     fn one_inst_program(inst: Instruction) -> Arc<Program> {
         let mut halt = Instruction::nop(4);
@@ -503,13 +563,13 @@ mod tests {
         };
         let inst = Instruction::from_ops(4, [(0, mv(r3, r5)), (0, mv(r5, r3))]);
         let mut t = ThreadCtx::new(one_inst_program(inst), 0, 4, 0);
-        t.regs[0][3] = 111;
-        t.regs[0][5] = 222;
+        t.regs[3] = 111; // flat r0.3
+        t.regs[5] = 222; // flat r0.5
         t.activate();
         t.inflight.n_pending = 0; // pretend both ops issued
         t.commit_writes();
-        assert_eq!(t.regs[0][3], 222);
-        assert_eq!(t.regs[0][5], 111);
+        assert_eq!(t.regs[3], 222);
+        assert_eq!(t.regs[5], 111);
     }
 
     #[test]
@@ -522,11 +582,11 @@ mod tests {
         recv.imm = 0;
         let inst = Instruction::from_ops(4, [(0, send), (1, recv)]);
         let mut t = ThreadCtx::new(one_inst_program(inst), 0, 4, 0);
-        t.regs[0][1] = 777;
+        t.regs[1] = 777; // flat r0.1
         t.activate();
         t.inflight.n_pending = 0;
         t.commit_writes();
-        assert_eq!(t.regs[1][2], 777);
+        assert_eq!(t.regs[64 + 2], 777); // flat r1.2
     }
 
     #[test]
@@ -539,7 +599,7 @@ mod tests {
         t.activate();
         t.inflight.n_pending = 0;
         t.commit_writes();
-        assert_eq!(t.regs[0][0], 0);
+        assert_eq!(t.regs[0], 0); // flat r0.0
     }
 
     #[test]

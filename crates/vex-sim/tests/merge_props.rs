@@ -99,7 +99,7 @@ proptest! {
         ops in prop::collection::vec((any::<u8>(), any::<u8>()), 0..64),
     ) {
         let m = MachineConfig::paper_4c4w();
-        let mut p = Packet::new(m.n_clusters);
+        let mut p = Packet::new(&m);
         for (kind, c) in ops {
             let c = c % m.n_clusters;
             let fu = match kind % 6 {
