@@ -7,6 +7,7 @@
 //! vex run [FILE...] [options]    run programs through the simulator
 //! vex run --spec SPEC.toml       run a single-point spec file
 //! vex sweep SPEC.toml [--out F]  execute a sweep spec, emit JSON results
+//! vex fuzz --seed-count N        differential-test random programs
 //! vex export-workloads [DIR]     dump the built-in benchmarks as .vex
 //! ```
 //!
@@ -32,8 +33,19 @@ USAGE:
     vex run [FILE...] [OPTIONS]      simulate programs (text or .vexb input)
     vex run --spec SPEC.toml         simulate a single-point spec file
     vex sweep SPEC.toml [OPTIONS]    run a sweep spec (see docs/SPECS.md)
+    vex fuzz [OPTIONS]               differential-test seeded random programs
+                                     against the in-order reference interpreter
     vex export-workloads [DIR]       write the 12 built-in benchmarks as .vex
     vex help                         show this message
+
+FUZZ OPTIONS:
+    --seed-count N                        seeds to sweep          [default: 100]
+    --seed-base S                         first seed              [default: 0]
+    --machine paper|narrow_2c|CxW         target machine geometry [default: paper]
+                                          (CxW = C clusters of W-issue, e.g. 2x2)
+    --size N                              program-size knob       [default: 24]
+    --out FILE                            where to write the offending program
+                                          on mismatch  [default: fuzz_failure.vex]
 
 SWEEP OPTIONS:
     --out FILE                            write JSON results to FILE
@@ -76,6 +88,7 @@ fn main() -> ExitCode {
         "disasm" => cmd_disasm(rest),
         "run" => cmd_run(rest),
         "sweep" => cmd_sweep(rest),
+        "fuzz" => cmd_fuzz(rest),
         "export-workloads" => cmd_export(rest),
         "help" | "--help" | "-h" => {
             print!("{USAGE}");
@@ -213,6 +226,140 @@ fn cmd_export(args: &[String]) -> Result<(), String> {
         ))?;
     }
     Ok(())
+}
+
+// ---- differential fuzzing -----------------------------------------
+
+/// Resolves a `--machine` argument: a named geometry or `CxW` (C clusters
+/// of W-issue slots each).
+fn parse_machine(spec: &str) -> Result<MachineConfig, String> {
+    match spec {
+        "paper" => return Ok(MachineConfig::paper_4c4w()),
+        "narrow_2c" => return Ok(MachineConfig::narrow_2c()),
+        _ => {}
+    }
+    if let Some((c, w)) = spec.split_once('x') {
+        let parse = |v: &str, what: &str| -> Result<u8, String> {
+            v.parse()
+                .ok()
+                .filter(|&n| (1..=16).contains(&n))
+                .ok_or_else(|| format!("bad {what} `{v}` in machine `{spec}` (1..=16)"))
+        };
+        return Ok(MachineConfig::small(
+            parse(c, "cluster count")?,
+            parse(w, "issue width")?,
+        ));
+    }
+    Err(format!(
+        "unknown machine `{spec}` (paper, narrow_2c, or CxW like 2x2)"
+    ))
+}
+
+fn cmd_fuzz(args: &[String]) -> Result<(), String> {
+    let mut seed_count: u64 = 100;
+    let mut seed_base: u64 = 0;
+    let mut machine = MachineConfig::paper_4c4w();
+    let mut machine_name = "paper".to_string();
+    let mut size: u32 = vex_gen::GenConfig::DEFAULT_SIZE;
+    let mut out_path = "fuzz_failure.vex".to_string();
+    let mut it = args.iter();
+    let value = |it: &mut std::slice::Iter<String>, flag: &str| -> Result<String, String> {
+        it.next()
+            .map(|s| s.to_string())
+            .ok_or_else(|| format!("`{flag}` needs a value"))
+    };
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--seed-count" => {
+                let v = value(&mut it, a)?;
+                seed_count = v
+                    .parse()
+                    .ok()
+                    .filter(|&n| n >= 1)
+                    .ok_or_else(|| format!("bad seed count `{v}`"))?;
+            }
+            "--seed-base" => seed_base = parse_u64(&value(&mut it, a)?, a)?,
+            "--machine" => {
+                machine_name = value(&mut it, a)?;
+                machine = parse_machine(&machine_name)?;
+            }
+            "--size" => {
+                let v = value(&mut it, a)?;
+                size = v
+                    .parse()
+                    .ok()
+                    .filter(|&n| n >= 1)
+                    .ok_or_else(|| format!("bad size `{v}`"))?;
+            }
+            "--out" => out_path = value(&mut it, a)?,
+            other => return Err(format!("unknown option `{other}` for `vex fuzz`")),
+        }
+    }
+
+    let t0 = std::time::Instant::now();
+    for i in 0..seed_count {
+        let seed = seed_base.wrapping_add(i);
+        let cfg = vex_gen::GenConfig {
+            machine: machine.clone(),
+            seed,
+            size,
+        };
+        match vex_gen::check_seed(&cfg)? {
+            Ok(()) => {}
+            Err(failure) => return report_fuzz_failure(&cfg, failure, &machine_name, &out_path),
+        }
+        if (i + 1) % 100 == 0 {
+            eprintln!(
+                "[vex fuzz] {}/{seed_count} seeds clean ({:.1}s)",
+                i + 1,
+                t0.elapsed().as_secs_f32()
+            );
+        }
+    }
+    outln(&format!(
+        "vex fuzz: {seed_count} seed(s) x 8 techniques x {{1,2,4}} threads on `{machine_name}`: \
+         all runs byte-identical to the reference interpreter ({:.1}s)",
+        t0.elapsed().as_secs_f32()
+    ))
+}
+
+/// Shrinks a differential failure by re-seeding at smaller sizes, writes
+/// the offending program as round-trippable `.vex` text, and reports the
+/// reproduction command.
+fn report_fuzz_failure(
+    cfg: &vex_gen::GenConfig,
+    failure: vex_gen::Failure,
+    machine_name: &str,
+    out_path: &str,
+) -> Result<(), String> {
+    eprintln!(
+        "[vex fuzz] seed {} diverged ({}); shrinking by re-seeding...",
+        cfg.seed, failure.mismatch
+    );
+    let (small_cfg, small) = vex_gen::shrink(cfg, failure);
+    let text = vex_asm::print_program(&small.program);
+    // The printed text must reproduce the program exactly; a round-trip
+    // failure would make the artifact useless for replay, so check
+    // unconditionally (this path only runs on a divergence) and flag the
+    // artifact rather than uploading it silently broken.
+    if vex_asm::parse_program(&text).as_ref() != Ok(&small.program) {
+        eprintln!(
+            "[vex fuzz] warning: the offending program does not round-trip through \
+             `.vex` text — replaying the artifact may not reproduce the divergence; \
+             use the `reproduce:` command below instead"
+        );
+    }
+    if let Err(e) = std::fs::write(out_path, &text) {
+        eprintln!("[vex fuzz] warning: could not write `{out_path}`: {e}");
+    } else {
+        eprintln!("[vex fuzz] offending program written to `{out_path}`");
+    }
+    eprint!("{text}");
+    Err(format!(
+        "architectural divergence: {}\n  reproduce: vex fuzz --machine {machine_name} \
+         --seed-base {} --seed-count 1 --size {}",
+        small.mismatch, small_cfg.seed, small_cfg.size
+    ))
 }
 
 // ---- spec-driven runs ---------------------------------------------

@@ -287,3 +287,29 @@ fn printed_text_is_stable_under_a_second_roundtrip() {
     let text2 = print_program(&parse_program(&text1).unwrap());
     assert_eq!(text1, text2);
 }
+
+// ---- fuzz-artifact guarantee --------------------------------------
+
+#[test]
+fn generated_fuzz_programs_roundtrip_through_text_and_binary() {
+    // `vex fuzz` prints a failing program as `.vex` text and promises the
+    // file reproduces the failure byte-for-byte; that only holds if every
+    // generator-producible program round-trips through the printer and
+    // parser (and the `.vexb` codec, for cached artifacts).
+    for machine in [
+        vex_isa::MachineConfig::paper_4c4w(),
+        vex_isa::MachineConfig::narrow_2c(),
+    ] {
+        for seed in 0..40u64 {
+            let program =
+                vex_gen::generate(&vex_gen::GenConfig::new(machine.clone(), seed)).unwrap();
+            let text = print_program(&program);
+            let reparsed = parse_program(&text).unwrap_or_else(|e| {
+                panic!("generated program (seed {seed}) failed to re-parse:\n{e}")
+            });
+            assert_eq!(program, reparsed, "seed {seed}: text round-trip diverged");
+            let decoded = decode(&encode(&program)).unwrap();
+            assert_eq!(program, decoded, "seed {seed}: binary round-trip diverged");
+        }
+    }
+}

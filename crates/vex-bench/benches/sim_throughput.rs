@@ -59,27 +59,15 @@ fn scale_name(spec: &SweepSpec) -> &'static str {
     }
 }
 
-/// Extracts the `history` entry lines (one JSON object per line, sans
-/// trailing comma) from a previous artifact, so this run's entry can be
-/// appended. Tolerates a missing file or a pre-history schema.
+/// Extracts the `history` entries from a previous artifact so this run's
+/// entry can be appended. The format-tolerant scan lives in
+/// [`vex_bench::extract_history`] (with its unit tests); a missing file
+/// yields an empty history.
 fn prior_history(path: &str) -> Vec<String> {
-    let Ok(old) = std::fs::read_to_string(path) else {
-        return Vec::new();
-    };
-    let mut out = Vec::new();
-    let mut in_history = false;
-    for line in old.lines() {
-        let t = line.trim();
-        if in_history {
-            if t.starts_with(']') {
-                break;
-            }
-            out.push(t.trim_end_matches(',').to_string());
-        } else if t.starts_with("\"history\":") {
-            in_history = true;
-        }
+    match std::fs::read_to_string(path) {
+        Ok(old) => vex_bench::extract_history(&old),
+        Err(_) => Vec::new(),
     }
-    out
 }
 
 fn main() {

@@ -1,0 +1,627 @@
+//! The seeded random program generator.
+//!
+//! [`generate`] turns `(machine, seed, size)` into a **validated**
+//! [`Program`] with these guarantees:
+//!
+//! * **Machine-shaped.** Bundles respect the machine's issue slots and
+//!   functional-unit mix ([`vex_isa::ClusterResources`]), registers stay
+//!   inside the per-cluster files, GPRs are cluster-local, and every
+//!   send has its recv in the same instruction — everything
+//!   [`Program::validate`] enforces (and the harness asserts it).
+//! * **Provably terminating.** The only backward branches are the
+//!   structured loop tails this module emits: each loop owns a dedicated
+//!   counter register (allocated from the top of cluster 0's file, never
+//!   touched by random ops) that is zeroed on entry and incremented once
+//!   per iteration against a small trip count. Random *forward* branches
+//!   are confined to their straight-line run and can target at most the
+//!   first instruction after it, so they can never skip an enclosing
+//!   loop's counter update. Every path therefore reaches the final
+//!   `halt` after a bounded number of instructions.
+//! * **Bounded memory.** Loads and stores address a small arena through
+//!   per-cluster pointer registers that are initialised once and never
+//!   overwritten; the arena's initial contents come from the seed via a
+//!   data segment, so loads observe interesting values.
+//! * **Round-trippable.** Every emitted operation uses the canonical
+//!   shape the `vex-asm` printer/parser agree on, so a failing program
+//!   prints as `.vex` text that reproduces the failure byte-for-byte.
+//!
+//! The same `(machine, seed, size)` triple always yields the same
+//! program, which is what lets `vex fuzz` shrink a failure by re-seeding
+//! at smaller sizes.
+
+use vex_isa::{BReg, Dest, FuKind, Instruction, MachineConfig, Opcode, Operand, Operation, Reg};
+use vex_isa::{DataSegment, Program};
+use vex_sim::rng::SplitMix64;
+
+/// Base byte address of the load/store arena.
+pub const ARENA_BASE: u32 = 0x1000;
+/// Arena size in bytes: every generated memory access lands in
+/// `[ARENA_BASE, ARENA_BASE + ARENA_BYTES + small per-cluster skew)`.
+pub const ARENA_BYTES: u32 = 1024;
+/// Seeded initial-image bytes at the start of the arena.
+const ARENA_INIT_BYTES: u32 = 256;
+/// Arena offset of the epilogue's register-dump slots.
+const EPI_OFF: u32 = 768;
+
+/// Per-cluster register roles: `$rc.0` is the architectural zero,
+/// `$rc.1` the arena pointer (written once in the prologue), and
+/// `$rc.2 ..` the data registers random operations read and write.
+const PTR_REG: u8 = 1;
+/// First data-register index.
+const DATA_LO: u8 = 2;
+/// Data registers per cluster.
+const N_DATA: u8 = 4;
+/// Maximum loop-nesting depth (each level owns one counter register and
+/// one branch register at the top of cluster 0's files).
+const MAX_LOOP_DEPTH: u8 = 2;
+
+/// Everything [`generate`] needs: the target machine, the seed, and a
+/// size knob (roughly the number of body instructions before loop and
+/// prologue overhead). Same config, same program — always.
+#[derive(Clone, Debug)]
+pub struct GenConfig {
+    /// Machine the program must fit (cluster count, FU mix, file sizes).
+    pub machine: MachineConfig,
+    /// Generator seed.
+    pub seed: u64,
+    /// Body-size knob; `vex fuzz` shrinks failures by lowering it.
+    pub size: u32,
+}
+
+impl GenConfig {
+    /// Default size used by the fuzzer.
+    pub const DEFAULT_SIZE: u32 = 24;
+
+    /// A config at the default size.
+    pub fn new(machine: MachineConfig, seed: u64) -> Self {
+        GenConfig {
+            machine,
+            seed,
+            size: Self::DEFAULT_SIZE,
+        }
+    }
+}
+
+/// Generates one validated program. Errors only when the machine cannot
+/// host the generator's register conventions (fewer than 8 GPRs or 3
+/// branch registers per cluster — far below any modelled geometry).
+pub fn generate(cfg: &GenConfig) -> Result<Program, String> {
+    let m = &cfg.machine;
+    if m.n_gprs < DATA_LO + N_DATA + MAX_LOOP_DEPTH {
+        return Err(format!(
+            "machine has {} GPRs per cluster; the generator needs at least {}",
+            m.n_gprs,
+            DATA_LO + N_DATA + MAX_LOOP_DEPTH
+        ));
+    }
+    if m.n_bregs < MAX_LOOP_DEPTH + 1 {
+        return Err(format!(
+            "machine has {} branch registers per cluster; the generator needs at least {}",
+            m.n_bregs,
+            MAX_LOOP_DEPTH + 1
+        ));
+    }
+    let mut g = Gen {
+        m,
+        rng: SplitMix64::new(cfg.seed ^ 0x9E37_79B9_7F4A_7C15),
+        insts: Vec::new(),
+    };
+    g.prologue();
+    g.body(0, cfg.size.max(1));
+    g.epilogue();
+
+    let mut data = vec![0u8; ARENA_INIT_BYTES as usize];
+    for b in data.iter_mut() {
+        *b = g.rng.next_u64() as u8;
+    }
+    let program = Program::new(
+        format!("gen-{:#x}-s{}", cfg.seed, cfg.size),
+        g.insts,
+        vec![DataSegment {
+            base: ARENA_BASE,
+            bytes: data,
+        }],
+    );
+    program
+        .validate(m)
+        .map_err(|e| format!("generator emitted an invalid program (generator bug): {e}"))?;
+    Ok(program)
+}
+
+/// Per-instruction issue capacity of one cluster while a bundle is being
+/// filled.
+#[derive(Clone, Copy)]
+struct Cap {
+    slots: u8,
+    fu: [u8; FuKind::COUNT],
+}
+
+impl Cap {
+    fn of(m: &MachineConfig) -> Self {
+        Cap {
+            slots: m.cluster.slots,
+            fu: m.cluster.counts(),
+        }
+    }
+
+    fn has(&self, kind: FuKind) -> bool {
+        self.slots > 0 && self.fu[kind.index()] > 0
+    }
+
+    fn claim(&mut self, kind: FuKind) {
+        self.slots -= 1;
+        self.fu[kind.index()] -= 1;
+    }
+}
+
+struct Gen<'a> {
+    m: &'a MachineConfig,
+    rng: SplitMix64,
+    insts: Vec<Instruction>,
+}
+
+impl Gen<'_> {
+    fn n_clusters(&self) -> u8 {
+        self.m.n_clusters
+    }
+
+    // ---- random pickers -------------------------------------------
+
+    fn chance(&mut self, pct: u64) -> bool {
+        self.rng.below(100) < pct
+    }
+
+    /// A random data register of cluster `c`.
+    fn data_reg(&mut self, c: u8) -> Reg {
+        Reg::new(c, DATA_LO + self.rng.below(N_DATA as u64) as u8)
+    }
+
+    /// A random *data* branch register (the top `MAX_LOOP_DEPTH` indices
+    /// of cluster 0 are loop-owned and never handed out here).
+    fn data_breg(&mut self) -> BReg {
+        let c = self.rng.below(self.n_clusters() as u64) as u8;
+        let hi = if c == 0 {
+            self.m.n_bregs - MAX_LOOP_DEPTH
+        } else {
+            self.m.n_bregs
+        };
+        BReg::new(c, self.rng.below(hi as u64) as u8)
+    }
+
+    /// An interesting immediate: boundary values mixed with raw entropy.
+    fn imm(&mut self) -> i32 {
+        const POOL: [i32; 16] = [
+            0,
+            1,
+            2,
+            3,
+            -1,
+            -2,
+            7,
+            31,
+            32,
+            255,
+            256,
+            0x5a5a,
+            -32768,
+            65535,
+            i32::MAX,
+            i32::MIN,
+        ];
+        if self.chance(70) {
+            POOL[self.rng.below(POOL.len() as u64) as usize]
+        } else {
+            self.rng.next_u64() as u32 as i32
+        }
+    }
+
+    /// A random ALU/store source operand on cluster `c`.
+    fn src(&mut self, c: u8) -> Operand {
+        if self.chance(35) {
+            Operand::Imm(self.imm())
+        } else {
+            Operand::Gpr(self.data_reg(c))
+        }
+    }
+
+    /// A random destination on cluster `c`; rarely the immutable register
+    /// zero, to exercise the write-discard path everywhere.
+    fn dst(&mut self, c: u8) -> Reg {
+        if self.chance(5) {
+            Reg::zero(c)
+        } else {
+            self.data_reg(c)
+        }
+    }
+
+    // ---- program sections -----------------------------------------
+
+    /// Pointer + data-register initialisation. Pointers get per-cluster
+    /// skews so the clusters' working sets overlap but do not coincide.
+    fn prologue(&mut self) {
+        let n = self.n_clusters();
+        let mut ptr_init = Instruction::nop(n);
+        for c in 0..n {
+            let mut op = Operation::new(Opcode::Mov);
+            op.dst = Dest::Gpr(Reg::new(c, PTR_REG));
+            op.a = Operand::Imm((ARENA_BASE + (c as u32 % 8) * 32) as i32);
+            ptr_init.bundles[c as usize].ops.push(op);
+        }
+        self.insts.push(ptr_init);
+
+        // Data registers, `per_inst` movs per cluster per instruction.
+        let per_inst = self.m.cluster.slots.min(self.m.cluster.alu).max(1);
+        let mut r = DATA_LO;
+        while r < DATA_LO + N_DATA {
+            let hi = (r + per_inst).min(DATA_LO + N_DATA);
+            let mut inst = Instruction::nop(n);
+            for c in 0..n {
+                for idx in r..hi {
+                    let mut op = Operation::new(Opcode::Mov);
+                    op.dst = Dest::Gpr(Reg::new(c, idx));
+                    op.a = Operand::Imm(self.imm());
+                    inst.bundles[c as usize].ops.push(op);
+                }
+            }
+            self.insts.push(inst);
+            r = hi;
+        }
+    }
+
+    /// Body: a sequence of straight-line runs and bounded loops, spending
+    /// roughly `budget` instructions.
+    fn body(&mut self, depth: u8, budget: u32) {
+        let mut left = budget;
+        while left > 0 {
+            if depth < MAX_LOOP_DEPTH && left >= 8 && self.chance(40) {
+                let inner = 2 + self.rng.below((left / 2) as u64) as u32;
+                left -= (inner + 4).min(left);
+                self.emit_loop(depth, inner);
+            } else {
+                let n = (1 + self.rng.below(4)) as u32;
+                let n = n.min(left);
+                left -= n;
+                self.straight_run(n as usize);
+            }
+        }
+    }
+
+    /// One structured, provably bounded loop: counter zeroed on entry,
+    /// incremented each iteration, compared against a small trip count,
+    /// conditional backward branch — three single-op tail instructions on
+    /// cluster 0 that random forward branches can never skip.
+    fn emit_loop(&mut self, depth: u8, inner_budget: u32) {
+        let n = self.n_clusters();
+        let ctr = Reg::new(0, self.m.n_gprs - 1 - depth);
+        let cond = BReg::new(0, self.m.n_bregs - 1 - depth);
+        let trip = 2 + self.rng.below(3) as i32; // 2..=4 iterations
+
+        let mut init = Operation::new(Opcode::Mov);
+        init.dst = Dest::Gpr(ctr);
+        init.a = Operand::Imm(0);
+        self.insts.push(Instruction::from_ops(n, [(0, init)]));
+
+        let start = self.insts.len();
+        self.body(depth + 1, inner_budget);
+
+        let bump = Operation::bin(Opcode::Add, ctr, Operand::Gpr(ctr), Operand::Imm(1));
+        self.insts.push(Instruction::from_ops(n, [(0, bump)]));
+        let mut cmp = Operation::new(Opcode::CmpLt);
+        cmp.dst = Dest::Breg(cond);
+        cmp.a = Operand::Gpr(ctr);
+        cmp.b = Operand::Imm(trip);
+        self.insts.push(Instruction::from_ops(n, [(0, cmp)]));
+        let mut back = Operation::new(Opcode::Br);
+        back.a = Operand::Breg(cond);
+        back.imm = start as i32;
+        self.insts.push(Instruction::from_ops(n, [(0, back)]));
+    }
+
+    /// `n` random instructions. Forward branches inside the run target at
+    /// most the first instruction *after* it (`base + n`), which always
+    /// exists: a loop tail, another run, the epilogue or the final halt.
+    fn straight_run(&mut self, n: usize) {
+        let base = self.insts.len();
+        for j in 0..n {
+            if self.chance(8) {
+                self.insts.push(Instruction::nop(self.n_clusters()));
+                continue;
+            }
+            let inst = self.random_inst(base + j + 1, base + n);
+            self.insts.push(inst);
+        }
+    }
+
+    /// One random instruction; a forward branch (if any) targets an index
+    /// in `fwd_lo ..= fwd_hi`.
+    fn random_inst(&mut self, fwd_lo: usize, fwd_hi: usize) -> Instruction {
+        let n = self.n_clusters();
+        let mut inst = Instruction::nop(n);
+        let mut caps: Vec<Cap> = (0..n).map(|_| Cap::of(self.m)).collect();
+
+        // Inter-cluster transfer pairs first (they place ops on two
+        // clusters at once).
+        if n >= 2 && self.chance(25) {
+            let pairs = 1 + self.rng.below(2);
+            for pair in 0..pairs {
+                let s = self.rng.below(n as u64) as u8;
+                let mut d = self.rng.below(n as u64 - 1) as u8;
+                if d >= s {
+                    d += 1;
+                }
+                if !(caps[s as usize].has(FuKind::Send) && caps[d as usize].has(FuKind::Recv)) {
+                    continue;
+                }
+                caps[s as usize].claim(FuKind::Send);
+                caps[d as usize].claim(FuKind::Recv);
+                let mut send = Operation::new(Opcode::Send);
+                send.a = Operand::Gpr(self.data_reg(s));
+                send.imm = pair as i32;
+                inst.bundles[s as usize].ops.push(send);
+                let mut recv = Operation::new(Opcode::Recv);
+                recv.dst = Dest::Gpr(self.data_reg(d));
+                recv.imm = pair as i32;
+                inst.bundles[d as usize].ops.push(recv);
+            }
+        }
+
+        // Fill bundles with computation.
+        for c in 0..n {
+            if self.chance(18) {
+                continue; // leave the cluster unused this cycle
+            }
+            let want = 1 + self.rng.below(self.m.cluster.slots as u64) as u8;
+            for _ in 0..want {
+                if let Some(op) = self.random_op(c, &mut caps[c as usize]) {
+                    inst.bundles[c as usize].ops.push(op);
+                }
+            }
+        }
+
+        // At most one forward control operation per instruction.
+        if fwd_lo <= fwd_hi && self.chance(16) {
+            if let Some(c) = (0..n).find(|&c| caps[c as usize].has(FuKind::Br)) {
+                caps[c as usize].claim(FuKind::Br);
+                let span = (fwd_hi - fwd_lo + 1) as u64;
+                let target = (fwd_lo + self.rng.below(span) as usize) as i32;
+                let op = match self.rng.below(3) {
+                    0 => {
+                        let mut op = Operation::new(Opcode::Goto);
+                        op.imm = target;
+                        op
+                    }
+                    1 => {
+                        let mut op = Operation::new(Opcode::Br);
+                        op.a = Operand::Breg(self.data_breg());
+                        op.imm = target;
+                        op
+                    }
+                    _ => {
+                        let mut op = Operation::new(Opcode::Brf);
+                        op.a = Operand::Breg(self.data_breg());
+                        op.imm = target;
+                        op
+                    }
+                };
+                inst.bundles[c as usize].ops.push(op);
+            }
+        }
+        inst
+    }
+
+    /// One random computation operation on cluster `c`, or `None` if the
+    /// drawn kind has no capacity left.
+    fn random_op(&mut self, c: u8, cap: &mut Cap) -> Option<Operation> {
+        let r = self.rng.below(100);
+        if r < 50 {
+            // ALU family.
+            if !cap.has(FuKind::Alu) {
+                return None;
+            }
+            cap.claim(FuKind::Alu);
+            Some(self.alu_op(c))
+        } else if r < 62 {
+            // Compare writing a branch register.
+            if !cap.has(FuKind::Alu) {
+                return None;
+            }
+            cap.claim(FuKind::Alu);
+            const CMPS: [Opcode; 8] = [
+                Opcode::CmpEq,
+                Opcode::CmpNe,
+                Opcode::CmpLt,
+                Opcode::CmpLe,
+                Opcode::CmpGt,
+                Opcode::CmpGe,
+                Opcode::CmpLtu,
+                Opcode::CmpGeu,
+            ];
+            let mut op = Operation::new(CMPS[self.rng.below(8) as usize]);
+            // Local data breg (never a loop-owned one).
+            let hi = if c == 0 {
+                self.m.n_bregs - MAX_LOOP_DEPTH
+            } else {
+                self.m.n_bregs
+            };
+            op.dst = Dest::Breg(BReg::new(c, self.rng.below(hi as u64) as u8));
+            op.a = self.src(c);
+            op.b = self.src(c);
+            Some(op)
+        } else if r < 72 {
+            if !cap.has(FuKind::Mul) {
+                return None;
+            }
+            cap.claim(FuKind::Mul);
+            let opc = if self.chance(50) {
+                Opcode::Mull
+            } else {
+                Opcode::Mulh
+            };
+            let d = self.dst(c);
+            let (a, b) = (self.src(c), self.src(c));
+            Some(Operation::bin(opc, d, a, b))
+        } else if r < 86 {
+            if !cap.has(FuKind::Mem) {
+                return None;
+            }
+            cap.claim(FuKind::Mem);
+            const LOADS: [Opcode; 5] = [
+                Opcode::Ldw,
+                Opcode::Ldh,
+                Opcode::Ldhu,
+                Opcode::Ldb,
+                Opcode::Ldbu,
+            ];
+            let opc = LOADS[self.rng.below(5) as usize];
+            let off = self.rng.below((ARENA_BYTES - 4) as u64) as i32;
+            let d = self.data_reg(c);
+            Some(Operation::load(opc, d, Reg::new(c, PTR_REG), off))
+        } else {
+            if !cap.has(FuKind::Mem) {
+                return None;
+            }
+            cap.claim(FuKind::Mem);
+            const STORES: [Opcode; 3] = [Opcode::Stw, Opcode::Sth, Opcode::Stb];
+            let opc = STORES[self.rng.below(3) as usize];
+            let off = self.rng.below((ARENA_BYTES - 4) as u64) as i32;
+            let v = self.src(c);
+            Some(Operation::store(opc, Reg::new(c, PTR_REG), off, v))
+        }
+    }
+
+    /// A random ALU operation (binary, unary, move, select, or a compare
+    /// into a GPR) in its canonical printable shape.
+    fn alu_op(&mut self, c: u8) -> Operation {
+        const BINS: [Opcode; 13] = [
+            Opcode::Add,
+            Opcode::Sub,
+            Opcode::And,
+            Opcode::Or,
+            Opcode::Xor,
+            Opcode::Andc,
+            Opcode::Shl,
+            Opcode::Shr,
+            Opcode::Sra,
+            Opcode::Min,
+            Opcode::Max,
+            Opcode::Minu,
+            Opcode::Maxu,
+        ];
+        const UNARY: [Opcode; 4] = [Opcode::Sxtb, Opcode::Sxth, Opcode::Zxtb, Opcode::Zxth];
+        const GPR_CMPS: [Opcode; 4] = [Opcode::CmpEq, Opcode::CmpNe, Opcode::CmpLt, Opcode::CmpLtu];
+        let w = self.rng.below(100);
+        if w < 12 {
+            let mut op = Operation::new(Opcode::Mov);
+            op.dst = Dest::Gpr(self.dst(c));
+            op.a = self.src(c);
+            op
+        } else if w < 22 {
+            let mut op = Operation::new(UNARY[self.rng.below(4) as usize]);
+            op.dst = Dest::Gpr(self.dst(c));
+            op.a = self.src(c);
+            op
+        } else if w < 32 {
+            let mut op = Operation::new(Opcode::Slct);
+            op.dst = Dest::Gpr(self.dst(c));
+            op.a = self.src(c);
+            op.b = self.src(c);
+            op.c = Operand::Breg(self.data_breg());
+            op
+        } else if w < 42 {
+            let mut op = Operation::new(GPR_CMPS[self.rng.below(4) as usize]);
+            op.dst = Dest::Gpr(self.dst(c));
+            op.a = self.src(c);
+            op.b = self.src(c);
+            op
+        } else {
+            let opc = BINS[self.rng.below(BINS.len() as u64) as usize];
+            let d = self.dst(c);
+            let (a, b) = (self.src(c), self.src(c));
+            Operation::bin(opc, d, a, b)
+        }
+    }
+
+    /// Dumps every data register into fixed arena slots (exercising the
+    /// buffered-store commit path one last time) and halts.
+    fn epilogue(&mut self) {
+        let n = self.n_clusters();
+        for r in 0..N_DATA {
+            let mut inst = Instruction::nop(n);
+            for c in 0..n {
+                let slot = (c as u32 * N_DATA as u32 + r as u32) * 4;
+                let op = Operation::store(
+                    Opcode::Stw,
+                    Reg::new(c, PTR_REG),
+                    (EPI_OFF + slot) as i32,
+                    Operand::Gpr(Reg::new(c, DATA_LO + r)),
+                );
+                inst.bundles[c as usize].ops.push(op);
+            }
+            self.insts.push(inst);
+        }
+        let mut halt = Instruction::nop(n);
+        halt.bundles[0].ops.push(Operation::new(Opcode::Halt));
+        self.insts.push(halt);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let cfg = GenConfig::new(MachineConfig::paper_4c4w(), 42);
+        assert_eq!(generate(&cfg).unwrap(), generate(&cfg).unwrap());
+    }
+
+    #[test]
+    fn seeds_produce_distinct_programs() {
+        let a = generate(&GenConfig::new(MachineConfig::paper_4c4w(), 1)).unwrap();
+        let b = generate(&GenConfig::new(MachineConfig::paper_4c4w(), 2)).unwrap();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn programs_validate_on_their_machine() {
+        for machine in [MachineConfig::paper_4c4w(), MachineConfig::narrow_2c()] {
+            for seed in 0..50 {
+                let p = generate(&GenConfig::new(machine.clone(), seed)).unwrap();
+                p.validate(&machine).unwrap();
+                assert!(p.total_ops() > 0);
+            }
+        }
+    }
+
+    #[test]
+    fn single_cluster_machines_generate_too() {
+        let m = MachineConfig::small(1, 4);
+        let p = generate(&GenConfig::new(m.clone(), 7)).unwrap();
+        p.validate(&m).unwrap();
+    }
+
+    #[test]
+    fn size_scales_program_length() {
+        let m = MachineConfig::paper_4c4w();
+        let small = generate(&GenConfig {
+            machine: m.clone(),
+            seed: 5,
+            size: 1,
+        })
+        .unwrap();
+        let large = generate(&GenConfig {
+            machine: m,
+            seed: 5,
+            size: 60,
+        })
+        .unwrap();
+        assert!(large.len() > small.len());
+    }
+
+    #[test]
+    fn tiny_register_files_are_rejected_gracefully() {
+        let mut m = MachineConfig::paper_4c4w();
+        m.n_gprs = 4;
+        assert!(generate(&GenConfig::new(m, 0)).is_err());
+    }
+}

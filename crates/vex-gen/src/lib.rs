@@ -1,0 +1,32 @@
+//! # vex-gen — seeded program generation and differential testing
+//!
+//! The scenario-diversity engine for the simulator stack: a seeded random
+//! VLIW program generator parameterised by [`vex_isa::MachineConfig`]
+//! ([`gen`]) and a differential harness ([`diff`]) that runs every
+//! generated program through **all 8 technique points × {1, 2, 4}
+//! hardware threads** and asserts the final architectural state is
+//! byte-identical to the dependency-free in-order reference interpreter
+//! ([`vex_sim::oracle`]).
+//!
+//! Why this exists: the paper's §V-B invariant promises that split-issue
+//! never changes architectural results — only timing. The hand-written
+//! benchmarks and golden fixtures pin that for a dozen programs; this
+//! crate pins it for *arbitrary* machine-shaped programs, which is what
+//! protects the heavily optimised SWAR/monomorphized issue paths from
+//! silent wrong-answer regressions.
+//!
+//! Three frontends share the harness:
+//!
+//! * the `prop_differential` property suite (`cargo test -p vex-gen`);
+//! * `vex fuzz --seed-count N [--machine SPEC]`, which shrinks failures
+//!   by re-seeding at smaller sizes and prints the offending program as
+//!   round-trippable `.vex` text;
+//! * the CI fuzz smoke job (paper testbed + `narrow_2c`).
+
+#![warn(missing_docs)]
+
+pub mod diff;
+pub mod gen;
+
+pub use diff::{check_program, check_seed, shrink, Failure, Mismatch, THREAD_COUNTS};
+pub use gen::{generate, GenConfig, ARENA_BASE, ARENA_BYTES};

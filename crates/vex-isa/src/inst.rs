@@ -167,13 +167,54 @@ impl Instruction {
                         return Err(format!("cluster {c}: op `{op}` reads remote register {r}"));
                     }
                 }
+                // Register indices must exist in the machine's files. The
+                // simulator's flat register files rely on this: an index
+                // past the per-cluster file would alias a neighbouring
+                // cluster's registers instead of faulting.
+                for r in op.src_gprs().chain(match op.dst {
+                    crate::op::Dest::Gpr(r) => Some(r),
+                    _ => None,
+                }) {
+                    if r.index >= m.n_gprs {
+                        return Err(format!(
+                            "cluster {c}: op `{op}` names register {r} but the machine \
+                             has {} GPRs per cluster",
+                            m.n_gprs
+                        ));
+                    }
+                }
+                let bregs = [
+                    match op.dst {
+                        crate::op::Dest::Breg(b) => Some(b),
+                        _ => None,
+                    },
+                    op.a.breg(),
+                    op.b.breg(),
+                    op.c.breg(),
+                ];
+                for b in bregs.into_iter().flatten() {
+                    if b.index >= m.n_bregs {
+                        return Err(format!(
+                            "cluster {c}: op `{op}` names branch register {b} but the \
+                             machine has {} branch registers per cluster",
+                            m.n_bregs
+                        ));
+                    }
+                }
             }
         }
-        // Send/recv pair ids must match one-to-one within the instruction.
+        // Send/recv pair ids must be in transfer-tag range and must match
+        // one-to-one within the instruction.
         let mut sends: Vec<i32> = Vec::new();
         let mut recvs: Vec<i32> = Vec::new();
         for b in &self.bundles {
             for op in &b.ops {
+                if op.opcode.is_comm() && !(0..16).contains(&op.imm) {
+                    return Err(format!(
+                        "op `{op}`: transfer pair id x{} out of range (0..16)",
+                        op.imm
+                    ));
+                }
                 match op.opcode {
                     crate::op::Opcode::Send => sends.push(op.imm),
                     crate::op::Opcode::Recv => recvs.push(op.imm),
@@ -262,6 +303,47 @@ mod tests {
         // Two loads on one cluster: only 1 mem unit.
         let i = Instruction::from_ops(4, [(0, ld(0)), (0, ld(0))]);
         assert!(i.validate(&m).is_err());
+    }
+
+    #[test]
+    fn validate_rejects_out_of_file_register_indices() {
+        let m = MachineConfig::paper_4c4w();
+        // GPR index past the 64-register file.
+        let i = Instruction::from_ops(
+            4,
+            [(
+                0,
+                Operation::bin(
+                    Opcode::Add,
+                    Reg::new(0, 64),
+                    Operand::Gpr(Reg::new(0, 1)),
+                    Operand::Imm(1),
+                ),
+            )],
+        );
+        assert!(i.validate(&m).unwrap_err().contains("64 GPRs"));
+        // Branch-register index past the 8-register file.
+        let mut cmp = Operation::new(Opcode::CmpEq);
+        cmp.dst = crate::op::Dest::Breg(crate::reg::BReg::new(0, 8));
+        cmp.a = Operand::Gpr(Reg::new(0, 1));
+        cmp.b = Operand::Imm(0);
+        let i = Instruction::from_ops(4, [(0, cmp)]);
+        assert!(i.validate(&m).unwrap_err().contains("branch register"));
+    }
+
+    #[test]
+    fn validate_rejects_out_of_range_pair_id() {
+        // Pair id 16 would alias id 0 in the simulator's 16-entry transfer
+        // buffer; validation must reject it even though send/recv match.
+        let m = MachineConfig::paper_4c4w();
+        let mut send = Operation::new(Opcode::Send);
+        send.a = Operand::Gpr(Reg::new(0, 1));
+        send.imm = 16;
+        let mut recv = Operation::new(Opcode::Recv);
+        recv.dst = crate::op::Dest::Gpr(Reg::new(1, 2));
+        recv.imm = 16;
+        let i = Instruction::from_ops(4, [(0, send), (1, recv)]);
+        assert!(i.validate(&m).unwrap_err().contains("pair id"));
     }
 
     #[test]

@@ -136,6 +136,14 @@ impl MachineConfig {
         }
     }
 
+    /// Two narrow 2-issue clusters — the geometry of the paper's Figure 1
+    /// worked examples and of `examples/narrow_2c.toml`. Narrow clusters
+    /// make whole-instruction merging much harder, so this is the second
+    /// machine the differential fuzzer sweeps in CI.
+    pub fn narrow_2c() -> Self {
+        Self::small(2, 2)
+    }
+
     /// A small machine for unit tests and the paper's worked examples.
     pub fn small(n_clusters: u8, slots: u8) -> Self {
         MachineConfig {
@@ -183,5 +191,17 @@ mod tests {
         assert_eq!(c.slots, 2);
         assert_eq!(c.alu, 2);
         assert_eq!(c.mul, 1);
+    }
+
+    #[test]
+    fn narrow_2c_matches_the_example_spec() {
+        // Keep the preset in lockstep with examples/narrow_2c.toml.
+        let m = MachineConfig::narrow_2c();
+        assert_eq!(m.n_clusters, 2);
+        assert_eq!(m.cluster.slots, 2);
+        assert_eq!(m.cluster.alu, 2);
+        assert_eq!(m.cluster.mul, 1);
+        assert_eq!(m.cluster.mem, 1);
+        assert_eq!((m.cluster.send, m.cluster.recv), (1, 1));
     }
 }

@@ -312,6 +312,14 @@ impl Operand {
             _ => None,
         }
     }
+
+    /// The branch register read by this operand, if any.
+    pub fn breg(self) -> Option<BReg> {
+        match self {
+            Operand::Breg(b) => Some(b),
+            _ => None,
+        }
+    }
 }
 
 /// A destination.

@@ -62,6 +62,15 @@ impl Program {
         self.instructions.len()
     }
 
+    /// The cluster count this program targets (the bundle count of its
+    /// instructions), or 0 for an empty program.
+    pub fn n_clusters(&self) -> u8 {
+        self.instructions
+            .first()
+            .map(Instruction::n_clusters)
+            .unwrap_or(0)
+    }
+
     /// Whether the program has no instructions.
     pub fn is_empty(&self) -> bool {
         self.instructions.is_empty()

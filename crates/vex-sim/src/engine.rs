@@ -319,6 +319,9 @@ impl Engine {
     /// Advances one cycle. Single-step API: dispatches on the technique
     /// per call; [`Engine::run`] instead dispatches **once** and loops a
     /// fully monomorphized cycle, with the issue stage inlined into it.
+    /// Both paths execute the same monomorphized cycle body, so stepping
+    /// with the [`Engine::stop_reason`] / [`Engine::finalize_stats`]
+    /// protocol is bit-identical to `run` (pinned by the parity test).
     pub fn step(&mut self) {
         dispatch_technique!(self.cfg.technique, |MO, SP| self.step_inner::<MO, SP>())
     }
@@ -548,7 +551,18 @@ impl Engine {
         }
     }
 
-    fn termination(&self) -> Option<StopReason> {
+    /// Why the run is over, or `None` while it should keep going. This is
+    /// the exact check [`Engine::run`] performs before every cycle, made
+    /// public so external single-step drivers can reproduce `run` exactly:
+    ///
+    /// ```text
+    /// while engine.stop_reason().is_none() { engine.step(); }
+    /// engine.finalize_stats();
+    /// ```
+    ///
+    /// Driving `step` this way is bit-identical to one `run` call — the
+    /// step/run parity test pins that equivalence for every technique.
+    pub fn stop_reason(&self) -> Option<StopReason> {
         if self.cycle >= self.cfg.max_cycles {
             return Some(StopReason::MaxCycles);
         }
@@ -576,8 +590,8 @@ impl Engine {
 
     fn run_inner<const MERGE_OP: bool, const SPLIT: u8>(&mut self) -> StopReason {
         loop {
-            if let Some(r) = self.termination() {
-                self.collect_per_thread();
+            if let Some(r) = self.stop_reason() {
+                self.finalize_stats();
                 return r;
             }
             self.step_inner::<MERGE_OP, SPLIT>();
@@ -612,7 +626,12 @@ impl Engine {
         p
     }
 
-    fn collect_per_thread(&mut self) {
+    /// Copies the per-context counters into [`SimStats::per_thread`] and
+    /// refreshes the aggregate instruction count. [`Engine::run`] calls
+    /// this on termination; external [`Engine::step`] drivers must call it
+    /// themselves once [`Engine::stop_reason`] turns `Some` (idempotent,
+    /// safe to call mid-run for a progress snapshot).
+    pub fn finalize_stats(&mut self) {
         for (i, t) in self.contexts.iter().enumerate() {
             self.stats.per_thread[i] = t.stats.clone();
         }

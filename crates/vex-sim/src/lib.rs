@@ -46,6 +46,7 @@ pub mod config;
 pub mod decode;
 pub mod engine;
 pub mod exec;
+pub mod oracle;
 pub mod packet;
 pub mod profile;
 pub mod rng;
@@ -57,6 +58,7 @@ pub use config::{
 };
 pub use decode::{DecodedInst, DecodedOp, DecodedProgram, OpEval};
 pub use engine::{Engine, IssueEvent, PreparedProgram, StopReason};
+pub use oracle::{interpret, OracleState};
 pub use packet::{can_merge_pair, merge_hierarchy_holds, Packet, MAX_CLUSTERS};
 pub use profile::{CacheProfile, Profile};
 pub use stats::{speedup_pct, SimStats, ThreadStats};

@@ -25,9 +25,9 @@ impl CacheProfile {
         ratio(self.filter_hits, self.accesses)
     }
 
-    /// Miss ratio in [0, 1].
+    /// Miss ratio in [0, 1] (0.0 for a never-accessed cache).
     pub fn miss_ratio(&self) -> f64 {
-        ratio(self.accesses - self.hits, self.accesses)
+        ratio(self.accesses.saturating_sub(self.hits), self.accesses)
     }
 }
 
@@ -67,6 +67,10 @@ impl Profile {
     }
 
     /// Human-readable counter block (the `vex run --profile` output).
+    /// Rates whose denominator is zero (a cache that was never accessed, a
+    /// run with no issue attempts) print as `n/a` rather than a misleading
+    /// `0.0%` — and never as `NaN`/`inf`, which a naive division would
+    /// produce.
     pub fn render(&self) -> String {
         use std::fmt::Write;
         let mut out = String::new();
@@ -74,35 +78,59 @@ impl Profile {
         let mut cache = |name: &str, c: &CacheProfile| {
             let _ = writeln!(
                 out,
-                "{name}  accesses {:>10}  filter hits {:>10} ({:>5.1}%)  miss ratio {:.3}%",
+                "{name}  accesses {:>10}  filter hits {:>10} ({})  miss ratio {}",
                 c.accesses,
                 c.filter_hits,
-                c.filter_rate() * 100.0,
-                c.miss_ratio() * 100.0,
+                pct_or_na(c.filter_hits, c.accesses, 1),
+                pct_or_na(c.accesses.saturating_sub(c.hits), c.accesses, 3),
             );
         };
         cache("I$ ", &self.icache);
         cache("D$ ", &self.dcache);
         let _ = writeln!(
             out,
-            "TLB lookups {:>10}  hits {:>10} ({:>5.1}%)  directory walks {}",
+            "TLB lookups {:>10}  hits {:>10} ({})  directory walks {}",
             self.tlb_hits + self.page_walks,
             self.tlb_hits,
-            self.tlb_hit_rate() * 100.0,
+            pct_or_na(self.tlb_hits, self.tlb_hits + self.page_walks, 1),
             self.page_walks,
         );
+        let scans = |den: u64, unit: &str| -> String {
+            if den == 0 {
+                format!("n/a scans/{unit}")
+            } else {
+                format!("{:.2} scans/{unit}", self.issue_scans as f64 / den as f64)
+            }
+        };
         let _ = writeln!(
             out,
-            "issue calls {:>10}  scans {:>10}  ({:.2} scans/call, {:.2} scans/cycle)",
+            "issue calls {:>10}  scans {:>10}  ({}, {})",
             self.issue_calls,
             self.issue_scans,
-            self.scans_per_call(),
-            self.scans_per_cycle(),
+            scans(self.issue_calls, "call"),
+            scans(self.cycles, "cycle"),
         );
         out
     }
 }
 
+/// A percentage for display: `n/a` when the denominator is zero (the rate
+/// is undefined — rendering the raw division would print `NaN`).
+fn pct_or_na(num: u64, den: u64, decimals: usize) -> String {
+    if den == 0 {
+        "n/a".to_string()
+    } else {
+        format!(
+            "{:>5.decimals$}%",
+            num as f64 / den as f64 * 100.0,
+            decimals = decimals
+        )
+    }
+}
+
+/// Zero-safe ratio backing the numeric rate accessors: 0.0 when the
+/// denominator is zero, so downstream arithmetic (JSON emission, averages)
+/// never sees `NaN`/`inf`.
 fn ratio(num: u64, den: u64) -> f64 {
     if den == 0 {
         0.0
@@ -122,6 +150,46 @@ mod tests {
         assert_eq!(p.icache.filter_rate(), 0.0);
         assert_eq!(p.scans_per_cycle(), 0.0);
         assert!(p.render().contains("simulator fast-path profile"));
+    }
+
+    #[test]
+    fn zero_denominator_rates_render_as_na_not_nan() {
+        // A freshly built engine (or a perfect-memory run) has caches with
+        // zero accesses and no issue attempts: every rate is undefined and
+        // must print as `n/a` — never `NaN`, `inf` or a misleading `0.0%`.
+        let text = Profile::default().render();
+        assert!(!text.contains("NaN"), "{text}");
+        assert!(!text.contains("inf"), "{text}");
+        assert!(text.contains("filter hits          0 (n/a)"), "{text}");
+        assert!(text.contains("miss ratio n/a"), "{text}");
+        assert!(text.contains("hits          0 (n/a)"), "{text}");
+        assert!(text.contains("(n/a scans/call, n/a scans/cycle)"), "{text}");
+    }
+
+    #[test]
+    fn partial_zero_denominators_render_defined_rates_only() {
+        // Cycles ran but one cache was never touched: its rates are n/a
+        // while the live counters still render numerically.
+        let p = Profile {
+            cycles: 50,
+            dcache: CacheProfile {
+                accesses: 100,
+                hits: 90,
+                filter_hits: 25,
+            },
+            issue_calls: 0,
+            issue_scans: 0,
+            ..Default::default()
+        };
+        let text = p.render();
+        assert!(
+            text.contains("I$   accesses          0  filter hits          0 (n/a)  miss ratio n/a"),
+            "{text}"
+        );
+        assert!(text.contains("( 25.0%)"), "{text}");
+        assert!(text.contains("miss ratio 10.000%"), "{text}");
+        assert!(text.contains("n/a scans/call"), "{text}");
+        assert!(text.contains("0.00 scans/cycle"), "{text}");
     }
 
     #[test]

@@ -1,0 +1,147 @@
+//! Step/run parity: driving the engine through the public single-step API
+//! (`step` + `stop_reason` + `finalize_stats`) must be **bit-identical** to
+//! one `Engine::run` call for every technique point.
+//!
+//! `run` resolves the merge/split technique once and loops a monomorphized
+//! cycle; `step` re-dispatches per call. Both must execute the same cycle
+//! body — this test pins that across all 8 technique points, several
+//! thread counts, and a configuration that exercises the batched stall
+//! windows, timeslice context switches and respawns (the paths where a
+//! per-call dispatch drifting from the resolved loop would show up as a
+//! different `SimStats` or `Profile`).
+
+use std::sync::Arc;
+use vex_compiler::compile;
+use vex_compiler::ir::{CmpKind, KernelBuilder, MemWidth, Val};
+use vex_isa::{MachineConfig, Program};
+use vex_sim::{CommPolicy, Engine, MemoryMode, MtMode, SimConfig, Technique};
+
+/// A kernel with loads, stores, multiplies and cross-cluster traffic so
+/// every issue path (cache probes, buffered stores, comm policy) is hot.
+fn kernel(name: &str, seed: i32, iters: i32) -> Arc<Program> {
+    let m = MachineConfig::paper_4c4w();
+    let mut k = KernelBuilder::new(name);
+    let body = k.new_block();
+    let exit = k.new_block();
+    let i = k.vreg_on(0);
+    let acc = k.vreg_on(0);
+    let far = k.vreg_on(1); // forces send/recv traffic
+    let t = k.vreg_on(1);
+    k.movi(i, 0);
+    k.movi(acc, seed);
+    k.movi(far, 1);
+    k.jump(body);
+    k.switch_to(body);
+    k.mul(acc, acc, 3);
+    k.add(acc, acc, i);
+    k.add(t, acc, far); // acc crosses cluster 0 -> 1
+    k.xor(far, t, 0x33);
+    k.store(MemWidth::W, acc, Val::Imm(0x1000), 0, 1);
+    k.load(MemWidth::W, t, Val::Imm(0x1000), 0, 1);
+    k.add(i, i, 1);
+    k.cond_br(CmpKind::Lt, i, iters, body, exit);
+    k.switch_to(exit);
+    k.store(MemWidth::W, far, Val::Imm(0x2000), 0, 2);
+    k.halt();
+    Arc::new(compile(&k.finish(), &m).unwrap())
+}
+
+/// All 8 technique points of Figure 16.
+fn techniques() -> impl Iterator<Item = Technique> {
+    Technique::FIGURE16_SET.iter().map(|&(_, t)| t)
+}
+
+/// A configuration that exercises respawn, timeslice switches and the
+/// instruction limit — the paper-style run shape, scaled down.
+fn cfg(technique: Technique, n_threads: u8) -> SimConfig {
+    SimConfig {
+        machine: MachineConfig::paper_4c4w(),
+        caches: vex_mem::MemConfig::paper(),
+        technique,
+        n_threads,
+        renaming: true,
+        memory: MemoryMode::Real,
+        timeslice: 700,
+        inst_limit: 3_000,
+        max_cycles: 5_000_000,
+        seed: 0xC0FFEE,
+        mt_mode: MtMode::Simultaneous,
+        respawn: true,
+    }
+}
+
+#[test]
+fn step_equals_run_for_every_technique() {
+    let a = kernel("pa", 7, 40);
+    let b = kernel("pb", 3, 23);
+    for technique in techniques() {
+        for n in [1u8, 2, 4] {
+            let workload: Vec<Arc<Program>> = (0..n)
+                .map(|i| Arc::clone(if i % 2 == 0 { &a } else { &b }))
+                .collect();
+
+            let mut ran = Engine::new(cfg(technique, n), &workload);
+            let ran_reason = ran.run();
+
+            let mut stepped = Engine::new(cfg(technique, n), &workload);
+            while stepped.stop_reason().is_none() {
+                stepped.step();
+            }
+            stepped.finalize_stats();
+
+            let label = technique.label();
+            assert_eq!(
+                Some(ran_reason),
+                stepped.stop_reason(),
+                "{label}/{n}t: stop reasons diverged"
+            );
+            assert_eq!(
+                ran.cycle, stepped.cycle,
+                "{label}/{n}t: cycle counts diverged"
+            );
+            assert_eq!(
+                ran.stats.snapshot(),
+                stepped.stats.snapshot(),
+                "{label}/{n}t: SimStats diverged between step and run"
+            );
+            assert_eq!(
+                ran.profile(),
+                stepped.profile(),
+                "{label}/{n}t: fast-path profiles diverged between step and run"
+            );
+            for (i, (x, y)) in ran.contexts.iter().zip(&stepped.contexts).enumerate() {
+                assert_eq!(
+                    x.mem.digest(),
+                    y.mem.digest(),
+                    "{label}/{n}t: context {i} memory diverged"
+                );
+                assert_eq!(
+                    x.regs[..],
+                    y.regs[..],
+                    "{label}/{n}t: context {i} registers diverged"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn finalize_stats_is_idempotent_and_matches_run() {
+    let p = kernel("pi", 11, 17);
+    let mut e = Engine::new(
+        cfg(Technique::ccsi(CommPolicy::AlwaysSplit), 2),
+        &[p.clone(), p],
+    );
+    while e.stop_reason().is_none() {
+        e.step();
+        // Mid-run snapshots are allowed and must not perturb the final
+        // numbers.
+        if e.cycle % 512 == 0 {
+            e.finalize_stats();
+        }
+    }
+    e.finalize_stats();
+    let first = e.stats.snapshot();
+    e.finalize_stats();
+    assert_eq!(first, e.stats.snapshot());
+}

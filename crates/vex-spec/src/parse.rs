@@ -439,17 +439,68 @@ pub fn parse_sweep(text: &str) -> Result<SweepSpec, SpecError> {
             val_span,
             line: raw.to_string(),
         };
-        match cur {
-            Where::Top => top.push(entry)?,
-            Where::Cache => cache.as_mut().unwrap().push(entry)?,
-            Where::ICache => icache.as_mut().unwrap().push(entry)?,
-            Where::DCache => dcache.as_mut().unwrap().push(entry)?,
-            Where::Machine => machines.last_mut().unwrap().push(entry)?,
-            Where::Mix => mix_sects.last_mut().unwrap().push(entry)?,
-        }
+        // `cur` only names a section after its header was parsed, but the
+        // slot lookups must never be able to panic: a missing section
+        // becomes a caret diagnostic pointing at the stray entry instead.
+        let dest: &mut Sect = match cur {
+            Where::Top => &mut top,
+            Where::Cache => section_slot(cache.as_mut(), "[cache]", &entry)?,
+            Where::ICache => section_slot(icache.as_mut(), "[icache]", &entry)?,
+            Where::DCache => section_slot(dcache.as_mut(), "[dcache]", &entry)?,
+            Where::Machine => section_slot(machines.last_mut(), "[[machine]]", &entry)?,
+            Where::Mix => section_slot(mix_sects.last_mut(), "[[mix]]", &entry)?,
+        };
+        dest.push(entry)?;
     }
 
     build_spec(text, top, cache, icache, dcache, machines, mix_sects)
+}
+
+/// The section an entry was routed to, or a caret diagnostic at the
+/// entry when the section's storage is missing (an entry appearing
+/// before its section header).
+fn section_slot<'a>(
+    slot: Option<&'a mut Sect>,
+    header: &str,
+    entry: &Entry,
+) -> Result<&'a mut Sect, SpecError> {
+    slot.ok_or_else(|| {
+        SpecError::new(
+            Span::new(entry.val_span.line, 1, entry.key.chars().count() as u32),
+            format!(
+                "`{}` appears before its `{header}` section header",
+                entry.key
+            ),
+            entry.line.clone(),
+        )
+    })
+}
+
+/// The section header a key belongs to, when it is not a top-level key —
+/// used to turn "unknown key at the top level" into a pointer at the
+/// section the author forgot to open.
+fn owning_section(key: &str) -> Option<&'static str> {
+    match key {
+        "size_bytes" | "assoc" | "line_bytes" | "miss_penalty" => Some("[cache]"),
+        "clusters"
+        | "slots"
+        | "alu"
+        | "mul"
+        | "mem"
+        | "br"
+        | "send"
+        | "recv"
+        | "lat_alu"
+        | "lat_mul"
+        | "lat_mem"
+        | "lat_xfer"
+        | "cmp_to_br"
+        | "taken_branch_penalty"
+        | "gprs"
+        | "bregs" => Some("[[machine]]"),
+        "members" => Some("[[mix]]"),
+        _ => None,
+    }
 }
 
 // ---- semantic build -------------------------------------------------
@@ -615,7 +666,23 @@ fn build_spec(
             mixes.push(MixSpec::builtin(mname, seed));
         }
     }
-    top.reject_unknown("the top level")?;
+    // Unknown top-level keys: if the key belongs to a section schema, the
+    // author most likely forgot the header — say so instead of a generic
+    // rejection.
+    if let Some(e) = top.entries.first() {
+        let msg = match owning_section(&e.key) {
+            Some(header) => format!(
+                "`{}` appears before its `{header}` section header (add the header above it)",
+                e.key
+            ),
+            None => format!("unknown key `{}` in the top level", e.key),
+        };
+        return Err(SpecError::new(
+            Span::new(e.val_span.line, 1, e.key.chars().count() as u32),
+            msg,
+            e.line.clone(),
+        ));
+    }
 
     let caches = build_caches(cache, icache, dcache)?;
 

@@ -105,6 +105,42 @@ error at line 1:1: unknown key `turbo` in the top level
 }
 
 #[test]
+fn cache_entry_before_its_section_header() {
+    // A section-schema key at the top level means the author forgot the
+    // header: the diagnostic names the section instead of rejecting the
+    // key generically (and the parser must never panic here).
+    snapshot(
+        "size_bytes = 131072\nmixes = [\"llll\"]\n",
+        "\
+error at line 1:1: `size_bytes` appears before its `[cache]` section header (add the header above it)
+  | size_bytes = 131072
+  | ^^^^^^^^^^",
+    );
+}
+
+#[test]
+fn machine_entry_before_its_section_header() {
+    snapshot(
+        "mixes = [\"llll\"]\nclusters = 2\n",
+        "\
+error at line 2:1: `clusters` appears before its `[[machine]]` section header (add the header above it)
+  | clusters = 2
+  | ^^^^^^^^",
+    );
+}
+
+#[test]
+fn mix_entry_before_its_section_header() {
+    snapshot(
+        "members = [\"idct\"]\nmixes = [\"llll\"]\n",
+        "\
+error at line 1:1: `members` appears before its `[[mix]]` section header (add the header above it)
+  | members = [\"idct\"]
+  | ^^^^^^^",
+    );
+}
+
+#[test]
 fn unknown_section() {
     snapshot(
         "mixes = [\"llll\"]\n[network]\nports = 2\n",

@@ -20,12 +20,16 @@
 //!   regenerating every figure of the evaluation.
 //! * [`asm`] — textual VEX assembly frontend, disassembler and the `.vexb`
 //!   binary program format behind the `vex` CLI.
+//! * [`gen`] — seeded random program generation and the differential
+//!   harness checking every technique point against the in-order
+//!   reference interpreter (`vex fuzz`).
 //!
 //! See `examples/quickstart.rs` for a five-minute tour.
 
 pub use vex_asm as asm;
 pub use vex_compiler as compiler;
 pub use vex_experiments as experiments;
+pub use vex_gen as gen;
 pub use vex_isa as isa;
 pub use vex_mem as mem;
 pub use vex_sim as sim;
