@@ -6,6 +6,7 @@
 //! vex disasm [FILE] [-o OUT]     decode .vexb back to canonical text
 //! vex run [FILE...] [options]    run programs through the simulator
 //! vex run --spec SPEC.toml       run a single-point spec file
+//! vex trace --attribute T.vext   replay a trace into a cycle attribution
 //! vex sweep SPEC.toml [--out F]  execute a sweep spec, emit JSON results
 //! vex fuzz --seed-count N        differential-test random programs
 //! vex export-workloads [DIR]     dump the built-in benchmarks as .vex
@@ -32,6 +33,8 @@ USAGE:
     vex disasm [FILE] [-o OUT]       decode .vexb to canonical .vex text
     vex run [FILE...] [OPTIONS]      simulate programs (text or .vexb input)
     vex run --spec SPEC.toml         simulate a single-point spec file
+    vex trace --attribute FILE       replay a .vext trace into a per-thread,
+                                     per-cycle attribution (see docs/TRACE.md)
     vex sweep SPEC.toml [OPTIONS]    run a sweep spec (see docs/SPECS.md)
     vex fuzz [OPTIONS]               differential-test seeded random programs
                                      against the in-order reference interpreter
@@ -55,9 +58,20 @@ SWEEP OPTIONS:
 RUN OPTIONS:
     --spec FILE                           take the whole configuration from a
                                           spec expanding to exactly one point
-                                          (only --profile may accompany it)
+                                          (only --profile/--trace may accompany
+                                          it; --trace overrides the spec's
+                                          `trace` knob)
     --profile                             print the simulator fast-path profile
                                           (cache filters, TLBs, issue scans)
+    --trace FILE                          stream the run's event trace to FILE
+                                          in the binary .vext format
+
+TRACE OPTIONS:
+    --attribute FILE                      replay FILE (`-` = stdin) and bin
+                                          every simulated cycle by cause
+    --json                                emit the attribution as JSON
+    --out FILE                            write the report to FILE (stdout
+                                          default)
     --technique csmt|smt|ccsi|cosi|oosi   issue technique        [default: ccsi]
     --comm ns|as                          split communication instructions
                                           (ns = never, as = always) [default: ns]
@@ -87,6 +101,7 @@ fn main() -> ExitCode {
         "asm" => cmd_asm(rest),
         "disasm" => cmd_disasm(rest),
         "run" => cmd_run(rest),
+        "trace" => cmd_trace(rest),
         "sweep" => cmd_sweep(rest),
         "fuzz" => cmd_fuzz(rest),
         "export-workloads" => cmd_export(rest),
@@ -436,10 +451,34 @@ fn cmd_sweep(args: &[String]) -> Result<(), String> {
     }
 }
 
+/// Runs a workload like [`vex_sim::run_programs`], optionally streaming
+/// the event trace to `trace` in the binary `.vext` format. The sink is
+/// finished (flushed, deferred I/O errors surfaced) before the report
+/// prints, so a reported run always has a complete trace on disk.
+fn run_traced(
+    cfg: &SimConfig,
+    workload: &[Arc<Program>],
+    trace: Option<&str>,
+) -> Result<(vex_sim::Engine, StopReason), String> {
+    let mut engine = vex_sim::Engine::new(cfg.clone(), workload);
+    if let Some(path) = trace {
+        engine.set_tracer(Box::new(vex_sim::FileSink::create(path)?));
+    }
+    let reason = engine.run();
+    if let Some(mut sink) = engine.take_tracer() {
+        sink.finish()?;
+        if let Some(path) = trace {
+            eprintln!("[vex run] trace written to `{path}`");
+        }
+    }
+    Ok((engine, reason))
+}
+
 /// `vex run --spec FILE`: the whole configuration — machine, caches,
 /// technique, workload — comes from a spec that must expand to exactly
-/// one grid point.
-fn cmd_run_spec(path: &str, profile: bool) -> Result<(), String> {
+/// one grid point. `cli_trace` (the `--trace` flag) overrides the spec's
+/// own `trace` knob.
+fn cmd_run_spec(path: &str, profile: bool, cli_trace: Option<String>) -> Result<(), String> {
     let spec = load_spec(path)?;
     let points = spec.expand();
     let [run] = points.as_slice() else {
@@ -468,7 +507,8 @@ fn cmd_run_spec(path: &str, profile: bool) -> Result<(), String> {
         })
         .collect::<Result<_, _>>()?;
     let cfg = run.to_sim_config();
-    let (engine, reason) = vex_sim::run_programs(&cfg, &workload);
+    let trace = cli_trace.or_else(|| run.trace.clone());
+    let (engine, reason) = run_traced(&cfg, &workload, trace.as_deref())?;
     print_report(&cfg, &workload, &engine, reason)?;
     if profile {
         outln("")?;
@@ -480,6 +520,7 @@ fn cmd_run_spec(path: &str, profile: bool) -> Result<(), String> {
 struct RunOpts {
     inputs: Vec<String>,
     profile: bool,
+    trace: Option<String>,
     technique: String,
     comm: CommPolicy,
     threads: Option<u8>,
@@ -498,6 +539,7 @@ fn parse_run_args(args: &[String]) -> Result<RunOpts, String> {
     let mut o = RunOpts {
         inputs: Vec::new(),
         profile: false,
+        trace: None,
         technique: "ccsi".to_string(),
         comm: CommPolicy::NoSplit,
         threads: None,
@@ -561,6 +603,7 @@ fn parse_run_args(args: &[String]) -> Result<RunOpts, String> {
             }
             "--no-renaming" => o.renaming = false,
             "--profile" => o.profile = true,
+            "--trace" => o.trace = Some(value(&mut it, a)?),
             "--respawn" => o.respawn = true,
             "--no-validate" => o.validate = false,
             "--timeslice" => o.timeslice = parse_u64(&value(&mut it, a)?, a)?,
@@ -585,21 +628,38 @@ fn parse_u64(v: &str, flag: &str) -> Result<u64, String> {
 
 fn cmd_run(args: &[String]) -> Result<(), String> {
     if args.iter().any(|a| a == "--spec") {
-        let profile = args.iter().any(|a| a == "--profile");
-        let rest: Vec<&String> = args
-            .iter()
-            .filter(|a| *a != "--profile" && *a != "--spec")
-            .collect();
-        match rest.as_slice() {
-            [path] => return cmd_run_spec(path, profile),
-            _ => {
-                return Err(
-                    "`--spec` replaces every other `vex run` option (except --profile): \
-                     vex run --spec FILE [--profile]"
-                        .to_string(),
-                )
+        let mut profile = false;
+        let mut trace: Option<String> = None;
+        let mut path: Option<String> = None;
+        let mut it = args.iter();
+        let bad = || {
+            "`--spec` replaces every other `vex run` option (except --profile/--trace): \
+             vex run --spec FILE [--profile] [--trace FILE]"
+                .to_string()
+        };
+        while let Some(a) = it.next() {
+            match a.as_str() {
+                // The spec path may follow the flag as a bare token.
+                "--spec" => {}
+                "--profile" => profile = true,
+                "--trace" => {
+                    trace = Some(
+                        it.next()
+                            .ok_or_else(|| "`--trace` needs a path".to_string())?
+                            .clone(),
+                    )
+                }
+                f if !f.starts_with('-') => {
+                    if path.is_some() {
+                        return Err(bad());
+                    }
+                    path = Some(f.to_string());
+                }
+                _ => return Err(bad()),
             }
         }
+        let path = path.ok_or_else(bad)?;
+        return cmd_run_spec(&path, profile, trace);
     }
     let opts = parse_run_args(args)?;
     let programs: Vec<Arc<Program>> = opts
@@ -661,13 +721,68 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
         mt_mode: opts.mt,
         respawn: opts.respawn,
     };
-    let (engine, reason) = vex_sim::run_programs(&cfg, &workload);
+    let (engine, reason) = run_traced(&cfg, &workload, opts.trace.as_deref())?;
     print_report(&cfg, &workload, &engine, reason)?;
     if opts.profile {
         outln("")?;
         out(engine.profile().render().as_bytes())?;
     }
     Ok(())
+}
+
+/// `vex trace --attribute FILE`: replays a recorded `.vext` stream into
+/// the per-thread, per-cycle attribution and renders it as tables (or
+/// JSON). The replay hard-checks the defining identity — every thread's
+/// bins sum exactly to the run's total cycles — and fails loudly on a
+/// torn or truncated stream rather than reporting partial numbers.
+fn cmd_trace(args: &[String]) -> Result<(), String> {
+    let mut input: Option<String> = None;
+    let mut attribute = false;
+    let mut json = false;
+    let mut out_path: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--attribute" => {
+                attribute = true;
+                // The trace path may ride on the flag or stand alone.
+                if let Some(next) = it.clone().next() {
+                    if !next.starts_with('-') || next == "-" {
+                        input = Some(it.next().unwrap().clone());
+                    }
+                }
+            }
+            "--json" => json = true,
+            "--out" => {
+                out_path = Some(
+                    it.next()
+                        .ok_or_else(|| "`--out` needs a path".to_string())?
+                        .clone(),
+                )
+            }
+            "-" => input = Some("-".to_string()),
+            f if !f.starts_with('-') => {
+                if input.is_some() {
+                    return Err("`vex trace` takes exactly one trace file".to_string());
+                }
+                input = Some(f.to_string());
+            }
+            other => return Err(format!("unknown option `{other}` for `vex trace`")),
+        }
+    }
+    if !attribute {
+        return Err("usage: vex trace --attribute FILE [--json] [--out FILE]".to_string());
+    }
+    let input = input.unwrap_or_else(|| "-".to_string());
+    let bytes = read_input(&input)?;
+    let (meta, events) = vex_trace::read_trace(&bytes).map_err(|e| format!("{input}: {e}"))?;
+    let attr = vex_trace::attribute(&meta, &events).map_err(|e| format!("{input}: {e}"))?;
+    let report = if json {
+        vex_sim::attribution_json(&meta, &attr)
+    } else {
+        vex_sim::render_attribution(&meta, &attr)
+    };
+    write_output(out_path.as_deref(), report.as_bytes())
 }
 
 fn print_report(

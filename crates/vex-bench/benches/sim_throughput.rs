@@ -13,11 +13,16 @@
 //!
 //! The metric is simulated-cycles/second (higher is better); every run
 //! also rewrites `BENCH_sim_throughput.json` at the repository root so CI
-//! and later PRs have a perf trajectory to compare against. The artifact
-//! carries a `history` array: each run appends one entry (aggregate
-//! cycles/s, total wall seconds, a timestamp passed in from the harness
-//! via `BENCH_SIM_THROUGHPUT_STAMP`) after the entries already recorded
-//! in the previous artifact, so the trajectory survives the rewrite.
+//! and later PRs have a perf trajectory to compare against. Besides the
+//! best-of-N headline the artifact records, per point and in aggregate,
+//! the **mean and sample stddev across the repetitions** — the noise
+//! estimate `vex_bench::gate` (the `bench-gate` binary) needs to tell a
+//! real regression from runner jitter. The artifact carries a `history`
+//! array: each run appends one entry (aggregate cycles/s with its
+//! mean/stddev/reps, total wall seconds, a timestamp passed in from the
+//! harness via `BENCH_SIM_THROUGHPUT_STAMP`) after the entries already
+//! recorded in the previous artifact, so the trajectory survives the
+//! rewrite.
 //!
 //! Run with `cargo bench --bench sim_throughput`. Override the artifact
 //! location with `BENCH_SIM_THROUGHPUT_OUT=/path/to.json`.
@@ -38,12 +43,18 @@ const SPEC_PATH: &str = concat!(
 struct PointResult {
     label: String,
     sim_cycles: u64,
-    wall_secs: f64,
+    /// Wall seconds of every rep, in rep order (`walls[0]` is rep 1).
+    walls: Vec<f64>,
 }
 
 impl PointResult {
+    /// Best (minimum) wall time over the reps — the headline estimator.
+    fn best_wall(&self) -> f64 {
+        self.walls.iter().copied().fold(f64::INFINITY, f64::min)
+    }
+
     fn cycles_per_sec(&self) -> f64 {
-        self.sim_cycles as f64 / self.wall_secs
+        self.sim_cycles as f64 / self.best_wall()
     }
 }
 
@@ -107,7 +118,7 @@ fn main() {
                 results.push(PointResult {
                     label,
                     sim_cycles: p.stats.cycles,
-                    wall_secs: p.wall_secs,
+                    walls: vec![p.wall_secs],
                 });
             } else {
                 assert_eq!(results[i].label, label, "point order must be stable");
@@ -115,9 +126,7 @@ fn main() {
                     results[i].sim_cycles, p.stats.cycles,
                     "simulation must be deterministic across reps"
                 );
-                if p.wall_secs < results[i].wall_secs {
-                    results[i].wall_secs = p.wall_secs;
-                }
+                results[i].walls.push(p.wall_secs);
             }
         }
     }
@@ -127,17 +136,35 @@ fn main() {
             "bench: sim_throughput/{:<20} {:>10.0} sim-cycles {:>9.3} ms  {:>12.0} cycles/s",
             r.label,
             r.sim_cycles as f64,
-            r.wall_secs * 1e3,
+            r.best_wall() * 1e3,
             r.cycles_per_sec()
         );
     }
 
     let total_cycles: u64 = results.iter().map(|r| r.sim_cycles).sum();
-    let total_secs: f64 = results.iter().map(|r| r.wall_secs).sum();
+    let total_secs: f64 = results.iter().map(|r| r.best_wall()).sum();
     let aggregate = total_cycles as f64 / total_secs;
+
+    // The noise estimate the gate consumes: one aggregate-throughput
+    // sample per whole pass (every pass runs every point once, so each
+    // sample sees the same work), then mean and sample stddev across
+    // passes. The best-of headline above and this mean answer different
+    // questions — "how fast can it go" vs "how fast does it typically
+    // go, and how sure are we" — so the artifact carries both.
+    let rep_samples: Vec<f64> = (0..REPS as usize)
+        .map(|rep| {
+            let secs: f64 = results.iter().map(|r| r.walls[rep]).sum();
+            total_cycles as f64 / secs
+        })
+        .collect();
+    let (agg_mean, agg_stddev) = vex_bench::gate::mean_stddev(&rep_samples);
     println!(
-        "bench: sim_throughput/AGGREGATE {total_cycles} sim-cycles in {:.3} s = {:.0} cycles/s",
-        total_secs, aggregate
+        "bench: sim_throughput/AGGREGATE {total_cycles} sim-cycles in {:.3} s = {:.0} cycles/s \
+         (mean {:.0} ± {:.0} over {REPS} reps)",
+        total_secs,
+        aggregate,
+        agg_mean,
+        agg_stddev.unwrap_or(0.0)
     );
 
     // Hand-rolled JSON (no serde in the offline build environment).
@@ -151,15 +178,26 @@ fn main() {
         "  \"aggregate_cycles_per_sec\": {:.1},\n",
         aggregate
     ));
+    json.push_str(&format!(
+        "  \"aggregate_cycles_per_sec_mean\": {:.1},\n",
+        agg_mean
+    ));
+    json.push_str(&format!(
+        "  \"aggregate_cycles_per_sec_stddev\": {:.1},\n",
+        agg_stddev.unwrap_or(0.0)
+    ));
     json.push_str(&format!("  \"total_sim_cycles\": {total_cycles},\n"));
     json.push_str(&format!("  \"total_wall_secs\": {:.6},\n", total_secs));
     json.push_str("  \"points\": [\n");
     for (i, r) in results.iter().enumerate() {
+        let (wall_mean, wall_stddev) = vex_bench::gate::mean_stddev(&r.walls);
         json.push_str(&format!(
-            "    {{\"label\": \"{}\", \"sim_cycles\": {}, \"wall_secs\": {:.6}, \"cycles_per_sec\": {:.1}}}{}\n",
+            "    {{\"label\": \"{}\", \"sim_cycles\": {}, \"wall_secs\": {:.6}, \"wall_secs_mean\": {:.6}, \"wall_secs_stddev\": {:.6}, \"cycles_per_sec\": {:.1}}}{}\n",
             r.label,
             r.sim_cycles,
-            r.wall_secs,
+            r.best_wall(),
+            wall_mean,
+            wall_stddev.unwrap_or(0.0),
             r.cycles_per_sec(),
             if i + 1 == results.len() { "" } else { "," }
         ));
@@ -181,7 +219,8 @@ fn main() {
         std::env::var("BENCH_SIM_THROUGHPUT_STAMP").unwrap_or_else(|_| "unstamped".to_string());
     let mut history = prior_history(&out);
     history.push(format!(
-        "{{\"aggregate_cycles_per_sec\": {aggregate:.1}, \"total_wall_secs\": {total_secs:.6}, \"timestamp\": \"{stamp}\"}}"
+        "{{\"aggregate_cycles_per_sec\": {aggregate:.1}, \"aggregate_cycles_per_sec_mean\": {agg_mean:.1}, \"aggregate_cycles_per_sec_stddev\": {:.1}, \"reps\": {REPS}, \"total_wall_secs\": {total_secs:.6}, \"timestamp\": \"{stamp}\"}}",
+        agg_stddev.unwrap_or(0.0)
     ));
     json.push_str("  \"history\": [\n");
     for (i, h) in history.iter().enumerate() {

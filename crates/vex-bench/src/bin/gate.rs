@@ -1,0 +1,93 @@
+//! `bench-gate` — compares two `BENCH_sim_throughput.json` artifacts and
+//! exits non-zero on a statistically significant throughput regression.
+//!
+//! ```text
+//! bench-gate BASELINE.json CURRENT.json [--z Z] [--fail-floor PCT]
+//! ```
+//!
+//! The verdict logic lives in [`vex_bench::gate`]; this binary only
+//! parses arguments, reads the two files, prints one honest line and
+//! emits GitHub workflow annotations (`::error`/`::warning`) so the
+//! verdict shows on the run summary. Exit status: 0 on Pass or Warn,
+//! 1 on Fail, 2 on usage or I/O errors.
+//!
+//! `--fail-floor` is the minimum drop, in percent, that may fail the
+//! gate (default 5). CI passes a wide floor because shared runners can
+//! legitimately differ in absolute speed from the machine that produced
+//! the checked-in baseline; the statistical band handles everything
+//! tighter.
+
+use vex_bench::gate::{compare, GateConfig, Sample, Verdict};
+
+fn usage() -> ! {
+    eprintln!("usage: bench-gate BASELINE.json CURRENT.json [--z Z] [--fail-floor PCT]");
+    std::process::exit(2);
+}
+
+fn read_sample(path: &str) -> Sample {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("bench-gate: reading `{path}`: {e}");
+        std::process::exit(2);
+    });
+    Sample::from_artifact(&text).unwrap_or_else(|e| {
+        eprintln!("bench-gate: `{path}`: {e}");
+        std::process::exit(2);
+    })
+}
+
+fn main() {
+    let mut cfg = GateConfig::default();
+    let mut paths: Vec<String> = Vec::new();
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        let mut num = |name: &str| -> f64 {
+            it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+                eprintln!("bench-gate: {name} needs a numeric value");
+                std::process::exit(2);
+            })
+        };
+        match a.as_str() {
+            "--z" => cfg.z = num("--z"),
+            "--fail-floor" => cfg.fail_floor = num("--fail-floor") / 100.0,
+            "-h" | "--help" => usage(),
+            _ if a.starts_with('-') => {
+                eprintln!("bench-gate: unknown option `{a}`");
+                usage();
+            }
+            _ => paths.push(a),
+        }
+    }
+    let [baseline_path, current_path] = paths.as_slice() else {
+        usage();
+    };
+
+    let baseline = read_sample(baseline_path);
+    let current = read_sample(current_path);
+    let gate = compare(&baseline, &current, &cfg);
+
+    let spread = |s: &Sample| match s.stddev {
+        Some(sd) => format!("{:.0} ±{:.0} cycles/s (n={})", s.value, sd, s.reps),
+        None => format!("{:.0} cycles/s (point estimate)", s.value),
+    };
+    println!("bench-gate: baseline {}", spread(&baseline));
+    println!("bench-gate: current  {}", spread(&current));
+
+    match gate.verdict {
+        Verdict::Pass => println!("bench-gate: PASS — {}", gate.message),
+        Verdict::Warn => {
+            println!("bench-gate: WARN — {}", gate.message);
+            println!(
+                "::warning title=sim_throughput::aggregate throughput {}",
+                gate.message
+            );
+        }
+        Verdict::Fail => {
+            println!("bench-gate: FAIL — {}", gate.message);
+            println!(
+                "::error title=sim_throughput regression::aggregate throughput {}",
+                gate.message
+            );
+            std::process::exit(1);
+        }
+    }
+}

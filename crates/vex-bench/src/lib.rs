@@ -7,6 +7,8 @@
 
 #![warn(missing_docs)]
 
+pub mod gate;
+
 /// Extracts the entries of the `"history"` array from a previous
 /// `BENCH_sim_throughput.json` artifact, one compact JSON object string
 /// per entry, so the next run can append its own entry after them.
@@ -133,5 +135,38 @@ mod tests {
     fn unterminated_array_keeps_complete_entries() {
         let json = format!("{{\"history\": [{ENTRY_A}, {{\"partial\": ");
         assert_eq!(extract_history(&json), vec![ENTRY_A]);
+    }
+
+    /// The append path must re-serialize variance-carrying entries
+    /// losslessly: the bench re-emits each prior entry verbatim, so a
+    /// mean/stddev/reps triple written by one run must survive any number
+    /// of later runs byte-for-byte — the gate reads its baseline noise
+    /// estimate from exactly these strings.
+    #[test]
+    fn variance_fields_round_trip_through_the_append_path() {
+        let entry_v = r#"{"aggregate_cycles_per_sec": 3300123.4, "aggregate_cycles_per_sec_mean": 3254321.1, "aggregate_cycles_per_sec_stddev": 41234.567891, "reps": 5, "total_wall_secs": 0.591234, "timestamp": "2026-08-08-pr6"}"#;
+        let first = format!("{{\n  \"history\": [\n    {ENTRY_A},\n    {entry_v}\n  ]\n}}\n");
+
+        // One full append cycle, exactly as the bench does it: extract,
+        // push a new entry, re-emit, extract again.
+        let mut history = extract_history(&first);
+        history.push(ENTRY_B.to_string());
+        let mut second = String::from("{\n  \"history\": [\n");
+        for (i, h) in history.iter().enumerate() {
+            second.push_str(&format!(
+                "    {h}{}\n",
+                if i + 1 == history.len() { "" } else { "," }
+            ));
+        }
+        second.push_str("  ]\n}\n");
+
+        let reread = extract_history(&second);
+        assert_eq!(reread, vec![ENTRY_A, entry_v, ENTRY_B]);
+
+        // And the gate still reads the exact variance numbers back out.
+        let s = gate::Sample::from_artifact(&reread[1]).unwrap();
+        assert_eq!(s.value, 3254321.1);
+        assert_eq!(s.stddev, Some(41234.567891));
+        assert_eq!(s.reps, 5);
     }
 }

@@ -30,23 +30,7 @@ use crate::thread::{phys_cluster, CtrlEffect, ThreadCtx};
 use std::sync::Arc;
 use vex_isa::{FuKind, Program};
 use vex_mem::MemSystem;
-
-/// One issue event, recorded when tracing is enabled: context `ctx` issued
-/// `ops` operations of instruction `inst_idx` at `cycle`; `completed` marks
-/// the last part.
-#[derive(Clone, Copy, PartialEq, Eq, Debug)]
-pub struct IssueEvent {
-    /// Cycle of the event.
-    pub cycle: u64,
-    /// Context (workload program) index.
-    pub ctx: usize,
-    /// Instruction index within the program.
-    pub inst_idx: usize,
-    /// Operations issued this cycle (0 for a vertical NOP).
-    pub ops: u32,
-    /// Whether the instruction finished issuing (commits this cycle).
-    pub completed: bool,
-}
+use vex_trace::{TraceEvent, TraceMeta, TraceSink, NO_CTX};
 
 /// Why a run stopped.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -60,7 +44,7 @@ pub enum StopReason {
 }
 
 /// The simulator.
-#[derive(Clone, Debug)]
+#[derive(Debug)]
 pub struct Engine {
     /// Run configuration.
     pub cfg: SimConfig,
@@ -74,8 +58,10 @@ pub struct Engine {
     pub cycle: u64,
     /// Aggregated statistics.
     pub stats: SimStats,
-    /// Issue trace, populated when enabled via [`Engine::enable_trace`].
-    pub trace: Option<Vec<IssueEvent>>,
+    /// Event stream receiver, attached via [`Engine::set_tracer`]. When
+    /// `None` (the default) every emission site is a single branch on the
+    /// `Option` discriminant.
+    tracer: Option<Box<dyn TraceSink>>,
     packet: Packet,
     global_stall: u64,
     rng: SplitMix64,
@@ -97,6 +83,35 @@ pub struct Engine {
     /// `cycle % n_hw`, maintained incrementally (hardware divides are slow
     /// enough to show up in a loop this tight).
     rr_offset: usize,
+}
+
+/// Clones everything except the tracer: a sink is a live I/O endpoint that
+/// cannot be duplicated, so the clone starts untraced (attach a fresh sink
+/// with [`Engine::set_tracer`] if needed). Simulation state — and therefore
+/// timing — is copied exactly.
+impl Clone for Engine {
+    fn clone(&self) -> Self {
+        Engine {
+            cfg: self.cfg.clone(),
+            mem: self.mem.clone(),
+            contexts: self.contexts.clone(),
+            slots: self.slots.clone(),
+            cycle: self.cycle,
+            stats: self.stats.clone(),
+            tracer: None,
+            packet: self.packet.clone(),
+            global_stall: self.global_stall,
+            rng: self.rng.clone(),
+            next_switch: self.next_switch,
+            rotation: self.rotation,
+            bmt_current: self.bmt_current,
+            commit_scratch: self.commit_scratch.clone(),
+            slot_pool: self.slot_pool.clone(),
+            retired_count: self.retired_count,
+            inst_limit_hit: self.inst_limit_hit,
+            rr_offset: self.rr_offset,
+        }
+    }
 }
 
 /// A program paired with its shared pre-decode table, ready to drop into an
@@ -229,7 +244,7 @@ impl Engine {
                 per_thread: vec![Default::default(); n_programs],
                 ..Default::default()
             },
-            trace: None,
+            tracer: None,
             packet: Packet::new(&cfg.machine),
             global_stall: 0,
             rng: SplitMix64::new(seed),
@@ -249,12 +264,48 @@ impl Engine {
         e
     }
 
-    /// Turns on issue tracing (used by the figure-replication tests and the
-    /// trace-printing example). Capacity is reserved up front so tracing
-    /// does not reintroduce steady-state reallocation churn.
-    pub fn enable_trace(&mut self) {
-        let hint = (self.cfg.inst_limit.saturating_mul(2)).min(1 << 16) as usize;
-        self.trace = Some(Vec::with_capacity(hint.max(1024)));
+    /// Attaches a trace sink: begins its stream with the run's geometry and
+    /// re-emits the current slot mapping so a mid-run attach still replays
+    /// correctly. Tracing is pure observation — timing and statistics are
+    /// bit-identical with or without a sink attached (pinned by the golden
+    /// statistics test, which runs traced and untraced engines side by
+    /// side).
+    pub fn set_tracer(&mut self, mut sink: Box<dyn TraceSink>) {
+        sink.begin(&TraceMeta {
+            n_contexts: self.contexts.len() as u16,
+            hw_threads: self.slots.len() as u16,
+            n_clusters: self.cfg.machine.n_clusters as u16,
+        });
+        self.tracer = Some(sink);
+        self.emit_slot_map();
+    }
+
+    /// Detaches and returns the current sink (call its
+    /// [`TraceSink::finish`] to flush file-backed sinks, or
+    /// [`vex_trace::RingSink::reclaim`] to recover buffered events).
+    pub fn take_tracer(&mut self) -> Option<Box<dyn TraceSink>> {
+        self.tracer.take()
+    }
+
+    /// Whether a trace sink is currently attached.
+    pub fn tracing(&self) -> bool {
+        self.tracer.is_some()
+    }
+
+    /// Streams the current slot → context mapping (one
+    /// [`TraceEvent::SlotAssign`] per hardware slot, in one same-cycle
+    /// batch) so a replay always knows the full assignment.
+    fn emit_slot_map(&mut self) {
+        let cycle = self.cycle;
+        if let Some(tr) = self.tracer.as_deref_mut() {
+            for (slot, owner) in self.slots.iter().enumerate() {
+                tr.record(&TraceEvent::SlotAssign {
+                    cycle,
+                    slot: slot as u16,
+                    ctx: owner.map_or(NO_CTX, |c| c as u16),
+                });
+            }
+        }
     }
 
     /// (Re)assigns benchmark contexts to hardware slots. Single-thread
@@ -270,6 +321,7 @@ impl Engine {
         if pool.is_empty() {
             self.slots.iter_mut().for_each(|s| *s = None);
             self.slot_pool = pool;
+            self.emit_slot_map();
             return;
         }
         let n_hw = self.slots.len();
@@ -295,6 +347,7 @@ impl Engine {
             };
         }
         self.slot_pool = pool;
+        self.emit_slot_map();
     }
 
     /// Advances the cycle counter (and the statistics mirror plus the
@@ -399,6 +452,12 @@ impl Engine {
                     } else {
                         t.retired = true;
                         self.retired_count += 1;
+                        if let Some(tr) = self.tracer.as_deref_mut() {
+                            tr.record(&TraceEvent::Retire {
+                                cycle: self.cycle,
+                                thread: ci as u16,
+                            });
+                        }
                         continue;
                     }
                 }
@@ -409,6 +468,13 @@ impl Engine {
                         t.stall_until = self.cycle + pen as u64;
                         t.fetch_paid = true;
                         t.stats.imiss_stall_cycles += pen as u64;
+                        if let Some(tr) = self.tracer.as_deref_mut() {
+                            tr.record(&TraceEvent::IMissStall {
+                                cycle: self.cycle,
+                                thread: ci as u16,
+                                penalty: pen,
+                            });
+                        }
                         continue;
                     }
                 }
@@ -417,25 +483,40 @@ impl Engine {
             }
 
             // Issue pending work into the packet.
-            let (issued_ops, completed) = issue_thread::<MERGE_OP, SPLIT>(
+            let out = issue_thread::<MERGE_OP, SPLIT>(
                 t,
                 &mut self.packet,
                 &mut self.mem,
                 &self.cfg,
                 self.cycle,
             );
+            let (issued_ops, completed) = (out.ops, out.completed);
             if issued_ops > 0 {
                 self.packet.threads += 1;
                 t.stats.ops_issued += issued_ops as u64;
             }
-            if let Some(trace) = &mut self.trace {
+            if let Some(tr) = self.tracer.as_deref_mut() {
                 if issued_ops > 0 || completed {
-                    trace.push(IssueEvent {
+                    tr.record(&TraceEvent::Issue {
                         cycle: self.cycle,
-                        ctx: ci,
-                        inst_idx: t.inflight.inst_idx,
-                        ops: issued_ops,
+                        thread: ci as u16,
+                        inst: t.inflight.inst_idx as u32,
+                        ops: issued_ops as u16,
+                        clusters: out.clusters,
                         completed,
+                    });
+                }
+                if out.dmiss {
+                    tr.record(&TraceEvent::DMissStall {
+                        cycle: self.cycle,
+                        thread: ci as u16,
+                        penalty: self.mem.miss_penalty,
+                    });
+                }
+                if out.comm_held {
+                    tr.record(&TraceEvent::CommHold {
+                        cycle: self.cycle,
+                        thread: ci as u16,
                     });
                 }
             }
@@ -466,6 +547,14 @@ impl Engine {
             if t.inflight.parts > 1 {
                 t.stats.split_instructions += 1;
                 t.stats.split_parts += t.inflight.parts as u64;
+                if let Some(tr) = self.tracer.as_deref_mut() {
+                    tr.record(&TraceEvent::SplitCommit {
+                        cycle: self.cycle,
+                        thread: ci as u16,
+                        inst: t.inflight.inst_idx as u32,
+                        parts: t.inflight.parts as u16,
+                    });
+                }
                 for (c, &n) in t.inflight.early_stores[..n_clusters as usize]
                     .iter()
                     .enumerate()
@@ -482,6 +571,15 @@ impl Engine {
                     let pen = self.cfg.machine.taken_branch_penalty as u64;
                     t.stall_until = t.stall_until.max(self.cycle + 1 + pen);
                     t.stats.branch_stall_cycles += pen;
+                    if pen > 0 {
+                        if let Some(tr) = self.tracer.as_deref_mut() {
+                            tr.record(&TraceEvent::BranchStall {
+                                cycle: self.cycle,
+                                thread: ci as u16,
+                                penalty: pen as u32,
+                            });
+                        }
+                    }
                 }
                 Some(CtrlEffect::Halt) => {
                     if self.cfg.respawn {
@@ -490,6 +588,12 @@ impl Engine {
                         t.stats.runs_completed += 1;
                         t.retired = true;
                         self.retired_count += 1;
+                        if let Some(tr) = self.tracer.as_deref_mut() {
+                            tr.record(&TraceEvent::Retire {
+                                cycle: self.cycle,
+                                thread: ci as u16,
+                            });
+                        }
                     }
                 }
                 None => {}
@@ -514,6 +618,14 @@ impl Engine {
             overflow += (self.packet.mem_issued(p as u8) + extra).saturating_sub(ports) as u64;
         }
         self.global_stall += overflow;
+        if overflow > 0 {
+            if let Some(tr) = self.tracer.as_deref_mut() {
+                tr.record(&TraceEvent::MemPortStall {
+                    cycle: self.cycle,
+                    cycles: overflow as u32,
+                });
+            }
+        }
 
         // Remaining dead cycles after this one, when nothing was runnable:
         // the window up to the earliest wake (or the next engine event)
@@ -636,11 +748,36 @@ impl Engine {
             self.stats.per_thread[i] = t.stats.clone();
         }
         self.stats.total_insts = self.contexts.iter().map(|t| t.stats.insts_retired).sum();
+        // End-of-stream marker with the total cycle count; replay uses the
+        // last one, so mid-run snapshots remain harmless.
+        let cycle = self.cycle;
+        if let Some(tr) = self.tracer.as_deref_mut() {
+            tr.record(&TraceEvent::End { cycle });
+        }
     }
 }
 
+/// What one [`issue_thread`] call did, reported back to the engine's cycle
+/// loop — which owns the tracer, so the per-thread issue function stays
+/// free of any tracing concern.
+#[derive(Clone, Copy, Default)]
+struct IssueOutcome {
+    /// Operations placed this cycle.
+    ops: u32,
+    /// The instruction finished issuing (commits this cycle).
+    completed: bool,
+    /// At least one data-cache probe missed (the thread stalls from the
+    /// next cycle for the miss penalty).
+    dmiss: bool,
+    /// Physical clusters that received work this call (bitmask).
+    clusters: u16,
+    /// The no-split communication policy forced the instruction to issue
+    /// whole under a split-capable technique, and it did not fit.
+    comm_held: bool,
+}
+
 /// Issues as much of `t`'s pending instruction as the technique admits.
-/// Returns `(ops placed this cycle, instruction fully issued)`.
+/// Returns what happened as an [`IssueOutcome`].
 ///
 /// Monomorphized over the technique: `MERGE_OP` is true for
 /// operation-level merging, `SPLIT` is one of `SPLIT_NONE` /
@@ -658,7 +795,7 @@ fn issue_thread<const MERGE_OP: bool, const SPLIT: u8>(
     mem: &mut MemSystem,
     cfg: &SimConfig,
     cycle: u64,
-) -> (u32, bool) {
+) -> IssueOutcome {
     let n_clusters = cfg.machine.n_clusters;
     let rename = t.rename;
     let asid = t.asid;
@@ -682,14 +819,20 @@ fn issue_thread<const MERGE_OP: bool, const SPLIT: u8>(
         if fl.parts == 0 {
             fl.parts = 1;
         }
-        return (0, true);
+        return IssueOutcome {
+            completed: true,
+            ..Default::default()
+        };
     }
 
-    let all_or_nothing =
-        SPLIT == SPLIT_NONE || (cfg.technique.comm == CommPolicy::NoSplit && fl.has_comm);
+    let comm_forced =
+        SPLIT != SPLIT_NONE && cfg.technique.comm == CommPolicy::NoSplit && fl.has_comm;
+    let all_or_nothing = SPLIT == SPLIT_NONE || comm_forced;
 
     let mut issued_now: u32 = 0;
     let mut misses: u32 = 0;
+    let mut placed: u16 = 0;
+    let mut comm_held = false;
     // Buffered stores placed by *this* call, per logical cluster. Merged
     // into `fl.early_stores` only if the instruction does not complete
     // here: commit must count exactly the stores issued before its cycle.
@@ -720,7 +863,9 @@ fn issue_thread<const MERGE_OP: bool, const SPLIT: u8>(
             // `parts` stays 1, so commit never consults `early_stores`.
             let demands = decoded.demands_in(fl.demand_range);
             for d in demands {
-                packet.place_bundle(phys(d.log_cluster), d.slots, d.packed);
+                let p = phys(d.log_cluster);
+                packet.place_bundle(p, d.slots, d.packed);
+                placed |= 1 << p;
                 if d.fu[FuKind::Mem.index()] > 0 {
                     let (lo, hi) = (d.rec_range.0 as usize, d.rec_range.1 as usize);
                     for rec in &fl.records[lo..hi] {
@@ -733,6 +878,8 @@ fn issue_thread<const MERGE_OP: bool, const SPLIT: u8>(
             issued_now = fl.n_pending;
             fl.pending_bundles = 0;
             fl.n_pending = 0;
+        } else {
+            comm_held = comm_forced;
         }
     } else if SPLIT == SPLIT_CLUSTER {
         if !MERGE_OP {
@@ -743,7 +890,7 @@ fn issue_thread<const MERGE_OP: bool, const SPLIT: u8>(
             *issue_scans += 1;
             let pending_phys = rotl_mask(fl.pending_bundles, rename, n_clusters);
             if pending_phys & !packet.busy_mask() == 0 {
-                return (0, false);
+                return IssueOutcome::default();
             }
         }
         // Demands are stored in ascending cluster order, so this walks
@@ -771,6 +918,7 @@ fn issue_thread<const MERGE_OP: bool, const SPLIT: u8>(
                 };
             if fits {
                 packet.place_bundle(p, d.slots, d.packed);
+                placed |= 1 << p;
                 if d.fu[FuKind::Mem.index()] > 0 {
                     let (lo, hi) = (d.rec_range.0 as usize, d.rec_range.1 as usize);
                     for rec in &fl.records[lo..hi] {
@@ -808,6 +956,7 @@ fn issue_thread<const MERGE_OP: bool, const SPLIT: u8>(
             let p = phys(rec.log_cluster);
             if packet_empty || packet.op_fits(p, rec.fu, &cfg.machine) {
                 packet.place_op(p, rec.fu);
+                placed |= 1 << p;
                 rec.mark_issued();
                 issued_now += 1;
                 fl.n_pending -= 1;
@@ -850,7 +999,13 @@ fn issue_thread<const MERGE_OP: bool, const SPLIT: u8>(
         stats.dmiss_stall_cycles += mem.miss_penalty as u64;
     }
 
-    (issued_now, completed)
+    IssueOutcome {
+        ops: issued_now,
+        completed,
+        dmiss: misses > 0,
+        clusters: placed,
+        comm_held,
+    }
 }
 
 /// Rotates the low `n` bits of `mask` left by `r` (cluster renaming applied

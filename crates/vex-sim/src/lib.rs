@@ -49,21 +49,32 @@ pub mod exec;
 pub mod oracle;
 pub mod packet;
 pub mod profile;
+pub mod report;
 pub mod rng;
 pub mod stats;
+pub mod table;
 pub mod thread;
 
 pub use config::{
     CommPolicy, MemoryMode, MergePolicy, MtMode, Scale, SimConfig, SplitPolicy, Technique,
 };
 pub use decode::{DecodedInst, DecodedOp, DecodedProgram, OpEval};
-pub use engine::{Engine, IssueEvent, PreparedProgram, StopReason};
+pub use engine::{Engine, PreparedProgram, StopReason};
 pub use oracle::{interpret, OracleState};
 pub use packet::{can_merge_pair, merge_hierarchy_holds, Packet, MAX_CLUSTERS};
 pub use profile::{CacheProfile, Profile};
+pub use report::{attribution_json, render_attribution};
 pub use stats::{speedup_pct, SimStats, ThreadStats};
+pub use table::{Align, Table};
 pub use thread::ThreadCtx;
 pub use vex_mem::MemConfig;
+// The trace stream's types are part of the simulator's public surface
+// (`Engine::set_tracer` takes a `TraceSink`); re-export the crate so
+// downstream users need not name `vex-trace` separately.
+pub use vex_trace::{
+    attribute, Attribution, Bin, ClusterUse, FileSink, RingSink, TraceEvent, TraceMeta, TraceSink,
+    NO_CTX,
+};
 
 use std::sync::Arc;
 use vex_isa::Program;

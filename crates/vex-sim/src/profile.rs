@@ -8,6 +8,8 @@
 //! examined. [`crate::Engine::profile`] aggregates them into a [`Profile`]
 //! after (or during) a run; `vex run --profile` prints the block.
 
+use crate::table::{Align, Table};
+
 /// One cache's access counters, filter hits included.
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
 pub struct CacheProfile {
@@ -66,35 +68,46 @@ impl Profile {
         ratio(self.issue_scans, self.cycles)
     }
 
-    /// Human-readable counter block (the `vex run --profile` output).
-    /// Rates whose denominator is zero (a cache that was never accessed, a
-    /// run with no issue attempts) print as `n/a` rather than a misleading
-    /// `0.0%` — and never as `NaN`/`inf`, which a naive division would
-    /// produce.
+    /// Human-readable counter block (the `vex run --profile` output),
+    /// column-aligned by the shared [`Table`] formatter. Rates whose
+    /// denominator is zero (a cache that was never accessed, a run with no
+    /// issue attempts) print as `n/a` rather than a misleading `0.0%` —
+    /// and never as `NaN`/`inf`, which a naive division would produce.
     pub fn render(&self) -> String {
-        use std::fmt::Write;
-        let mut out = String::new();
-        let _ = writeln!(out, "## simulator fast-path profile");
-        let mut cache = |name: &str, c: &CacheProfile| {
-            let _ = writeln!(
-                out,
-                "{name}  accesses {:>10}  filter hits {:>10} ({})  miss ratio {}",
-                c.accesses,
-                c.filter_hits,
-                pct_or_na(c.filter_hits, c.accesses, 1),
-                pct_or_na(c.accesses.saturating_sub(c.hits), c.accesses, 3),
-            );
+        let mut t = Table::new(&[
+            ("", Align::Left),
+            ("", Align::Right),
+            ("", Align::Left),
+            ("", Align::Right),
+            ("", Align::Right),
+            ("", Align::Left),
+        ]);
+        let cache = |t: &mut Table, name: &str, c: &CacheProfile| {
+            t.row([
+                format!("{name} accesses"),
+                c.accesses.to_string(),
+                "filter hits".to_string(),
+                c.filter_hits.to_string(),
+                format!("({})", pct_or_na(c.filter_hits, c.accesses, 1)),
+                format!(
+                    "miss ratio {}",
+                    pct_or_na(c.accesses.saturating_sub(c.hits), c.accesses, 3)
+                ),
+            ]);
         };
-        cache("I$ ", &self.icache);
-        cache("D$ ", &self.dcache);
-        let _ = writeln!(
-            out,
-            "TLB lookups {:>10}  hits {:>10} ({})  directory walks {}",
-            self.tlb_hits + self.page_walks,
-            self.tlb_hits,
-            pct_or_na(self.tlb_hits, self.tlb_hits + self.page_walks, 1),
-            self.page_walks,
-        );
+        cache(&mut t, "I$", &self.icache);
+        cache(&mut t, "D$", &self.dcache);
+        t.row([
+            "TLB lookups".to_string(),
+            (self.tlb_hits + self.page_walks).to_string(),
+            "hits".to_string(),
+            self.tlb_hits.to_string(),
+            format!(
+                "({})",
+                pct_or_na(self.tlb_hits, self.tlb_hits + self.page_walks, 1)
+            ),
+            format!("directory walks {}", self.page_walks),
+        ]);
         let scans = |den: u64, unit: &str| -> String {
             if den == 0 {
                 format!("n/a scans/{unit}")
@@ -102,15 +115,19 @@ impl Profile {
                 format!("{:.2} scans/{unit}", self.issue_scans as f64 / den as f64)
             }
         };
-        let _ = writeln!(
-            out,
-            "issue calls {:>10}  scans {:>10}  ({}, {})",
-            self.issue_calls,
-            self.issue_scans,
-            scans(self.issue_calls, "call"),
-            scans(self.cycles, "cycle"),
-        );
-        out
+        t.row([
+            "issue calls".to_string(),
+            self.issue_calls.to_string(),
+            "scans".to_string(),
+            self.issue_scans.to_string(),
+            String::new(),
+            format!(
+                "({}, {})",
+                scans(self.issue_calls, "call"),
+                scans(self.cycles, "cycle")
+            ),
+        ]);
+        format!("## simulator fast-path profile\n{}", t.render())
     }
 }
 
@@ -160,9 +177,9 @@ mod tests {
         let text = Profile::default().render();
         assert!(!text.contains("NaN"), "{text}");
         assert!(!text.contains("inf"), "{text}");
-        assert!(text.contains("filter hits          0 (n/a)"), "{text}");
+        assert!(text.contains("filter hits"), "{text}");
+        assert!(text.contains("(n/a)"), "{text}");
         assert!(text.contains("miss ratio n/a"), "{text}");
-        assert!(text.contains("hits          0 (n/a)"), "{text}");
         assert!(text.contains("(n/a scans/call, n/a scans/cycle)"), "{text}");
     }
 
@@ -182,10 +199,12 @@ mod tests {
             ..Default::default()
         };
         let text = p.render();
-        assert!(
-            text.contains("I$   accesses          0  filter hits          0 (n/a)  miss ratio n/a"),
-            "{text}"
-        );
+        let icache_line = text
+            .lines()
+            .find(|l| l.starts_with("I$ accesses"))
+            .expect("I$ row");
+        assert!(icache_line.contains("miss ratio n/a"), "{text}");
+        assert!(icache_line.contains("(n/a)"), "{text}");
         assert!(text.contains("( 25.0%)"), "{text}");
         assert!(text.contains("miss ratio 10.000%"), "{text}");
         assert!(text.contains("n/a scans/call"), "{text}");

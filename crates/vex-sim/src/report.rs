@@ -1,0 +1,228 @@
+//! Rendering for the cycle-attribution replay (`vex trace --attribute`).
+//!
+//! Takes the [`Attribution`] produced by [`vex_trace::attribute`] and
+//! renders it as the Figure-13-style breakdown tables (every thread's
+//! cycles binned by cause, absolute and as percentages) or as JSON for
+//! scripted consumers. Both renderings carry the defining identity: each
+//! thread's bins sum exactly to the run's total cycles.
+
+use crate::table::{Align, Table};
+use std::fmt::Write;
+use vex_trace::{Attribution, Bin, TraceMeta};
+
+/// Renders the attribution as human-readable tables: per-thread cycle
+/// counts by bin, the same as percentages, and per-cluster occupancy.
+pub fn render_attribution(meta: &TraceMeta, attr: &Attribution) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "## cycle attribution ({} cycles, {} contexts, {} hw threads, {} clusters)",
+        attr.total_cycles, meta.n_contexts, meta.hw_threads, meta.n_clusters
+    );
+
+    let mut columns: Vec<(&str, Align)> = vec![("thread", Align::Left)];
+    columns.extend(Bin::ALL.iter().map(|b| (b.label(), Align::Right)));
+    columns.push(("total", Align::Right));
+
+    let mut counts = Table::new(&columns);
+    let mut shares = Table::new(&columns);
+    let mut grand = [0u64; Bin::COUNT];
+    for (t, bins) in attr.threads.iter().enumerate() {
+        let total: u64 = bins.iter().sum();
+        let mut count_row = vec![format!("t{t}")];
+        let mut share_row = vec![format!("t{t}")];
+        for (i, &n) in bins.iter().enumerate() {
+            grand[i] += n;
+            count_row.push(n.to_string());
+            share_row.push(pct(n, total));
+        }
+        count_row.push(total.to_string());
+        share_row.push(pct(total, total));
+        counts.row(count_row);
+        shares.row(share_row);
+    }
+    if attr.threads.len() > 1 {
+        let total: u64 = grand.iter().sum();
+        let mut count_row = vec!["all".to_string()];
+        let mut share_row = vec!["all".to_string()];
+        for &n in &grand {
+            count_row.push(n.to_string());
+            share_row.push(pct(n, total));
+        }
+        count_row.push(total.to_string());
+        share_row.push(pct(total, total));
+        counts.row(count_row);
+        shares.row(share_row);
+    }
+    let _ = writeln!(out, "\ncycles by cause:");
+    out.push_str(&counts.render());
+    let _ = writeln!(out, "\nshare of thread cycles:");
+    out.push_str(&shares.render());
+
+    let mut clusters = Table::new(&[
+        ("cluster", Align::Left),
+        ("busy cycles", Align::Right),
+        ("busy", Align::Right),
+        ("issue events", Align::Right),
+    ]);
+    for (c, u) in attr.clusters.iter().enumerate() {
+        clusters.row([
+            format!("c{c}"),
+            u.busy_cycles.to_string(),
+            pct(u.busy_cycles, attr.total_cycles),
+            u.issue_events.to_string(),
+        ]);
+    }
+    let _ = writeln!(out, "\ncluster occupancy:");
+    out.push_str(&clusters.render());
+
+    let splits: u64 = attr.split_instructions.iter().sum();
+    let parts: u64 = attr.split_parts.iter().sum();
+    let _ = writeln!(
+        out,
+        "\nissue cycles {}  merged cycles {}  memport freeze {}  split instructions {}{}",
+        attr.issue_cycles,
+        attr.merged_cycles,
+        attr.memport_cycles,
+        splits,
+        if splits > 0 {
+            format!(" (avg {:.2} parts)", parts as f64 / splits as f64)
+        } else {
+            String::new()
+        }
+    );
+    out
+}
+
+/// Renders the attribution as JSON (the `vex trace --attribute --json`
+/// output): bins keyed by their stable labels, one object per thread, plus
+/// the aggregate counters.
+pub fn attribution_json(meta: &TraceMeta, attr: &Attribution) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    let _ = writeln!(out, "  \"total_cycles\": {},", attr.total_cycles);
+    let _ = writeln!(
+        out,
+        "  \"geometry\": {{\"contexts\": {}, \"hw_threads\": {}, \"clusters\": {}}},",
+        meta.n_contexts, meta.hw_threads, meta.n_clusters
+    );
+    out.push_str("  \"threads\": [\n");
+    for (t, bins) in attr.threads.iter().enumerate() {
+        let total: u64 = bins.iter().sum();
+        let _ = write!(
+            out,
+            "    {{\"thread\": {t}, \"total\": {total}, \"bins\": {{"
+        );
+        for (i, b) in Bin::ALL.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            let _ = write!(out, "\"{}\": {}", b.label(), bins[b.index()]);
+        }
+        let _ = writeln!(
+            out,
+            "}}, \"split_instructions\": {}, \"split_parts\": {}}}{}",
+            attr.split_instructions.get(t).copied().unwrap_or(0),
+            attr.split_parts.get(t).copied().unwrap_or(0),
+            if t + 1 < attr.threads.len() { "," } else { "" }
+        );
+    }
+    out.push_str("  ],\n");
+    out.push_str("  \"clusters\": [\n");
+    for (c, u) in attr.clusters.iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "    {{\"cluster\": {c}, \"busy_cycles\": {}, \"issue_events\": {}}}{}",
+            u.busy_cycles,
+            u.issue_events,
+            if c + 1 < attr.clusters.len() { "," } else { "" }
+        );
+    }
+    out.push_str("  ],\n");
+    let _ = writeln!(out, "  \"issue_cycles\": {},", attr.issue_cycles);
+    let _ = writeln!(out, "  \"merged_cycles\": {},", attr.merged_cycles);
+    let _ = writeln!(out, "  \"memport_cycles\": {}", attr.memport_cycles);
+    out.push_str("}\n");
+    out
+}
+
+/// A percentage with one decimal, `n/a` when the denominator is zero.
+fn pct(num: u64, den: u64) -> String {
+    if den == 0 {
+        "n/a".to_string()
+    } else {
+        format!("{:.1}%", num as f64 / den as f64 * 100.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vex_trace::ClusterUse;
+
+    fn sample() -> (TraceMeta, Attribution) {
+        let meta = TraceMeta {
+            n_contexts: 2,
+            hw_threads: 2,
+            n_clusters: 2,
+        };
+        let mut t0 = [0u64; Bin::COUNT];
+        t0[Bin::Issue.index()] = 6;
+        t0[Bin::DMiss.index()] = 4;
+        let mut t1 = [0u64; Bin::COUNT];
+        t1[Bin::Issue.index()] = 3;
+        t1[Bin::Retired.index()] = 7;
+        let attr = Attribution {
+            total_cycles: 10,
+            threads: vec![t0, t1],
+            clusters: vec![
+                ClusterUse {
+                    busy_cycles: 8,
+                    issue_events: 9,
+                },
+                ClusterUse::default(),
+            ],
+            issue_cycles: 7,
+            merged_cycles: 2,
+            memport_cycles: 0,
+            split_instructions: vec![1, 0],
+            split_parts: vec![2, 0],
+        };
+        (meta, attr)
+    }
+
+    #[test]
+    fn tables_carry_the_identity_totals() {
+        let (meta, attr) = sample();
+        let text = render_attribution(&meta, &attr);
+        assert!(text.contains("10 cycles, 2 contexts"), "{text}");
+        // Every bin label appears as a column header.
+        for b in Bin::ALL {
+            assert!(text.contains(b.label()), "missing {}:\n{text}", b.label());
+        }
+        // Per-thread and aggregate totals.
+        assert!(text.contains("total"), "{text}");
+        assert!(text.contains("100.0%"), "{text}");
+        assert!(text.contains("80.0%"), "cluster busy share:\n{text}");
+        assert!(
+            text.contains("split instructions 1 (avg 2.00 parts)"),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn json_is_structured_and_balanced() {
+        let (meta, attr) = sample();
+        let json = attribution_json(&meta, &attr);
+        assert_eq!(
+            json.matches('{').count(),
+            json.matches('}').count(),
+            "{json}"
+        );
+        assert!(json.contains("\"total_cycles\": 10"), "{json}");
+        assert!(json.contains("\"issue\": 6"), "{json}");
+        assert!(json.contains("\"retired\": 7"), "{json}");
+        assert!(json.contains("\"busy_cycles\": 8"), "{json}");
+        assert!(json.contains("\"merged_cycles\": 2"), "{json}");
+    }
+}

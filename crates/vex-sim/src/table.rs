@@ -1,0 +1,133 @@
+//! Plain-text column alignment shared by every human-readable report in
+//! the crate ([`crate::Profile::render`], [`crate::render_attribution`]).
+//!
+//! One deliberately small formatter: columns are declared once with an
+//! alignment, rows are strings, and [`Table::render`] pads every column to
+//! its widest cell with a two-space gutter. No wrapping, no borders — the
+//! reports are meant to be greppable and diffable, not decorated.
+
+use std::fmt::Write;
+
+/// Horizontal alignment of one column.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Align {
+    /// Pad on the right (labels, notes).
+    Left,
+    /// Pad on the left (numbers).
+    Right,
+}
+
+/// A column-aligned plain-text table.
+#[derive(Clone, Debug)]
+pub struct Table {
+    columns: Vec<(String, Align)>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// A table with the given `(header, alignment)` columns. An empty
+    /// header string renders no header row for that table (headers are
+    /// all-or-nothing: the row is omitted only when every header is
+    /// empty).
+    pub fn new(columns: &[(&str, Align)]) -> Self {
+        Table {
+            columns: columns.iter().map(|(h, a)| (h.to_string(), *a)).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends one row. Missing trailing cells render empty; extra cells
+    /// are a bug in the caller and panic.
+    pub fn row<I, S>(&mut self, cells: I)
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        let row: Vec<String> = cells.into_iter().map(Into::into).collect();
+        assert!(
+            row.len() <= self.columns.len(),
+            "row has {} cells but the table has {} columns",
+            row.len(),
+            self.columns.len()
+        );
+        self.rows.push(row);
+    }
+
+    /// Renders the table: every column padded to its widest cell, columns
+    /// separated by two spaces, lines right-trimmed and `\n`-terminated.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.columns.iter().map(|(h, _)| h.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let has_header = self.columns.iter().any(|(h, _)| !h.is_empty());
+        if has_header {
+            let headers: Vec<&str> = self.columns.iter().map(|(h, _)| h.as_str()).collect();
+            self.render_line(&mut out, &headers, &widths);
+        }
+        for row in &self.rows {
+            let cells: Vec<&str> = (0..self.columns.len())
+                .map(|i| row.get(i).map_or("", |c| c.as_str()))
+                .collect();
+            self.render_line(&mut out, &cells, &widths);
+        }
+        out
+    }
+
+    fn render_line(&self, out: &mut String, cells: &[&str], widths: &[usize]) {
+        let mut line = String::new();
+        for (i, cell) in cells.iter().enumerate() {
+            if i > 0 {
+                line.push_str("  ");
+            }
+            let w = widths[i];
+            match self.columns[i].1 {
+                Align::Left => {
+                    let _ = write!(line, "{cell:<w$}");
+                }
+                Align::Right => {
+                    let _ = write!(line, "{cell:>w$}");
+                }
+            }
+        }
+        let _ = writeln!(out, "{}", line.trim_end());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn columns_align_to_the_widest_cell() {
+        let mut t = Table::new(&[("name", Align::Left), ("count", Align::Right)]);
+        t.row(["a", "5"]);
+        t.row(["longer", "12345"]);
+        assert_eq!(t.render(), "name    count\na           5\nlonger  12345\n");
+    }
+
+    #[test]
+    fn empty_headers_render_no_header_row() {
+        let mut t = Table::new(&[("", Align::Left), ("", Align::Right)]);
+        t.row(["x", "1"]);
+        assert_eq!(t.render(), "x  1\n");
+    }
+
+    #[test]
+    fn short_rows_pad_and_lines_right_trim() {
+        let mut t = Table::new(&[("a", Align::Left), ("b", Align::Left)]);
+        t.row(["only"]);
+        // The missing trailing cell must not leave trailing whitespace.
+        assert_eq!(t.render(), "a     b\nonly\n");
+    }
+
+    #[test]
+    #[should_panic(expected = "row has 3 cells")]
+    fn extra_cells_panic() {
+        let mut t = Table::new(&[("a", Align::Left), ("b", Align::Left)]);
+        t.row(["1", "2", "3"]);
+    }
+}

@@ -243,30 +243,42 @@ fn split_issue_is_in_order_per_thread() {
     ] {
         let copies: Vec<Arc<Program>> = (0..4).map(|_| Arc::clone(&p)).collect();
         let mut e = Engine::new(cfg(m.clone(), tech, 4), &copies);
-        e.enable_trace();
+        e.set_tracer(Box::new(vex_sim::RingSink::unbounded()));
         e.run();
-        let trace = e.trace.as_ref().unwrap();
-        for ctx in 0..4 {
+        let ring = vex_sim::RingSink::reclaim(e.take_tracer().unwrap()).unwrap();
+        let trace: Vec<_> = ring
+            .into_events()
+            .into_iter()
+            .filter_map(|ev| match ev {
+                vex_sim::TraceEvent::Issue {
+                    cycle,
+                    thread,
+                    inst,
+                    completed,
+                    ..
+                } => Some((cycle, thread, inst, completed)),
+                _ => None,
+            })
+            .collect();
+        for ctx in 0..4u16 {
             let mut last_completion: Option<u64> = None;
-            let mut current_inst: Option<usize> = None;
-            for ev in trace.iter().filter(|ev| ev.ctx == ctx) {
-                if current_inst != Some(ev.inst_idx) {
+            let mut current_inst: Option<u32> = None;
+            for &(cycle, _, inst, completed) in trace.iter().filter(|ev| ev.1 == ctx) {
+                if current_inst != Some(inst) {
                     // First part of a new instruction: must start strictly
                     // after the previous instruction completed.
                     if let Some(done) = last_completion {
                         assert!(
-                            ev.cycle > done,
-                            "{}: ctx{ctx} inst {} started at {} but prior \
+                            cycle > done,
+                            "{}: ctx{ctx} inst {inst} started at {cycle} but prior \
                              completed at {done}",
                             tech.label(),
-                            ev.inst_idx,
-                            ev.cycle
                         );
                     }
-                    current_inst = Some(ev.inst_idx);
+                    current_inst = Some(inst);
                 }
-                if ev.completed {
-                    last_completion = Some(ev.cycle);
+                if completed {
+                    last_completion = Some(cycle);
                 }
             }
         }

@@ -79,13 +79,20 @@ fn run_example(
         respawn: false,
     };
     let mut e = Engine::new(cfg, &[Arc::clone(t0), Arc::clone(t1)]);
-    e.enable_trace();
+    e.set_tracer(Box::new(vex_sim::RingSink::unbounded()));
     e.run();
-    let trace = e.trace.as_ref().unwrap();
-    let last = trace
-        .iter()
-        .filter(|ev| ev.inst_idx <= 1 && ev.completed)
-        .map(|ev| ev.cycle)
+    let ring = vex_sim::RingSink::reclaim(e.take_tracer().unwrap()).unwrap();
+    let last = ring
+        .events()
+        .filter_map(|ev| match *ev {
+            vex_sim::TraceEvent::Issue {
+                cycle,
+                inst,
+                completed: true,
+                ..
+            } if inst <= 1 => Some(cycle),
+            _ => None,
+        })
         .max()
         .expect("no instructions issued");
     last + 1

@@ -173,6 +173,10 @@ pub struct SweepSpec {
     pub respawn: bool,
     /// Cache geometry and miss penalty.
     pub caches: MemConfig,
+    /// Stream each run's event trace to this `.vext` path. Honored by
+    /// single-point runs (`vex run --spec`); sweeps ignore it — a grid of
+    /// points cannot share one trace file.
+    pub trace: Option<String>,
     /// Machine geometries (axis).
     pub machines: Vec<MachineSpec>,
     /// Workload mixes (axis).
@@ -212,6 +216,8 @@ pub struct RunSpec {
     pub respawn: bool,
     /// Cache geometry and miss penalty.
     pub caches: MemConfig,
+    /// Event-trace output path (single-point runs only).
+    pub trace: Option<String>,
 }
 
 impl RunSpec {
@@ -263,6 +269,7 @@ impl SweepSpec {
             mt: MtMode::Simultaneous,
             respawn: true,
             caches: MemConfig::paper(),
+            trace: None,
             machines: vec![MachineSpec::paper()],
             mixes: Vec::new(),
         }
@@ -353,6 +360,7 @@ impl SweepSpec {
                             mt: self.mt,
                             respawn: self.respawn,
                             caches: self.caches,
+                            trace: self.trace.clone(),
                         });
                     }
                 }

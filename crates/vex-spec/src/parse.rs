@@ -640,6 +640,16 @@ fn build_spec(
         Some(e) => e.bool()?,
         None => true,
     };
+    let trace = match top.take("trace") {
+        Some(e) => {
+            let path = e.str()?;
+            if path.is_empty() {
+                return Err(e.err("`trace` needs a non-empty output path"));
+            }
+            Some(path.to_string())
+        }
+        None => None,
+    };
 
     // Built-in mix shorthand; full [[mix]] tables are appended after.
     let mut mixes: Vec<MixSpec> = Vec::new();
@@ -722,6 +732,7 @@ fn build_spec(
         mt,
         respawn,
         caches,
+        trace,
         machines,
         mixes,
     })

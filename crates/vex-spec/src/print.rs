@@ -41,6 +41,9 @@ pub fn print_sweep(s: &SweepSpec) -> String {
         }
     );
     let _ = writeln!(out, "respawn = {}", s.respawn);
+    if let Some(t) = &s.trace {
+        let _ = writeln!(out, "trace = \"{t}\"");
+    }
 
     let _ = writeln!(out, "\n[cache]");
     if s.caches.icache == s.caches.dcache {

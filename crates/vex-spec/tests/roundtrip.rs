@@ -126,6 +126,8 @@ fn sweep_spec() -> impl Strategy<Value = SweepSpec> {
                 Just(MtMode::Blocked)
             ],
             any::<bool>(),
+            (any::<bool>(), any::<u16>())
+                .prop_map(|(some, n)| some.then(|| format!("trace_{n}.vext"))),
         ),
         mem_config(),
         prop::collection::vec(machine(), 1..3),
@@ -135,7 +137,7 @@ fn sweep_spec() -> impl Strategy<Value = SweepSpec> {
             |(
                 (tag, inst_limit, timeslice, max_cycles, seed),
                 (threads, techniques),
-                (renaming, memory, mt, respawn),
+                (renaming, memory, mt, respawn, trace),
                 caches,
                 machines,
                 mixes,
@@ -152,6 +154,7 @@ fn sweep_spec() -> impl Strategy<Value = SweepSpec> {
                     memory,
                     mt,
                     respawn,
+                    trace,
                     caches,
                     machines,
                     mixes,

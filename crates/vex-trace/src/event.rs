@@ -1,0 +1,155 @@
+//! The event taxonomy: everything the engine reports while running.
+//!
+//! Events are deliberately *raw*: they record what happened at the site
+//! where it happened (a miss was detected, a stall window was opened, a
+//! slot mapping changed) and leave the per-cycle accounting to the replay
+//! layer in [`crate::attribute`]. That keeps the recording cost at the
+//! emission sites near zero and makes the stream independent of any
+//! particular attribution policy.
+
+/// Sentinel context id for an empty hardware slot in
+/// [`TraceEvent::SlotAssign`].
+pub const NO_CTX: u16 = u16::MAX;
+
+/// Run-level metadata carried in the trace header: the geometry the
+/// replay needs to size its tables.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct TraceMeta {
+    /// Number of benchmark contexts (programs) in the workload.
+    pub n_contexts: u16,
+    /// Number of hardware thread slots.
+    pub hw_threads: u16,
+    /// Number of physical clusters.
+    pub n_clusters: u16,
+}
+
+/// One trace record. `cycle` is the simulated cycle the event was
+/// observed at; `thread` is always the *context* (workload program)
+/// index, not the hardware slot.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum TraceEvent {
+    /// Context `thread` issued `ops` operations of instruction `inst`
+    /// into the packet; `clusters` is the physical-cluster occupancy mask
+    /// of the placed work and `completed` marks the last part (the
+    /// instruction commits this cycle). A vertical NOP records `ops: 0`,
+    /// `clusters: 0`, `completed: true`.
+    Issue {
+        /// Cycle of the event.
+        cycle: u64,
+        /// Context index.
+        thread: u16,
+        /// Instruction index within the program.
+        inst: u32,
+        /// Operations issued this cycle.
+        ops: u16,
+        /// Physical clusters that received work this cycle (bitmask).
+        clusters: u16,
+        /// Whether the instruction finished issuing.
+        completed: bool,
+    },
+    /// Instruction fetch missed: the thread stalls for cycles
+    /// `[cycle, cycle + penalty)`.
+    IMissStall {
+        /// Cycle of the event.
+        cycle: u64,
+        /// Context index.
+        thread: u16,
+        /// Miss penalty in cycles.
+        penalty: u32,
+    },
+    /// A data access issued this cycle missed: the thread stalls for
+    /// cycles `[cycle + 1, cycle + 1 + penalty)` (overlapping misses in
+    /// one issue share the window, mirroring the engine's `max` rule).
+    DMissStall {
+        /// Cycle of the event.
+        cycle: u64,
+        /// Context index.
+        thread: u16,
+        /// Miss penalty in cycles.
+        penalty: u32,
+    },
+    /// A taken branch committed: the thread redirects and stalls for
+    /// `[cycle + 1, cycle + 1 + penalty)`.
+    BranchStall {
+        /// Cycle of the event.
+        cycle: u64,
+        /// Context index.
+        thread: u16,
+        /// Taken-branch penalty in cycles.
+        penalty: u32,
+    },
+    /// Memory ports over-subscribed at commit: the *whole pipeline*
+    /// freezes for `[cycle + 1, cycle + 1 + cycles)` (§V-D, Figure 11).
+    MemPortStall {
+        /// Cycle of the event.
+        cycle: u64,
+        /// Stall cycles added to the global drain window.
+        cycles: u32,
+    },
+    /// The comm policy (`NS`) forced a communication-carrying instruction
+    /// to issue whole under a split-capable technique, and it did not fit
+    /// this cycle — the cost of not splitting send/recv pairs.
+    CommHold {
+        /// Cycle of the event.
+        cycle: u64,
+        /// Context index.
+        thread: u16,
+    },
+    /// An instruction that issued in more than one part committed: the
+    /// split-issue decision record (`parts` ≥ 2).
+    SplitCommit {
+        /// Cycle of the event.
+        cycle: u64,
+        /// Context index.
+        thread: u16,
+        /// Instruction index within the program.
+        inst: u32,
+        /// Number of parts the instruction issued in.
+        parts: u16,
+    },
+    /// Hardware slot `slot` now runs context `ctx` ([`NO_CTX`] = empty).
+    /// The scheduler re-emits the whole mapping at every timeslice
+    /// switch, and the engine emits the current mapping when a sink is
+    /// attached, so a replay always sees the full assignment.
+    SlotAssign {
+        /// Cycle of the event.
+        cycle: u64,
+        /// Hardware slot index.
+        slot: u16,
+        /// Context index now occupying the slot, or [`NO_CTX`].
+        ctx: u16,
+    },
+    /// Context `thread` retired (halted, or fell off the end of its
+    /// program, with respawn disabled).
+    Retire {
+        /// Cycle of the event.
+        cycle: u64,
+        /// Context index.
+        thread: u16,
+    },
+    /// End-of-stream marker carrying the run's total cycle count.
+    /// Emitted by `Engine::finalize_stats`; a mid-run snapshot may emit
+    /// several, and replay uses the last.
+    End {
+        /// Total simulated cycles of the run.
+        cycle: u64,
+    },
+}
+
+impl TraceEvent {
+    /// The cycle the event was observed at.
+    pub fn cycle(&self) -> u64 {
+        match *self {
+            TraceEvent::Issue { cycle, .. }
+            | TraceEvent::IMissStall { cycle, .. }
+            | TraceEvent::DMissStall { cycle, .. }
+            | TraceEvent::BranchStall { cycle, .. }
+            | TraceEvent::MemPortStall { cycle, .. }
+            | TraceEvent::CommHold { cycle, .. }
+            | TraceEvent::SplitCommit { cycle, .. }
+            | TraceEvent::SlotAssign { cycle, .. }
+            | TraceEvent::Retire { cycle, .. }
+            | TraceEvent::End { cycle } => cycle,
+        }
+    }
+}

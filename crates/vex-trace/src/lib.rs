@@ -1,0 +1,42 @@
+//! # vex-trace — cycle-attribution trace stream
+//!
+//! A schema'd, versioned, compact binary event-record format for the
+//! simulator's microarchitectural events, plus the replay layer that turns
+//! a recorded stream back into a **per-thread, per-cycle attribution**:
+//! every simulated cycle of every context binned by *why it was spent*
+//! (issuing, stalled on an I$/D$ miss, frozen by memory-port contention,
+//! held whole by the communication policy, losing an issue conflict, ...).
+//!
+//! The paper's headline results (Figures 13–16) are deltas between
+//! technique points; this crate is what lets the reproduction say *where*
+//! a delta comes from, the way the paper's analysis sections do.
+//!
+//! ## Layers
+//!
+//! * [`TraceEvent`] / [`TraceMeta`] — the event taxonomy. Each event
+//!   carries its cycle plus the thread / cluster / instruction identity
+//!   the replay needs; see `docs/TRACE.md` for the taxonomy's semantics.
+//! * [`format`] — the `VEXT` binary encoding: a 16-byte header followed
+//!   by fixed 20-byte little-endian records.
+//! * [`TraceSink`] — where the engine streams events: [`RingSink`] keeps
+//!   the last N events in memory (bounded, allocation-free steady state),
+//!   [`FileSink`] streams the binary format to disk.
+//! * [`attribute`](attribute()) — replays an event stream into an
+//!   [`Attribution`]: per-thread cycle bins that **sum exactly to the
+//!   run's total cycles** (the identity the test suite pins against
+//!   `SimStats`), plus per-cluster occupancy.
+//!
+//! The crate is dependency-free and knows nothing about the simulator's
+//! types; `vex-sim` depends on it, not the other way around.
+
+#![warn(missing_docs)]
+
+mod attr;
+mod event;
+pub mod format;
+mod sink;
+
+pub use attr::{attribute, Attribution, Bin, ClusterUse};
+pub use event::{TraceEvent, TraceMeta, NO_CTX};
+pub use format::{read_trace, write_trace};
+pub use sink::{FileSink, RingSink, TraceSink};

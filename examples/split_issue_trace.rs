@@ -10,6 +10,7 @@ use clustered_vliw_smt::isa::{
     Instruction, MachineConfig, Opcode, Operand, Operation, Program, Reg,
 };
 use clustered_vliw_smt::sim::{CommPolicy, Engine, MemoryMode, SimConfig, Technique};
+use clustered_vliw_smt::trace::{RingSink, TraceEvent};
 use std::sync::Arc;
 
 fn alu(c: u8, i: u8) -> Operation {
@@ -45,20 +46,28 @@ fn run(tech: Technique, t0: &Arc<Program>, t1: &Arc<Program>) {
         respawn: false,
     };
     let mut e = Engine::new(cfg, &[Arc::clone(t0), Arc::clone(t1)]);
-    e.enable_trace();
+    e.set_tracer(Box::new(RingSink::unbounded()));
     e.run();
+    let ring = RingSink::reclaim(e.take_tracer().unwrap()).unwrap();
     println!("--- {} ---", tech.label());
-    for ev in e.trace.as_ref().unwrap() {
-        if ev.inst_idx > 1 {
+    for ev in ring.events() {
+        let TraceEvent::Issue {
+            cycle,
+            thread,
+            inst,
+            ops,
+            completed,
+            ..
+        } = *ev
+        else {
+            continue;
+        };
+        if inst > 1 {
             continue; // skip the halt instructions
         }
         println!(
-            "cycle {}: thread {} issued {} op(s) of Ins{}{}",
-            ev.cycle,
-            ev.ctx,
-            ev.ops,
-            ev.inst_idx,
-            if ev.completed {
+            "cycle {cycle}: thread {thread} issued {ops} op(s) of Ins{inst}{}",
+            if completed {
                 "  [last part -> commits]"
             } else {
                 "  [split]"

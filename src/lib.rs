@@ -14,6 +14,8 @@
 //!   CSMT, SMT and operation-level split-issue (OOSI).
 //! * [`workloads`] — the twelve calibrated benchmark kernels and the nine
 //!   workload mixes of Figure 13.
+//! * [`trace`] — the schema'd binary cycle-attribution trace stream and
+//!   its replay into per-thread, per-cycle cause bins; see `docs/TRACE.md`.
 //! * [`spec`] — declarative run/sweep specifications (TOML-subset parser,
 //!   canonical printer, grid expansion); see `docs/SPECS.md`.
 //! * [`experiments`] — the shared sweep runner plus the harness
@@ -34,4 +36,5 @@ pub use vex_isa as isa;
 pub use vex_mem as mem;
 pub use vex_sim as sim;
 pub use vex_spec as spec;
+pub use vex_trace as trace;
 pub use vex_workloads as workloads;

@@ -1,0 +1,165 @@
+//! The cycle-attribution identity, property-tested across the whole
+//! technique grid, plus a golden snapshot of the attribution report.
+//!
+//! The trace replay (`vex_trace::attribute`) promises a **total**
+//! accounting: for every context, the nine cause bins partition the
+//! run's cycles exactly — no cycle uncounted, none counted twice. This
+//! test drives seeded random programs (the `vex-gen` generator that
+//! backs `vex fuzz`) through all 8 technique points of Figure 16 with a
+//! ring tracer attached and checks that identity against the
+//! simulator's own counters, which are accumulated independently on the
+//! other side of the trace boundary:
+//!
+//! * per-thread bins sum to `SimStats::cycles`,
+//! * cycles with ≥ 1 issuer equal `cycles - empty_cycles`,
+//! * cycles with ≥ 2 issuers equal `merged_cycles`,
+//! * whole-pipeline memory-port freezes equal `memport_stall_cycles`,
+//! * per-thread split counts equal the `ThreadStats` split counters.
+//!
+//! The golden half snapshots the rendered report for the same fixed
+//! workload the `sim_golden_stats` determinism test pins
+//! (`tests/fixtures/golden.vex`, 3 contexts, seed 0xDEAD_BEEF) across
+//! the grid. Re-bless after an intentional timing-model change with:
+//!
+//! ```sh
+//! UPDATE_GOLDEN=1 cargo test --test trace_attribution
+//! ```
+
+use clustered_vliw_smt::asm::parse_program;
+use clustered_vliw_smt::gen::{generate, GenConfig};
+use clustered_vliw_smt::isa::{MachineConfig, Program};
+use clustered_vliw_smt::sim::{
+    attribute, render_attribution, Attribution, Engine, MemoryMode, MtMode, RingSink, SimConfig,
+    SimStats, Technique, TraceMeta,
+};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+/// Runs a workload with a ring tracer attached and returns the stats
+/// next to the replayed attribution (checking `attribute`'s internal
+/// bins-sum identity on the way).
+fn run_attributed(
+    cfg: &SimConfig,
+    workload: &[Arc<Program>],
+) -> (SimStats, TraceMeta, Attribution) {
+    let mut engine = Engine::new(cfg.clone(), workload);
+    engine.set_tracer(Box::new(RingSink::unbounded()));
+    engine.run();
+    let ring = RingSink::reclaim(engine.take_tracer().expect("tracer was installed"))
+        .expect("sink is a RingSink");
+    let meta = ring.meta().expect("begin() recorded the geometry");
+    let attr = attribute(&meta, &ring.into_events()).expect("replay must succeed");
+    (engine.stats, meta, attr)
+}
+
+fn prop_config(tech: Technique, seed: u64) -> SimConfig {
+    SimConfig {
+        machine: MachineConfig::paper_4c4w(),
+        caches: vex_mem::MemConfig::paper(),
+        technique: tech,
+        mt_mode: MtMode::Simultaneous,
+        n_threads: 2,
+        renaming: true,
+        memory: MemoryMode::Real,
+        timeslice: 300,
+        inst_limit: 2_000,
+        max_cycles: 500_000,
+        seed,
+        respawn: true,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 24,
+        ..ProptestConfig::default()
+    })]
+
+    /// For any generated program and any technique point, the replayed
+    /// bins account for every simulated cycle of every context, and the
+    /// aggregate views agree with the simulator's own counters.
+    #[test]
+    fn bins_partition_every_cycle(seed in any::<u32>(), tech_idx in 0usize..Technique::FIGURE16_SET.len()) {
+        let tech = Technique::FIGURE16_SET[tech_idx].1;
+        let machine = MachineConfig::paper_4c4w();
+        let program = Arc::new(
+            generate(&GenConfig::new(machine, seed as u64)).expect("paper machine hosts the generator"),
+        );
+        // 3 contexts over 2 hardware threads, so the timeslice scheduler
+        // rotates and slot occupancy changes mid-run.
+        let workload: Vec<Arc<Program>> = (0..3).map(|_| Arc::clone(&program)).collect();
+        let (stats, meta, attr) = run_attributed(&prop_config(tech, 0x5EED ^ seed as u64), &workload);
+
+        prop_assert_eq!(attr.total_cycles, stats.cycles);
+        prop_assert_eq!(meta.n_contexts as usize, workload.len());
+        for (i, bins) in attr.threads.iter().enumerate() {
+            let sum: u64 = bins.iter().sum();
+            prop_assert_eq!(
+                sum, stats.cycles,
+                "context {} bins must sum to the run's {} cycles", i, stats.cycles
+            );
+        }
+        prop_assert_eq!(attr.issue_cycles, stats.cycles - stats.empty_cycles);
+        prop_assert_eq!(attr.merged_cycles, stats.merged_cycles);
+        prop_assert_eq!(attr.memport_cycles, stats.memport_stall_cycles);
+        for (i, t) in stats.per_thread.iter().enumerate() {
+            prop_assert_eq!(attr.split_instructions[i], t.split_instructions);
+            prop_assert_eq!(attr.split_parts[i], t.split_parts);
+        }
+    }
+}
+
+// ---- golden snapshot ------------------------------------------------
+
+const GOLDEN: &str = include_str!("fixtures/golden.vex");
+const SNAPSHOT_PATH: &str = concat!(
+    env!("CARGO_MANIFEST_DIR"),
+    "/tests/fixtures/golden_attribution.txt"
+);
+
+/// Mirrors `sim_golden_stats::snapshot_config` so both golden tests pin
+/// the same runs.
+fn snapshot_config(tech: Technique) -> SimConfig {
+    SimConfig {
+        machine: MachineConfig::paper_4c4w(),
+        caches: vex_mem::MemConfig::paper(),
+        technique: tech,
+        mt_mode: MtMode::Simultaneous,
+        n_threads: 2,
+        renaming: true,
+        memory: MemoryMode::Real,
+        timeslice: 500,
+        inst_limit: 5_000,
+        max_cycles: 1_000_000,
+        seed: 0xDEAD_BEEF,
+        respawn: true,
+    }
+}
+
+#[test]
+fn attribution_report_matches_golden_snapshot() {
+    let golden = Arc::new(parse_program(GOLDEN).expect("golden fixture must parse"));
+    let workload: Vec<Arc<Program>> = (0..3).map(|_| Arc::clone(&golden)).collect();
+
+    let mut got = String::new();
+    for (name, tech) in Technique::FIGURE16_SET {
+        let (stats, meta, attr) = run_attributed(&snapshot_config(tech), &workload);
+        // The identity against the independent counter, once per point.
+        assert_eq!(attr.total_cycles, stats.cycles, "{name}");
+        got.push_str(&format!("[golden.vex / {name}]\n"));
+        got.push_str(&render_attribution(&meta, &attr));
+        got.push('\n');
+    }
+
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::write(SNAPSHOT_PATH, &got).expect("write golden attribution snapshot");
+        return;
+    }
+    let want = std::fs::read_to_string(SNAPSHOT_PATH)
+        .expect("missing tests/fixtures/golden_attribution.txt; bless with UPDATE_GOLDEN=1");
+    assert_eq!(
+        got, want,
+        "attribution report diverged from the golden snapshot; if the \
+         timing model changed intentionally, re-bless with UPDATE_GOLDEN=1"
+    );
+}
