@@ -54,6 +54,19 @@ SWEEP OPTIONS:
     --out FILE                            write JSON results to FILE
                                           (default: stdout)
     --workers N                           simulation fan-out     [default: #cores]
+    --journal FILE                        append each completed point to FILE
+                                          (a crash-safe sidecar; overrides the
+                                          spec's `journal` knob)
+    --resume                              skip points already in the journal
+                                          (requires a journal path)
+    --keep-going                          simulate every point even after one
+                                          fails (default: stop scheduling new
+                                          points at the first failure)
+    --retries N                           re-run a failed/panicked point up to
+                                          N extra times         [default: spec]
+    --zero-wall                           report wall_secs as 0.0 everywhere
+                                          so resumed and uninterrupted sweeps
+                                          are byte-identical
 
 RUN OPTIONS:
     --spec FILE                           take the whole configuration from a
@@ -86,7 +99,56 @@ TRACE OPTIONS:
     --max-cycles N                        safety bound            [default: 200000000]
     --seed N                              scheduler seed          [default: 12648430]
     --no-validate                         skip program validation before the run
+
+EXIT CODES:
+    0  success
+    1  runtime error (simulation, trace sink, writing results)
+    2  usage error (bad flags, unknown subcommand)
+    3  input error (unreadable or malformed program/spec/trace file)
+    4  sweep completed, but one or more points failed
 ";
+
+/// A subcommand failure carrying the process exit code it maps to.
+///
+/// The contract (also in the README and `vex help`): `1` runtime, `2`
+/// usage, `3` input, `4` sweep-completed-with-failed-points. Plain
+/// `String` errors from the library layers convert to runtime failures.
+struct Fail {
+    code: u8,
+    msg: String,
+}
+
+impl Fail {
+    /// A bad invocation: unknown flag, missing value, wrong arity.
+    fn usage(msg: impl Into<String>) -> Fail {
+        Fail {
+            code: 2,
+            msg: msg.into(),
+        }
+    }
+
+    /// An unreadable or malformed input file (program, spec, trace).
+    fn input(msg: impl Into<String>) -> Fail {
+        Fail {
+            code: 3,
+            msg: msg.into(),
+        }
+    }
+
+    /// The sweep ran to completion but some points failed.
+    fn points(msg: impl Into<String>) -> Fail {
+        Fail {
+            code: 4,
+            msg: msg.into(),
+        }
+    }
+}
+
+impl From<String> for Fail {
+    fn from(msg: String) -> Fail {
+        Fail { code: 1, msg }
+    }
+}
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -109,13 +171,15 @@ fn main() -> ExitCode {
             print!("{USAGE}");
             return ExitCode::SUCCESS;
         }
-        other => Err(format!("unknown subcommand `{other}`; try `vex help`")),
+        other => Err(Fail::usage(format!(
+            "unknown subcommand `{other}`; try `vex help`"
+        ))),
     };
     match result {
         Ok(()) => ExitCode::SUCCESS,
-        Err(msg) => {
-            eprintln!("vex: {msg}");
-            ExitCode::FAILURE
+        Err(f) => {
+            eprintln!("vex: {}", f.msg);
+            ExitCode::from(f.code)
         }
     }
 }
@@ -179,22 +243,24 @@ fn machine_for(p: &Program) -> MachineConfig {
 
 // ---- subcommands --------------------------------------------------
 
-fn cmd_asm(args: &[String]) -> Result<(), String> {
-    let (input, output) = parse_io_args(args, "asm")?;
-    let program = load_program(&input)?;
+fn cmd_asm(args: &[String]) -> Result<(), Fail> {
+    let (input, output) = parse_io_args(args, "asm").map_err(Fail::usage)?;
+    let program = load_program(&input).map_err(Fail::input)?;
     program
         .validate(&machine_for(&program))
-        .map_err(|e| format!("invalid program: {e}"))?;
-    write_output(output.as_deref(), &vex_asm::encode(&program))
+        .map_err(|e| Fail::input(format!("invalid program: {e}")))?;
+    write_output(output.as_deref(), &vex_asm::encode(&program))?;
+    Ok(())
 }
 
-fn cmd_disasm(args: &[String]) -> Result<(), String> {
-    let (input, output) = parse_io_args(args, "disasm")?;
-    let program = load_program(&input)?;
+fn cmd_disasm(args: &[String]) -> Result<(), Fail> {
+    let (input, output) = parse_io_args(args, "disasm").map_err(Fail::usage)?;
+    let program = load_program(&input).map_err(Fail::input)?;
     write_output(
         output.as_deref(),
         vex_asm::print_program(&program).as_bytes(),
-    )
+    )?;
+    Ok(())
 }
 
 /// Shared `[FILE] [-o OUT]` argument shape of `asm`/`disasm`.
@@ -224,9 +290,9 @@ fn parse_io_args(args: &[String], cmd: &str) -> Result<(String, Option<String>),
     Ok((input.unwrap_or_else(|| "-".to_string()), output))
 }
 
-fn cmd_export(args: &[String]) -> Result<(), String> {
+fn cmd_export(args: &[String]) -> Result<(), Fail> {
     if args.len() > 1 || args.iter().any(|a| a.starts_with('-')) {
-        return Err("usage: vex export-workloads [DIR]".to_string());
+        return Err(Fail::usage("usage: vex export-workloads [DIR]"));
     }
     let dir = args.first().map(String::as_str).unwrap_or("workloads");
     std::fs::create_dir_all(dir).map_err(|e| format!("creating `{dir}`: {e}"))?;
@@ -270,7 +336,17 @@ fn parse_machine(spec: &str) -> Result<MachineConfig, String> {
     ))
 }
 
-fn cmd_fuzz(args: &[String]) -> Result<(), String> {
+/// Parsed `vex fuzz` options.
+struct FuzzOpts {
+    seed_count: u64,
+    seed_base: u64,
+    machine: MachineConfig,
+    machine_name: String,
+    size: u32,
+    out_path: String,
+}
+
+fn parse_fuzz_args(args: &[String]) -> Result<FuzzOpts, String> {
     let mut seed_count: u64 = 100;
     let mut seed_base: u64 = 0;
     let mut machine = MachineConfig::paper_4c4w();
@@ -310,32 +386,50 @@ fn cmd_fuzz(args: &[String]) -> Result<(), String> {
             other => return Err(format!("unknown option `{other}` for `vex fuzz`")),
         }
     }
+    Ok(FuzzOpts {
+        seed_count,
+        seed_base,
+        machine,
+        machine_name,
+        size,
+        out_path,
+    })
+}
 
+fn cmd_fuzz(args: &[String]) -> Result<(), Fail> {
+    let o = parse_fuzz_args(args).map_err(Fail::usage)?;
     let t0 = std::time::Instant::now();
-    for i in 0..seed_count {
-        let seed = seed_base.wrapping_add(i);
+    for i in 0..o.seed_count {
+        let seed = o.seed_base.wrapping_add(i);
         let cfg = vex_gen::GenConfig {
-            machine: machine.clone(),
+            machine: o.machine.clone(),
             seed,
-            size,
+            size: o.size,
         };
         match vex_gen::check_seed(&cfg)? {
             Ok(()) => {}
-            Err(failure) => return report_fuzz_failure(&cfg, failure, &machine_name, &out_path),
+            Err(failure) => {
+                report_fuzz_failure(&cfg, failure, &o.machine_name, &o.out_path)?;
+                return Ok(());
+            }
         }
         if (i + 1) % 100 == 0 {
             eprintln!(
-                "[vex fuzz] {}/{seed_count} seeds clean ({:.1}s)",
+                "[vex fuzz] {}/{} seeds clean ({:.1}s)",
                 i + 1,
+                o.seed_count,
                 t0.elapsed().as_secs_f32()
             );
         }
     }
     outln(&format!(
-        "vex fuzz: {seed_count} seed(s) x 8 techniques x {{1,2,4}} threads on `{machine_name}`: \
+        "vex fuzz: {} seed(s) x 8 techniques x {{1,2,4}} threads on `{}`: \
          all runs byte-identical to the reference interpreter ({:.1}s)",
+        o.seed_count,
+        o.machine_name,
         t0.elapsed().as_secs_f32()
-    ))
+    ))?;
+    Ok(())
 }
 
 /// Shrinks a differential failure by re-seeding at smaller sizes, writes
@@ -391,24 +485,46 @@ fn resolve_program(path: &str) -> Result<Program, String> {
     load_program(path)
 }
 
-fn cmd_sweep(args: &[String]) -> Result<(), String> {
+/// Parsed `vex sweep` options.
+struct SweepOpts {
+    spec_path: String,
+    out_path: Option<String>,
+    workers: Option<usize>,
+    journal: Option<String>,
+    resume: bool,
+    keep_going: bool,
+    retries: Option<u32>,
+    zero_wall: bool,
+}
+
+fn parse_sweep_args(args: &[String]) -> Result<SweepOpts, String> {
     let mut spec_path: Option<String> = None;
     let mut out_path: Option<String> = None;
     let mut workers: Option<usize> = None;
+    let mut journal: Option<String> = None;
+    let mut resume = false;
+    let mut keep_going = false;
+    let mut retries: Option<u32> = None;
+    let mut zero_wall = false;
     let mut it = args.iter();
+    let value = |it: &mut std::slice::Iter<String>, flag: &str| -> Result<String, String> {
+        it.next()
+            .map(|s| s.to_string())
+            .ok_or_else(|| format!("`{flag}` needs a value"))
+    };
     while let Some(a) = it.next() {
         match a.as_str() {
-            "--out" => {
-                out_path = Some(
-                    it.next()
-                        .ok_or_else(|| "`--out` needs a path".to_string())?
-                        .clone(),
-                )
+            "--out" => out_path = Some(value(&mut it, a)?),
+            "--journal" => journal = Some(value(&mut it, a)?),
+            "--resume" => resume = true,
+            "--keep-going" => keep_going = true,
+            "--zero-wall" => zero_wall = true,
+            "--retries" => {
+                let v = value(&mut it, a)?;
+                retries = Some(v.parse().map_err(|_| format!("bad retry count `{v}`"))?);
             }
             "--workers" => {
-                let v = it
-                    .next()
-                    .ok_or_else(|| "`--workers` needs a count".to_string())?;
+                let v = value(&mut it, a)?;
                 workers = Some(
                     v.parse()
                         .ok()
@@ -425,30 +541,80 @@ fn cmd_sweep(args: &[String]) -> Result<(), String> {
             other => return Err(format!("unknown option `{other}` for `vex sweep`")),
         }
     }
-    let spec_path =
-        spec_path.ok_or_else(|| "usage: vex sweep SPEC.toml [--out FILE]".to_string())?;
-    let spec = load_spec(&spec_path)?;
+    let spec_path = spec_path.ok_or_else(|| {
+        "usage: vex sweep SPEC.toml [--out FILE] [--journal FILE [--resume]] \
+         [--keep-going] [--retries N] [--zero-wall]"
+            .to_string()
+    })?;
+    Ok(SweepOpts {
+        spec_path,
+        out_path,
+        workers,
+        journal,
+        resume,
+        keep_going,
+        retries,
+        zero_wall,
+    })
+}
 
-    let mut runner = SweepRunner::new(&spec).loader(&resolve_program);
-    if let Some(n) = workers {
+fn cmd_sweep(args: &[String]) -> Result<(), Fail> {
+    let o = parse_sweep_args(args).map_err(Fail::usage)?;
+    let spec = load_spec(&o.spec_path).map_err(Fail::input)?;
+    if o.resume && o.journal.is_none() && spec.journal.is_none() {
+        return Err(Fail::usage(
+            "`--resume` needs a journal path: pass `--journal FILE` or set \
+             `journal = \"...\"` in the spec",
+        ));
+    }
+
+    let mut runner = SweepRunner::new(&spec)
+        .loader(&resolve_program)
+        .resume(o.resume)
+        .keep_going(o.keep_going)
+        .deterministic_wall(o.zero_wall);
+    if let Some(n) = o.workers {
         runner = runner.workers(n);
+    }
+    if let Some(j) = &o.journal {
+        runner = runner.journal(j);
+    }
+    if let Some(r) = o.retries {
+        runner = runner.retries(r);
     }
     let t0 = std::time::Instant::now();
     let outcome = runner.run()?;
+    let resumed = outcome.points.iter().filter(|p| p.resumed).count();
     eprintln!(
-        "[vex sweep] {}: {} points in {:.1}s",
+        "[vex sweep] {}: {} points ({} replayed from the journal) in {:.1}s",
         spec.name,
         outcome.points.len(),
+        resumed,
         t0.elapsed().as_secs_f32()
     );
     let json = outcome.to_json();
-    match out_path {
+    match &o.out_path {
         Some(p) => {
-            std::fs::write(&p, &json).map_err(|e| format!("writing `{p}`: {e}"))?;
-            outln(&format!("wrote {p}"))
+            std::fs::write(p, &json).map_err(|e| format!("writing `{p}`: {e}"))?;
+            outln(&format!("wrote {p}"))?;
         }
-        None => out(json.as_bytes()),
+        None => out(json.as_bytes())?,
     }
+    if !outcome.errors.is_empty() {
+        // The JSON (with its `errors` table) is already on disk/stdout;
+        // repeat the table on stderr and exit with the distinct code so
+        // scripts notice without parsing.
+        eprintln!("[vex sweep] {} point(s) failed:", outcome.errors.len());
+        for e in &outcome.errors {
+            eprintln!("  [{:<7}] {}: {}", e.cause.tag(), e.label, e.cause);
+        }
+        return Err(Fail::points(format!(
+            "{} of {} point(s) failed",
+            outcome.errors.len(),
+            outcome.errors.len() + outcome.points.len()
+        )));
+    }
+    Ok(())
 }
 
 /// Runs a workload like [`vex_sim::run_programs`], optionally streaming
@@ -478,15 +644,15 @@ fn run_traced(
 /// technique, workload — comes from a spec that must expand to exactly
 /// one grid point. `cli_trace` (the `--trace` flag) overrides the spec's
 /// own `trace` knob.
-fn cmd_run_spec(path: &str, profile: bool, cli_trace: Option<String>) -> Result<(), String> {
-    let spec = load_spec(path)?;
+fn cmd_run_spec(path: &str, profile: bool, cli_trace: Option<String>) -> Result<(), Fail> {
+    let spec = load_spec(path).map_err(Fail::input)?;
     let points = spec.expand();
     let [run] = points.as_slice() else {
-        return Err(format!(
+        return Err(Fail::input(format!(
             "`{path}` expands to {} grid points; `vex run --spec` needs exactly one \
              (sweep it with `vex sweep {path}`)",
             points.len()
-        ));
+        )));
     };
     let machine = &run.machine.config;
     let workload: Vec<Arc<Program>> = run
@@ -505,7 +671,8 @@ fn cmd_run_spec(path: &str, profile: bool, cli_trace: Option<String>) -> Result<
                 Ok(Arc::new(program))
             }
         })
-        .collect::<Result<_, _>>()?;
+        .collect::<Result<_, String>>()
+        .map_err(Fail::input)?;
     let cfg = run.to_sim_config();
     let trace = cli_trace.or_else(|| run.trace.clone());
     let (engine, reason) = run_traced(&cfg, &workload, trace.as_deref())?;
@@ -626,16 +793,17 @@ fn parse_u64(v: &str, flag: &str) -> Result<u64, String> {
         .map_err(|_| format!("bad value `{v}` for `{flag}`"))
 }
 
-fn cmd_run(args: &[String]) -> Result<(), String> {
+fn cmd_run(args: &[String]) -> Result<(), Fail> {
     if args.iter().any(|a| a == "--spec") {
         let mut profile = false;
         let mut trace: Option<String> = None;
         let mut path: Option<String> = None;
         let mut it = args.iter();
         let bad = || {
-            "`--spec` replaces every other `vex run` option (except --profile/--trace): \
-             vex run --spec FILE [--profile] [--trace FILE]"
-                .to_string()
+            Fail::usage(
+                "`--spec` replaces every other `vex run` option (except --profile/--trace): \
+                 vex run --spec FILE [--profile] [--trace FILE]",
+            )
         };
         while let Some(a) = it.next() {
             match a.as_str() {
@@ -645,7 +813,7 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
                 "--trace" => {
                     trace = Some(
                         it.next()
-                            .ok_or_else(|| "`--trace` needs a path".to_string())?
+                            .ok_or_else(|| Fail::usage("`--trace` needs a path"))?
                             .clone(),
                     )
                 }
@@ -661,12 +829,13 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
         let path = path.ok_or_else(bad)?;
         return cmd_run_spec(&path, profile, trace);
     }
-    let opts = parse_run_args(args)?;
+    let opts = parse_run_args(args).map_err(Fail::usage)?;
     let programs: Vec<Arc<Program>> = opts
         .inputs
         .iter()
         .map(|p| load_program(p).map(Arc::new))
-        .collect::<Result<_, _>>()?;
+        .collect::<Result<_, String>>()
+        .map_err(Fail::input)?;
 
     let technique = match opts.technique.as_str() {
         "csmt" => Technique::csmt(),
@@ -677,28 +846,29 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
     };
     let n_threads = opts.threads.unwrap_or(programs.len().min(255) as u8).max(1);
     if (n_threads as usize) < programs.len() {
-        return Err(format!(
+        return Err(Fail::usage(format!(
             "{} input programs but only {n_threads} hardware threads — every input \
              must get a context (raise --threads or drop inputs)",
             programs.len()
-        ));
+        )));
     }
 
     // All programs share the machine; they must agree on cluster count.
     let machine = machine_for(&programs[0]);
     for p in programs.iter() {
         if vex_asm::program_clusters(p) != machine.n_clusters {
-            return Err(format!(
+            return Err(Fail::input(format!(
                 "program `{}` targets {} clusters but `{}` targets {}",
                 p.name,
                 vex_asm::program_clusters(p),
                 programs[0].name,
                 machine.n_clusters
-            ));
+            )));
         }
         if opts.validate {
-            p.validate(&machine)
-                .map_err(|e| format!("invalid program (use --no-validate to force): {e}"))?;
+            p.validate(&machine).map_err(|e| {
+                Fail::input(format!("invalid program (use --no-validate to force): {e}"))
+            })?;
         }
     }
 
@@ -735,7 +905,7 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
 /// JSON). The replay hard-checks the defining identity — every thread's
 /// bins sum exactly to the run's total cycles — and fails loudly on a
 /// torn or truncated stream rather than reporting partial numbers.
-fn cmd_trace(args: &[String]) -> Result<(), String> {
+fn cmd_trace(args: &[String]) -> Result<(), Fail> {
     let mut input: Option<String> = None;
     let mut attribute = false;
     let mut json = false;
@@ -746,43 +916,54 @@ fn cmd_trace(args: &[String]) -> Result<(), String> {
             "--attribute" => {
                 attribute = true;
                 // The trace path may ride on the flag or stand alone.
-                if let Some(next) = it.clone().next() {
-                    if !next.starts_with('-') || next == "-" {
-                        input = Some(it.next().unwrap().clone());
-                    }
+                let rides_flag = it
+                    .clone()
+                    .next()
+                    .is_some_and(|next| !next.starts_with('-') || next == "-");
+                if rides_flag {
+                    input = it.next().cloned();
                 }
             }
             "--json" => json = true,
             "--out" => {
                 out_path = Some(
                     it.next()
-                        .ok_or_else(|| "`--out` needs a path".to_string())?
+                        .ok_or_else(|| Fail::usage("`--out` needs a path"))?
                         .clone(),
                 )
             }
             "-" => input = Some("-".to_string()),
             f if !f.starts_with('-') => {
                 if input.is_some() {
-                    return Err("`vex trace` takes exactly one trace file".to_string());
+                    return Err(Fail::usage("`vex trace` takes exactly one trace file"));
                 }
                 input = Some(f.to_string());
             }
-            other => return Err(format!("unknown option `{other}` for `vex trace`")),
+            other => {
+                return Err(Fail::usage(format!(
+                    "unknown option `{other}` for `vex trace`"
+                )))
+            }
         }
     }
     if !attribute {
-        return Err("usage: vex trace --attribute FILE [--json] [--out FILE]".to_string());
+        return Err(Fail::usage(
+            "usage: vex trace --attribute FILE [--json] [--out FILE]",
+        ));
     }
     let input = input.unwrap_or_else(|| "-".to_string());
-    let bytes = read_input(&input)?;
-    let (meta, events) = vex_trace::read_trace(&bytes).map_err(|e| format!("{input}: {e}"))?;
-    let attr = vex_trace::attribute(&meta, &events).map_err(|e| format!("{input}: {e}"))?;
+    let bytes = read_input(&input).map_err(Fail::input)?;
+    let (meta, events) =
+        vex_trace::read_trace(&bytes).map_err(|e| Fail::input(format!("{input}: {e}")))?;
+    let attr =
+        vex_trace::attribute(&meta, &events).map_err(|e| Fail::input(format!("{input}: {e}")))?;
     let report = if json {
         vex_sim::attribution_json(&meta, &attr)
     } else {
         vex_sim::render_attribution(&meta, &attr)
     };
-    write_output(out_path.as_deref(), report.as_bytes())
+    write_output(out_path.as_deref(), report.as_bytes())?;
+    Ok(())
 }
 
 fn print_report(

@@ -190,10 +190,10 @@ fn full_figure_pipeline(c: &mut Criterion) {
     g.bench_function("fig13_quick", |b| b.iter(|| fig13::run(Scale::QUICK)));
     g.finish();
     // Render the real tables once so `cargo bench` output shows the shapes.
-    let sweep = Sweep::run(Scale::QUICK);
-    println!("{}", fig14::render(&fig14::run(&sweep)));
-    println!("{}", fig15::render(&fig15::run(&sweep)));
-    println!("{}", fig16::render(&fig16::run(&sweep)));
+    let sweep = Sweep::run(Scale::QUICK).expect("quick sweep");
+    println!("{}", fig14::render(&fig14::run(&sweep).expect("fig14")));
+    println!("{}", fig15::render(&fig15::run(&sweep).expect("fig15")));
+    println!("{}", fig16::render(&fig16::run(&sweep).expect("fig16")));
 }
 
 criterion_group!(

@@ -7,6 +7,13 @@
 use vex_experiments::{ablate, fig13, fig14, fig15, fig16, sweep::Sweep, Scale};
 
 fn main() {
+    if let Err(e) = real_main() {
+        eprintln!("repro: {e}");
+        std::process::exit(1);
+    }
+}
+
+fn real_main() -> Result<(), String> {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut scale = Scale::DEFAULT;
     let mut cmds: Vec<String> = Vec::new();
@@ -16,7 +23,7 @@ fn main() {
             "--full" => scale = Scale::FULL,
             "--help" | "-h" => {
                 eprintln!("usage: repro [--quick|--full] [fig13|fig14|fig15|fig16|ablate|all]");
-                return;
+                return Ok(());
             }
             c => cmds.push(c.to_string()),
         }
@@ -29,31 +36,32 @@ fn main() {
     let t0 = std::time::Instant::now();
 
     if wants("fig13") {
-        let rows = fig13::run(scale);
+        let rows = fig13::run(scale)?;
         println!("{}", fig13::render(&rows));
     }
 
     if wants("fig14") || wants("fig15") || wants("fig16") {
         eprintln!("[repro] running the mix/technique sweep...");
-        let sweep = Sweep::run(scale);
+        let sweep = Sweep::run(scale)?;
         if wants("fig14") {
-            println!("{}", fig14::render(&fig14::run(&sweep)));
+            println!("{}", fig14::render(&fig14::run(&sweep)?));
         }
         if wants("fig15") {
-            println!("{}", fig15::render(&fig15::run(&sweep)));
+            println!("{}", fig15::render(&fig15::run(&sweep)?));
         }
         if wants("fig16") {
-            println!("{}", fig16::render(&fig16::run(&sweep)));
+            println!("{}", fig16::render(&fig16::run(&sweep)?));
         }
     }
 
     if wants("ablate") {
-        println!("{}", ablate::renaming(scale));
-        println!("{}", ablate::comm_split(scale));
-        println!("{}", ablate::timeslice(scale));
-        println!("{}", ablate::thread_scaling(scale));
-        println!("{}", ablate::mt_modes(scale));
+        println!("{}", ablate::renaming(scale)?);
+        println!("{}", ablate::comm_split(scale)?);
+        println!("{}", ablate::timeslice(scale)?);
+        println!("{}", ablate::thread_scaling(scale)?);
+        println!("{}", ablate::mt_modes(scale)?);
     }
 
     eprintln!("[repro] done in {:.1}s", t0.elapsed().as_secs_f32());
+    Ok(())
 }

@@ -44,7 +44,7 @@ fn spec(scale: Scale, memory: MemoryMode) -> SweepSpec {
 }
 
 /// Runs the characterisation at the given scale.
-pub fn run(scale: Scale) -> Vec<Row> {
+pub fn run(scale: Scale) -> Result<Vec<Row>, String> {
     // The memory mode is a spec scalar, so the two 12-point sweeps are
     // separate runner invocations; overlap them so the combined fan-out
     // still fills machines with more cores than benchmarks.
@@ -54,23 +54,25 @@ pub fn run(scale: Scale) -> Vec<Row> {
         let perfect = s.spawn(|| SweepRunner::new(&perfect_spec).run());
         let real = SweepRunner::new(&real_spec).run();
         (
-            real.expect("fig13 real-memory sweep"),
+            real,
             perfect
                 .join()
-                .expect("fig13 perfect-memory thread")
-                .expect("fig13 perfect-memory sweep"),
+                .unwrap_or_else(|p| Err(crate::panic_message(p.as_ref()))),
         )
     });
+    let (real, perfect) = (real?, perfect?);
 
     BENCHMARKS
         .iter()
-        .map(|b| Row {
-            name: b.name,
-            class: b.ilp.letter(),
-            ipcr: real.ipc(b.name, "CSMT", 1),
-            ipcp: perfect.ipc(b.name, "CSMT", 1),
-            paper_ipcr: b.paper_ipcr,
-            paper_ipcp: b.paper_ipcp,
+        .map(|b| {
+            Ok(Row {
+                name: b.name,
+                class: b.ilp.letter(),
+                ipcr: real.ipc(b.name, "CSMT", 1)?,
+                ipcp: perfect.ipc(b.name, "CSMT", 1)?,
+                paper_ipcr: b.paper_ipcr,
+                paper_ipcp: b.paper_ipcp,
+            })
         })
         .collect()
 }

@@ -35,22 +35,22 @@ impl Series {
 }
 
 /// Computes both thread-count series from a sweep.
-pub fn run(sweep: &Sweep) -> Vec<Series> {
+pub fn run(sweep: &Sweep) -> Result<Vec<Series>, String> {
     [2u8, 4]
         .iter()
         .map(|&threads| {
             let mut ns = Vec::new();
             let mut asplit = Vec::new();
             for m in 0..MIXES.len() {
-                let base = sweep.ipc(m, "CSMT", threads);
-                ns.push(speedup_pct(base, sweep.ipc(m, "CCSI NS", threads)));
-                asplit.push(speedup_pct(base, sweep.ipc(m, "CCSI AS", threads)));
+                let base = sweep.ipc(m, "CSMT", threads)?;
+                ns.push(speedup_pct(base, sweep.ipc(m, "CCSI NS", threads)?));
+                asplit.push(speedup_pct(base, sweep.ipc(m, "CCSI AS", threads)?));
             }
-            Series {
+            Ok(Series {
                 threads,
                 ns,
                 asplit,
-            }
+            })
         })
         .collect()
 }

@@ -43,7 +43,7 @@ impl Series {
 }
 
 /// Computes both thread-count series from a sweep.
-pub fn run(sweep: &Sweep) -> Vec<Series> {
+pub fn run(sweep: &Sweep) -> Result<Vec<Series>, String> {
     [2u8, 4]
         .iter()
         .map(|&threads| {
@@ -55,17 +55,17 @@ pub fn run(sweep: &Sweep) -> Vec<Series> {
                 oosi_as: Vec::new(),
             };
             for m in 0..MIXES.len() {
-                let base = sweep.ipc(m, "SMT", threads);
+                let base = sweep.ipc(m, "SMT", threads)?;
                 s.cosi_ns
-                    .push(speedup_pct(base, sweep.ipc(m, "COSI NS", threads)));
+                    .push(speedup_pct(base, sweep.ipc(m, "COSI NS", threads)?));
                 s.cosi_as
-                    .push(speedup_pct(base, sweep.ipc(m, "COSI AS", threads)));
+                    .push(speedup_pct(base, sweep.ipc(m, "COSI AS", threads)?));
                 s.oosi_ns
-                    .push(speedup_pct(base, sweep.ipc(m, "OOSI NS", threads)));
+                    .push(speedup_pct(base, sweep.ipc(m, "OOSI NS", threads)?));
                 s.oosi_as
-                    .push(speedup_pct(base, sweep.ipc(m, "OOSI AS", threads)));
+                    .push(speedup_pct(base, sweep.ipc(m, "OOSI AS", threads)?));
             }
-            s
+            Ok(s)
         })
         .collect()
 }

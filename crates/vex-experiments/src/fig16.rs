@@ -21,11 +21,17 @@ pub struct Results {
 }
 
 /// Computes the averages from a sweep.
-pub fn run(sweep: &Sweep) -> Results {
+pub fn run(sweep: &Sweep) -> Result<Results, String> {
     let labels: Vec<&'static str> = Technique::FIGURE16_SET.iter().map(|(l, _)| *l).collect();
-    let ipc2 = labels.iter().map(|l| sweep.avg_ipc(l, 2)).collect();
-    let ipc4 = labels.iter().map(|l| sweep.avg_ipc(l, 4)).collect();
-    Results { labels, ipc2, ipc4 }
+    let ipc2 = labels
+        .iter()
+        .map(|l| sweep.avg_ipc(l, 2).map_err(String::from))
+        .collect::<Result<_, _>>()?;
+    let ipc4 = labels
+        .iter()
+        .map(|l| sweep.avg_ipc(l, 4).map_err(String::from))
+        .collect::<Result<_, _>>()?;
+    Ok(Results { labels, ipc2, ipc4 })
 }
 
 impl Results {

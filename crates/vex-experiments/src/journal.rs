@@ -1,0 +1,516 @@
+//! Crash-safe sweep journal: an append-only sidecar file recording every
+//! completed grid point, so an interrupted sweep can resume without
+//! re-simulating finished work.
+//!
+//! ## File format (`VEXJ 1`)
+//!
+//! ```text
+//! VEXJ 1\n
+//! +<len:hex> <crc32:08x>\n
+//! <payload of exactly len bytes>\n
+//! +<len:hex> <crc32:08x>\n
+//! ...
+//! ```
+//!
+//! Each record is self-delimiting (length-prefixed) and self-checking
+//! (CRC-32 over the payload), so replay can always tell a complete record
+//! from a torn one: a crash mid-append leaves a truncated or garbled tail,
+//! which [`Journal::open_resume`] detects, reports, and drops — never a
+//! fatal error. The payload is line-oriented text:
+//!
+//! ```text
+//! key=<16 hex digits>        content-addressed point identity
+//! label=<RunSpec::label()>   human-readable point name
+//! stop=<StopReason::tag()>   how the simulation ended
+//! wall_bits=<16 hex digits>  f64::to_bits of the wall-clock seconds
+//! <SimStats::snapshot()>     the full statistics dump
+//! ```
+//!
+//! The **key** is what makes resume safe against spec edits: it hashes the
+//! point's entire simulated configuration — technique, thread count,
+//! machine geometry, caches, budgets, seed — plus a digest of every member
+//! program's compiled form. Change anything that could change the result
+//! and the key changes, so a stale journal entry can never be replayed
+//! into the wrong point. Cosmetic fields (spec name, mix name, trace and
+//! journal paths) are deliberately excluded.
+//!
+//! Durability: every append ends with `fdatasync`, so a record that
+//! replay accepts was fully on disk before the sweep moved on.
+
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+use vex_isa::Program;
+use vex_sim::{SimStats, StopReason};
+use vex_spec::RunSpec;
+
+const MAGIC: &str = "VEXJ 1\n";
+
+// ---- hashing --------------------------------------------------------
+
+/// CRC-32 (IEEE 802.3 polynomial, bitwise — no table, speed is irrelevant
+/// at one record per simulated grid point).
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc = !0u32;
+    for &b in bytes {
+        crc ^= b as u32;
+        for _ in 0..8 {
+            crc = (crc >> 1) ^ (0xEDB8_8320 & 0u32.wrapping_sub(crc & 1));
+        }
+    }
+    !crc
+}
+
+/// FNV-1a 64-bit hasher that accepts `std::fmt::Write`, so `Debug` output
+/// can be streamed into it without building intermediate strings.
+pub struct Fnv64(u64);
+
+impl Fnv64 {
+    /// The standard FNV-1a offset basis.
+    pub fn new() -> Fnv64 {
+        Fnv64(0xcbf2_9ce4_8422_2325)
+    }
+
+    /// Folds raw bytes into the state.
+    pub fn update(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= b as u64;
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+
+    /// The digest so far.
+    pub fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+impl Default for Fnv64 {
+    fn default() -> Self {
+        Fnv64::new()
+    }
+}
+
+impl std::fmt::Write for Fnv64 {
+    fn write_str(&mut self, s: &str) -> std::fmt::Result {
+        self.update(s.as_bytes());
+        Ok(())
+    }
+}
+
+/// Digest of a compiled program's full `Debug` form. The compiler is
+/// deterministic, so this is stable across processes for the same source
+/// and machine — exactly what cross-run resume needs.
+pub fn program_digest(program: &Program) -> u64 {
+    use std::fmt::Write;
+    let mut h = Fnv64::new();
+    let _ = write!(h, "{program:?}");
+    h.0
+}
+
+/// Content-addressed identity of a grid point: every field that reaches
+/// the simulator, plus the member program digests. Two points with equal
+/// keys produce bit-identical statistics.
+pub fn point_key(run: &RunSpec, member_digests: &[u64]) -> u64 {
+    use std::fmt::Write;
+    let mut h = Fnv64::new();
+    let _ = write!(
+        h,
+        "{}|{}|{}|{:?}|{:?}|{}|{}|{}|{}|{}|{:?}|{:?}|",
+        run.technique.label(),
+        run.threads,
+        run.renaming,
+        run.memory,
+        run.mt,
+        run.respawn,
+        run.inst_limit,
+        run.timeslice,
+        run.max_cycles,
+        run.mix.seed,
+        run.machine.config,
+        run.caches,
+    );
+    for &d in member_digests {
+        h.update(&d.to_le_bytes());
+    }
+    h.0
+}
+
+// ---- records --------------------------------------------------------
+
+/// One journaled grid point.
+#[derive(Clone, Debug, PartialEq)]
+pub struct JournalEntry {
+    /// Content-addressed point identity ([`point_key`]).
+    pub key: u64,
+    /// Human-readable point label (`RunSpec::label()`).
+    pub label: String,
+    /// How the simulation ended.
+    pub stop: StopReason,
+    /// Wall-clock seconds of the original simulation.
+    pub wall_secs: f64,
+    /// The full statistics.
+    pub stats: SimStats,
+}
+
+impl JournalEntry {
+    fn payload(&self) -> String {
+        format!(
+            "key={:016x}\nlabel={}\nstop={}\nwall_bits={:016x}\n{}",
+            self.key,
+            self.label,
+            self.stop.tag(),
+            self.wall_secs.to_bits(),
+            self.stats.snapshot(),
+        )
+    }
+
+    fn parse(payload: &str) -> Result<JournalEntry, String> {
+        fn line<'a>(rest: &mut &'a str, key: &str) -> Result<&'a str, String> {
+            let (head, tail) = rest
+                .split_once('\n')
+                .ok_or_else(|| format!("payload ends before `{key}`"))?;
+            *rest = tail;
+            head.strip_prefix(key)
+                .and_then(|v| v.strip_prefix('='))
+                .ok_or_else(|| format!("expected `{key}=...`, got `{head}`"))
+        }
+        let mut rest = payload;
+        let key = u64::from_str_radix(line(&mut rest, "key")?, 16)
+            .map_err(|_| "bad hex in `key`".to_string())?;
+        let label = line(&mut rest, "label")?.to_string();
+        let stop_tag = line(&mut rest, "stop")?;
+        let stop = StopReason::from_tag(stop_tag)
+            .ok_or_else(|| format!("unknown stop reason `{stop_tag}`"))?;
+        let wall_secs = f64::from_bits(
+            u64::from_str_radix(line(&mut rest, "wall_bits")?, 16)
+                .map_err(|_| "bad hex in `wall_bits`".to_string())?,
+        );
+        let stats = SimStats::from_snapshot(rest)?;
+        Ok(JournalEntry {
+            key,
+            label,
+            stop,
+            wall_secs,
+            stats,
+        })
+    }
+}
+
+/// What replay found in an existing journal.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ReplayReport {
+    /// Complete, checksum-valid records replayed.
+    pub valid: usize,
+    /// Bytes of torn/garbled tail dropped (0 for a clean shutdown).
+    pub dropped_bytes: u64,
+}
+
+/// An open journal file, positioned for appending.
+#[derive(Debug)]
+pub struct Journal {
+    path: PathBuf,
+    file: File,
+}
+
+impl Journal {
+    /// Creates (or truncates) a journal at `path` and writes the header.
+    pub fn create(path: &Path) -> Result<Journal, String> {
+        let mut file = File::create(path)
+            .map_err(|e| format!("cannot create journal `{}`: {e}", path.display()))?;
+        file.write_all(MAGIC.as_bytes())
+            .and_then(|_| file.sync_data())
+            .map_err(|e| format!("cannot write journal `{}`: {e}", path.display()))?;
+        Ok(Journal {
+            path: path.to_path_buf(),
+            file,
+        })
+    }
+
+    /// Opens an existing journal for resume: replays every valid record,
+    /// truncates any torn tail, and returns the journal positioned for
+    /// appending. A missing file is not an error — it starts fresh.
+    pub fn open_resume(path: &Path) -> Result<(Journal, Vec<JournalEntry>, ReplayReport), String> {
+        if !path.exists() {
+            let j = Journal::create(path)?;
+            return Ok((j, Vec::new(), ReplayReport::default()));
+        }
+        let mut file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .open(path)
+            .map_err(|e| format!("cannot open journal `{}`: {e}", path.display()))?;
+        let mut bytes = Vec::new();
+        file.read_to_end(&mut bytes)
+            .map_err(|e| format!("cannot read journal `{}`: {e}", path.display()))?;
+        if !bytes.starts_with(MAGIC.as_bytes()) {
+            // A crash can tear even the very first write: a strict prefix
+            // of the magic is *our* torn header, so rewrite it and start
+            // fresh. Anything else was never a journal — refuse to
+            // clobber what is probably an operator error.
+            if MAGIC.as_bytes().starts_with(&bytes) {
+                drop(file);
+                let j = Journal::create(path)?;
+                return Ok((
+                    j,
+                    Vec::new(),
+                    ReplayReport {
+                        valid: 0,
+                        dropped_bytes: bytes.len() as u64,
+                    },
+                ));
+            }
+            return Err(format!(
+                "`{}` is not a vex sweep journal (missing `VEXJ 1` header)",
+                path.display()
+            ));
+        }
+
+        let (entries, valid_end) = replay(&bytes);
+        let report = ReplayReport {
+            valid: entries.len(),
+            dropped_bytes: (bytes.len() - valid_end) as u64,
+        };
+        // Drop the torn tail so subsequent appends start on a record
+        // boundary.
+        file.set_len(valid_end as u64)
+            .and_then(|_| file.seek(SeekFrom::End(0)))
+            .and_then(|_| file.sync_data())
+            .map_err(|e| format!("cannot truncate journal `{}`: {e}", path.display()))?;
+        Ok((
+            Journal {
+                path: path.to_path_buf(),
+                file,
+            },
+            entries,
+            report,
+        ))
+    }
+
+    /// Appends one record and syncs it to disk before returning.
+    pub fn append(&mut self, entry: &JournalEntry) -> Result<(), String> {
+        let payload = entry.payload();
+        let record = format!(
+            "+{:x} {:08x}\n{payload}\n",
+            payload.len(),
+            crc32(payload.as_bytes()),
+        );
+        self.file
+            .write_all(record.as_bytes())
+            .and_then(|_| self.file.sync_data())
+            .map_err(|e| format!("cannot append to journal `{}`: {e}", self.path.display()))
+    }
+
+    /// The journal's path (for diagnostics).
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+/// Walks the record stream, returning every valid entry and the byte
+/// offset where validity ends. Any malformed frame — truncated header,
+/// short payload, checksum mismatch, unparsable fields — stops the walk
+/// there; everything before it is kept.
+fn replay(bytes: &[u8]) -> (Vec<JournalEntry>, usize) {
+    let mut entries = Vec::new();
+    let mut pos = MAGIC.len();
+    loop {
+        let Some(frame_end) = parse_frame(&bytes[pos..]) else {
+            return (entries, pos);
+        };
+        let (payload, next) = frame_end;
+        match JournalEntry::parse(payload) {
+            Ok(e) => entries.push(e),
+            Err(_) => return (entries, pos),
+        }
+        pos += next;
+    }
+}
+
+/// Parses one `+<len> <crc>\n<payload>\n` frame from the front of `rest`.
+/// Returns the payload and the frame's total length, or `None` if the
+/// frame is incomplete or invalid.
+fn parse_frame(rest: &[u8]) -> Option<(&str, usize)> {
+    if rest.is_empty() {
+        return None;
+    }
+    let nl = rest.iter().position(|&b| b == b'\n')?;
+    let header = std::str::from_utf8(&rest[..nl]).ok()?;
+    let (len_hex, crc_hex) = header.strip_prefix('+')?.split_once(' ')?;
+    let len = usize::from_str_radix(len_hex, 16).ok()?;
+    let crc = u32::from_str_radix(crc_hex, 16).ok()?;
+    let body_start = nl + 1;
+    let body_end = body_start.checked_add(len)?;
+    // The payload plus its trailing newline must be fully present.
+    if body_end >= rest.len() || rest[body_end] != b'\n' {
+        return None;
+    }
+    let payload = &rest[body_start..body_end];
+    if crc32(payload) != crc {
+        return None;
+    }
+    Some((std::str::from_utf8(payload).ok()?, body_end + 1))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vex_sim::ThreadStats;
+
+    fn entry(key: u64) -> JournalEntry {
+        JournalEntry {
+            key,
+            label: "llhh/CCSI_AS/2t/paper".into(),
+            stop: StopReason::InstLimit,
+            wall_secs: 0.25,
+            stats: SimStats {
+                cycles: 100 + key,
+                total_ops: 250,
+                per_thread: vec![ThreadStats::default(), ThreadStats::default()],
+                ..Default::default()
+            },
+        }
+    }
+
+    fn tmp(name: &str) -> PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("vexj_test_{name}_{}", std::process::id()));
+        p
+    }
+
+    #[test]
+    fn entry_payload_round_trips() {
+        let e = entry(0xdead_beef);
+        assert_eq!(JournalEntry::parse(&e.payload()).unwrap(), e);
+    }
+
+    #[test]
+    fn create_append_resume() {
+        let path = tmp("basic");
+        {
+            let mut j = Journal::create(&path).unwrap();
+            j.append(&entry(1)).unwrap();
+            j.append(&entry(2)).unwrap();
+        }
+        let (_, entries, report) = Journal::open_resume(&path).unwrap();
+        assert_eq!(entries, vec![entry(1), entry(2)]);
+        assert_eq!(
+            report,
+            ReplayReport {
+                valid: 2,
+                dropped_bytes: 0
+            }
+        );
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn torn_tail_is_dropped_and_appending_continues() {
+        let path = tmp("torn");
+        {
+            let mut j = Journal::create(&path).unwrap();
+            j.append(&entry(1)).unwrap();
+            j.append(&entry(2)).unwrap();
+        }
+        // Simulate a crash mid-append: cut the file inside record 2.
+        let full = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &full[..full.len() - 7]).unwrap();
+
+        let (mut j, entries, report) = Journal::open_resume(&path).unwrap();
+        assert_eq!(entries, vec![entry(1)]);
+        assert!(report.dropped_bytes > 0);
+
+        // The truncation restored a record boundary: appends still work.
+        j.append(&entry(3)).unwrap();
+        drop(j);
+        let (_, entries, report) = Journal::open_resume(&path).unwrap();
+        assert_eq!(entries, vec![entry(1), entry(3)]);
+        assert_eq!(report.dropped_bytes, 0);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn garbled_record_is_dropped() {
+        let path = tmp("garbled");
+        {
+            let mut j = Journal::create(&path).unwrap();
+            j.append(&entry(1)).unwrap();
+            j.append(&entry(2)).unwrap();
+        }
+        // Flip one payload byte in record 2: its CRC no longer matches.
+        let mut bytes = std::fs::read(&path).unwrap();
+        let n = bytes.len();
+        bytes[n - 10] ^= 0x40;
+        std::fs::write(&path, &bytes).unwrap();
+        let (_, entries, report) = Journal::open_resume(&path).unwrap();
+        assert_eq!(entries, vec![entry(1)]);
+        assert!(report.dropped_bytes > 0);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn appended_garbage_is_dropped() {
+        let path = tmp("garbage");
+        {
+            let mut j = Journal::create(&path).unwrap();
+            j.append(&entry(9)).unwrap();
+        }
+        let garbage: &[u8] = b"\x00\xffnot a record at all";
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes.extend_from_slice(garbage);
+        std::fs::write(&path, &bytes).unwrap();
+        let (_, entries, report) = Journal::open_resume(&path).unwrap();
+        assert_eq!(entries, vec![entry(9)]);
+        assert_eq!(report.dropped_bytes, garbage.len() as u64);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn missing_file_starts_fresh_but_foreign_file_is_refused() {
+        let path = tmp("fresh");
+        std::fs::remove_file(&path).ok();
+        let (j, entries, _) = Journal::open_resume(&path).unwrap();
+        assert!(entries.is_empty());
+        drop(j);
+
+        std::fs::write(&path, "just some text\n").unwrap();
+        let err = Journal::open_resume(&path).unwrap_err();
+        assert!(err.contains("not a vex sweep journal"), "{err}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn torn_header_restarts_fresh_instead_of_refusing() {
+        let path = tmp("torn_header");
+        // A crash cut the very first write mid-magic: every strict prefix
+        // of `VEXJ 1\n` (including the empty file) must be recognised as
+        // ours and rewritten, not refused as a foreign file.
+        for cut in 0..MAGIC.len() {
+            std::fs::write(&path, &MAGIC.as_bytes()[..cut]).unwrap();
+            let (mut j, entries, report) = Journal::open_resume(&path).unwrap();
+            assert!(entries.is_empty());
+            assert_eq!(report.dropped_bytes, cut as u64);
+            j.append(&entry(9)).unwrap();
+            drop(j);
+            let (_, entries, _) = Journal::open_resume(&path).unwrap();
+            assert_eq!(entries.len(), 1, "cut at {cut}");
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn crc32_matches_known_vector() {
+        // The canonical IEEE CRC-32 check value.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+    }
+
+    #[test]
+    fn wall_bits_round_trip_is_exact() {
+        for w in [0.0, 1.5e-9, 0.123456789, f64::MAX] {
+            let mut e = entry(5);
+            e.wall_secs = w;
+            let back = JournalEntry::parse(&e.payload()).unwrap();
+            assert_eq!(back.wall_secs.to_bits(), w.to_bits());
+        }
+    }
+}

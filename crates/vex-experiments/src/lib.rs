@@ -23,34 +23,70 @@
 #![warn(missing_docs)]
 
 pub mod ablate;
+pub mod fault;
 pub mod fig13;
 pub mod fig14;
 pub mod fig15;
 pub mod fig16;
+pub mod journal;
 pub mod runner;
 pub mod sweep;
 pub mod table;
 
-pub use runner::{PointResult, SweepOutcome, SweepRunner};
+pub use fault::FaultPlan;
+pub use journal::{point_key, program_digest, Journal, JournalEntry, ReplayReport};
+pub use runner::{PointError, PointFailure, PointResult, SweepOutcome, SweepRunner};
 /// The run-scale presets now live in `vex-sim` next to `SimConfig` (one
 /// source of truth for instruction budgets and timeslices); re-exported
 /// here for the experiment-facing API.
 pub use vex_sim::Scale;
 
-/// Runs `jobs` closures on up to `workers` OS threads, preserving output
-/// order. Used to fan the simulation grid out across cores.
-pub fn parallel_map<T, F>(jobs: Vec<F>, workers: usize) -> Vec<T>
+/// Outcome of one job under [`parallel_map_isolated`].
+pub enum JobStatus<T, E> {
+    /// The job returned a value.
+    Done(T),
+    /// The job returned an error.
+    Failed(E),
+    /// The job panicked; the payload is what `catch_unwind` caught
+    /// (readable via [`panic_message`]).
+    Panicked(Box<dyn std::any::Any + Send>),
+    /// The job never ran: an earlier failure aborted the map first
+    /// (fail-fast mode only).
+    Skipped,
+}
+
+/// Locks a mutex even if a previous holder panicked — the protected data
+/// here (job slots, result slots) is only ever whole values, so a poison
+/// marker carries no information worth dying for.
+pub(crate) fn lock_clean<T>(m: &std::sync::Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Runs fallible `jobs` on up to `workers` OS threads with per-job fault
+/// isolation: a panicking job is caught and recorded, never allowed to
+/// poison shared state or tear down sibling jobs. Output order matches
+/// input order. With `fail_fast`, the first non-`Done` outcome stops new
+/// jobs from starting (already-running ones finish); the untouched tail
+/// comes back as [`JobStatus::Skipped`].
+pub fn parallel_map_isolated<T, E, F>(
+    jobs: Vec<F>,
+    workers: usize,
+    fail_fast: bool,
+) -> Vec<JobStatus<T, E>>
 where
     T: Send,
-    F: FnOnce() -> T + Send,
+    E: Send,
+    F: FnOnce() -> Result<T, E> + Send,
 {
-    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+    use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
     use std::sync::Mutex;
 
     let n = jobs.len();
     let jobs: Vec<Mutex<Option<F>>> = jobs.into_iter().map(|j| Mutex::new(Some(j))).collect();
-    let results: Vec<Mutex<Option<T>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let results: Vec<Mutex<Option<JobStatus<T, E>>>> = (0..n).map(|_| Mutex::new(None)).collect();
     let next = AtomicUsize::new(0);
+    let abort = AtomicBool::new(false);
 
     std::thread::scope(|s| {
         for _ in 0..workers.max(1).min(n.max(1)) {
@@ -59,16 +95,74 @@ where
                 if i >= n {
                     break;
                 }
-                let job = jobs[i].lock().unwrap().take().unwrap();
-                *results[i].lock().unwrap() = Some(job());
+                if abort.load(Ordering::SeqCst) {
+                    *lock_clean(&results[i]) = Some(JobStatus::Skipped);
+                    continue;
+                }
+                let job = lock_clean(&jobs[i])
+                    .take()
+                    .expect("each job index is claimed exactly once");
+                let status = match catch_unwind(AssertUnwindSafe(job)) {
+                    Ok(Ok(v)) => JobStatus::Done(v),
+                    Ok(Err(e)) => JobStatus::Failed(e),
+                    Err(payload) => JobStatus::Panicked(payload),
+                };
+                if fail_fast && !matches!(status, JobStatus::Done(_)) {
+                    abort.store(true, Ordering::SeqCst);
+                }
+                *lock_clean(&results[i]) = Some(status);
             });
         }
     });
 
     results
         .into_iter()
-        .map(|r| r.into_inner().unwrap().expect("job ran"))
+        .map(|r| {
+            r.into_inner()
+                .unwrap_or_else(|e| e.into_inner())
+                .expect("every index was claimed")
+        })
         .collect()
+}
+
+/// Best-effort text of a caught panic payload (`panic!` with a string
+/// literal or a formatted message covers everything in this codebase).
+pub fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_string()
+    }
+}
+
+/// Runs infallible `jobs` on up to `workers` OS threads, preserving output
+/// order. A panic in any job is re-raised here (the first one in input
+/// order), after every already-started job has finished — same observable
+/// behaviour as before isolation existed, minus the lock poisoning.
+pub fn parallel_map<T, F>(jobs: Vec<F>, workers: usize) -> Vec<T>
+where
+    T: Send,
+    F: FnOnce() -> T + Send,
+{
+    let jobs: Vec<_> = jobs
+        .into_iter()
+        .map(|j| move || Ok::<T, std::convert::Infallible>(j()))
+        .collect();
+    let mut out = Vec::new();
+    for status in parallel_map_isolated(jobs, workers, true) {
+        match status {
+            JobStatus::Done(v) => out.push(v),
+            JobStatus::Panicked(payload) => std::panic::resume_unwind(payload),
+            JobStatus::Failed(e) => match e {},
+            // Jobs are claimed in index order, so a skipped index is
+            // always preceded by the failure that caused it — the
+            // `resume_unwind` above fires first.
+            JobStatus::Skipped => unreachable!("skip without a preceding panic"),
+        }
+    }
+    out
 }
 
 /// Number of worker threads to use for sweeps.
@@ -87,5 +181,48 @@ mod tests {
         let jobs: Vec<_> = (0..32).map(|i| move || i * 2).collect();
         let out = parallel_map(jobs, 8);
         assert_eq!(out, (0..32).map(|i| i * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn parallel_map_reraises_job_panics() {
+        let jobs: Vec<Box<dyn FnOnce() -> i32 + Send>> = vec![
+            Box::new(|| 1),
+            Box::new(|| panic!("boom in job 1")),
+            Box::new(|| 3),
+        ];
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| parallel_map(jobs, 2)))
+            .unwrap_err();
+        assert_eq!(panic_message(err.as_ref()), "boom in job 1");
+    }
+
+    #[test]
+    fn isolated_map_keeps_going_and_records_each_failure() {
+        let jobs: Vec<Box<dyn FnOnce() -> Result<i32, String> + Send>> = vec![
+            Box::new(|| Ok(10)),
+            Box::new(|| panic!("pow")),
+            Box::new(|| Err("nope".to_string())),
+            Box::new(|| Ok(40)),
+        ];
+        let out = parallel_map_isolated(jobs, 2, false);
+        assert!(matches!(out[0], JobStatus::Done(10)));
+        assert!(matches!(&out[1], JobStatus::Panicked(p) if panic_message(p.as_ref()) == "pow"));
+        assert!(matches!(&out[2], JobStatus::Failed(e) if e == "nope"));
+        assert!(matches!(out[3], JobStatus::Done(40)));
+    }
+
+    #[test]
+    fn isolated_map_fail_fast_skips_the_tail() {
+        // Serial worker so the claim order is fully deterministic.
+        let jobs: Vec<Box<dyn FnOnce() -> Result<i32, String> + Send>> = vec![
+            Box::new(|| Ok(1)),
+            Box::new(|| Err("stop here".to_string())),
+            Box::new(|| Ok(3)),
+            Box::new(|| Ok(4)),
+        ];
+        let out = parallel_map_isolated(jobs, 1, true);
+        assert!(matches!(out[0], JobStatus::Done(1)));
+        assert!(matches!(&out[1], JobStatus::Failed(e) if e == "stop here"));
+        assert!(matches!(out[2], JobStatus::Skipped));
+        assert!(matches!(out[3], JobStatus::Skipped));
     }
 }

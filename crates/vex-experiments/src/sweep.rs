@@ -3,7 +3,7 @@
 //! [`SweepSpec`] and executes it on the shared [`SweepRunner`], then
 //! indexes the results for the figure renderers.
 
-use crate::runner::SweepRunner;
+use crate::runner::{PointError, PointFailure, SweepRunner};
 use crate::Scale;
 use std::collections::HashMap;
 use vex_sim::{SimStats, Technique};
@@ -32,59 +32,66 @@ impl Sweep {
     /// Runs the whole grid: 9 mixes × 8 techniques × {2, 4} threads.
     /// The replacement-scheduler seed depends only on the mix, so every
     /// technique sees the identical timeslice schedule (fair comparison).
-    pub fn run(scale: Scale) -> Sweep {
+    pub fn run(scale: Scale) -> Result<Sweep, String> {
         let spec = SweepSpec::paper_grid(scale);
-        let outcome = SweepRunner::new(&spec)
-            .run()
-            .expect("paper grid must be runnable");
-        let results = outcome
-            .points
-            .into_iter()
-            .map(|p| {
-                let tech = Technique::FIGURE16_SET
-                    .iter()
-                    .position(|&(_, t)| t == p.run.technique)
-                    .expect("grid technique");
-                let mix = MIXES
-                    .iter()
-                    .position(|m| m.name == p.run.mix.name)
-                    .expect("grid mix");
-                (
-                    Point {
-                        mix,
-                        tech,
-                        threads: p.run.threads,
-                    },
-                    p.stats,
-                )
-            })
-            .collect();
-        Sweep { scale, results }
+        let outcome = SweepRunner::new(&spec).run()?;
+        let mut results = HashMap::new();
+        for p in outcome.points {
+            let tech = Technique::FIGURE16_SET
+                .iter()
+                .position(|&(_, t)| t == p.run.technique)
+                .ok_or_else(|| format!("technique {:?} is not in FIGURE16_SET", p.run.technique))?;
+            let mix = MIXES
+                .iter()
+                .position(|m| m.name == p.run.mix.name)
+                .ok_or_else(|| format!("mix `{}` is not a paper mix", p.run.mix.name))?;
+            results.insert(
+                Point {
+                    mix,
+                    tech,
+                    threads: p.run.threads,
+                },
+                p.stats,
+            );
+        }
+        Ok(Sweep { scale, results })
     }
 
     /// IPC at a grid point.
-    pub fn ipc(&self, mix: usize, tech_label: &str, threads: u8) -> f64 {
-        self.stats(mix, tech_label, threads).ipc()
+    pub fn ipc(&self, mix: usize, tech_label: &str, threads: u8) -> Result<f64, PointError> {
+        Ok(self.stats(mix, tech_label, threads)?.ipc())
     }
 
-    /// Full statistics at a grid point.
-    pub fn stats(&self, mix: usize, tech_label: &str, threads: u8) -> &SimStats {
+    /// Full statistics at a grid point. Unknown labels and unsimulated
+    /// points are [`PointFailure::MissingPoint`] errors, not panics.
+    pub fn stats(
+        &self,
+        mix: usize,
+        tech_label: &str,
+        threads: u8,
+    ) -> Result<&SimStats, PointError> {
+        let missing = |what: String| PointError {
+            key: 0,
+            label: what,
+            attempts: 0,
+            cause: PointFailure::MissingPoint,
+        };
         let tech = Technique::FIGURE16_SET
             .iter()
             .position(|(l, _)| *l == tech_label)
-            .unwrap_or_else(|| panic!("unknown technique label {tech_label}"));
+            .ok_or_else(|| missing(format!("unknown technique label `{tech_label}`")))?;
         self.results
             .get(&Point { mix, tech, threads })
-            .expect("grid point simulated")
+            .ok_or_else(|| missing(format!("mix#{mix}/{tech_label}/{threads}t")))
     }
 
     /// Geometric-mean-free average IPC across all mixes (the paper reports
     /// arithmetic averages).
-    pub fn avg_ipc(&self, tech_label: &str, threads: u8) -> f64 {
-        let n = MIXES.len() as f64;
-        (0..MIXES.len())
-            .map(|m| self.ipc(m, tech_label, threads))
-            .sum::<f64>()
-            / n
+    pub fn avg_ipc(&self, tech_label: &str, threads: u8) -> Result<f64, PointError> {
+        let mut sum = 0.0;
+        for m in 0..MIXES.len() {
+            sum += self.ipc(m, tech_label, threads)?;
+        }
+        Ok(sum / MIXES.len() as f64)
     }
 }

@@ -39,8 +39,32 @@ pub enum StopReason {
     InstLimit,
     /// Every context retired (respawn disabled and all programs halted).
     AllRetired,
-    /// The `max_cycles` safety bound fired.
-    MaxCycles,
+    /// The `max_cycles` watchdog budget ran out before the workload
+    /// terminated: the statistics cover exactly `max_cycles` simulated
+    /// cycles and are valid as a partial result.
+    Exhausted,
+}
+
+impl StopReason {
+    /// Stable machine-readable tag (used by sweep artifacts and the
+    /// journal format; see `docs/ROBUSTNESS.md`).
+    pub fn tag(&self) -> &'static str {
+        match self {
+            StopReason::InstLimit => "inst_limit",
+            StopReason::AllRetired => "all_retired",
+            StopReason::Exhausted => "exhausted",
+        }
+    }
+
+    /// Inverse of [`StopReason::tag`].
+    pub fn from_tag(tag: &str) -> Option<StopReason> {
+        match tag {
+            "inst_limit" => Some(StopReason::InstLimit),
+            "all_retired" => Some(StopReason::AllRetired),
+            "exhausted" => Some(StopReason::Exhausted),
+            _ => None,
+        }
+    }
 }
 
 /// The simulator.
@@ -676,7 +700,7 @@ impl Engine {
     /// step/run parity test pins that equivalence for every technique.
     pub fn stop_reason(&self) -> Option<StopReason> {
         if self.cycle >= self.cfg.max_cycles {
-            return Some(StopReason::MaxCycles);
+            return Some(StopReason::Exhausted);
         }
         // Both conditions are latched incrementally where they change
         // (retire sites, commit) so this check is O(1) per cycle.

@@ -99,9 +99,16 @@ pub fn run_programs(cfg: &SimConfig, programs: &[Arc<Program>]) -> (Engine, Stop
 /// statistics. Sweep harnesses use this entry so one [`PreparedProgram`]
 /// decode serves every grid point the program appears in.
 pub fn run_prepared(cfg: &SimConfig, workload: &[PreparedProgram]) -> SimStats {
+    run_prepared_full(cfg, workload).0
+}
+
+/// [`run_prepared`] plus the [`StopReason`] — the crash-safe sweep runner
+/// needs to record whether a point terminated normally or was cut off by
+/// the `max_cycles` watchdog ([`StopReason::Exhausted`]).
+pub fn run_prepared_full(cfg: &SimConfig, workload: &[PreparedProgram]) -> (SimStats, StopReason) {
     let mut engine = Engine::with_prepared(cfg.clone(), workload);
-    engine.run();
-    engine.stats
+    let reason = engine.run();
+    (engine.stats, reason)
 }
 
 /// Runs `n_copies` contexts of one program to completion (no respawn, no

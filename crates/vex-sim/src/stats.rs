@@ -109,6 +109,65 @@ impl SimStats {
         }
         out
     }
+
+    /// Inverse of [`SimStats::snapshot`]: reparses the canonical dump back
+    /// into a value (`from_snapshot(s.snapshot()) == s`). The sweep journal
+    /// stores statistics in snapshot form, so replay needs this to be
+    /// exact; any malformed line is an error, not a partial result.
+    pub fn from_snapshot(text: &str) -> Result<SimStats, String> {
+        fn field(pairs: &mut std::str::SplitWhitespace, key: &str) -> Result<u64, String> {
+            let tok = pairs
+                .next()
+                .ok_or_else(|| format!("snapshot line ends before `{key}`"))?;
+            let (k, v) = tok
+                .split_once('=')
+                .ok_or_else(|| format!("expected `{key}=N`, got `{tok}`"))?;
+            if k != key {
+                return Err(format!("expected field `{key}`, got `{k}`"));
+            }
+            v.parse()
+                .map_err(|_| format!("bad integer for `{key}`: `{v}`"))
+        }
+
+        let mut lines = text.lines();
+        let head = lines.next().ok_or("empty snapshot")?;
+        let mut pairs = head.split_whitespace();
+        let mut s = SimStats {
+            cycles: field(&mut pairs, "cycles")?,
+            total_ops: field(&mut pairs, "total_ops")?,
+            total_insts: field(&mut pairs, "total_insts")?,
+            empty_cycles: field(&mut pairs, "empty")?,
+            wasted_slots: field(&mut pairs, "wasted")?,
+            merged_cycles: field(&mut pairs, "merged")?,
+            memport_stall_cycles: field(&mut pairs, "memport")?,
+            context_switches: field(&mut pairs, "switches")?,
+            per_thread: Vec::new(),
+        };
+        if let Some(extra) = pairs.next() {
+            return Err(format!("trailing field `{extra}` on the header line"));
+        }
+        for (i, line) in lines.enumerate() {
+            let rest = line
+                .trim_start()
+                .strip_prefix(&format!("t{i}:"))
+                .ok_or_else(|| format!("expected thread line `t{i}: ...`, got `{line}`"))?;
+            let mut pairs = rest.split_whitespace();
+            s.per_thread.push(ThreadStats {
+                ops_issued: field(&mut pairs, "ops")?,
+                insts_retired: field(&mut pairs, "insts")?,
+                runs_completed: field(&mut pairs, "runs")?,
+                dmiss_stall_cycles: field(&mut pairs, "dmiss")?,
+                imiss_stall_cycles: field(&mut pairs, "imiss")?,
+                branch_stall_cycles: field(&mut pairs, "branch")?,
+                split_instructions: field(&mut pairs, "split_insts")?,
+                split_parts: field(&mut pairs, "split_parts")?,
+            });
+            if let Some(extra) = pairs.next() {
+                return Err(format!("trailing field `{extra}` on thread line t{i}"));
+            }
+        }
+        Ok(s)
+    }
 }
 
 /// Relative speedup of `new` over `base` in percent (the paper's Figures
@@ -144,5 +203,51 @@ mod tests {
     fn speedup() {
         assert!((speedup_pct(2.0, 2.2) - 10.0).abs() < 1e-9);
         assert_eq!(speedup_pct(0.0, 1.0), 0.0);
+    }
+
+    #[test]
+    fn snapshot_round_trips() {
+        let s = SimStats {
+            cycles: 12345,
+            total_ops: 678,
+            total_insts: 90,
+            empty_cycles: 11,
+            wasted_slots: 22,
+            merged_cycles: 33,
+            memport_stall_cycles: 44,
+            context_switches: 55,
+            per_thread: vec![
+                ThreadStats {
+                    ops_issued: 1,
+                    insts_retired: 2,
+                    runs_completed: 3,
+                    dmiss_stall_cycles: 4,
+                    imiss_stall_cycles: 5,
+                    branch_stall_cycles: 6,
+                    split_instructions: 7,
+                    split_parts: 14,
+                },
+                ThreadStats::default(),
+            ],
+        };
+        assert_eq!(SimStats::from_snapshot(&s.snapshot()).unwrap(), s);
+        // No threads is also a valid snapshot.
+        let empty = SimStats::default();
+        assert_eq!(SimStats::from_snapshot(&empty.snapshot()).unwrap(), empty);
+    }
+
+    #[test]
+    fn snapshot_parser_rejects_garbage() {
+        assert!(SimStats::from_snapshot("").is_err());
+        assert!(SimStats::from_snapshot("cycles=1 nope").is_err());
+        let s = SimStats {
+            per_thread: vec![ThreadStats::default()],
+            ..Default::default()
+        };
+        let mut text = s.snapshot();
+        text.push_str("  t9: ops=0\n");
+        assert!(SimStats::from_snapshot(&text).is_err(), "bad thread index");
+        let truncated = &s.snapshot()[..20];
+        assert!(SimStats::from_snapshot(truncated).is_err());
     }
 }

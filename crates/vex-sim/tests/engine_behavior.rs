@@ -343,3 +343,54 @@ fn waste_accounting_is_consistent() {
         busy * m.total_issue_width() as u64
     );
 }
+
+/// The runaway-point watchdog: a workload that would run forever (respawn
+/// with no instruction limit) stops at exactly `max_cycles` with
+/// `StopReason::Exhausted` — and the stats up to that point are real,
+/// not zeroed (the sweep runner journals them as a partial result).
+#[test]
+fn max_cycles_watchdog_stops_exhausted_with_partial_stats() {
+    let p = strider("runaway", 0, 50);
+    let mut c = cfg(MachineConfig::paper_4c4w(), Technique::csmt(), 2);
+    c.respawn = true; // never retires its way to AllRetired
+    c.max_cycles = 5_000;
+    let mut e = Engine::new(c, &[Arc::clone(&p), Arc::clone(&p)]);
+    let reason = e.run();
+    assert_eq!(reason, StopReason::Exhausted);
+    // The stall-window batching must clamp at the bound, not overshoot it.
+    assert_eq!(e.stats.cycles, 5_000);
+    assert!(e.stats.total_insts > 0, "partial stats survive exhaustion");
+    assert!(e.stats.total_ops >= e.stats.total_insts);
+}
+
+/// Exhaustion through the single-step API is bit-identical to `run`:
+/// same stop reason, same cycle of death, same stats.
+#[test]
+fn step_run_parity_holds_under_exhaustion() {
+    let p = strider("runaway2", 0, 50);
+    for technique in [
+        Technique::csmt(),
+        Technique::ccsi(CommPolicy::AlwaysSplit),
+        Technique::oosi(CommPolicy::NoSplit),
+    ] {
+        let mut c = cfg(MachineConfig::paper_4c4w(), technique, 2);
+        c.respawn = true;
+        c.memory = MemoryMode::Real; // real misses drive the batched stall windows
+        c.max_cycles = 7_000;
+        let workload = [Arc::clone(&p), Arc::clone(&p)];
+
+        let mut ran = Engine::new(c.clone(), &workload);
+        let ran_reason = ran.run();
+
+        let mut stepped = Engine::new(c, &workload);
+        while stepped.stop_reason().is_none() {
+            stepped.step();
+        }
+        stepped.finalize_stats();
+
+        let label = technique.label();
+        assert_eq!(ran_reason, StopReason::Exhausted, "{label}");
+        assert_eq!(Some(ran_reason), stepped.stop_reason(), "{label}");
+        assert_eq!(ran.stats.snapshot(), stepped.stats.snapshot(), "{label}");
+    }
+}

@@ -48,6 +48,9 @@ pub const DEFAULT_SEED: u64 = 0x5EED_0000;
 /// Default hard safety bound on simulated cycles per point.
 pub const DEFAULT_MAX_CYCLES: u64 = 2_000_000_000;
 
+/// Default bounded-retry count for transiently failing sweep points.
+pub const DEFAULT_RETRIES: u32 = 0;
+
 /// One workload member of a mix: a built-in benchmark by name, or a `.vex`
 /// / `.vexb` program on disk (resolved by the runner's loader).
 #[derive(Clone, PartialEq, Eq, Debug)]
@@ -155,8 +158,14 @@ pub struct SweepSpec {
     pub inst_limit: u64,
     /// Multitasking timeslice in cycles.
     pub timeslice: u64,
-    /// Hard safety bound on simulated cycles per point.
+    /// Hard safety bound on simulated cycles per point (`[limits]`
+    /// section; a non-terminating point stops with `StopReason::Exhausted`
+    /// and partial statistics instead of hanging a worker).
     pub max_cycles: u64,
+    /// Bounded retries for transiently failing points (`[limits]`
+    /// section): a point is attempted `1 + retries` times before its
+    /// failure is recorded in the outcome.
+    pub retries: u32,
     /// Base seed: mixes without an explicit seed resolve against this.
     pub seed: u64,
     /// Hardware thread counts (axis).
@@ -177,6 +186,10 @@ pub struct SweepSpec {
     /// single-point runs (`vex run --spec`); sweeps ignore it — a grid of
     /// points cannot share one trace file.
     pub trace: Option<String>,
+    /// Checkpoint journal sidecar for crash-safe sweeps: each completed
+    /// point is appended (fsync'd) so `vex sweep --resume` can skip it
+    /// after a crash. The `--journal` CLI flag overrides this knob.
+    pub journal: Option<String>,
     /// Machine geometries (axis).
     pub machines: Vec<MachineSpec>,
     /// Workload mixes (axis).
@@ -261,6 +274,7 @@ impl SweepSpec {
             inst_limit: scale.inst_limit,
             timeslice: scale.timeslice,
             max_cycles: DEFAULT_MAX_CYCLES,
+            retries: DEFAULT_RETRIES,
             seed: DEFAULT_SEED,
             threads: vec![2, 4],
             techniques: Technique::FIGURE16_SET.iter().map(|&(_, t)| t).collect(),
@@ -270,6 +284,7 @@ impl SweepSpec {
             respawn: true,
             caches: MemConfig::paper(),
             trace: None,
+            journal: None,
             machines: vec![MachineSpec::paper()],
             mixes: Vec::new(),
         }

@@ -1,7 +1,7 @@
 //! Hand-rolled parser for the TOML subset spec grammar (see
 //! `docs/SPECS.md`): top-level `key = value` pairs, `[cache]` /
-//! `[icache]` / `[dcache]` tables, and `[[machine]]` / `[[mix]]` table
-//! arrays. Values are integers (decimal or `0x` hex, `_` separators),
+//! `[icache]` / `[dcache]` / `[limits]` tables, and `[[machine]]` /
+//! `[[mix]]` table arrays. Values are integers (decimal or `0x` hex, `_` separators),
 //! double-quoted strings, booleans and single-line arrays of scalars.
 //!
 //! Parsing resolves everything: scale sugar becomes explicit budgets, mix
@@ -13,7 +13,9 @@
 //! caret at the offending token.
 
 use crate::diag::{Span, SpecError};
-use crate::{MachineSpec, MixSpec, SweepSpec, WorkloadRef, DEFAULT_MAX_CYCLES, DEFAULT_SEED};
+use crate::{
+    MachineSpec, MixSpec, SweepSpec, WorkloadRef, DEFAULT_MAX_CYCLES, DEFAULT_RETRIES, DEFAULT_SEED,
+};
 use vex_isa::{ClusterResources, Latencies, MachineConfig};
 use vex_mem::{CacheParams, MemConfig};
 use vex_sim::{MemoryMode, MtMode, Scale, Technique, MAX_CLUSTERS};
@@ -321,6 +323,7 @@ pub fn parse_sweep(text: &str) -> Result<SweepSpec, SpecError> {
     let mut cache: Option<Sect> = None;
     let mut icache: Option<Sect> = None;
     let mut dcache: Option<Sect> = None;
+    let mut limits: Option<Sect> = None;
     let mut machines: Vec<Sect> = Vec::new();
     let mut mix_sects: Vec<Sect> = Vec::new();
 
@@ -330,6 +333,7 @@ pub fn parse_sweep(text: &str) -> Result<SweepSpec, SpecError> {
         Cache,
         ICache,
         DCache,
+        Limits,
         Machine,
         Mix,
     }
@@ -384,10 +388,11 @@ pub fn parse_sweep(text: &str) -> Result<SweepSpec, SpecError> {
                 "cache" => (&mut cache, Where::Cache),
                 "icache" => (&mut icache, Where::ICache),
                 "dcache" => (&mut dcache, Where::DCache),
+                "limits" => (&mut limits, Where::Limits),
                 other => {
                     return Err(SpecError::new(
                         span,
-                        format!("unknown table `[{other}]` (cache, icache, dcache)"),
+                        format!("unknown table `[{other}]` (cache, icache, dcache, limits)"),
                         raw.to_string(),
                     ))
                 }
@@ -447,13 +452,16 @@ pub fn parse_sweep(text: &str) -> Result<SweepSpec, SpecError> {
             Where::Cache => section_slot(cache.as_mut(), "[cache]", &entry)?,
             Where::ICache => section_slot(icache.as_mut(), "[icache]", &entry)?,
             Where::DCache => section_slot(dcache.as_mut(), "[dcache]", &entry)?,
+            Where::Limits => section_slot(limits.as_mut(), "[limits]", &entry)?,
             Where::Machine => section_slot(machines.last_mut(), "[[machine]]", &entry)?,
             Where::Mix => section_slot(mix_sects.last_mut(), "[[mix]]", &entry)?,
         };
         dest.push(entry)?;
     }
 
-    build_spec(text, top, cache, icache, dcache, machines, mix_sects)
+    build_spec(
+        text, top, cache, icache, dcache, limits, machines, mix_sects,
+    )
 }
 
 /// The section an entry was routed to, or a caret diagnostic at the
@@ -482,6 +490,10 @@ fn section_slot<'a>(
 fn owning_section(key: &str) -> Option<&'static str> {
     match key {
         "size_bytes" | "assoc" | "line_bytes" | "miss_penalty" => Some("[cache]"),
+        // `max_cycles` is also accepted at the top level (legacy spelling)
+        // and so is consumed before this hint can fire; `retries` is
+        // `[limits]`-only.
+        "retries" => Some("[limits]"),
         "clusters"
         | "slots"
         | "alu"
@@ -505,12 +517,16 @@ fn owning_section(key: &str) -> Option<&'static str> {
 
 // ---- semantic build -------------------------------------------------
 
+// One parameter per grammar section; bundling them would only obscure
+// the call site in `parse`.
+#[allow(clippy::too_many_arguments)]
 fn build_spec(
     text: &str,
     mut top: Sect,
     cache: Option<Sect>,
     icache: Option<Sect>,
     dcache: Option<Sect>,
+    limits: Option<Sect>,
     machine_sects: Vec<Sect>,
     mix_sects: Vec<Sect>,
 ) -> Result<SweepSpec, SpecError> {
@@ -542,9 +558,28 @@ fn build_spec(
         Some(e) => e.int_in(1, u64::MAX)?,
         None => scale.timeslice,
     };
-    let max_cycles = match top.take("max_cycles") {
-        Some(e) => e.int_in(1, u64::MAX)?,
-        None => DEFAULT_MAX_CYCLES,
+    // Execution-policy knobs live in `[limits]`; `max_cycles` is also
+    // accepted at the top level (its original spelling) but not in both
+    // places at once.
+    let top_max_cycles = top.take("max_cycles");
+    let mut max_cycles = None;
+    let mut retries = DEFAULT_RETRIES;
+    if let Some(mut s) = limits {
+        if let Some(e) = s.take("max_cycles") {
+            if let Some(dup) = &top_max_cycles {
+                return Err(dup.err("`max_cycles` is given both at the top level and in [limits]"));
+            }
+            max_cycles = Some(e.int_in(1, u64::MAX)?);
+        }
+        if let Some(e) = s.take("retries") {
+            retries = e.int_in(0, u32::MAX as u64)? as u32;
+        }
+        s.reject_unknown("[limits]")?;
+    }
+    let max_cycles = match (max_cycles, top_max_cycles) {
+        (Some(n), _) => n,
+        (None, Some(e)) => e.int_in(1, u64::MAX)?,
+        (None, None) => DEFAULT_MAX_CYCLES,
     };
     let seed = match top.take("seed") {
         Some(e) => e.int()?,
@@ -650,6 +685,16 @@ fn build_spec(
         }
         None => None,
     };
+    let journal = match top.take("journal") {
+        Some(e) => {
+            let path = e.str()?;
+            if path.is_empty() {
+                return Err(e.err("`journal` needs a non-empty sidecar path"));
+            }
+            Some(path.to_string())
+        }
+        None => None,
+    };
 
     // Built-in mix shorthand; full [[mix]] tables are appended after.
     let mut mixes: Vec<MixSpec> = Vec::new();
@@ -724,6 +769,7 @@ fn build_spec(
         inst_limit,
         timeslice,
         max_cycles,
+        retries,
         seed,
         threads,
         techniques,
@@ -733,6 +779,7 @@ fn build_spec(
         respawn,
         caches,
         trace,
+        journal,
         machines,
         mixes,
     })

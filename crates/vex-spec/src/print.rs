@@ -12,7 +12,6 @@ pub fn print_sweep(s: &SweepSpec) -> String {
     let _ = writeln!(out, "name = \"{}\"", s.name);
     let _ = writeln!(out, "inst_limit = {}", s.inst_limit);
     let _ = writeln!(out, "timeslice = {}", s.timeslice);
-    let _ = writeln!(out, "max_cycles = {}", s.max_cycles);
     let _ = writeln!(out, "seed = {}", s.seed);
     let threads: Vec<String> = s.threads.iter().map(|n| n.to_string()).collect();
     let _ = writeln!(out, "threads = [{}]", threads.join(", "));
@@ -44,6 +43,13 @@ pub fn print_sweep(s: &SweepSpec) -> String {
     if let Some(t) = &s.trace {
         let _ = writeln!(out, "trace = \"{t}\"");
     }
+    if let Some(j) = &s.journal {
+        let _ = writeln!(out, "journal = \"{j}\"");
+    }
+
+    let _ = writeln!(out, "\n[limits]");
+    let _ = writeln!(out, "max_cycles = {}", s.max_cycles);
+    let _ = writeln!(out, "retries = {}", s.retries);
 
     let _ = writeln!(out, "\n[cache]");
     if s.caches.icache == s.caches.dcache {

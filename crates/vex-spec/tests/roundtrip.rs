@@ -111,6 +111,7 @@ fn sweep_spec() -> impl Strategy<Value = SweepSpec> {
             (1u64..1 << 40),
             (1u64..1 << 40),
             (1u64..1 << 40),
+            any::<u32>(),
             any::<u64>(),
         ),
         (
@@ -128,6 +129,8 @@ fn sweep_spec() -> impl Strategy<Value = SweepSpec> {
             any::<bool>(),
             (any::<bool>(), any::<u16>())
                 .prop_map(|(some, n)| some.then(|| format!("trace_{n}.vext"))),
+            (any::<bool>(), any::<u16>())
+                .prop_map(|(some, n)| some.then(|| format!("journal_{n}.vexj"))),
         ),
         mem_config(),
         prop::collection::vec(machine(), 1..3),
@@ -135,9 +138,9 @@ fn sweep_spec() -> impl Strategy<Value = SweepSpec> {
     )
         .prop_map(
             |(
-                (tag, inst_limit, timeslice, max_cycles, seed),
+                (tag, inst_limit, timeslice, max_cycles, retries, seed),
                 (threads, techniques),
-                (renaming, memory, mt, respawn, trace),
+                (renaming, memory, mt, respawn, trace, journal),
                 caches,
                 machines,
                 mixes,
@@ -147,6 +150,7 @@ fn sweep_spec() -> impl Strategy<Value = SweepSpec> {
                     inst_limit,
                     timeslice,
                     max_cycles,
+                    retries,
                     seed,
                     threads,
                     techniques,
@@ -155,6 +159,7 @@ fn sweep_spec() -> impl Strategy<Value = SweepSpec> {
                     mt,
                     respawn,
                     trace,
+                    journal,
                     caches,
                     machines,
                     mixes,
@@ -242,6 +247,31 @@ fn split_cache_tables_round_trip() {
     assert_eq!(spec.caches.miss_penalty, 31);
     assert_eq!(spec.caches.dcache.size_bytes, 256 * 1024);
     assert_eq!(SweepSpec::parse(&spec.print()).unwrap(), spec);
+}
+
+#[test]
+fn limits_table_and_legacy_max_cycles() {
+    // `[limits]` is the canonical home for execution-policy knobs.
+    let spec = SweepSpec::parse(
+        "mixes = [\"llll\"]\n\
+         [limits]\n\
+         max_cycles = 5000\n\
+         retries = 3\n",
+    )
+    .unwrap();
+    assert_eq!(spec.max_cycles, 5000);
+    assert_eq!(spec.retries, 3);
+    assert_eq!(SweepSpec::parse(&spec.print()).unwrap(), spec);
+
+    // The original top-level spelling still works...
+    let legacy = SweepSpec::parse("max_cycles = 77\nmixes = [\"llll\"]\n").unwrap();
+    assert_eq!(legacy.max_cycles, 77);
+    assert_eq!(legacy.retries, vex_spec::DEFAULT_RETRIES);
+
+    // ...but giving both is ambiguous and rejected.
+    let err = SweepSpec::parse("max_cycles = 1\nmixes = [\"llll\"]\n[limits]\nmax_cycles = 2\n")
+        .unwrap_err();
+    assert!(err.to_string().contains("both"), "{err}");
 }
 
 #[test]

@@ -169,6 +169,17 @@ impl TraceSink for FileSink {
         let rec = encode_record(ev);
         self.write(&rec);
         self.records += 1;
+        // `End` closes the stream semantically: flush eagerly so the file
+        // is complete on disk even if the owner crashes before `finish`,
+        // and so a write error surfaces while it can still be reported.
+        if let TraceEvent::End { .. } = ev {
+            if let Some(w) = &mut self.writer {
+                if let Err(e) = w.flush() {
+                    self.error
+                        .get_or_insert(format!("flushing trace file `{}`: {e}", self.path));
+                }
+            }
+        }
     }
 
     fn finish(&mut self) -> Result<(), String> {
@@ -190,6 +201,23 @@ impl TraceSink for FileSink {
 
     fn into_any(self: Box<Self>) -> Box<dyn Any> {
         self
+    }
+}
+
+impl Drop for FileSink {
+    /// A latched I/O error must not vanish silently if the owner forgot
+    /// to call [`TraceSink::finish`]: flush what remains and report the
+    /// first error to stderr as a last resort.
+    fn drop(&mut self) {
+        if let Some(mut w) = self.writer.take() {
+            if let Err(e) = w.flush() {
+                self.error
+                    .get_or_insert(format!("flushing trace file `{}`: {e}", self.path));
+            }
+        }
+        if let Some(e) = self.error.take() {
+            eprintln!("warning: trace sink dropped with an unreported error: {e}");
+        }
     }
 }
 
@@ -230,6 +258,30 @@ mod tests {
     }
 
     #[test]
+    fn bounded_ring_at_exact_capacity_drops_nothing() {
+        let mut ring = RingSink::new(3);
+        ring.begin(&meta());
+        for c in 0..3 {
+            ring.record(&issue(c));
+        }
+        assert_eq!(ring.dropped(), 0);
+        let cycles: Vec<u64> = ring.events().map(|e| e.cycle()).collect();
+        assert_eq!(cycles, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn bounded_ring_one_past_capacity_drops_exactly_the_oldest() {
+        let mut ring = RingSink::new(3);
+        ring.begin(&meta());
+        for c in 0..4 {
+            ring.record(&issue(c));
+        }
+        assert_eq!(ring.dropped(), 1);
+        let cycles: Vec<u64> = ring.events().map(|e| e.cycle()).collect();
+        assert_eq!(cycles, vec![1, 2, 3]);
+    }
+
+    #[test]
     fn unbounded_ring_keeps_everything() {
         let mut ring = RingSink::unbounded();
         ring.begin(&meta());
@@ -263,6 +315,38 @@ mod tests {
         let (m, events) = read_trace(&bytes).unwrap();
         assert_eq!(m, meta());
         assert_eq!(events, vec![issue(1), TraceEvent::End { cycle: 2 }]);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn end_record_flushes_before_finish() {
+        let path = std::env::temp_dir().join(format!("vex_trace_end_{}.vext", std::process::id()));
+        let mut sink = FileSink::create(&path).unwrap();
+        sink.begin(&meta());
+        sink.record(&issue(1));
+        sink.record(&TraceEvent::End { cycle: 2 });
+        // No `finish` yet — the End record alone must have flushed the
+        // stream to disk (crash-safety: the engine emits End in
+        // `finalize_stats`, possibly long before the CLI exits).
+        let bytes = std::fs::read(&path).unwrap();
+        let (_, events) = read_trace(&bytes).unwrap();
+        assert_eq!(events.last(), Some(&TraceEvent::End { cycle: 2 }));
+        sink.finish().unwrap();
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn dropping_an_unfinished_sink_flushes_it() {
+        let path = std::env::temp_dir().join(format!("vex_trace_drop_{}.vext", std::process::id()));
+        {
+            let mut sink = FileSink::create(&path).unwrap();
+            sink.begin(&meta());
+            sink.record(&issue(1));
+            // Dropped without finish: Drop must flush the buffered bytes.
+        }
+        let bytes = std::fs::read(&path).unwrap();
+        let (_, events) = read_trace(&bytes).unwrap();
+        assert_eq!(events, vec![issue(1)]);
         let _ = std::fs::remove_file(&path);
     }
 }

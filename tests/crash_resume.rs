@@ -1,0 +1,183 @@
+//! Crash-resume and fault-isolation properties of the sweep runner
+//! (docs/ROBUSTNESS.md).
+//!
+//! The defining property of the journaled runner: for **any** crash point
+//! — the journal cut at an arbitrary byte, or garbage appended by a torn
+//! concurrent write — resuming the sweep produces JSON *byte-identical*
+//! to an uninterrupted run. Wall-clock is the one nondeterministic field,
+//! so both sides run with `deterministic_wall` (the CLI's `--zero-wall`).
+//!
+//! The fault-injection properties drive the same grid through
+//! [`FaultPlan`]: a panicking point under `keep_going` loses exactly that
+//! point, fail-fast skips exactly the tail, and a transient failure with
+//! one retry is invisible in the output.
+//!
+//! All properties run on the full 8-technique grid of Figure 16 (one
+//! mix, 2 threads) at a reduced instruction budget.
+
+use clustered_vliw_smt::experiments::{FaultPlan, PointFailure, SweepRunner};
+use clustered_vliw_smt::sim::{Scale, Technique};
+use clustered_vliw_smt::spec::{MixSpec, SweepSpec};
+use proptest::prelude::*;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
+
+/// The 8-technique grid, small enough to sweep hundreds of times.
+fn grid() -> SweepSpec {
+    let mut spec = SweepSpec::base(Scale {
+        inst_limit: 2_000,
+        timeslice: 400,
+    });
+    spec.techniques = Technique::FIGURE16_SET.iter().map(|(_, t)| *t).collect();
+    spec.threads = vec![2];
+    spec.mixes = vec![MixSpec::builtin("llll", 7)];
+    spec
+}
+
+/// A fresh per-case journal path (the suite runs cases in sequence, but
+/// `cargo test` may run the test *functions* in parallel).
+fn temp_journal(tag: &str) -> PathBuf {
+    static NEXT: AtomicU64 = AtomicU64::new(0);
+    let n = NEXT.fetch_add(1, Ordering::Relaxed);
+    std::env::temp_dir().join(format!(
+        "vex_crash_resume_{tag}_{}_{n}.vexj",
+        std::process::id()
+    ))
+}
+
+/// The uninterrupted run: its JSON and the complete journal it wrote.
+/// Computed once — every property compares against the same baseline.
+fn baseline() -> &'static (String, Vec<u8>) {
+    static BASE: OnceLock<(String, Vec<u8>)> = OnceLock::new();
+    BASE.get_or_init(|| {
+        let spec = grid();
+        let path = temp_journal("baseline");
+        let outcome = SweepRunner::new(&spec)
+            .journal(path.to_str().unwrap())
+            .deterministic_wall(true)
+            .run()
+            .expect("uninterrupted sweep");
+        assert_eq!(outcome.points.len(), 8, "the full grid completes");
+        assert!(outcome.errors.is_empty());
+        let journal = std::fs::read(&path).expect("journal exists");
+        std::fs::remove_file(&path).ok();
+        (outcome.to_json(), journal)
+    })
+}
+
+/// Runs the grid resuming from `journal_bytes` and returns its JSON.
+fn resume_from(journal_bytes: &[u8], tag: &str) -> String {
+    let spec = grid();
+    let path = temp_journal(tag);
+    std::fs::write(&path, journal_bytes).expect("seed journal");
+    let outcome = SweepRunner::new(&spec)
+        .journal(path.to_str().unwrap())
+        .resume(true)
+        .deterministic_wall(true)
+        .run()
+        .expect("resumed sweep");
+    std::fs::remove_file(&path).ok();
+    assert_eq!(outcome.points.len(), 8);
+    assert!(outcome.errors.is_empty());
+    outcome.to_json()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 12, ..ProptestConfig::default() })]
+
+    /// Simulated crash: the journal cut at an arbitrary byte `k` —
+    /// mid-header, mid-record, on a record boundary, anywhere. Resume
+    /// must replay the valid prefix, re-run the rest, and emit JSON
+    /// byte-identical to the uninterrupted run.
+    #[test]
+    fn resume_after_crash_at_any_byte_is_byte_identical(k in 0u32..u32::MAX) {
+        let (json, journal) = baseline();
+        let cut = (k as usize) % (journal.len() + 1);
+        let resumed = resume_from(&journal[..cut], "cut");
+        prop_assert_eq!(&resumed, json, "cut at byte {} of {}", cut, journal.len());
+    }
+
+    /// A torn concurrent write appended garbage past the last valid
+    /// record: replay drops it, and the resumed sweep is still
+    /// byte-identical.
+    #[test]
+    fn resume_with_garbled_tail_is_byte_identical(
+        k in 0u32..u32::MAX,
+        garbage in proptest::collection::vec(any::<u8>(), 1..64),
+    ) {
+        let (json, journal) = baseline();
+        let cut = (k as usize) % (journal.len() + 1);
+        let mut bytes = journal[..cut].to_vec();
+        bytes.extend_from_slice(&garbage);
+        let resumed = resume_from(&bytes, "garble");
+        prop_assert_eq!(&resumed, json, "cut {} + {} garbage bytes", cut, garbage.len());
+    }
+
+    /// A panic at any grid point under `keep_going` fails exactly that
+    /// point: 7 results, 1 structured panic error, and the sweep itself
+    /// still returns `Ok`.
+    #[test]
+    fn panic_under_keep_going_fails_only_that_point(i in 0usize..8) {
+        let spec = grid();
+        let plan = FaultPlan::panic_at(i);
+        let outcome = SweepRunner::new(&spec)
+            .keep_going(true)
+            .fault(&plan)
+            .deterministic_wall(true)
+            .run()
+            .expect("sweep completes despite the panic");
+        prop_assert_eq!(outcome.points.len(), 7);
+        prop_assert_eq!(outcome.errors.len(), 1);
+        prop_assert!(
+            matches!(outcome.errors[0].cause, PointFailure::Panic(_)),
+            "cause: {:?}", outcome.errors[0].cause
+        );
+        // The JSON error table carries the failure.
+        prop_assert!(outcome.to_json().contains("\"cause\": \"panic\""));
+    }
+
+    /// Fail-fast (the default) with one worker: an error at point `i`
+    /// records that error and skips the untouched tail, in order.
+    #[test]
+    fn fail_fast_skips_exactly_the_tail(i in 0usize..8) {
+        let spec = grid();
+        let plan = FaultPlan::error_at(i);
+        let outcome = SweepRunner::new(&spec)
+            .workers(1)
+            .fault(&plan)
+            .deterministic_wall(true)
+            .run()
+            .expect("sweep reports per-point errors, not a sweep error");
+        prop_assert_eq!(outcome.points.len(), i);
+        prop_assert_eq!(outcome.errors.len(), 8 - i);
+        prop_assert!(matches!(outcome.errors[0].cause, PointFailure::Failed(_)));
+        for e in &outcome.errors[1..] {
+            prop_assert!(matches!(e.cause, PointFailure::Skipped), "cause: {:?}", e.cause);
+        }
+    }
+
+    /// A transient failure (fails once, succeeds on retry) with one
+    /// retry budget is invisible: all 8 points complete and the JSON is
+    /// byte-identical to the fault-free baseline.
+    #[test]
+    fn transient_failure_with_retry_is_invisible(i in 0usize..8) {
+        let (json, _) = baseline();
+        let spec = grid();
+        let plan = FaultPlan::fail_once_at(i);
+        let outcome = SweepRunner::new(&spec)
+            .retries(1)
+            .fault(&plan)
+            .deterministic_wall(true)
+            .run()
+            .expect("retry absorbs the transient failure");
+        prop_assert!(outcome.errors.is_empty());
+        let retried = outcome
+            .points
+            .iter()
+            .find(|p| p.attempts == 2)
+            .expect("one point took two attempts");
+        prop_assert!(!retried.resumed);
+        prop_assert_eq!(&outcome.to_json(), json);
+    }
+}
