@@ -214,9 +214,10 @@ fn main() {
 
     // Perf trajectory: carry the previous artifact's history over and
     // append this run. The timestamp comes from the harness (CI passes a
-    // UTC date + commit id); local runs default to "unstamped".
-    let stamp =
-        std::env::var("BENCH_SIM_THROUGHPUT_STAMP").unwrap_or_else(|_| "unstamped".to_string());
+    // UTC date + commit id); local runs get an explicit "unstamped-local"
+    // marker so every trajectory entry records its provenance.
+    let stamp = std::env::var("BENCH_SIM_THROUGHPUT_STAMP")
+        .unwrap_or_else(|_| "unstamped-local".to_string());
     let mut history = prior_history(&out);
     history.push(format!(
         "{{\"aggregate_cycles_per_sec\": {aggregate:.1}, \"aggregate_cycles_per_sec_mean\": {agg_mean:.1}, \"aggregate_cycles_per_sec_stddev\": {:.1}, \"reps\": {REPS}, \"total_wall_secs\": {total_secs:.6}, \"timestamp\": \"{stamp}\"}}",

@@ -46,6 +46,21 @@ impl FuKind {
     pub const fn index(self) -> usize {
         self as usize
     }
+
+    /// Inverse of [`FuKind::index`], for classes packed into byte fields.
+    /// Indices at or above [`FuKind::COUNT`] fold to `Recv`; callers store
+    /// only valid indices.
+    #[inline]
+    pub const fn from_index(i: usize) -> FuKind {
+        match i {
+            0 => FuKind::Alu,
+            1 => FuKind::Mul,
+            2 => FuKind::Mem,
+            3 => FuKind::Br,
+            4 => FuKind::Send,
+            _ => FuKind::Recv,
+        }
+    }
 }
 
 /// Operation codes. Semantics operate on 32-bit two's-complement words.

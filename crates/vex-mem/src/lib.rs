@@ -160,6 +160,16 @@ impl MemSystem {
         }
         let first = addr >> self.fetch_shift;
         let last = (addr + len.max(1) - 1) >> self.fetch_shift;
+        if first == last {
+            // Single-line fetch — the dominant case — goes through the
+            // memoized entry point (`Cache::fetch_line`): consecutive
+            // fetches of one line skip the set arrays entirely.
+            return if self.icache.fetch_line(asid, first) {
+                0
+            } else {
+                self.miss_penalty
+            };
+        }
         let mut penalty = 0;
         for l in first..=last {
             if !self.icache.access_line(asid, l) {

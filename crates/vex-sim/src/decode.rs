@@ -16,7 +16,8 @@
 //! deduplicates by `Arc::ptr_eq` when it builds a workload, so an
 //! `n`-thread run of one benchmark decodes it exactly once.
 
-use crate::packet::pack_demand;
+use crate::packet::{pack_demand, MAX_CLUSTERS};
+use crate::threaded::{self, EvalFn, ThreadedOp};
 use std::sync::Arc;
 use vex_isa::{Dest, FuKind, Opcode, Operand, Program};
 
@@ -218,8 +219,25 @@ pub struct DecodedInst {
     pub demand_range: (u32, u32),
     /// Bit `c` set iff logical cluster `c` has a non-empty bundle.
     pub bundle_mask: u16,
+    /// Bit `c` set iff bundle `c` exists and every one of its ops lowered
+    /// to a *dense* [`crate::threaded::Kind`]: activation batch-evaluates
+    /// the bundle through the fused evaluator instead of per-op
+    /// [`EvalFn`] calls. `fused_mask == bundle_mask` (the common case)
+    /// means the whole instruction takes the fused path in one pass.
+    pub fused_mask: u16,
     /// Whether any operation is an inter-cluster send/recv (NS policy).
     pub has_comm: bool,
+    /// Direct-apply eligibility: the instruction has no memory operation,
+    /// no control operation, and no operation reads a register (GPR or
+    /// branch) that an *earlier* operation of the same instruction writes.
+    /// For such an instruction, evaluating in table order and applying
+    /// each result immediately is indistinguishable from the two-phase
+    /// evaluate-then-commit protocol, so activation can write the
+    /// architectural effects straight through and skip materializing
+    /// [`crate::thread::OpRecord`]s — nothing downstream (issue probes,
+    /// buffered stores, control resolution) ever reads them. See
+    /// [`crate::thread::ThreadCtx::activate`].
+    pub direct: bool,
     /// Fetch byte address (instruction-cache modelling).
     pub fetch_addr: u32,
     /// Encoded size in bytes.
@@ -227,11 +245,21 @@ pub struct DecodedInst {
 }
 
 /// A fully pre-decoded program, shared between all contexts that run it.
-#[derive(Clone, PartialEq, Debug)]
+#[derive(Clone, Debug)]
 pub struct DecodedProgram {
     /// Flattened operation table, grouped by instruction in bundle order
     /// (the same order `activate` used to walk `Instruction::bundles`).
+    /// Off the hot path since the threaded-code lowering: activation walks
+    /// [`DecodedProgram::tops`]; this table remains the readable
+    /// classification record (tests, diagnostics) the lowering consumed.
     pub ops: Vec<DecodedOp>,
+    /// Threaded-code table: one [`ThreadedOp`] per entry of `ops`, same
+    /// order, produced by [`crate::threaded::lower_op`]. This is what
+    /// activation executes.
+    pub tops: Vec<ThreadedOp>,
+    /// Pre-bound evaluator table parallel to `tops`: the per-op closure
+    /// table taken by bundles outside the fused dense set.
+    pub fns: Vec<EvalFn>,
     /// Flattened `(pair id, source, immediate)` table for send value
     /// capture, sources pre-resolved like every other operand.
     pub sends: Vec<(u8, SrcRef, u32)>,
@@ -242,12 +270,71 @@ pub struct DecodedProgram {
     pub insts: Vec<DecodedInst>,
 }
 
+/// Order-aware direct-apply classification (see [`DecodedInst::direct`]).
+/// Walks the instruction's operations in table — that is, evaluation —
+/// order, tracking the registers written so far. A memory or control
+/// operation, or a read of a register some *earlier* operation writes,
+/// disqualifies the instruction; write-after-write needs no check because
+/// both the record replay and the direct path apply writes in the same
+/// order. Send sources are excluded from the read set: they are captured
+/// into the transfer buffer before evaluation starts, so they can never
+/// observe an in-instruction write.
+fn classify_direct(ops: &[DecodedOp]) -> bool {
+    let mut gpr_w = [0u64; MAX_CLUSTERS];
+    let mut breg_w = 0u64;
+    let gpr_read = |w: &[u64; MAX_CLUSTERS], r: SrcRef| {
+        r != SRC_IMM && w[(r >> 6) as usize % MAX_CLUSTERS] >> (r & 63) & 1 != 0
+    };
+    let breg_read = |w: u64, b: u16| b != BREG_NONE && w >> (b & 63) & 1 != 0;
+    for op in ops {
+        match op.eval {
+            OpEval::Load { .. }
+            | OpEval::Store { .. }
+            | OpEval::CondBr { .. }
+            | OpEval::Goto { .. }
+            | OpEval::Halt => return false,
+            OpEval::Send | OpEval::Effectless => {}
+            OpEval::Recv { dst, .. } => {
+                if dst != DST_NONE {
+                    gpr_w[(dst >> 6) as usize % MAX_CLUSTERS] |= 1 << (dst & 63);
+                }
+            }
+            OpEval::AluGpr {
+                a, b, cond, dst, ..
+            } => {
+                if gpr_read(&gpr_w, a) || gpr_read(&gpr_w, b) || breg_read(breg_w, cond) {
+                    return false;
+                }
+                gpr_w[(dst >> 6) as usize % MAX_CLUSTERS] |= 1 << (dst & 63);
+            }
+            OpEval::SlctImm { cond, dst, .. } => {
+                if breg_read(breg_w, cond) {
+                    return false;
+                }
+                gpr_w[(dst >> 6) as usize % MAX_CLUSTERS] |= 1 << (dst & 63);
+            }
+            OpEval::AluBreg { a, b, dst, .. } => {
+                if gpr_read(&gpr_w, a) || gpr_read(&gpr_w, b) {
+                    return false;
+                }
+                breg_w |= 1 << (dst & 63);
+            }
+            OpEval::BregConst { dst, .. } => {
+                breg_w |= 1 << (dst & 63);
+            }
+        }
+    }
+    true
+}
+
 impl DecodedProgram {
     /// Decodes every instruction of `program`. Called once per distinct
     /// program per engine; everything here is hot-loop work that used to
     /// run on every activation.
     pub fn decode(program: &Program) -> Self {
         let mut ops = Vec::with_capacity(program.total_ops() as usize);
+        let mut tops = Vec::with_capacity(program.total_ops() as usize);
+        let mut fns: Vec<EvalFn> = Vec::with_capacity(program.total_ops() as usize);
         let mut sends = Vec::new();
         let mut demands = Vec::new();
         let mut insts = Vec::with_capacity(program.len());
@@ -257,6 +344,7 @@ impl DecodedProgram {
             let send_start = sends.len() as u32;
             let demand_start = demands.len() as u32;
             let mut bundle_mask = 0u16;
+            let mut fused_mask = 0u16;
             let mut has_comm = false;
 
             for (c, bundle) in inst.bundles.iter().enumerate() {
@@ -272,6 +360,7 @@ impl DecodedProgram {
                     fu: [0; FuKind::COUNT],
                     packed: 0,
                 };
+                let mut dense = true;
                 for op in &bundle.ops {
                     if op.opcode.is_comm() {
                         has_comm = true;
@@ -282,11 +371,21 @@ impl DecodedProgram {
                     }
                     let fu = op.fu_kind();
                     demand.fu[fu.index()] += 1;
-                    ops.push(DecodedOp {
+                    let dop = DecodedOp {
                         log_cluster: c as u8,
                         fu,
                         eval: decode_eval(op, program.len()),
-                    });
+                    };
+                    // Threaded-code lowering: bind the evaluator and note
+                    // whether the bundle stays inside the fused dense set.
+                    let top = threaded::lower_op(&dop);
+                    dense &= top.k.dense();
+                    fns.push(threaded::kind_fn(top.k));
+                    tops.push(top);
+                    ops.push(dop);
+                }
+                if dense {
+                    fused_mask |= 1 << c;
                 }
                 demand.packed = pack_demand(&demand.fu, demand.slots);
                 demands.push(demand);
@@ -297,7 +396,9 @@ impl DecodedProgram {
                 send_range: (send_start, sends.len() as u32),
                 demand_range: (demand_start, demands.len() as u32),
                 bundle_mask,
+                fused_mask,
                 has_comm,
+                direct: classify_direct(&ops[op_start as usize..]),
                 fetch_addr: program.inst_addr[idx],
                 fetch_len: inst.encoded_size(),
             });
@@ -305,6 +406,8 @@ impl DecodedProgram {
 
         DecodedProgram {
             ops,
+            tops,
+            fns,
             sends,
             demands,
             insts,
@@ -338,6 +441,20 @@ impl DecodedProgram {
     #[inline]
     pub fn ops_of(&self, di: &DecodedInst) -> &[DecodedOp] {
         &self.ops[di.op_range.0 as usize..di.op_range.1 as usize]
+    }
+
+    /// Threaded-code entries of an instruction, in activation order
+    /// (parallel to [`DecodedProgram::ops_of`]).
+    #[inline]
+    pub fn tops_of(&self, di: &DecodedInst) -> &[ThreadedOp] {
+        &self.tops[di.op_range.0 as usize..di.op_range.1 as usize]
+    }
+
+    /// Pre-bound evaluators of an instruction (parallel to
+    /// [`DecodedProgram::tops_of`]).
+    #[inline]
+    pub fn fns_of(&self, di: &DecodedInst) -> &[EvalFn] {
+        &self.fns[di.op_range.0 as usize..di.op_range.1 as usize]
     }
 
     /// Send sources of an instruction, for transfer value capture.

@@ -503,7 +503,7 @@ impl Engine {
                     }
                 }
                 t.fetch_paid = false;
-                t.activate();
+                t.activate(SPLIT == SPLIT_OP);
             }
 
             // Issue pending work into the packet.
@@ -559,6 +559,7 @@ impl Engine {
         // demand, resolve control flow. The per-cluster demand counter is a
         // stack array (n_clusters ≤ MAX_CLUSTERS), not a fresh vector.
         let mut commit_mem = [0u8; MAX_CLUSTERS];
+        let mut any_commit_mem = false;
         for &ci in &commits {
             let t = &mut self.contexts[ci];
             let n_clusters = self.cfg.machine.n_clusters;
@@ -586,6 +587,7 @@ impl Engine {
                     if n > 0 {
                         let p = t.phys_cluster(c as u8, n_clusters);
                         commit_mem[p as usize] += n;
+                        any_commit_mem = true;
                     }
                 }
             }
@@ -632,14 +634,18 @@ impl Engine {
 
         // Memory-port over-subscription (issued + committing buffered
         // stores versus ports) stalls the pipeline for the excess (§V-D).
+        // Cycles without any memory traffic (no Mem op issued, no buffered
+        // store committing) skip the per-cluster scan: every term is zero.
         let ports = self.cfg.machine.cluster.mem;
         let mut overflow = 0u64;
-        for (p, &extra) in commit_mem
-            .iter()
-            .enumerate()
-            .take(self.cfg.machine.n_clusters as usize)
-        {
-            overflow += (self.packet.mem_issued(p as u8) + extra).saturating_sub(ports) as u64;
+        if self.packet.any_mem() || any_commit_mem {
+            for (p, &extra) in commit_mem
+                .iter()
+                .enumerate()
+                .take(self.cfg.machine.n_clusters as usize)
+            {
+                overflow += (self.packet.mem_issued(p as u8) + extra).saturating_sub(ports) as u64;
+            }
         }
         self.global_stall += overflow;
         if overflow > 0 {
@@ -758,6 +764,10 @@ impl Engine {
             p.page_walks += ls.walks;
             p.issue_calls += t.issue_calls;
             p.issue_scans += t.issue_scans;
+            p.eval_activations += t.eval_activations;
+            p.eval_ops += t.eval_ops;
+            p.eval_fused_bundles += t.eval_fused_bundles;
+            p.eval_table_ops += t.eval_table_ops;
         }
         p
     }
@@ -808,8 +818,10 @@ struct IssueOutcome {
 /// `SPLIT_CLUSTER` / `SPLIT_OP`. Placement happens at bundle granularity
 /// wherever bundles cannot split, using the pre-decoded
 /// [`ClusterDemand`] tables ([`Packet::place_bundle`]); only the
-/// operation-level split path still walks individual records, and that walk
-/// starts at the [`InFlight::first_pending`] cursor. Data-cache probes step
+/// operation-level split path still walks individual operations — off the
+/// static threaded-op table plus the [`InFlight::pending_ops`] bitmask for
+/// direct (record-less) instructions, or the in-flight records (from the
+/// [`InFlight::first_pending`] cursor) otherwise. Data-cache probes step
 /// through records in table order in every path, so the cache's access
 /// sequence — and therefore its stats and LRU state — is identical to the
 /// record-at-a-time implementation this replaces.
@@ -946,7 +958,7 @@ fn issue_thread<const MERGE_OP: bool, const SPLIT: u8>(
                 if d.fu[FuKind::Mem.index()] > 0 {
                     let (lo, hi) = (d.rec_range.0 as usize, d.rec_range.1 as usize);
                     for rec in &fl.records[lo..hi] {
-                        debug_assert_eq!(rec.log_cluster, c);
+                        debug_assert_eq!(rec.log_cluster(), c);
                         if let Some(addr) = rec.mem_probe() {
                             misses += mem.data_access(asid, addr);
                             if rec.has_store() {
@@ -961,6 +973,36 @@ fn issue_thread<const MERGE_OP: bool, const SPLIT: u8>(
                 fl.pending_bundles &= !(1 << c);
             }
         }
+    } else if fl.records.is_empty() {
+        // Operation-level split of a *direct* instruction: no records were
+        // materialized, so the walk runs off the static threaded-op table
+        // and the pending-op bitmask. Table order, placement checks and
+        // packet updates are identical to the record walk below; direct
+        // instructions carry no memory operations, so there are no cache
+        // probes or buffered stores to account for.
+        let di = &decoded.insts[fl.inst_idx];
+        let tops = decoded.tops_of(di);
+        let mut bits = fl.pending_ops;
+        *issue_scans += u64::from(bits.count_ones());
+        let packet_empty = packet.busy_mask() == 0;
+        let mut mask = 0u16;
+        while bits != 0 {
+            let i = bits.trailing_zeros() as usize;
+            let bit = 1u64 << i;
+            bits &= !bit;
+            let top = &tops[i];
+            let p = phys(top.log_cluster());
+            if packet_empty || packet.op_fits(p, top.fu(), &cfg.machine) {
+                packet.place_op(p, top.fu());
+                placed |= 1 << p;
+                fl.pending_ops &= !bit;
+                issued_now += 1;
+                fl.n_pending -= 1;
+            } else {
+                mask |= 1 << top.log_cluster();
+            }
+        }
+        fl.pending_bundles = mask;
     } else {
         // Operation-level split: single pass from the pending cursor; place
         // what fits, rebuild the pending-bundle mask from what stays, and
@@ -977,9 +1019,9 @@ fn issue_thread<const MERGE_OP: bool, const SPLIT: u8>(
             if !rec.is_pending() {
                 continue;
             }
-            let p = phys(rec.log_cluster);
-            if packet_empty || packet.op_fits(p, rec.fu, &cfg.machine) {
-                packet.place_op(p, rec.fu);
+            let p = phys(rec.log_cluster());
+            if packet_empty || packet.op_fits(p, rec.fu(), &cfg.machine) {
+                packet.place_op(p, rec.fu());
                 placed |= 1 << p;
                 rec.mark_issued();
                 issued_now += 1;
@@ -987,12 +1029,12 @@ fn issue_thread<const MERGE_OP: bool, const SPLIT: u8>(
                 if let Some(addr) = rec.mem_probe() {
                     misses += mem.data_access(asid, addr);
                     if rec.has_store() {
-                        call_stores[rec.log_cluster as usize] += 1;
+                        call_stores[rec.log_cluster() as usize] += 1;
                         any_store = true;
                     }
                 }
             } else {
-                mask |= 1 << rec.log_cluster;
+                mask |= 1 << rec.log_cluster();
                 if first_left == usize::MAX {
                     first_left = start + i;
                 }

@@ -54,6 +54,7 @@ pub mod rng;
 pub mod stats;
 pub mod table;
 pub mod thread;
+pub mod threaded;
 
 pub use config::{
     CommPolicy, MemoryMode, MergePolicy, MtMode, Scale, SimConfig, SplitPolicy, Technique,
@@ -67,6 +68,7 @@ pub use report::{attribution_json, render_attribution};
 pub use stats::{speedup_pct, SimStats, ThreadStats};
 pub use table::{Align, Table};
 pub use thread::ThreadCtx;
+pub use threaded::{kind_fn, EvalFn, Kind, ThreadedOp};
 pub use vex_mem::MemConfig;
 // The trace stream's types are part of the simulator's public surface
 // (`Engine::set_tracer` takes a `TraceSink`); re-export the crate so

@@ -66,6 +66,10 @@ pub struct Packet {
     fit_bias: u64,
     /// Bit `p` set iff physical cluster `p` holds at least one op.
     cluster_busy: u16,
+    /// Whether any memory-class op was placed this cycle. Lets the
+    /// engine's §V-D port-contention scan skip entirely on the (dominant)
+    /// cycles with no memory traffic.
+    any_mem: bool,
     /// Operations placed this cycle (for IPC/waste accounting).
     pub ops: u32,
     /// Distinct threads contributing to this packet.
@@ -87,6 +91,7 @@ impl Packet {
             used: [0; MAX_CLUSTERS],
             fit_bias: bias_for(machine),
             cluster_busy: 0,
+            any_mem: false,
             ops: 0,
             threads: 0,
         }
@@ -99,6 +104,7 @@ impl Packet {
     pub fn reset(&mut self) {
         self.used[..self.n_clusters as usize].fill(0);
         self.cluster_busy = 0;
+        self.any_mem = false;
         self.ops = 0;
         self.threads = 0;
     }
@@ -167,6 +173,7 @@ impl Packet {
         let pi = self.pi(p);
         self.used[pi] += op_word(fu);
         self.cluster_busy |= 1 << p;
+        self.any_mem |= fu == FuKind::Mem;
         self.ops += 1;
     }
 
@@ -181,6 +188,7 @@ impl Packet {
         let pi = self.pi(p);
         self.used[pi] += demand;
         self.cluster_busy |= 1 << p;
+        self.any_mem |= demand & MEM_LANE != 0;
         self.ops += slots as u32;
     }
 
@@ -211,6 +219,14 @@ impl Packet {
         self.fu_used(p, FuKind::Mem)
     }
 
+    /// Whether any memory-class op was placed this cycle (fast pre-check
+    /// for the port-contention scan; `false` implies every
+    /// [`Packet::mem_issued`] is zero).
+    #[inline]
+    pub fn any_mem(&self) -> bool {
+        self.any_mem
+    }
+
     /// Total unused slots across the machine for this cycle.
     pub fn wasted_slots(&self, m: &MachineConfig) -> u32 {
         let width = m.total_issue_width();
@@ -222,6 +238,9 @@ impl Packet {
         self.n_clusters
     }
 }
+
+/// Mask of the Mem FU's lane in a packed resource word.
+const MEM_LANE: u64 = 0x3f << (8 * FuKind::Mem.index());
 
 /// Packed demand word of a single operation: one FU of class `fu`, one
 /// issue slot.

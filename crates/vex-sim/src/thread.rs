@@ -17,10 +17,10 @@
 //! operation's effects in [`OpRecord`]s; issuing a part is then purely a
 //! timing event, and commit replays the recorded effects.
 
-use crate::decode::{DecodedProgram, LoadWidth, OpEval, SrcRef, BREG_NONE, DST_NONE, SRC_IMM};
-use crate::exec::{eval, eval_cond};
+use crate::decode::{DecodedProgram, SrcRef, SRC_IMM};
 use crate::packet::MAX_CLUSTERS;
 use crate::stats::ThreadStats;
+use crate::threaded::{eval_dense, EvalCtx};
 use std::sync::Arc;
 use vex_isa::{FuKind, Program};
 use vex_mem::Memory;
@@ -73,63 +73,67 @@ pub enum CtrlEffect {
 /// and a control effect are mutually exclusive by construction (loads write
 /// a GPR, stores store, branches branch), so one `val`/`dst` pair serves
 /// them all.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub struct OpRecord {
     /// GPR/branch-register write value, or store value.
-    val: u32,
+    pub(crate) val: u32,
     /// Effective byte address probed in the data cache at issue (valid iff
     /// [`OpRecord::mem_probe`] — also the buffered store's address).
-    mem_addr: u32,
+    pub(crate) mem_addr: u32,
     /// Control effect: `CTRL_NONE`, `CTRL_HALT`, or a taken-branch target.
-    ctrl: u32,
-    /// Flat destination index into the GPR or branch-register file.
-    dst: u16,
-    /// Logical cluster of the bundle containing the op.
-    pub log_cluster: u8,
-    /// Functional-unit class (for issue resource accounting).
-    pub fu: FuKind,
+    pub(crate) ctrl: u32,
+    /// Packed static half, copied verbatim from
+    /// [`crate::threaded::ThreadedOp::statics`]: flat destination index in
+    /// the low 16 bits, logical cluster in bits 16..24, FU-class index in
+    /// bits 24..32. One word move instead of three field moves in the
+    /// per-record constructor — which profiles as the hottest line of the
+    /// evaluation phase.
+    pub(crate) statics: u32,
     /// Effect flags (`F_*`).
-    flags: u8,
+    pub(crate) flags: u8,
 }
 
 /// `ctrl` sentinel: no control effect.
-const CTRL_NONE: u32 = u32::MAX;
+pub(crate) const CTRL_NONE: u32 = u32::MAX;
 /// `ctrl` sentinel: halt. Branch targets are instruction indices and stay
 /// far below both sentinels (programs are bounded by memory long before
 /// 2^32 - 2 instructions).
-const CTRL_HALT: u32 = u32::MAX - 1;
+pub(crate) const CTRL_HALT: u32 = u32::MAX - 1;
 
 /// Writes a GPR (`dst`, `val`).
-const F_GPR: u8 = 1 << 0;
+pub(crate) const F_GPR: u8 = 1 << 0;
 /// Writes a branch register (`dst`; value in `F_BREG_VAL`).
-const F_BREG: u8 = 1 << 1;
+pub(crate) const F_BREG: u8 = 1 << 1;
 /// The branch-register value written under `F_BREG`.
-const F_BREG_VAL: u8 = 1 << 2;
+pub(crate) const F_BREG_VAL: u8 = 1 << 2;
 /// Buffered store of `val` to `mem_addr` (size in `F_SIZE_*`).
-const F_STORE: u8 = 1 << 3;
+pub(crate) const F_STORE: u8 = 1 << 3;
 /// Probes the data cache at `mem_addr` when issuing.
-const F_MEM: u8 = 1 << 4;
+pub(crate) const F_MEM: u8 = 1 << 4;
 /// Store size: bytes = 1 << ((flags >> 5) & 3).
-const F_SIZE_SHIFT: u8 = 5;
+pub(crate) const F_SIZE_SHIFT: u8 = 5;
 /// The record has not issued yet. Only the operation-level split-issue
 /// path reads or clears this bit (the other techniques track pending work
 /// at bundle granularity via [`InFlight::pending_bundles`]).
-const F_PENDING: u8 = 1 << 7;
+pub(crate) const F_PENDING: u8 = 1 << 7;
 
 impl OpRecord {
-    /// A pending record with no effects for cluster `log_cluster`, class
-    /// `fu`.
+    /// Flat destination index into the GPR or branch-register file.
     #[inline]
-    fn pending(log_cluster: u8, fu: FuKind) -> Self {
-        OpRecord {
-            val: 0,
-            mem_addr: 0,
-            ctrl: CTRL_NONE,
-            dst: 0,
-            log_cluster,
-            fu,
-            flags: F_PENDING,
-        }
+    pub(crate) fn dst(&self) -> usize {
+        (self.statics & 0xFFFF) as usize
+    }
+
+    /// Logical cluster of the bundle containing the op.
+    #[inline]
+    pub fn log_cluster(&self) -> u8 {
+        (self.statics >> 16) as u8
+    }
+
+    /// Functional-unit class (for issue resource accounting).
+    #[inline]
+    pub fn fu(&self) -> FuKind {
+        FuKind::from_index((self.statics >> 24) as usize)
     }
 
     /// Data-cache address to probe when this op issues (loads and stores).
@@ -197,6 +201,14 @@ pub struct InFlight {
     pub first_pending: u32,
     /// Distinct cycles in which parts issued.
     pub parts: u32,
+    /// Pending-operation bitmask for **direct** instructions under the
+    /// operation-level split technique: bit `i` set means op `i` of the
+    /// instruction's threaded-op table has not issued yet. Direct
+    /// instructions materialize no records, so the split-issue walk runs
+    /// off the static [`crate::threaded::ThreadedOp`] table and this mask
+    /// instead (see [`crate::engine`]). Only meaningful while `records`
+    /// is empty and `n_pending > 0`.
+    pub pending_ops: u64,
     /// The instruction's demand-table range, copied from its
     /// [`crate::decode::DecodedInst`] at activation so issue attempts go
     /// straight to the demand slice.
@@ -265,6 +277,16 @@ pub struct ThreadCtx {
     /// Profiling: record/demand-table entries the issue stage examined
     /// across all attempts (the `--profile` scans-per-cycle numerator).
     pub issue_scans: u64,
+    /// Profiling: instruction activations (one per [`ThreadCtx::activate`]).
+    pub eval_activations: u64,
+    /// Profiling: operations evaluated across all activations.
+    pub eval_ops: u64,
+    /// Profiling: bundles evaluated through the fused (inlined dense-kind)
+    /// evaluator.
+    pub eval_fused_bundles: u64,
+    /// Profiling: operations evaluated through per-op [`crate::threaded::EvalFn`]
+    /// table entries (bundles containing a non-dense kind).
+    pub eval_table_ops: u64,
 }
 
 impl ThreadCtx {
@@ -307,6 +329,10 @@ impl ThreadCtx {
             stats: ThreadStats::default(),
             issue_calls: 0,
             issue_scans: 0,
+            eval_activations: 0,
+            eval_ops: 0,
+            eval_fused_bundles: 0,
+            eval_table_ops: 0,
         }
     }
 
@@ -322,11 +348,35 @@ impl ThreadCtx {
     /// table; this function only reads registers/memory and computes
     /// values, reusing the record buffer (no allocation, no re-decode).
     ///
+    /// Evaluation walks the threaded-code table ([`crate::threaded`]): a
+    /// bundle whose ops all have dense kinds is batch-evaluated by the
+    /// fused evaluator (one inlined jump table, operands in host
+    /// registers, contiguous record writeback); any other bundle calls its
+    /// ops' pre-bound [`crate::threaded::EvalFn`] entries. The common case
+    /// — every bundle dense — skips the per-bundle walk entirely.
+    ///
     /// Inter-cluster pairs are resolved here: the `recv` value equals the
     /// `send` source read from pre-instruction state, which is the unique
     /// architecturally-correct value whatever the relative issue order of
     /// the two bundles (§V-E).
-    pub fn activate(&mut self) {
+    ///
+    /// When the instruction is classified
+    /// [`crate::decode::DecodedInst::direct`], the record buffer is left
+    /// empty and every evaluated effect is applied to the register files
+    /// immediately: the classification guarantees no evaluation reads a
+    /// register the instruction writes, nothing else observes this
+    /// context's architectural state between activation and commit, and
+    /// issue never consults the records of a memory-free instruction —
+    /// so the early application is unobservable, and both the record
+    /// writeback and the commit-time replay drop out of the hot path.
+    /// Under the operation-level split technique (`split_op = true`) the
+    /// issue stage walks pending operations individually; for a direct
+    /// instruction that walk runs off the static threaded-op table and
+    /// the [`InFlight::pending_ops`] bitmask set here, so direct
+    /// application stays legal as long as the instruction fits the
+    /// 64-bit mask (wider instructions — only reachable on synthetic
+    /// `CxW` geometries past 64 slots — fall back to records).
+    pub fn activate(&mut self, split_op: bool) {
         debug_assert!(!self.inflight.active);
         let ThreadCtx {
             decoded,
@@ -335,6 +385,10 @@ impl ThreadCtx {
             bregs,
             mem,
             pc,
+            eval_activations,
+            eval_ops,
+            eval_fused_bundles,
+            eval_table_ops,
             ..
         } = self;
         let di = decoded.inst(*pc);
@@ -345,107 +399,110 @@ impl ThreadCtx {
             xfer_vals[pair as usize] = src_val(regs, src, imm);
         }
 
+        let tops = decoded.tops_of(di);
+        let n = tops.len();
         inflight.records.clear();
-        for dop in decoded.ops_of(di) {
-            let mut rec = OpRecord::pending(dop.log_cluster, dop.fu);
-            match dop.eval {
-                OpEval::Load {
-                    width,
-                    base,
-                    off,
-                    dst,
-                } => {
-                    let addr = reg_at(regs, base).wrapping_add(off);
-                    rec.mem_addr = addr;
-                    rec.flags |= F_MEM;
-                    if dst != DST_NONE {
-                        rec.flags |= F_GPR;
-                        rec.dst = dst;
-                        rec.val = match width {
-                            LoadWidth::W => mem.read_u32(addr),
-                            LoadWidth::H => mem.read_u16(addr) as i16 as i32 as u32,
-                            LoadWidth::Hu => mem.read_u16(addr) as u32,
-                            LoadWidth::B => mem.read_u8(addr) as i8 as i32 as u32,
-                            LoadWidth::Bu => mem.read_u8(addr) as u32,
-                        };
+        *eval_activations += 1;
+        *eval_ops += n as u64;
+        if di.direct && (!split_op || n <= 64) {
+            inflight.pending_ops = if n >= 64 { u64::MAX } else { (1u64 << n) - 1 };
+            // Direct application: evaluate in table order and write each
+            // effect straight through. `EvalCtx` is rebuilt per op so the
+            // shared borrows it holds end before the register-file write —
+            // it is four pointer copies the optimizer keeps in registers.
+            macro_rules! apply {
+                ($r:expr) => {
+                    let r = $r;
+                    if r.flags & F_GPR != 0 {
+                        regs[r.dst() & (MAX_CLUSTERS * 64 - 1)] = r.val;
+                    } else if r.flags & F_BREG != 0 {
+                        bregs[r.dst() & (MAX_CLUSTERS * 8 - 1)] = r.flags & F_BREG_VAL != 0;
                     }
-                }
-                OpEval::Store {
-                    size,
-                    base,
-                    off,
-                    value,
-                    val_imm,
-                } => {
-                    let addr = reg_at(regs, base).wrapping_add(off);
-                    rec.mem_addr = addr;
-                    rec.val = src_val(regs, value, val_imm);
-                    rec.flags |= F_MEM | F_STORE | (size.trailing_zeros() as u8) << F_SIZE_SHIFT;
-                }
-                OpEval::Send => {
-                    // Value already captured into xfer_vals.
-                }
-                OpEval::Recv { pair, dst } => {
-                    if dst != DST_NONE {
-                        rec.flags |= F_GPR;
-                        rec.dst = dst;
-                        rec.val = xfer_vals[pair as usize];
-                    }
-                }
-                OpEval::CondBr {
-                    cond,
-                    target,
-                    taken_if,
-                } => {
-                    if breg_at(bregs, cond) == taken_if {
-                        rec.ctrl = target as u32;
-                    }
-                }
-                OpEval::Goto { target } => {
-                    rec.ctrl = target as u32;
-                }
-                OpEval::Halt => {
-                    rec.ctrl = CTRL_HALT;
-                }
-                OpEval::AluGpr {
-                    op,
-                    a,
-                    b,
-                    imm,
-                    cond,
-                    dst,
-                } => {
-                    rec.val = eval(
-                        op,
-                        src_val(regs, a, imm),
-                        src_val(regs, b, imm),
-                        breg_at(bregs, cond),
-                    );
-                    rec.flags |= F_GPR;
-                    rec.dst = dst;
-                }
-                OpEval::SlctImm { a, b, cond, dst } => {
-                    rec.val = if breg_at(bregs, cond) { a } else { b };
-                    rec.flags |= F_GPR;
-                    rec.dst = dst;
-                }
-                OpEval::AluBreg { op, a, b, imm, dst } => {
-                    let v = eval_cond(op, src_val(regs, a, imm), src_val(regs, b, imm));
-                    rec.flags |= F_BREG | if v { F_BREG_VAL } else { 0 };
-                    rec.dst = dst;
-                }
-                OpEval::BregConst { v, dst } => {
-                    rec.flags |= F_BREG | if v { F_BREG_VAL } else { 0 };
-                    rec.dst = dst;
-                }
-                OpEval::Effectless => {}
+                };
             }
-            inflight.records.push(rec);
+            if di.fused_mask == di.bundle_mask {
+                *eval_fused_bundles += u64::from(di.bundle_mask.count_ones());
+                for t in tops {
+                    let cx = EvalCtx {
+                        regs,
+                        bregs,
+                        mem,
+                        xfer: &xfer_vals,
+                    };
+                    apply!(eval_dense(t, &cx));
+                }
+            } else {
+                let fns = decoded.fns_of(di);
+                for d in decoded.demands_of(di) {
+                    let (lo, hi) = (d.rec_range.0 as usize, d.rec_range.1 as usize);
+                    let fused = di.fused_mask & (1 << d.log_cluster) != 0;
+                    if fused {
+                        *eval_fused_bundles += 1;
+                    } else {
+                        *eval_table_ops += (hi - lo) as u64;
+                    }
+                    for i in lo..hi {
+                        let cx = EvalCtx {
+                            regs,
+                            bregs,
+                            mem,
+                            xfer: &xfer_vals,
+                        };
+                        if fused {
+                            apply!(eval_dense(&tops[i], &cx));
+                        } else {
+                            apply!(fns[i](&tops[i], &cx));
+                        }
+                    }
+                }
+            }
+        } else {
+            let cx = EvalCtx {
+                regs,
+                bregs,
+                mem,
+                xfer: &xfer_vals,
+            };
+            inflight.records.reserve(n);
+            // Manual writeback into the reserved tail: a plain indexed loop
+            // over `MaybeUninit` slots instead of `extend(map(..))` — the
+            // iterator adapter's pointer bookkeeping showed up as several
+            // percent of the evaluation phase in profiles.
+            let dst = inflight.records.spare_capacity_mut();
+            if di.fused_mask == di.bundle_mask {
+                // Every bundle is dense: one fused pass over the whole
+                // instruction.
+                *eval_fused_bundles += u64::from(di.bundle_mask.count_ones());
+                for (d, t) in dst.iter_mut().zip(tops) {
+                    d.write(eval_dense(t, &cx));
+                }
+            } else {
+                let fns = decoded.fns_of(di);
+                for d in decoded.demands_of(di) {
+                    let (lo, hi) = (d.rec_range.0 as usize, d.rec_range.1 as usize);
+                    if di.fused_mask & (1 << d.log_cluster) != 0 {
+                        *eval_fused_bundles += 1;
+                        for i in lo..hi {
+                            dst[i].write(eval_dense(&tops[i], &cx));
+                        }
+                    } else {
+                        *eval_table_ops += (hi - lo) as u64;
+                        for i in lo..hi {
+                            dst[i].write(fns[i](&tops[i], &cx));
+                        }
+                    }
+                }
+            }
+            // SAFETY: every slot in `..n` was just written — the fused
+            // path fills `0..n` directly; the per-bundle path covers
+            // `0..n` because the demand table's `rec_range`s partition the
+            // instruction's ops.
+            unsafe { inflight.records.set_len(n) };
         }
 
         inflight.active = true;
         inflight.inst_idx = *pc;
-        inflight.n_pending = inflight.records.len() as u32;
+        inflight.n_pending = n as u32;
         inflight.pending_bundles = di.bundle_mask;
         inflight.demand_range = di.demand_range;
         inflight.has_comm = di.has_comm;
@@ -470,23 +527,24 @@ impl ThreadCtx {
             ..
         } = self;
         let mut ctrl = None;
+        // A record carries at most one effect — GPR write, breg write,
+        // buffered store, control — by ISA construction (no opcode both
+        // writes a register and branches), so the checks chain as
+        // `else if`: the dominant GPR-write case settles on one test.
         for rec in &inflight.records {
             if rec.flags & F_GPR != 0 {
                 // Decode filtered register-zero destinations to
                 // `Effectless`/`DST_NONE`, so every surviving write lands.
-                regs[rec.dst as usize & (MAX_CLUSTERS * 64 - 1)] = rec.val;
-            }
-            if rec.flags & F_BREG != 0 {
-                bregs[rec.dst as usize & (MAX_CLUSTERS * 8 - 1)] = rec.flags & F_BREG_VAL != 0;
-            }
-            if rec.flags & F_STORE != 0 {
+                regs[rec.dst() & (MAX_CLUSTERS * 64 - 1)] = rec.val;
+            } else if rec.flags & F_BREG != 0 {
+                bregs[rec.dst() & (MAX_CLUSTERS * 8 - 1)] = rec.flags & F_BREG_VAL != 0;
+            } else if rec.flags & F_STORE != 0 {
                 match 1u8 << (rec.flags >> F_SIZE_SHIFT & 3) {
                     1 => mem.write_u8(rec.mem_addr, rec.val as u8),
                     2 => mem.write_u16(rec.mem_addr, rec.val as u16),
                     _ => mem.write_u32(rec.mem_addr, rec.val),
                 }
-            }
-            if rec.ctrl != CTRL_NONE {
+            } else if rec.ctrl != CTRL_NONE {
                 ctrl = rec.ctrl();
             }
         }
@@ -530,14 +588,6 @@ fn src_val(regs: &GprFile, code: SrcRef, imm: u32) -> u32 {
     }
 }
 
-/// Reads a pre-resolved branch-register condition; [`BREG_NONE`] (the
-/// operand did not name a branch register) reads false, matching the
-/// legacy decoder.
-#[inline]
-fn breg_at(bregs: &BregFile, cond: u16) -> bool {
-    cond != BREG_NONE && bregs[cond as usize & (MAX_CLUSTERS * 8 - 1)]
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -565,7 +615,7 @@ mod tests {
         let mut t = ThreadCtx::new(one_inst_program(inst), 0, 4, 0);
         t.regs[3] = 111; // flat r0.3
         t.regs[5] = 222; // flat r0.5
-        t.activate();
+        t.activate(false);
         t.inflight.n_pending = 0; // pretend both ops issued
         t.commit_writes();
         assert_eq!(t.regs[3], 222);
@@ -583,7 +633,7 @@ mod tests {
         let inst = Instruction::from_ops(4, [(0, send), (1, recv)]);
         let mut t = ThreadCtx::new(one_inst_program(inst), 0, 4, 0);
         t.regs[1] = 777; // flat r0.1
-        t.activate();
+        t.activate(false);
         t.inflight.n_pending = 0;
         t.commit_writes();
         assert_eq!(t.regs[64 + 2], 777); // flat r1.2
@@ -596,7 +646,7 @@ mod tests {
         op.a = Operand::Imm(55);
         let inst = Instruction::from_ops(4, [(0, op)]);
         let mut t = ThreadCtx::new(one_inst_program(inst), 0, 4, 0);
-        t.activate();
+        t.activate(false);
         t.inflight.n_pending = 0;
         t.commit_writes();
         assert_eq!(t.regs[0], 0); // flat r0.0

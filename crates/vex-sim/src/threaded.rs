@@ -1,0 +1,931 @@
+//! Threaded-code execution backend: the final lowering stage of
+//! [`crate::decode::DecodedProgram`].
+//!
+//! Pre-decoding (PR 2) removed re-decoding from activation but left two
+//! dynamic dispatches per operation on the hot path: the [`OpEval`] `match`
+//! in `ThreadCtx::activate` and, for ALU operations, the opcode `match`
+//! inside [`crate::exec::eval`] — plus an `SRC_IMM` sentinel branch per
+//! operand read. This module lowers every [`OpEval`] one stage further at
+//! decode time into a [`ThreadedOp`]: a 20-byte table entry whose [`Kind`]
+//! is specialized per **opcode × operand shape** (register/register,
+//! register/immediate, immediate/register), with the [`OpRecord`] flag byte
+//! precomputed and operands held as flat register-file indices or
+//! pre-folded immediates. Each kind has a dedicated evaluator function in
+//! which the opcode is a compile-time constant, so the `eval` match
+//! constant-folds away and a record is materialized in host registers and
+//! written exactly once.
+//!
+//! Evaluation then takes one of two paths, chosen per bundle at decode
+//! time:
+//!
+//! - **fused**: every op of the bundle has a *dense* kind (the hot ALU /
+//!   memory / control set), and the whole bundle is evaluated in one pass
+//!   of [`eval_dense`] — a single jump table whose arms are fully inlined —
+//!   with contiguous writeback into the record buffer;
+//! - **per-op table**: bundles containing a kind outside the dense set
+//!   (inter-cluster communication and the constant-folded rarities) call
+//!   each op's pre-bound [`EvalFn`] pointer instead.
+//!
+//! Both paths build byte-identical [`OpRecord`]s; the differential fuzzer
+//! and the golden-stats fixture pin them against the in-order oracle and
+//! against each other. Timing is untouched: lowering changes *how* the
+//! functional values are computed at activation, never *what* issues when.
+
+use crate::decode::{DecodedOp, LoadWidth, OpEval, BREG_NONE, DST_NONE, SRC_IMM};
+use crate::exec::{eval, eval_cond};
+use crate::packet::MAX_CLUSTERS;
+use crate::thread::{
+    BregFile, GprFile, OpRecord, CTRL_HALT, F_BREG, F_BREG_VAL, F_GPR, F_MEM, F_PENDING,
+    F_SIZE_SHIFT, F_STORE,
+};
+use vex_isa::{FuKind, Opcode};
+use vex_mem::Memory;
+
+/// Everything an evaluator may read: the (stable, pre-instruction)
+/// architectural state plus the send-value capture buffer. All borrows are
+/// shared — activation-time evaluation never writes architectural state
+/// (§V-B: effects are delay-buffered in [`OpRecord`]s until commit).
+pub struct EvalCtx<'a> {
+    /// Flat GPR file of the activating context.
+    pub(crate) regs: &'a GprFile,
+    /// Flat branch-register file.
+    pub(crate) bregs: &'a BregFile,
+    /// Functional memory (reads go through the PR 4 TLB fast path; the
+    /// read-side API takes `&self`).
+    pub(crate) mem: &'a Memory,
+    /// Send values captured before record building, indexed by pair id.
+    pub(crate) xfer: &'a [u32; 16],
+}
+
+/// A pre-bound evaluator: one entry of the closure table. Every operation
+/// of every program lowers to one of these (the coverage unit test
+/// enumerates `Opcode::ALL` × operand shapes), so there is no interpretive
+/// fallback path.
+pub type EvalFn = fn(&ThreadedOp, &EvalCtx) -> OpRecord;
+
+/// One operation in threaded-code form: the fully lowered static half of an
+/// [`OpRecord`], packed into 20 bytes. Operand fields are overloaded per
+/// [`Kind`] (documented on the kind groups); `rec_flags` is the complete
+/// record flag byte computed at decode time (`F_PENDING` included), so
+/// evaluators never assemble flags dynamically — except `F_BREG_VAL`, the
+/// one truly data-dependent bit.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct ThreadedOp {
+    /// Dense micro-op kind: selects the [`eval_dense`] arm / [`EvalFn`].
+    pub k: Kind,
+    /// Precomputed [`OpRecord`] flag byte.
+    pub rec_flags: u8,
+    /// First source: flat GPR index (load/store base address included).
+    pub a: u16,
+    /// Second source: flat GPR index (store value included).
+    pub b: u16,
+    /// Flat branch-register condition (`slct`), or [`BREG_NONE`].
+    pub cond: u16,
+    /// The record's packed static half, copied verbatim into
+    /// `OpRecord::statics` by every evaluator: flat destination index
+    /// (low 16 bits; `0` when the record writes nothing), logical cluster
+    /// (bits 16..24), FU-class index (bits 24..32).
+    pub statics: u32,
+    /// Primary immediate: ALU immediate operand, load/store byte offset,
+    /// branch target, `recv` pair id, or `slct` true-arm constant.
+    pub imm: u32,
+    /// Secondary immediate: store value or `slct` false-arm constant.
+    pub imm2: u32,
+}
+
+impl ThreadedOp {
+    /// Logical cluster of the containing bundle.
+    #[inline]
+    pub fn log_cluster(&self) -> u8 {
+        (self.statics >> 16) as u8
+    }
+
+    /// Functional-unit class.
+    #[inline]
+    pub fn fu(&self) -> FuKind {
+        FuKind::from_index((self.statics >> 24) as usize)
+    }
+
+    /// Flat destination index (test introspection; evaluators copy the
+    /// whole packed word instead).
+    #[inline]
+    pub fn dst(&self) -> u16 {
+        self.statics as u16
+    }
+
+    /// Sets the packed destination index (lowering only; the field starts
+    /// at zero).
+    #[inline]
+    fn set_dst(&mut self, dst: u16) {
+        self.statics |= dst as u32;
+    }
+}
+
+/// Generates the specialized kind space: the [`Kind`] enum, one evaluator
+/// function per kind, the total [`eval_dense`] jump table, the
+/// [`kind_fn`] pointer lookup, and the per-opcode shape lookups used by
+/// [`lower_op`].
+///
+/// `gpr` rows are ALU/MUL opcodes writing a GPR ([`crate::exec::eval`]
+/// semantics, the opcode a compile-time constant in each generated body);
+/// `breg` rows are the same opcode space writing a branch register
+/// ([`crate::exec::eval_cond`] semantics). Each row names its three
+/// shape-specialized kinds: `RR` (both sources registers), `RI` (second
+/// source immediate), `IR` (first source immediate). Two-immediate
+/// operations never reach these tables — decode constant-folds them.
+macro_rules! threaded_kinds {
+    (
+        gpr { $( $gop:ident => $grr:ident $gri:ident $gir:ident; )* }
+        breg { $( $bop:ident => $brr:ident $bri:ident $bir:ident; )* }
+    ) => {
+        /// Micro-op kind: one variant per opcode × operand shape. Variants
+        /// up to (excluding) [`Kind::SlctII`] are **dense**: the fused
+        /// bundle evaluator inlines them. The tail variants are table-only
+        /// (reached through the [`EvalFn`] pointer of a non-fused bundle).
+        #[derive(Clone, Copy, PartialEq, Eq, Debug)]
+        #[repr(u8)]
+        pub enum Kind {
+            $(
+                #[doc = concat!("`", stringify!($gop), "` → GPR, sources register/register.")]
+                $grr,
+                #[doc = concat!("`", stringify!($gop), "` → GPR, sources register/immediate.")]
+                $gri,
+                #[doc = concat!("`", stringify!($gop), "` → GPR, sources immediate/register.")]
+                $gir,
+            )*
+            /// `slct` writing a GPR (reads `cond`), register/register.
+            SlctRR,
+            /// `slct` writing a GPR, register/immediate.
+            SlctRI,
+            /// `slct` writing a GPR, immediate/register.
+            SlctIR,
+            $(
+                #[doc = concat!("`", stringify!($bop), "` → branch register, register/register.")]
+                $brr,
+                #[doc = concat!("`", stringify!($bop), "` → branch register, register/immediate.")]
+                $bri,
+                #[doc = concat!("`", stringify!($bop), "` → branch register, immediate/register.")]
+                $bir,
+            )*
+            /// Word load (base is always a register: immediate bases fold
+            /// into the offset at decode; same for the widths below).
+            LdW,
+            /// Sign-extending halfword load.
+            LdH,
+            /// Zero-extending halfword load.
+            LdHu,
+            /// Sign-extending byte load.
+            LdB,
+            /// Zero-extending byte load.
+            LdBu,
+            /// Store of a register value (size lives in the precomputed
+            /// flag byte, not the kind).
+            StR,
+            /// Store of an immediate value.
+            StI,
+            /// Conditional branch, taken when the branch register is true.
+            CondBrT,
+            /// Conditional branch, taken when the branch register is false.
+            CondBrF,
+            /// Unconditional branch.
+            Goto,
+            /// End of the program run.
+            Halt,
+            // ---- table-only kinds from here on (see `Kind::dense`) ----
+            /// `slct` of two immediates (`imm`/`imm2`).
+            SlctII,
+            /// Branch-register write folded to a constant at decode.
+            BregConst,
+            /// Inter-cluster send (value captured before record building;
+            /// the record itself is effect-free).
+            Send,
+            /// Inter-cluster receive of pair `imm`.
+            Recv,
+            /// No architectural effect (still occupies its FU and slot).
+            Effectless,
+        }
+
+        impl Kind {
+            /// Whether the fused bundle evaluator inlines this kind. The
+            /// enum is declared dense-first, so this is one compare.
+            #[inline]
+            pub fn dense(self) -> bool {
+                (self as u8) < (Kind::SlctII as u8)
+            }
+        }
+
+        $(
+            #[allow(non_snake_case)]
+            #[inline(always)]
+            fn $grr(t: &ThreadedOp, cx: &EvalCtx) -> OpRecord {
+                rec_gpr(t, eval(Opcode::$gop, reg(cx, t.a), reg(cx, t.b), false))
+            }
+            #[allow(non_snake_case)]
+            #[inline(always)]
+            fn $gri(t: &ThreadedOp, cx: &EvalCtx) -> OpRecord {
+                rec_gpr(t, eval(Opcode::$gop, reg(cx, t.a), t.imm, false))
+            }
+            #[allow(non_snake_case)]
+            #[inline(always)]
+            fn $gir(t: &ThreadedOp, cx: &EvalCtx) -> OpRecord {
+                rec_gpr(t, eval(Opcode::$gop, t.imm, reg(cx, t.b), false))
+            }
+        )*
+
+        $(
+            #[allow(non_snake_case)]
+            #[inline(always)]
+            fn $brr(t: &ThreadedOp, cx: &EvalCtx) -> OpRecord {
+                rec_breg(t, eval_cond(Opcode::$bop, reg(cx, t.a), reg(cx, t.b)))
+            }
+            #[allow(non_snake_case)]
+            #[inline(always)]
+            fn $bri(t: &ThreadedOp, cx: &EvalCtx) -> OpRecord {
+                rec_breg(t, eval_cond(Opcode::$bop, reg(cx, t.a), t.imm))
+            }
+            #[allow(non_snake_case)]
+            #[inline(always)]
+            fn $bir(t: &ThreadedOp, cx: &EvalCtx) -> OpRecord {
+                rec_breg(t, eval_cond(Opcode::$bop, t.imm, reg(cx, t.b)))
+            }
+        )*
+
+        /// Evaluates one op by kind with every arm inlined: the fused
+        /// bundle evaluator's body. Total over [`Kind`] — the table-only
+        /// tail arms delegate to the same functions the pointer table
+        /// binds, so both paths are one implementation.
+        #[inline(always)]
+        pub(crate) fn eval_dense(t: &ThreadedOp, cx: &EvalCtx) -> OpRecord {
+            match t.k {
+                $( Kind::$grr => $grr(t, cx), )*
+                $( Kind::$gri => $gri(t, cx), )*
+                $( Kind::$gir => $gir(t, cx), )*
+                Kind::SlctRR => slct_rr(t, cx),
+                Kind::SlctRI => slct_ri(t, cx),
+                Kind::SlctIR => slct_ir(t, cx),
+                $( Kind::$brr => $brr(t, cx), )*
+                $( Kind::$bri => $bri(t, cx), )*
+                $( Kind::$bir => $bir(t, cx), )*
+                Kind::LdW => ld_w(t, cx),
+                Kind::LdH => ld_h(t, cx),
+                Kind::LdHu => ld_hu(t, cx),
+                Kind::LdB => ld_b(t, cx),
+                Kind::LdBu => ld_bu(t, cx),
+                Kind::StR => st_r(t, cx),
+                Kind::StI => st_i(t, cx),
+                Kind::CondBrT => cond_br_t(t, cx),
+                Kind::CondBrF => cond_br_f(t, cx),
+                Kind::Goto => goto(t, cx),
+                Kind::Halt => halt(t, cx),
+                Kind::SlctII => slct_ii(t, cx),
+                Kind::BregConst => breg_const(t, cx),
+                Kind::Send => send(t, cx),
+                Kind::Recv => recv(t, cx),
+                Kind::Effectless => effectless(t, cx),
+            }
+        }
+
+        /// The pre-bound evaluator for a kind: the closure-table entry
+        /// stored per op at decode time.
+        pub fn kind_fn(k: Kind) -> EvalFn {
+            match k {
+                $( Kind::$grr => $grr, )*
+                $( Kind::$gri => $gri, )*
+                $( Kind::$gir => $gir, )*
+                Kind::SlctRR => slct_rr,
+                Kind::SlctRI => slct_ri,
+                Kind::SlctIR => slct_ir,
+                $( Kind::$brr => $brr, )*
+                $( Kind::$bri => $bri, )*
+                $( Kind::$bir => $bir, )*
+                Kind::LdW => ld_w,
+                Kind::LdH => ld_h,
+                Kind::LdHu => ld_hu,
+                Kind::LdB => ld_b,
+                Kind::LdBu => ld_bu,
+                Kind::StR => st_r,
+                Kind::StI => st_i,
+                Kind::CondBrT => cond_br_t,
+                Kind::CondBrF => cond_br_f,
+                Kind::Goto => goto,
+                Kind::Halt => halt,
+                Kind::SlctII => slct_ii,
+                Kind::BregConst => breg_const,
+                Kind::Send => send,
+                Kind::Recv => recv,
+                Kind::Effectless => effectless,
+            }
+        }
+
+        /// Shape-specialized kinds of a GPR-writing ALU/MUL opcode:
+        /// `(RR, RI, IR)`.
+        fn gpr_kinds(op: Opcode) -> (Kind, Kind, Kind) {
+            match op {
+                $( Opcode::$gop => (Kind::$grr, Kind::$gri, Kind::$gir), )*
+                Opcode::Slct => (Kind::SlctRR, Kind::SlctRI, Kind::SlctIR),
+                _ => unreachable!("non-ALU opcode {op:?} reached OpEval::AluGpr"),
+            }
+        }
+
+        /// Shape-specialized kinds of a branch-register-writing opcode.
+        /// The whole ALU opcode space is covered (any ALU result can feed
+        /// a branch register through `!= 0`, mirroring `eval_cond`).
+        fn breg_kinds(op: Opcode) -> (Kind, Kind, Kind) {
+            match op {
+                $( Opcode::$bop => (Kind::$brr, Kind::$bri, Kind::$bir), )*
+                _ => unreachable!("non-ALU opcode {op:?} reached OpEval::AluBreg"),
+            }
+        }
+    };
+}
+
+threaded_kinds! {
+    gpr {
+        Add => AddRR AddRI AddIR;
+        Sub => SubRR SubRI SubIR;
+        And => AndRR AndRI AndIR;
+        Or => OrRR OrRI OrIR;
+        Xor => XorRR XorRI XorIR;
+        Andc => AndcRR AndcRI AndcIR;
+        Shl => ShlRR ShlRI ShlIR;
+        Shr => ShrRR ShrRI ShrIR;
+        Sra => SraRR SraRI SraIR;
+        Min => MinRR MinRI MinIR;
+        Max => MaxRR MaxRI MaxIR;
+        Minu => MinuRR MinuRI MinuIR;
+        Maxu => MaxuRR MaxuRI MaxuIR;
+        Mov => MovRR MovRI MovIR;
+        Sxtb => SxtbRR SxtbRI SxtbIR;
+        Sxth => SxthRR SxthRI SxthIR;
+        Zxtb => ZxtbRR ZxtbRI ZxtbIR;
+        Zxth => ZxthRR ZxthRI ZxthIR;
+        CmpEq => CmpEqRR CmpEqRI CmpEqIR;
+        CmpNe => CmpNeRR CmpNeRI CmpNeIR;
+        CmpLt => CmpLtRR CmpLtRI CmpLtIR;
+        CmpLe => CmpLeRR CmpLeRI CmpLeIR;
+        CmpGt => CmpGtRR CmpGtRI CmpGtIR;
+        CmpGe => CmpGeRR CmpGeRI CmpGeIR;
+        CmpLtu => CmpLtuRR CmpLtuRI CmpLtuIR;
+        CmpGeu => CmpGeuRR CmpGeuRI CmpGeuIR;
+        Mull => MullRR MullRI MullIR;
+        Mulh => MulhRR MulhRI MulhIR;
+    }
+    breg {
+        Add => AddBRR AddBRI AddBIR;
+        Sub => SubBRR SubBRI SubBIR;
+        And => AndBRR AndBRI AndBIR;
+        Or => OrBRR OrBRI OrBIR;
+        Xor => XorBRR XorBRI XorBIR;
+        Andc => AndcBRR AndcBRI AndcBIR;
+        Shl => ShlBRR ShlBRI ShlBIR;
+        Shr => ShrBRR ShrBRI ShrBIR;
+        Sra => SraBRR SraBRI SraBIR;
+        Min => MinBRR MinBRI MinBIR;
+        Max => MaxBRR MaxBRI MaxBIR;
+        Minu => MinuBRR MinuBRI MinuBIR;
+        Maxu => MaxuBRR MaxuBRI MaxuBIR;
+        Mov => MovBRR MovBRI MovBIR;
+        Sxtb => SxtbBRR SxtbBRI SxtbBIR;
+        Sxth => SxthBRR SxthBRI SxthBIR;
+        Zxtb => ZxtbBRR ZxtbBRI ZxtbBIR;
+        Zxth => ZxthBRR ZxthBRI ZxthBIR;
+        Slct => SlctBRR SlctBRI SlctBIR;
+        CmpEq => CmpEqBRR CmpEqBRI CmpEqBIR;
+        CmpNe => CmpNeBRR CmpNeBRI CmpNeBIR;
+        CmpLt => CmpLtBRR CmpLtBRI CmpLtBIR;
+        CmpLe => CmpLeBRR CmpLeBRI CmpLeBIR;
+        CmpGt => CmpGtBRR CmpGtBRI CmpGtBIR;
+        CmpGe => CmpGeBRR CmpGeBRI CmpGeBIR;
+        CmpLtu => CmpLtuBRR CmpLtuBRI CmpLtuBIR;
+        CmpGeu => CmpGeuBRR CmpGeuBRI CmpGeuBIR;
+        Mull => MullBRR MullBRI MullBIR;
+        Mulh => MulhBRR MulhBRI MulhBIR;
+    }
+}
+
+// ---- shared evaluator plumbing ---------------------------------------
+
+/// Flat GPR read (register-zero slots are never written, so the
+/// architectural zero falls out of the array). The mask makes the bound
+/// obvious to the optimiser; decode validated the index.
+#[inline(always)]
+fn reg(cx: &EvalCtx, i: u16) -> u32 {
+    cx.regs[i as usize & (MAX_CLUSTERS * 64 - 1)]
+}
+
+/// Flat branch-register read; [`BREG_NONE`] reads false.
+#[inline(always)]
+fn breg(cx: &EvalCtx, i: u16) -> bool {
+    i != BREG_NONE && cx.bregs[i as usize & (MAX_CLUSTERS * 8 - 1)]
+}
+
+/// A record with the op's precomputed static half and no value yet.
+#[inline(always)]
+fn rec(t: &ThreadedOp) -> OpRecord {
+    OpRecord {
+        val: 0,
+        mem_addr: 0,
+        ctrl: crate::thread::CTRL_NONE,
+        statics: t.statics,
+        flags: t.rec_flags,
+    }
+}
+
+/// A GPR-writing record (`rec_flags` already carries `F_GPR`).
+#[inline(always)]
+fn rec_gpr(t: &ThreadedOp, v: u32) -> OpRecord {
+    let mut r = rec(t);
+    r.val = v;
+    r
+}
+
+/// A branch-register-writing record: `F_BREG_VAL` is the only flag bit
+/// computed at evaluation time.
+#[inline(always)]
+fn rec_breg(t: &ThreadedOp, v: bool) -> OpRecord {
+    let mut r = rec(t);
+    r.flags |= if v { F_BREG_VAL } else { 0 };
+    r
+}
+
+// ---- select ----------------------------------------------------------
+
+#[inline(always)]
+fn slct_rr(t: &ThreadedOp, cx: &EvalCtx) -> OpRecord {
+    rec_gpr(
+        t,
+        if breg(cx, t.cond) {
+            reg(cx, t.a)
+        } else {
+            reg(cx, t.b)
+        },
+    )
+}
+
+#[inline(always)]
+fn slct_ri(t: &ThreadedOp, cx: &EvalCtx) -> OpRecord {
+    rec_gpr(
+        t,
+        if breg(cx, t.cond) {
+            reg(cx, t.a)
+        } else {
+            t.imm
+        },
+    )
+}
+
+#[inline(always)]
+fn slct_ir(t: &ThreadedOp, cx: &EvalCtx) -> OpRecord {
+    rec_gpr(
+        t,
+        if breg(cx, t.cond) {
+            t.imm
+        } else {
+            reg(cx, t.b)
+        },
+    )
+}
+
+#[inline(always)]
+fn slct_ii(t: &ThreadedOp, cx: &EvalCtx) -> OpRecord {
+    rec_gpr(t, if breg(cx, t.cond) { t.imm } else { t.imm2 })
+}
+
+// ---- memory ----------------------------------------------------------
+//
+// Loads read through the Memory fast path (`&self` API: one-entry TLB +
+// direct page access) at activation; the value lands in the record and the
+// D$ probe at `mem_addr` stays a pure timing event at issue. A load whose
+// destination folded away (register zero) skips the functional read,
+// matching the legacy evaluator's side effects (TLB counters included).
+
+macro_rules! load_kind {
+    ($name:ident, $mem:ident, $addr:ident, $read:expr) => {
+        #[inline(always)]
+        fn $name(t: &ThreadedOp, cx: &EvalCtx) -> OpRecord {
+            let $addr = reg(cx, t.a).wrapping_add(t.imm);
+            let mut r = rec(t);
+            r.mem_addr = $addr;
+            if t.rec_flags & F_GPR != 0 {
+                let $mem = cx.mem;
+                r.val = $read;
+            }
+            r
+        }
+    };
+}
+
+load_kind!(ld_w, mem, addr, mem.read_u32(addr));
+load_kind!(ld_h, mem, addr, mem.read_u16(addr) as i16 as i32 as u32);
+load_kind!(ld_hu, mem, addr, mem.read_u16(addr) as u32);
+load_kind!(ld_b, mem, addr, mem.read_u8(addr) as i8 as i32 as u32);
+load_kind!(ld_bu, mem, addr, mem.read_u8(addr) as u32);
+
+#[inline(always)]
+fn st_r(t: &ThreadedOp, cx: &EvalCtx) -> OpRecord {
+    let mut r = rec(t);
+    r.mem_addr = reg(cx, t.a).wrapping_add(t.imm);
+    r.val = reg(cx, t.b);
+    r
+}
+
+#[inline(always)]
+fn st_i(t: &ThreadedOp, cx: &EvalCtx) -> OpRecord {
+    let mut r = rec(t);
+    r.mem_addr = reg(cx, t.a).wrapping_add(t.imm);
+    r.val = t.imm2;
+    r
+}
+
+// ---- control ---------------------------------------------------------
+
+#[inline(always)]
+fn cond_br_t(t: &ThreadedOp, cx: &EvalCtx) -> OpRecord {
+    let mut r = rec(t);
+    if breg(cx, t.cond) {
+        r.ctrl = t.imm;
+    }
+    r
+}
+
+#[inline(always)]
+fn cond_br_f(t: &ThreadedOp, cx: &EvalCtx) -> OpRecord {
+    let mut r = rec(t);
+    if !breg(cx, t.cond) {
+        r.ctrl = t.imm;
+    }
+    r
+}
+
+#[inline(always)]
+fn goto(t: &ThreadedOp, _cx: &EvalCtx) -> OpRecord {
+    let mut r = rec(t);
+    r.ctrl = t.imm;
+    r
+}
+
+#[inline(always)]
+fn halt(t: &ThreadedOp, _cx: &EvalCtx) -> OpRecord {
+    let mut r = rec(t);
+    r.ctrl = CTRL_HALT;
+    r
+}
+
+// ---- communication and folded rarities (table-only kinds) ------------
+
+#[inline(always)]
+fn send(t: &ThreadedOp, _cx: &EvalCtx) -> OpRecord {
+    // The value was captured into the xfer buffer before record building;
+    // the record only carries issue-resource accounting.
+    rec(t)
+}
+
+#[inline(always)]
+fn recv(t: &ThreadedOp, cx: &EvalCtx) -> OpRecord {
+    let mut r = rec(t);
+    if t.rec_flags & F_GPR != 0 {
+        r.val = cx.xfer[t.imm as usize & 15];
+    }
+    r
+}
+
+#[inline(always)]
+fn breg_const(t: &ThreadedOp, _cx: &EvalCtx) -> OpRecord {
+    // Fully folded at decode: the flag byte already carries F_BREG_VAL.
+    rec(t)
+}
+
+#[inline(always)]
+fn effectless(t: &ThreadedOp, _cx: &EvalCtx) -> OpRecord {
+    rec(t)
+}
+
+// ---- lowering --------------------------------------------------------
+
+/// Shape-dispatches a resolved `(a, b)` source pair onto the three
+/// specialized kinds. Two-immediate shapes were folded at decode and must
+/// not reach this point.
+#[inline]
+fn shape(kinds: (Kind, Kind, Kind), t: &mut ThreadedOp, a: u16, b: u16, imm: u32) -> Kind {
+    match (a == SRC_IMM, b == SRC_IMM) {
+        (false, false) => {
+            t.a = a;
+            t.b = b;
+            kinds.0
+        }
+        (false, true) => {
+            t.a = a;
+            t.imm = imm;
+            kinds.1
+        }
+        (true, false) => {
+            t.b = b;
+            t.imm = imm;
+            kinds.2
+        }
+        (true, true) => unreachable!("two-immediate ALU shape survived decode folding"),
+    }
+}
+
+/// Lowers one pre-decoded operation into its threaded-code form. Pure
+/// table construction: every dynamic decision the legacy `OpEval` match
+/// made per activation (opcode class, operand shape, flag assembly,
+/// destination presence) is resolved here, once per program.
+pub(crate) fn lower_op(dop: &DecodedOp) -> ThreadedOp {
+    let mut t = ThreadedOp {
+        k: Kind::Effectless,
+        rec_flags: F_PENDING,
+        a: 0,
+        b: 0,
+        cond: BREG_NONE,
+        statics: ((dop.log_cluster as u32) << 16) | ((dop.fu.index() as u32) << 24),
+        imm: 0,
+        imm2: 0,
+    };
+    t.k = match dop.eval {
+        OpEval::Load {
+            width,
+            base,
+            off,
+            dst,
+        } => {
+            t.a = base;
+            t.imm = off;
+            t.rec_flags |= F_MEM;
+            if dst != DST_NONE {
+                t.rec_flags |= F_GPR;
+                t.set_dst(dst);
+            }
+            match width {
+                LoadWidth::W => Kind::LdW,
+                LoadWidth::H => Kind::LdH,
+                LoadWidth::Hu => Kind::LdHu,
+                LoadWidth::B => Kind::LdB,
+                LoadWidth::Bu => Kind::LdBu,
+            }
+        }
+        OpEval::Store {
+            size,
+            base,
+            off,
+            value,
+            val_imm,
+        } => {
+            t.a = base;
+            t.imm = off;
+            t.rec_flags |= F_MEM | F_STORE | ((size.trailing_zeros() as u8) << F_SIZE_SHIFT);
+            if value == SRC_IMM {
+                t.imm2 = val_imm;
+                Kind::StI
+            } else {
+                t.b = value;
+                Kind::StR
+            }
+        }
+        OpEval::Send => Kind::Send,
+        OpEval::Recv { pair, dst } => {
+            t.imm = pair as u32;
+            if dst != DST_NONE {
+                t.rec_flags |= F_GPR;
+                t.set_dst(dst);
+            }
+            Kind::Recv
+        }
+        OpEval::CondBr {
+            cond,
+            target,
+            taken_if,
+        } => {
+            t.cond = cond;
+            t.imm = target as u32;
+            if taken_if {
+                Kind::CondBrT
+            } else {
+                Kind::CondBrF
+            }
+        }
+        OpEval::Goto { target } => {
+            t.imm = target as u32;
+            Kind::Goto
+        }
+        OpEval::Halt => Kind::Halt,
+        OpEval::AluGpr {
+            op,
+            a,
+            b,
+            imm,
+            cond,
+            dst,
+        } => {
+            t.rec_flags |= F_GPR;
+            t.set_dst(dst);
+            t.cond = cond;
+            shape(gpr_kinds(op), &mut t, a, b, imm)
+        }
+        OpEval::SlctImm { a, b, cond, dst } => {
+            t.rec_flags |= F_GPR;
+            t.set_dst(dst);
+            t.cond = cond;
+            t.imm = a;
+            t.imm2 = b;
+            Kind::SlctII
+        }
+        OpEval::AluBreg { op, a, b, imm, dst } => {
+            t.rec_flags |= F_BREG;
+            t.set_dst(dst);
+            shape(breg_kinds(op), &mut t, a, b, imm)
+        }
+        OpEval::BregConst { v, dst } => {
+            t.rec_flags |= F_BREG | if v { F_BREG_VAL } else { 0 };
+            t.set_dst(dst);
+            Kind::BregConst
+        }
+        OpEval::Effectless => Kind::Effectless,
+    };
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::decode::DecodedProgram;
+    use vex_isa::{BReg, Dest, Instruction, Operand, Operation, Program, Reg};
+
+    /// The table entry is hot-loop traffic: 16 ops × 20 bytes spans two
+    /// cache lines per activation. Growth here is a perf regression.
+    #[test]
+    fn threaded_op_is_20_bytes() {
+        assert_eq!(std::mem::size_of::<ThreadedOp>(), 20);
+    }
+
+    fn decode_single(op: Operation) -> DecodedProgram {
+        let mut inst = Instruction::nop(4);
+        inst.bundles[0].ops.push(op);
+        let mut halt = Instruction::nop(4);
+        halt.bundles[0].ops.push(Operation::new(Opcode::Halt));
+        DecodedProgram::decode(&Program::new("t", vec![inst, halt], vec![]))
+    }
+
+    /// Every operand/destination shape a given opcode can decode into.
+    fn shapes_of(op: Opcode) -> Vec<Operation> {
+        let r1 = Operand::Gpr(Reg::new(0, 1));
+        let r2 = Operand::Gpr(Reg::new(0, 2));
+        let imm = Operand::Imm(37);
+        let cond = Operand::Breg(BReg::new(0, 0));
+        let mut out = Vec::new();
+        if op.is_load() {
+            out.push(Operation::load(op, Reg::new(0, 3), Reg::new(0, 2), 8));
+            // Destination register zero: the load's write folds away.
+            out.push(Operation::load(op, Reg::new(0, 0), Reg::new(0, 2), 8));
+        } else if op.is_store() {
+            out.push(Operation::store(op, Reg::new(0, 2), 8, r1));
+            out.push(Operation::store(op, Reg::new(0, 2), 8, imm));
+        } else if op.is_ctrl() {
+            let mut o = Operation::new(op);
+            o.a = cond;
+            o.imm = 1;
+            out.push(o);
+        } else if op == Opcode::Send {
+            let mut o = Operation::new(op);
+            o.a = r1;
+            o.imm = 3;
+            out.push(o);
+        } else if op == Opcode::Recv {
+            let mut o = Operation::new(op);
+            o.dst = Dest::Gpr(Reg::new(0, 4));
+            o.imm = 3;
+            out.push(o);
+        } else {
+            // ALU/MUL: every source shape × every destination class.
+            for (a, b) in [(r1, r2), (r1, imm), (imm, r2), (imm, imm)] {
+                for dst in [
+                    Dest::Gpr(Reg::new(0, 3)),
+                    Dest::Breg(BReg::new(0, 1)),
+                    Dest::None,
+                ] {
+                    let mut o = Operation::bin(op, Reg::new(0, 3), a, b);
+                    o.dst = dst;
+                    o.c = cond;
+                    out.push(o);
+                }
+            }
+        }
+        out
+    }
+
+    /// Tentpole coverage pin: every opcode, in every operand shape it can
+    /// decode into, lowers to a threaded-code table entry — and the fused
+    /// jump-table arm produces the same record as the pre-bound pointer
+    /// the closure table carries. A silent interpretive fallback (or a
+    /// kind whose two implementations diverge) fails here.
+    #[test]
+    fn every_opcode_lowers_and_paths_agree() {
+        let mut regs = [0u32; MAX_CLUSTERS * 64];
+        for (i, r) in regs.iter_mut().enumerate() {
+            *r = (i as u32).wrapping_mul(0x9e37_79b9);
+        }
+        regs[0] = 0; // architectural zero
+        regs[2] = 0x40; // flat r0.2: in-bounds load/store base
+        let mut bregs = [false; MAX_CLUSTERS * 8];
+        bregs[0] = true;
+        let mut mem = Memory::new();
+        for a in 0..256u32 {
+            mem.write_u8(a, a as u8 ^ 0x5a);
+        }
+        let mut xfer = [0u32; 16];
+        xfer[3] = 0xdead_beef;
+        let cx = EvalCtx {
+            regs: &regs,
+            bregs: &bregs,
+            mem: &mem,
+            xfer: &xfer,
+        };
+
+        for op in Opcode::ALL {
+            for shaped in shapes_of(op) {
+                let d = decode_single(shaped.clone());
+                let di = d.inst(0);
+                assert_eq!(
+                    d.tops_of(di).len(),
+                    d.fns_of(di).len(),
+                    "{op:?}: closure table out of step with op table"
+                );
+                for (t, f) in d.tops_of(di).iter().zip(d.fns_of(di)) {
+                    assert_eq!(
+                        eval_dense(t, &cx),
+                        f(t, &cx),
+                        "{op:?} `{shaped}` kind {:?}: fused arm and table entry diverge",
+                        t.k
+                    );
+                }
+            }
+        }
+    }
+
+    /// The kind space maps opcode classes where they belong: the hot set
+    /// is dense (fusable), communication is table-only, and the dense
+    /// check matches the declaration split.
+    #[test]
+    fn kind_classification() {
+        let k = |o: Operation| {
+            let d = decode_single(o);
+            d.tops_of(d.inst(0))[0].k
+        };
+        let add = Operation::bin(
+            Opcode::Add,
+            Reg::new(0, 3),
+            Operand::Gpr(Reg::new(0, 1)),
+            Operand::Imm(5),
+        );
+        assert_eq!(k(add), Kind::AddRI);
+        assert!(Kind::AddRI.dense());
+        assert_eq!(
+            k(Operation::load(
+                Opcode::Ldhu,
+                Reg::new(0, 3),
+                Reg::new(0, 2),
+                4
+            )),
+            Kind::LdHu
+        );
+        let mut send = Operation::new(Opcode::Send);
+        send.a = Operand::Gpr(Reg::new(0, 1));
+        assert_eq!(k(send), Kind::Send);
+        assert!(!Kind::Send.dense());
+        assert!(!Kind::SlctII.dense());
+        assert!(Kind::Halt.dense());
+    }
+
+    /// Bundle fusibility lands in the decode tables: a pure-ALU
+    /// instruction fuses whole, a send/recv bundle drops to the per-op
+    /// closure path while its dense siblings stay fused.
+    #[test]
+    fn fused_mask_tracks_dense_bundles() {
+        let add = Operation::bin(
+            Opcode::Add,
+            Reg::new(0, 3),
+            Operand::Gpr(Reg::new(0, 1)),
+            Operand::Imm(5),
+        );
+        let d = decode_single(add.clone());
+        let di = d.inst(0);
+        assert_eq!(di.fused_mask, di.bundle_mask);
+
+        let mut send = Operation::new(Opcode::Send);
+        send.a = Operand::Gpr(Reg::new(0, 1));
+        send.imm = 0;
+        let mut recv = Operation::new(Opcode::Recv);
+        recv.dst = Dest::Gpr(Reg::new(1, 2));
+        recv.imm = 0;
+        let mut inst = Instruction::nop(4);
+        inst.bundles[0].ops.push(add);
+        inst.bundles[1].ops.push(send);
+        inst.bundles[2].ops.push(recv);
+        let mut halt = Instruction::nop(4);
+        halt.bundles[0].ops.push(Operation::new(Opcode::Halt));
+        let d = DecodedProgram::decode(&Program::new("t", vec![inst, halt], vec![]));
+        let di = d.inst(0);
+        assert_eq!(di.bundle_mask, 0b0111);
+        assert_eq!(di.fused_mask, 0b0001, "only the ALU bundle is dense");
+    }
+}
