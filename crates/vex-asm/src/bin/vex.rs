@@ -36,6 +36,14 @@ USAGE:
     vex trace --attribute FILE       replay a .vext trace into a per-thread,
                                      per-cycle attribution (see docs/TRACE.md)
     vex sweep SPEC.toml [OPTIONS]    run a sweep spec (see docs/SPECS.md)
+    vex serve [SPEC.toml] [OPTIONS]  run the fault-tolerant sweep service: a
+                                     supervised worker pool behind a TCP
+                                     submission endpoint (docs/ROBUSTNESS.md)
+    vex worker --connect ADDR        run one sweep worker process (normally
+                                     spawned by `vex serve` itself)
+    vex submit SPEC.toml --connect ADDR [OPTIONS]
+                                     submit a sweep to a running service and
+                                     wait for its results
     vex fuzz [OPTIONS]               differential-test seeded random programs
                                      against the in-order reference interpreter
     vex export-workloads [DIR]       write the 12 built-in benchmarks as .vex
@@ -67,6 +75,32 @@ SWEEP OPTIONS:
     --zero-wall                           report wall_secs as 0.0 everywhere
                                           so resumed and uninterrupted sweeps
                                           are byte-identical
+
+SERVE OPTIONS (flags override the spec's `[serve]` table, see docs/SPECS.md):
+    --listen ADDR                         bind address   [default: 127.0.0.1:0]
+    --workers N                           worker processes        [default: #cores]
+    --journal FILE                        crash-safe result journal; also logs
+                                          submissions to FILE.subs for `--resume`
+    --resume                              replay the journal and re-enqueue
+                                          interrupted submissions
+    --zero-wall                           report wall_secs as 0.0 in results
+    --port-file FILE                      write the bound address to FILE
+    --heartbeat-ms N                      worker heartbeat interval; a worker
+                                          silent for 5x this is reaped [default: 1000]
+    --point-timeout-ms N                  wall-clock ceiling per assignment
+                                          (0 = none)              [default: 0]
+    --retries N                           extra attempts per point [default: 3]
+    --quarantine N                        crashes before a point is declared
+                                          poison and failed       [default: 5]
+    --backoff-base-ms N / --backoff-max-ms N
+                                          retry backoff (exponential, jittered)
+                                          [defaults: 100 / 5000]
+
+SUBMIT OPTIONS:
+    --connect ADDR                        server address (required)
+    --out FILE                            write JSON results to FILE
+                                          (default: stdout)
+    --poll-ms N                           completion poll interval [default: 100]
 
 RUN OPTIONS:
     --spec FILE                           take the whole configuration from a
@@ -165,6 +199,9 @@ fn main() -> ExitCode {
         "run" => cmd_run(rest),
         "trace" => cmd_trace(rest),
         "sweep" => cmd_sweep(rest),
+        "serve" => cmd_serve(rest),
+        "worker" => cmd_worker(rest),
+        "submit" => cmd_submit(rest),
         "fuzz" => cmd_fuzz(rest),
         "export-workloads" => cmd_export(rest),
         "help" | "--help" | "-h" => {
@@ -612,6 +649,200 @@ fn cmd_sweep(args: &[String]) -> Result<(), Fail> {
             "{} of {} point(s) failed",
             outcome.errors.len(),
             outcome.errors.len() + outcome.points.len()
+        )));
+    }
+    Ok(())
+}
+
+// ---- the sweep service --------------------------------------------
+
+fn cmd_serve(args: &[String]) -> Result<(), Fail> {
+    let mut cfg = vex_serve::ServeConfig::default();
+    let mut spec_path: Option<String> = None;
+    let mut workers: Option<u32> = None;
+    let mut heartbeat_ms: Option<u64> = None;
+    let mut point_timeout_ms: Option<u64> = None;
+    let mut retries: Option<u32> = None;
+    let mut quarantine: Option<u32> = None;
+    let mut backoff_base_ms: Option<u64> = None;
+    let mut backoff_max_ms: Option<u64> = None;
+    let mut it = args.iter();
+    let value = |it: &mut std::slice::Iter<String>, flag: &str| -> Result<String, String> {
+        it.next()
+            .map(|s| s.to_string())
+            .ok_or_else(|| format!("`{flag}` needs a value"))
+    };
+    let num = |it: &mut std::slice::Iter<String>, flag: &str| -> Result<u64, String> {
+        let v = value(it, flag)?;
+        v.parse()
+            .map_err(|_| format!("bad value `{v}` for `{flag}`"))
+    };
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--listen" => cfg.listen = value(&mut it, a)?,
+            "--journal" => cfg.journal = Some(value(&mut it, a)?),
+            "--port-file" => cfg.port_file = Some(value(&mut it, a)?),
+            "--resume" => cfg.resume = true,
+            "--zero-wall" => cfg.zero_wall = true,
+            "--workers" => workers = Some(num(&mut it, a)? as u32),
+            "--heartbeat-ms" => heartbeat_ms = Some(num(&mut it, a)?),
+            "--point-timeout-ms" => point_timeout_ms = Some(num(&mut it, a)?),
+            "--retries" => retries = Some(num(&mut it, a)? as u32),
+            "--quarantine" => quarantine = Some(num(&mut it, a)? as u32),
+            "--backoff-base-ms" => backoff_base_ms = Some(num(&mut it, a)?),
+            "--backoff-max-ms" => backoff_max_ms = Some(num(&mut it, a)?),
+            f if !f.starts_with('-') => {
+                if spec_path.is_some() {
+                    return Err(Fail::usage("`vex serve` takes at most one spec file"));
+                }
+                spec_path = Some(f.to_string());
+            }
+            other => {
+                return Err(Fail::usage(format!(
+                    "unknown option `{other}` for `vex serve`"
+                )))
+            }
+        }
+    }
+
+    // A spec file's `[serve]` table seeds the policy; flags override it.
+    if let Some(p) = &spec_path {
+        let spec = load_spec(p).map_err(Fail::input)?;
+        if let Some(s) = spec.serve {
+            cfg.policy = s;
+        }
+    }
+    if let Some(v) = heartbeat_ms {
+        if v == 0 {
+            return Err(Fail::usage("`--heartbeat-ms` must be at least 1"));
+        }
+        cfg.policy.heartbeat_ms = v;
+    }
+    if let Some(v) = point_timeout_ms {
+        cfg.policy.point_timeout_ms = v;
+    }
+    if let Some(v) = retries {
+        cfg.policy.retries = v;
+    }
+    if let Some(v) = quarantine {
+        if v == 0 {
+            return Err(Fail::usage("`--quarantine` must be at least 1"));
+        }
+        cfg.policy.quarantine = v;
+    }
+    if let Some(v) = backoff_base_ms {
+        cfg.policy.backoff_base_ms = v;
+    }
+    if let Some(v) = backoff_max_ms {
+        cfg.policy.backoff_max_ms = v;
+    }
+    cfg.workers = workers.unwrap_or(cfg.policy.workers);
+    if cfg.resume && cfg.journal.is_none() {
+        return Err(Fail::usage("`--resume` needs `--journal FILE`"));
+    }
+
+    // The pool runs this very binary as `vex worker`.
+    let exe = std::env::current_exe()
+        .map_err(|e| format!("cannot locate the vex binary for worker spawning: {e}"))?;
+    cfg.worker_cmd = Some(vec![exe.display().to_string(), "worker".to_string()]);
+
+    vex_serve::serve(&cfg, Some(&resolve_program)).map_err(Fail::from)
+}
+
+fn cmd_worker(args: &[String]) -> Result<(), Fail> {
+    let mut connect: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--connect" => {
+                connect = Some(
+                    it.next()
+                        .map(|s| s.to_string())
+                        .ok_or_else(|| Fail::usage("`--connect` needs an address"))?,
+                )
+            }
+            other => {
+                return Err(Fail::usage(format!(
+                    "unknown option `{other}` for `vex worker`"
+                )))
+            }
+        }
+    }
+    let addr = connect.ok_or_else(|| Fail::usage("usage: vex worker --connect ADDR"))?;
+    vex_serve::worker_main(&addr, Some(&resolve_program)).map_err(Fail::from)
+}
+
+fn cmd_submit(args: &[String]) -> Result<(), Fail> {
+    let mut spec_path: Option<String> = None;
+    let mut connect: Option<String> = None;
+    let mut out_path: Option<String> = None;
+    let mut poll_ms: u64 = 100;
+    let mut it = args.iter();
+    let value = |it: &mut std::slice::Iter<String>, flag: &str| -> Result<String, String> {
+        it.next()
+            .map(|s| s.to_string())
+            .ok_or_else(|| format!("`{flag}` needs a value"))
+    };
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--connect" => connect = Some(value(&mut it, a).map_err(Fail::usage)?),
+            "--out" => out_path = Some(value(&mut it, a).map_err(Fail::usage)?),
+            "--poll-ms" => {
+                let v = value(&mut it, a).map_err(Fail::usage)?;
+                poll_ms = v
+                    .parse()
+                    .ok()
+                    .filter(|&n| n >= 1)
+                    .ok_or_else(|| Fail::usage(format!("bad poll interval `{v}`")))?;
+            }
+            f if !f.starts_with('-') => {
+                if spec_path.is_some() {
+                    return Err(Fail::usage("`vex submit` takes exactly one spec file"));
+                }
+                spec_path = Some(f.to_string());
+            }
+            other => {
+                return Err(Fail::usage(format!(
+                    "unknown option `{other}` for `vex submit`"
+                )))
+            }
+        }
+    }
+    let spec_path = spec_path.ok_or_else(|| {
+        Fail::usage("usage: vex submit SPEC.toml --connect ADDR [--out FILE] [--poll-ms N]")
+    })?;
+    let addr = connect.ok_or_else(|| Fail::usage("`vex submit` needs `--connect ADDR`"))?;
+    let text = std::fs::read_to_string(&spec_path)
+        .map_err(|e| Fail::input(format!("reading `{spec_path}`: {e}")))?;
+
+    let t0 = std::time::Instant::now();
+    let sub = vex_serve::submit(&addr, &text, Some(&resolve_program), poll_ms)?;
+    eprintln!(
+        "[vex submit] {}: {} points — {} cached, {} newly scheduled, {} failed in {:.1}s",
+        sub.outcome.spec.name,
+        sub.total,
+        sub.cached,
+        sub.enqueued,
+        sub.outcome.errors.len(),
+        t0.elapsed().as_secs_f32()
+    );
+    let json = sub.outcome.to_json();
+    match &out_path {
+        Some(p) => {
+            std::fs::write(p, &json).map_err(|e| format!("writing `{p}`: {e}"))?;
+            outln(&format!("wrote {p}"))?;
+        }
+        None => out(json.as_bytes())?,
+    }
+    if !sub.outcome.errors.is_empty() {
+        eprintln!("[vex submit] {} point(s) failed:", sub.outcome.errors.len());
+        for e in &sub.outcome.errors {
+            eprintln!("  [{:<7}] {}: {}", e.cause.tag(), e.label, e.cause);
+        }
+        return Err(Fail::points(format!(
+            "{} of {} point(s) failed",
+            sub.outcome.errors.len(),
+            sub.total
         )));
     }
     Ok(())

@@ -35,9 +35,18 @@
 //! journal paths) are deliberately excluded.
 //!
 //! Durability: every append ends with `fdatasync`, so a record that
-//! replay accepts was fully on disk before the sweep moved on.
+//! replay accepts was fully on disk before the sweep moved on. Creating
+//! a journal also fsyncs the *parent directory* ([`sync_parent_dir`]),
+//! so the file's directory entry itself survives a crash right after
+//! creation, not just its contents.
+//!
+//! Concurrency: a journal is single-writer. Opening one takes an
+//! advisory lock — a `<path>.lock` sidecar holding the owner's PID
+//! (`flock` isn't in std) — so two processes appending to the same file
+//! fail fast with a clear error instead of interleaving records. Locks
+//! left behind by dead PIDs are detected and reclaimed.
 
-use std::fs::{File, OpenOptions};
+use std::fs::{self, File, OpenOptions};
 use std::io::{Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
 use vex_isa::Program;
@@ -154,7 +163,11 @@ pub struct JournalEntry {
 }
 
 impl JournalEntry {
-    fn payload(&self) -> String {
+    /// Serializes the entry as the journal's line-oriented payload text.
+    /// This is also the sweep service's result wire format, so it is
+    /// public: a worker sends `to_payload()`, the server re-parses it
+    /// with [`JournalEntry::from_payload`] and journals it verbatim.
+    pub fn to_payload(&self) -> String {
         format!(
             "key={:016x}\nlabel={}\nstop={}\nwall_bits={:016x}\n{}",
             self.key,
@@ -165,7 +178,8 @@ impl JournalEntry {
         )
     }
 
-    fn parse(payload: &str) -> Result<JournalEntry, String> {
+    /// Parses a payload produced by [`JournalEntry::to_payload`].
+    pub fn from_payload(payload: &str) -> Result<JournalEntry, String> {
         fn line<'a>(rest: &mut &'a str, key: &str) -> Result<&'a str, String> {
             let (head, tail) = rest
                 .split_once('\n')
@@ -206,33 +220,171 @@ pub struct ReplayReport {
     pub dropped_bytes: u64,
 }
 
-/// An open journal file, positioned for appending.
+/// Fsyncs the directory containing `path`, making the file's directory
+/// entry itself durable. On non-Unix platforms this is a no-op (directory
+/// fsync is not portably available there).
+pub fn sync_parent_dir(path: &Path) -> Result<(), String> {
+    #[cfg(unix)]
+    {
+        let parent = match path.parent() {
+            Some(p) if !p.as_os_str().is_empty() => p,
+            _ => Path::new("."),
+        };
+        File::open(parent)
+            .and_then(|d| d.sync_all())
+            .map_err(|e| format!("cannot sync directory `{}`: {e}", parent.display()))?;
+    }
+    #[cfg(not(unix))]
+    let _ = path;
+    Ok(())
+}
+
+/// Is `pid` a live process? Checked via `/proc` on Linux; elsewhere we
+/// conservatively report "alive", so foreign locks are never reclaimed.
+fn pid_alive(pid: u32) -> bool {
+    #[cfg(target_os = "linux")]
+    {
+        Path::new(&format!("/proc/{pid}")).exists()
+    }
+    #[cfg(not(target_os = "linux"))]
+    {
+        let _ = pid;
+        true
+    }
+}
+
+/// An advisory single-writer lock on a journal: a `<path>.lock` sidecar
+/// holding the owner's PID. Acquisition is atomic (the PID file is
+/// written aside and hard-linked into place), liveness is checked before
+/// refusing, and stale locks from dead PIDs are reclaimed. Released on
+/// drop.
+#[derive(Debug)]
+pub struct LockGuard {
+    lock_path: PathBuf,
+}
+
+impl LockGuard {
+    /// Takes the lock guarding `target`, or explains who holds it.
+    pub fn acquire(target: &Path) -> Result<LockGuard, String> {
+        let mut lock_os = target.as_os_str().to_os_string();
+        lock_os.push(".lock");
+        let lock_path = PathBuf::from(lock_os);
+        let pid = std::process::id();
+
+        // Write the PID aside, then hard-link into place: link(2) fails
+        // if the lock exists, and the lock file is never observable in a
+        // half-written state.
+        let mut tmp_os = lock_path.as_os_str().to_os_string();
+        tmp_os.push(format!(".{pid}"));
+        let tmp = PathBuf::from(tmp_os);
+        fs::write(&tmp, format!("{pid}\n"))
+            .map_err(|e| format!("cannot write lockfile `{}`: {e}", tmp.display()))?;
+
+        let mut result = Err(format!(
+            "journal `{}` is locked (lockfile `{}` contested)",
+            target.display(),
+            lock_path.display()
+        ));
+        // Two attempts: the second follows a stale-lock reclaim.
+        for _ in 0..2 {
+            match fs::hard_link(&tmp, &lock_path) {
+                Ok(()) => {
+                    result = Ok(LockGuard {
+                        lock_path: lock_path.clone(),
+                    });
+                    break;
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::AlreadyExists => {
+                    let holder = fs::read_to_string(&lock_path)
+                        .ok()
+                        .and_then(|s| s.trim().parse::<u32>().ok());
+                    match holder {
+                        Some(p) if p != pid && pid_alive(p) => {
+                            result = Err(format!(
+                                "journal `{}` is locked by running process {p} \
+                                 (lockfile `{}`); is another sweep writing it?",
+                                target.display(),
+                                lock_path.display()
+                            ));
+                            break;
+                        }
+                        Some(p) if p == pid => {
+                            result = Err(format!(
+                                "journal `{}` is already locked by this process",
+                                target.display()
+                            ));
+                            break;
+                        }
+                        // Dead PID or unreadable/torn lockfile: stale.
+                        // Reclaim and retry once.
+                        _ => {
+                            fs::remove_file(&lock_path).ok();
+                        }
+                    }
+                }
+                Err(e) => {
+                    result = Err(format!(
+                        "cannot create lockfile `{}`: {e}",
+                        lock_path.display()
+                    ));
+                    break;
+                }
+            }
+        }
+        fs::remove_file(&tmp).ok();
+        result
+    }
+}
+
+impl Drop for LockGuard {
+    fn drop(&mut self) {
+        fs::remove_file(&self.lock_path).ok();
+    }
+}
+
+/// An open journal file, positioned for appending. Holds the advisory
+/// lock ([`LockGuard`]) for as long as it is open.
 #[derive(Debug)]
 pub struct Journal {
     path: PathBuf,
     file: File,
+    _lock: LockGuard,
 }
 
 impl Journal {
     /// Creates (or truncates) a journal at `path` and writes the header.
+    /// Takes the advisory lock; fails fast if another live process holds
+    /// it.
     pub fn create(path: &Path) -> Result<Journal, String> {
+        let lock = LockGuard::acquire(path)?;
+        Journal::create_locked(path, lock)
+    }
+
+    fn create_locked(path: &Path, lock: LockGuard) -> Result<Journal, String> {
         let mut file = File::create(path)
             .map_err(|e| format!("cannot create journal `{}`: {e}", path.display()))?;
         file.write_all(MAGIC.as_bytes())
             .and_then(|_| file.sync_data())
             .map_err(|e| format!("cannot write journal `{}`: {e}", path.display()))?;
+        // Make the directory entry durable too: without this, a crash
+        // right after creation can lose the whole file even though its
+        // contents were synced.
+        sync_parent_dir(path)?;
         Ok(Journal {
             path: path.to_path_buf(),
             file,
+            _lock: lock,
         })
     }
 
     /// Opens an existing journal for resume: replays every valid record,
     /// truncates any torn tail, and returns the journal positioned for
     /// appending. A missing file is not an error — it starts fresh.
+    /// Takes the advisory lock first, like [`Journal::create`].
     pub fn open_resume(path: &Path) -> Result<(Journal, Vec<JournalEntry>, ReplayReport), String> {
+        let lock = LockGuard::acquire(path)?;
         if !path.exists() {
-            let j = Journal::create(path)?;
+            let j = Journal::create_locked(path, lock)?;
             return Ok((j, Vec::new(), ReplayReport::default()));
         }
         let mut file = OpenOptions::new()
@@ -250,7 +402,7 @@ impl Journal {
             // clobber what is probably an operator error.
             if MAGIC.as_bytes().starts_with(&bytes) {
                 drop(file);
-                let j = Journal::create(path)?;
+                let j = Journal::create_locked(path, lock)?;
                 return Ok((
                     j,
                     Vec::new(),
@@ -281,6 +433,7 @@ impl Journal {
             Journal {
                 path: path.to_path_buf(),
                 file,
+                _lock: lock,
             },
             entries,
             report,
@@ -289,7 +442,7 @@ impl Journal {
 
     /// Appends one record and syncs it to disk before returning.
     pub fn append(&mut self, entry: &JournalEntry) -> Result<(), String> {
-        let payload = entry.payload();
+        let payload = entry.to_payload();
         let record = format!(
             "+{:x} {:08x}\n{payload}\n",
             payload.len(),
@@ -319,7 +472,7 @@ fn replay(bytes: &[u8]) -> (Vec<JournalEntry>, usize) {
             return (entries, pos);
         };
         let (payload, next) = frame_end;
-        match JournalEntry::parse(payload) {
+        match JournalEntry::from_payload(payload) {
             Ok(e) => entries.push(e),
             Err(_) => return (entries, pos),
         }
@@ -381,7 +534,58 @@ mod tests {
     #[test]
     fn entry_payload_round_trips() {
         let e = entry(0xdead_beef);
-        assert_eq!(JournalEntry::parse(&e.payload()).unwrap(), e);
+        assert_eq!(JournalEntry::from_payload(&e.to_payload()).unwrap(), e);
+    }
+
+    #[test]
+    fn second_opener_fails_fast_while_lock_is_held() {
+        let path = tmp("locked");
+        let j = Journal::create(&path).unwrap();
+        let err = Journal::open_resume(&path).unwrap_err();
+        assert!(err.contains("already locked by this process"), "{err}");
+        drop(j);
+        // Dropping the journal releases the lock.
+        let (_, entries, _) = Journal::open_resume(&path).unwrap();
+        assert!(entries.is_empty());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn stale_lock_from_dead_pid_is_reclaimed() {
+        let path = tmp("stale");
+        std::fs::remove_file(&path).ok();
+        let lock_path = PathBuf::from(format!("{}.lock", path.display()));
+        // u32::MAX is far above any real pid_max, so this PID is dead.
+        std::fs::write(&lock_path, format!("{}\n", u32::MAX)).unwrap();
+        let mut j = Journal::create(&path).unwrap();
+        j.append(&entry(1)).unwrap();
+        drop(j);
+        assert!(!lock_path.exists(), "lock released on drop");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn torn_lockfile_is_treated_as_stale() {
+        let path = tmp("torn_lock");
+        std::fs::remove_file(&path).ok();
+        let lock_path = PathBuf::from(format!("{}.lock", path.display()));
+        std::fs::write(&lock_path, "not a pid").unwrap();
+        let j = Journal::create(&path).unwrap();
+        drop(j);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[cfg(target_os = "linux")]
+    #[test]
+    fn lock_held_by_live_foreign_pid_is_refused() {
+        let path = tmp("foreign");
+        std::fs::remove_file(&path).ok();
+        let lock_path = PathBuf::from(format!("{}.lock", path.display()));
+        // PID 1 is always alive and never us.
+        std::fs::write(&lock_path, "1\n").unwrap();
+        let err = Journal::create(&path).unwrap_err();
+        assert!(err.contains("locked by running process 1"), "{err}");
+        std::fs::remove_file(&lock_path).ok();
     }
 
     #[test]
@@ -509,7 +713,7 @@ mod tests {
         for w in [0.0, 1.5e-9, 0.123456789, f64::MAX] {
             let mut e = entry(5);
             e.wall_secs = w;
-            let back = JournalEntry::parse(&e.payload()).unwrap();
+            let back = JournalEntry::from_payload(&e.to_payload()).unwrap();
             assert_eq!(back.wall_secs.to_bits(), w.to_bits());
         }
     }

@@ -23,18 +23,24 @@
 #![warn(missing_docs)]
 
 pub mod ablate;
+pub mod backoff;
 pub mod fault;
 pub mod fig13;
 pub mod fig14;
 pub mod fig15;
 pub mod fig16;
+pub mod jobs;
 pub mod journal;
 pub mod runner;
 pub mod sweep;
 pub mod table;
 
+pub use backoff::{BackoffPolicy, NoSleep, OsSleeper, Sleeper};
 pub use fault::FaultPlan;
-pub use journal::{point_key, program_digest, Journal, JournalEntry, ReplayReport};
+pub use jobs::{prepare_programs, single_point_spec, spec_point_keys};
+pub use journal::{
+    point_key, program_digest, sync_parent_dir, Journal, JournalEntry, LockGuard, ReplayReport,
+};
 pub use runner::{PointError, PointFailure, PointResult, SweepOutcome, SweepRunner};
 /// The run-scale presets now live in `vex-sim` next to `SimConfig` (one
 /// source of truth for instruction budgets and timeslices); re-exported

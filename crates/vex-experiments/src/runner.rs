@@ -26,9 +26,15 @@
 //!   untouched tail is reported as skipped.
 //! * **Retry** ([`SweepRunner::retries`]): transient failures (including
 //!   panics) are retried up to the budget before a point is declared
-//!   failed; [`SweepRunner::on_retry`] observes each re-attempt.
+//!   failed, paced by the shared [`BackoffPolicy`] (exponential with
+//!   deterministic jitter — the same schedule the `vex serve` service
+//!   applies to crashed workers); [`SweepRunner::on_retry`] observes each
+//!   re-attempt, and [`SweepRunner::sleeper`] injects the clock so tests
+//!   assert the schedule instead of waiting it out.
 
-use crate::journal::{point_key, program_digest, Journal, JournalEntry};
+use crate::backoff::{BackoffPolicy, OsSleeper, Sleeper};
+use crate::jobs::{key_of, prepare_programs};
+use crate::journal::{Journal, JournalEntry};
 use crate::{
     default_workers, lock_clean, panic_message, parallel_map_isolated, FaultPlan, JobStatus,
 };
@@ -36,11 +42,10 @@ use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::Path;
 use std::sync::Mutex;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 use vex_isa::Program;
 use vex_sim::{run_prepared_full, PreparedProgram, SimStats, StopReason};
-use vex_spec::{RunSpec, SweepSpec, WorkloadRef};
-use vex_workloads::compile_benchmark_for;
+use vex_spec::{RunSpec, SweepSpec};
 
 /// Resolves a `.vex`/`.vexb` path to a program. The runner itself has no
 /// parser dependency; the `vex` CLI plugs `vex_asm` in here.
@@ -63,7 +68,7 @@ pub struct PointResult {
     /// Wall-clock seconds of the simulation itself (program preparation
     /// is shared across points and excluded).
     pub wall_secs: f64,
-    /// Content-addressed point identity (see [`point_key`]).
+    /// Content-addressed point identity (see [`crate::point_key`]).
     pub key: u64,
     /// True when this result was replayed from the journal instead of
     /// simulated in this process.
@@ -281,6 +286,8 @@ pub struct SweepRunner<'a> {
     keep_going: bool,
     retries: Option<u32>,
     retry_hook: Option<RetryHook<'a>>,
+    backoff: BackoffPolicy,
+    sleeper: &'a dyn Sleeper,
     fault: Option<&'a FaultPlan>,
     deterministic_wall: bool,
 }
@@ -297,6 +304,8 @@ impl<'a> SweepRunner<'a> {
             keep_going: false,
             retries: None,
             retry_hook: None,
+            backoff: BackoffPolicy::default(),
+            sleeper: &OsSleeper,
             fault: None,
             deterministic_wall: false,
         }
@@ -348,6 +357,23 @@ impl<'a> SweepRunner<'a> {
         self
     }
 
+    /// Retry pacing policy (default: [`BackoffPolicy::default`] —
+    /// exponential with deterministic jitter). Use
+    /// [`BackoffPolicy::none`] for immediate re-runs.
+    pub fn backoff(mut self, policy: BackoffPolicy) -> Self {
+        self.backoff = policy;
+        self
+    }
+
+    /// Injects the retry clock (default: real `thread::sleep`). Tests
+    /// plug a recorder here, so backoff schedules are asserted rather
+    /// than waited on; the wall-clock field is unaffected either way —
+    /// it only times the simulation itself.
+    pub fn sleeper(mut self, sleeper: &'a dyn Sleeper) -> Self {
+        self.sleeper = sleeper;
+        self
+    }
+
     /// Injects faults (test support; see [`FaultPlan`]).
     pub fn fault(mut self, plan: &'a FaultPlan) -> Self {
         self.fault = Some(plan);
@@ -380,37 +406,9 @@ impl<'a> SweepRunner<'a> {
         // Prepare each distinct (machine, member) program exactly once.
         // Keyed by machine *index* because machines with identical
         // geometry were already collapsed by `expand`. The digest feeds
-        // the journal's content-addressed point keys.
-        let mut prepared: HashMap<(usize, String), (PreparedProgram, u64)> = HashMap::new();
-        for p in &points {
-            for member in &p.mix.members {
-                let key = (p.machine_index, member.as_str().to_string());
-                if prepared.contains_key(&key) {
-                    continue;
-                }
-                let machine = &p.machine.config;
-                let program: std::sync::Arc<Program> = match member {
-                    WorkloadRef::Builtin(name) => compile_benchmark_for(name, machine)
-                        .map_err(|e| format!("mix `{}`: {e}", p.mix.name))?,
-                    WorkloadRef::Path(path) => {
-                        let Some(loader) = self.loader else {
-                            return Err(format!(
-                                "mix `{}` member `{path}` is a program file but this runner \
-                                 has no loader (run it through the `vex` CLI)",
-                                p.mix.name
-                            ));
-                        };
-                        let program = loader(path)?;
-                        program.validate(machine).map_err(|e| {
-                            format!("`{path}` does not fit machine `{}`: {e}", p.machine.name)
-                        })?;
-                        std::sync::Arc::new(program)
-                    }
-                };
-                let digest = program_digest(&program);
-                prepared.insert(key, (PreparedProgram::prepare(program), digest));
-            }
-        }
+        // the journal's content-addressed point keys. Shared with the
+        // sweep service through the job model (`crate::jobs`).
+        let prepared = prepare_programs(&points, self.loader)?;
 
         // Open the journal (if any) and replay prior progress (if resuming).
         let journal_path = self.journal.as_deref().or(self.spec.journal.as_deref());
@@ -437,6 +435,8 @@ impl<'a> SweepRunner<'a> {
         let zero_wall = self.deterministic_wall;
         let fault = self.fault;
         let retry_hook = self.retry_hook;
+        let backoff = self.backoff;
+        let sleeper = self.sleeper;
 
         // One slot per expanded point, so replayed and simulated results
         // merge back in expansion order.
@@ -445,13 +445,7 @@ impl<'a> SweepRunner<'a> {
         let mut jobs = Vec::new();
         let mut job_slot: Vec<usize> = Vec::new();
         for (index, run) in points.into_iter().enumerate() {
-            let member_digests: Vec<u64> = run
-                .mix
-                .members
-                .iter()
-                .map(|m| prepared[&(run.machine_index, m.as_str().to_string())].1)
-                .collect();
-            let key = point_key(&run, &member_digests);
+            let key = key_of(&run, &prepared);
             let label = run.label();
             slot_ids.push((key, label.clone()));
 
@@ -489,6 +483,11 @@ impl<'a> SweepRunner<'a> {
                         if let Some(hook) = retry_hook {
                             hook(&run, attempt);
                         }
+                        // Pace the re-run; this happens outside the
+                        // simulation's wall-clock window, so recorded
+                        // timings (and `deterministic_wall` byte
+                        // identity) are unaffected.
+                        sleeper.sleep(Duration::from_millis(backoff.delay_ms(key, attempt)));
                     }
                     let sim = catch_unwind(AssertUnwindSafe(
                         || -> Result<(SimStats, StopReason, f64), String> {
@@ -725,6 +724,51 @@ mod tests {
         assert_eq!(outcome.points.len(), 2);
         let flaky = outcome.points.iter().find(|p| p.attempts == 2).unwrap();
         assert_eq!(seen.lock().unwrap().as_slice(), &[(flaky.run.label(), 2)]);
+    }
+
+    #[test]
+    fn retries_follow_the_backoff_schedule() {
+        struct Recorder(Mutex<Vec<u64>>);
+        impl crate::Sleeper for Recorder {
+            fn sleep(&self, d: Duration) {
+                self.0.lock().unwrap().push(d.as_millis() as u64);
+            }
+        }
+
+        let spec = small_spec();
+        let plan = FaultPlan::fail_once_at(1);
+        let policy = crate::BackoffPolicy {
+            base_ms: 100,
+            max_ms: 5_000,
+            jitter: false,
+        };
+        let recorder = Recorder(Mutex::new(Vec::new()));
+        let outcome = SweepRunner::new(&spec)
+            .fault(&plan)
+            .retries(2)
+            .backoff(policy)
+            .sleeper(&recorder)
+            .run()
+            .unwrap();
+        assert!(outcome.errors.is_empty());
+        // One transient failure → one retry at the policy's first delay,
+        // and nothing slept for first attempts or untouched points.
+        assert_eq!(recorder.0.lock().unwrap().as_slice(), &[100]);
+
+        // The same schedule is reproducible run over run (jitter is
+        // key-derived, not clocked) — rerun and compare.
+        let recorder2 = Recorder(Mutex::new(Vec::new()));
+        SweepRunner::new(&spec)
+            .fault(&plan)
+            .retries(2)
+            .backoff(policy)
+            .sleeper(&recorder2)
+            .run()
+            .unwrap();
+        assert_eq!(
+            recorder.0.lock().unwrap().as_slice(),
+            recorder2.0.lock().unwrap().as_slice()
+        );
     }
 
     #[test]

@@ -1,0 +1,1030 @@
+//! The sweep server: accepts spec submissions over TCP, expands them into
+//! content-addressed point jobs, fans the jobs out to a supervised pool of
+//! worker *processes*, and serves the results back.
+//!
+//! ## Supervision model
+//!
+//! Workers are separate OS processes (fault isolation the in-process
+//! runner cannot give: a segfault, OOM kill or runaway loop in one point
+//! cannot take the sweep down). The server supervises them three ways:
+//!
+//! * **Exit reaping** — a worker process that dies (crash, kill, abort)
+//!   has its in-flight point re-queued with crash accounting.
+//! * **Heartbeats** — workers report liveness from inside the simulator's
+//!   cycle loop (see `vex_sim::run_prepared_observed`); a worker silent
+//!   for 5× the heartbeat interval is presumed hung, killed, and its
+//!   point re-queued.
+//! * **Point timeout** — an optional wall-clock ceiling per assignment
+//!   (`[serve] point_timeout_ms`), layered on top of the simulated-cycle
+//!   watchdog (`[limits] max_cycles`) that the point itself carries.
+//!
+//! Re-queued points wait out an exponential-backoff-with-jitter delay
+//! ([`BackoffPolicy`]) and are retried up to the budget; a point whose
+//! workers keep *crashing* is quarantined after `[serve] quarantine`
+//! crashes — a poison point must not eat the pool.
+//!
+//! ## Durability
+//!
+//! Results live in a content-addressed cache keyed by the point key, and
+//! — when a journal path is configured — every result is appended to a
+//! crash-safe VEXJ journal (fsynced before the worker's `RESULT` is
+//! acknowledged) and every submission to a `<journal>.subs` sidecar.
+//! `--resume` replays both: completed points come back byte-identically
+//! without re-simulation, and interrupted submissions re-enqueue their
+//! missing points.
+//!
+//! ## Drain
+//!
+//! SIGTERM/SIGINT (or the `DRAIN` verb) puts the server into drain mode:
+//! new submissions are refused, accepted work is finished and journaled,
+//! idle workers are told to `SHUTDOWN`, and the server exits 0.
+
+use crate::proto::{parse_key, read_frame, split_message, write_frame};
+use std::collections::HashMap;
+use std::fs::{self, File, OpenOptions};
+use std::io::{Read as _, Seek as _, SeekFrom, Write as _};
+use std::net::{Shutdown, TcpListener, TcpStream};
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Mutex, MutexGuard};
+use std::time::{Duration, Instant};
+use vex_experiments::journal::crc32;
+use vex_experiments::runner::ProgramLoader;
+use vex_experiments::{
+    single_point_spec, spec_point_keys, sync_parent_dir, BackoffPolicy, Journal, JournalEntry,
+};
+use vex_spec::{ServeSpec, SweepSpec};
+
+/// Everything a [`serve`] call needs to know.
+#[derive(Clone, Debug)]
+pub struct ServeConfig {
+    /// Bind address (`127.0.0.1:0` picks a free port).
+    pub listen: String,
+    /// Worker pool size (0 = one per available core).
+    pub workers: u32,
+    /// Supervision policy: heartbeat interval, timeouts, retry budget,
+    /// backoff, quarantine threshold.
+    pub policy: ServeSpec,
+    /// Result journal path; also enables the `<path>.subs` submission log.
+    pub journal: Option<String>,
+    /// Replay the journal and submission log instead of truncating them.
+    pub resume: bool,
+    /// Report every `wall_secs` as zero, making results byte-reproducible
+    /// across fault schedules (the crash-equivalence tests diff them).
+    pub zero_wall: bool,
+    /// Write the actual listen address here once bound (test support:
+    /// lets a harness bind port 0 and discover the port).
+    pub port_file: Option<String>,
+    /// Command to spawn one worker (`--connect ADDR` is appended). None
+    /// means no pool is spawned — only external `vex worker` processes
+    /// serve the queue.
+    pub worker_cmd: Option<Vec<String>>,
+}
+
+impl Default for ServeConfig {
+    fn default() -> ServeConfig {
+        ServeConfig {
+            listen: "127.0.0.1:0".to_string(),
+            workers: 0,
+            policy: ServeSpec::default(),
+            journal: None,
+            resume: false,
+            zero_wall: false,
+            port_file: None,
+            worker_cmd: None,
+        }
+    }
+}
+
+// ---- signals ------------------------------------------------------
+
+static DRAIN_REQUESTED: AtomicBool = AtomicBool::new(false);
+
+/// Routes SIGTERM/SIGINT into a drain request. Std has no signal API, but
+/// `signal(2)` is in libc, which every linux-gnu/macOS binary links.
+#[cfg(unix)]
+fn install_signal_handlers() {
+    extern "C" fn on_term(_sig: i32) {
+        DRAIN_REQUESTED.store(true, Ordering::SeqCst);
+    }
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+    unsafe {
+        signal(15, on_term as *const () as usize); // SIGTERM
+        signal(2, on_term as *const () as usize); // SIGINT
+    }
+}
+
+#[cfg(not(unix))]
+fn install_signal_handlers() {}
+
+/// SIGKILLs a process by id (used to reap hung workers; external workers
+/// on the same host are covered too, not just our children).
+#[cfg(unix)]
+fn kill_process(pid: u32) {
+    extern "C" {
+        fn kill(pid: i32, sig: i32) -> i32;
+    }
+    unsafe {
+        kill(pid as i32, 9);
+    }
+}
+
+#[cfg(not(unix))]
+fn kill_process(_pid: u32) {}
+
+// ---- submission log -----------------------------------------------
+
+const SUBS_MAGIC: &str = "VEXS 1\n";
+
+/// Append-only log of submitted spec texts, in the journal's framed
+/// format (`+<len:hex> <crc32>\n<payload>\n` after a magic header), so a
+/// server killed mid-sweep can re-enqueue what it had accepted. Torn
+/// tails are truncated on open, exactly like the result journal.
+#[derive(Debug)]
+struct SubsLog {
+    path: PathBuf,
+    file: File,
+}
+
+impl SubsLog {
+    /// Opens (resuming) or creates the log; returns prior submissions.
+    fn open(path: &Path, resume: bool) -> Result<(SubsLog, Vec<String>), String> {
+        if !resume || !path.exists() {
+            let mut file = File::create(path)
+                .map_err(|e| format!("cannot create submission log `{}`: {e}", path.display()))?;
+            file.write_all(SUBS_MAGIC.as_bytes())
+                .and_then(|_| file.sync_data())
+                .map_err(|e| format!("cannot write `{}`: {e}", path.display()))?;
+            sync_parent_dir(path)?;
+            return Ok((
+                SubsLog {
+                    path: path.to_path_buf(),
+                    file,
+                },
+                Vec::new(),
+            ));
+        }
+        let mut file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .open(path)
+            .map_err(|e| format!("cannot open submission log `{}`: {e}", path.display()))?;
+        let mut bytes = Vec::new();
+        file.read_to_end(&mut bytes)
+            .map_err(|e| format!("cannot read `{}`: {e}", path.display()))?;
+        if !bytes.starts_with(SUBS_MAGIC.as_bytes()) {
+            // A torn first write is ours; anything else is not our file.
+            if !SUBS_MAGIC.as_bytes().starts_with(&bytes) {
+                return Err(format!(
+                    "`{}` is not a vex serve submission log (missing `VEXS 1` header)",
+                    path.display()
+                ));
+            }
+            drop(file);
+            return SubsLog::open(path, false);
+        }
+        let mut texts = Vec::new();
+        let mut pos = SUBS_MAGIC.len();
+        while let Some((payload, advance)) = parse_subs_frame(&bytes[pos..]) {
+            texts.push(payload.to_string());
+            pos += advance;
+        }
+        file.set_len(pos as u64)
+            .and_then(|_| file.seek(SeekFrom::End(0)))
+            .and_then(|_| file.sync_data())
+            .map_err(|e| format!("cannot truncate `{}`: {e}", path.display()))?;
+        Ok((
+            SubsLog {
+                path: path.to_path_buf(),
+                file,
+            },
+            texts,
+        ))
+    }
+
+    /// Appends one submission and syncs before returning.
+    fn append(&mut self, text: &str) -> Result<(), String> {
+        let record = format!("+{:x} {:08x}\n{text}\n", text.len(), crc32(text.as_bytes()));
+        self.file
+            .write_all(record.as_bytes())
+            .and_then(|_| self.file.sync_data())
+            .map_err(|e| format!("cannot append to `{}`: {e}", self.path.display()))
+    }
+}
+
+/// One `+<len> <crc>\n<payload>\n` frame off the front of `rest`, or
+/// `None` for an incomplete/garbled tail.
+fn parse_subs_frame(rest: &[u8]) -> Option<(&str, usize)> {
+    let nl = rest.iter().position(|&b| b == b'\n')?;
+    let header = std::str::from_utf8(&rest[..nl]).ok()?;
+    let (len_hex, crc_hex) = header.strip_prefix('+')?.split_once(' ')?;
+    let len = usize::from_str_radix(len_hex, 16).ok()?;
+    let crc = u32::from_str_radix(crc_hex, 16).ok()?;
+    let body_start = nl + 1;
+    let body_end = body_start.checked_add(len)?;
+    if body_end >= rest.len() || rest[body_end] != b'\n' {
+        return None;
+    }
+    let payload = &rest[body_start..body_end];
+    if crc32(payload) != crc {
+        return None;
+    }
+    Some((std::str::from_utf8(payload).ok()?, body_end + 1))
+}
+
+// ---- task state ---------------------------------------------------
+
+#[derive(Debug)]
+enum TaskState {
+    /// Waiting for a worker (possibly not before `ready_at`).
+    Queued,
+    /// Assigned to worker `pid`.
+    Running {
+        pid: u32,
+        since: Instant,
+        last_hb: Instant,
+    },
+    /// Result is in the cache.
+    Done,
+    /// Out of retries or quarantined.
+    Failed { msg: String },
+}
+
+#[derive(Debug)]
+struct Task {
+    label: String,
+    /// The assignment wire text: a canonical single-point spec.
+    assign: String,
+    /// Times this point has been assigned (1 = first try).
+    attempts: u32,
+    /// Times a worker died (crash/hang/timeout) while holding it.
+    crashes: u32,
+    /// Earliest next assignment (backoff).
+    ready_at: Instant,
+    state: TaskState,
+}
+
+struct State {
+    tasks: HashMap<u64, Task>,
+    /// Stable iteration order (first-enqueued first).
+    order: Vec<u64>,
+    /// Content-addressed result cache; also fed by journal replay.
+    cache: HashMap<u64, JournalEntry>,
+    draining: bool,
+}
+
+impl State {
+    fn all_terminal(&self) -> bool {
+        self.tasks
+            .values()
+            .all(|t| matches!(t.state, TaskState::Done | TaskState::Failed { .. }))
+    }
+}
+
+struct Shared<'a> {
+    cfg: &'a ServeConfig,
+    loader: Option<ProgramLoader<'a>>,
+    backoff: BackoffPolicy,
+    state: Mutex<State>,
+    journal: Mutex<Option<Journal>>,
+    subs: Mutex<Option<SubsLog>>,
+    /// Clones of every accepted connection, so drain can unblock their
+    /// reader threads.
+    conns: Mutex<Vec<TcpStream>>,
+    closed: AtomicBool,
+}
+
+/// Mutex lock that shrugs off poisoning: the protected data is only ever
+/// whole values.
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+const DRAINING_MSG: &str = "server is draining; not accepting new submissions";
+
+// ---- submission / queue -------------------------------------------
+
+/// Expands a submitted spec and enqueues every point not already cached
+/// or pending. Returns `(total, cached, newly_enqueued)`.
+fn enqueue_spec(
+    shared: &Shared<'_>,
+    text: &str,
+    record: bool,
+) -> Result<(usize, usize, usize), String> {
+    let spec = SweepSpec::parse(text).map_err(|e| format!("bad spec: {e}"))?;
+    // Expansion compiles the member programs (to derive the point keys);
+    // do it outside the state lock.
+    let points = spec_point_keys(&spec, shared.loader)?;
+
+    let mut st = lock(&shared.state);
+    if st.draining {
+        return Err(DRAINING_MSG.to_string());
+    }
+    let now = Instant::now();
+    let (mut cached, mut enqueued) = (0, 0);
+    for (run, key) in &points {
+        if st.cache.contains_key(key) {
+            cached += 1;
+            continue;
+        }
+        match st.tasks.get_mut(key) {
+            Some(t) => {
+                // A fresh submission grants a failed point a fresh budget.
+                if matches!(t.state, TaskState::Failed { .. }) {
+                    t.attempts = 0;
+                    t.crashes = 0;
+                    t.ready_at = now;
+                    t.state = TaskState::Queued;
+                    enqueued += 1;
+                }
+                // Queued/Running points are shared with the submission
+                // that created them.
+            }
+            None => {
+                st.tasks.insert(
+                    *key,
+                    Task {
+                        label: run.label(),
+                        assign: single_point_spec(run).print(),
+                        attempts: 0,
+                        crashes: 0,
+                        ready_at: now,
+                        state: TaskState::Queued,
+                    },
+                );
+                st.order.push(*key);
+                enqueued += 1;
+            }
+        }
+    }
+    drop(st);
+    if record {
+        if let Some(s) = lock(&shared.subs).as_mut() {
+            s.append(text)?;
+        }
+    }
+    Ok((points.len(), cached, enqueued))
+}
+
+/// Picks the next ready task for worker `pid`, or tells it to wait or
+/// shut down.
+fn next_assignment(shared: &Shared<'_>, pid: u32) -> String {
+    let mut st = lock(&shared.state);
+    let now = Instant::now();
+    let mut soonest: Option<Duration> = None;
+    for i in 0..st.order.len() {
+        let key = st.order[i];
+        let Some(t) = st.tasks.get_mut(&key) else {
+            continue;
+        };
+        if !matches!(t.state, TaskState::Queued) {
+            continue;
+        }
+        if t.ready_at <= now {
+            t.attempts += 1;
+            t.state = TaskState::Running {
+                pid,
+                since: now,
+                last_hb: now,
+            };
+            return format!(
+                "ASSIGN {key:016x} {} {}\n{}",
+                if shared.cfg.zero_wall { 1 } else { 0 },
+                shared.cfg.policy.heartbeat_ms,
+                t.assign
+            );
+        }
+        let until = t.ready_at - now;
+        soonest = Some(soonest.map_or(until, |s| s.min(until)));
+    }
+    if st.draining && st.all_terminal() {
+        return "SHUTDOWN".to_string();
+    }
+    let ms = soonest
+        .map(|d| d.as_millis().clamp(5, 200) as u64)
+        .unwrap_or(50);
+    format!("WAIT {ms}")
+}
+
+/// Journals and caches a completed point. The journal append (fsync
+/// included) happens before the caller acknowledges the worker, so an
+/// acknowledged result is durable.
+fn handle_result(shared: &Shared<'_>, key: u64, payload: &str) -> Result<(), String> {
+    let entry = JournalEntry::from_payload(payload)?;
+    if entry.key != key {
+        return Err(format!(
+            "result key {:016x} does not match claimed key {key:016x}",
+            entry.key
+        ));
+    }
+    if let Some(j) = lock(&shared.journal).as_mut() {
+        j.append(&entry)?;
+    }
+    let mut st = lock(&shared.state);
+    st.cache.insert(key, entry);
+    if let Some(t) = st.tasks.get_mut(&key) {
+        t.state = TaskState::Done;
+    }
+    Ok(())
+}
+
+/// A worker reported a clean per-point failure (simulation error, bad
+/// assignment): retry within the budget, no crash accounting.
+fn handle_fail(shared: &Shared<'_>, key: u64, msg: &str) {
+    let policy = shared.cfg.policy;
+    let mut st = lock(&shared.state);
+    if let Some(t) = st.tasks.get_mut(&key) {
+        if matches!(t.state, TaskState::Running { .. }) {
+            if t.attempts > policy.retries {
+                t.state = TaskState::Failed {
+                    msg: format!("failed: {msg} (after {} attempts)", t.attempts),
+                };
+            } else {
+                let delay = shared.backoff.delay_ms(key, t.attempts + 1);
+                t.ready_at = Instant::now() + Duration::from_millis(delay);
+                t.state = TaskState::Queued;
+            }
+        }
+    }
+}
+
+/// Crash accounting for one task whose worker died while holding it:
+/// quarantine poison points, fail exhausted budgets, otherwise re-queue
+/// behind the backoff delay.
+fn task_crashed(t: &mut Task, key: u64, policy: &ServeSpec, backoff: &BackoffPolicy, why: &str) {
+    t.crashes += 1;
+    if t.crashes >= policy.quarantine {
+        t.state = TaskState::Failed {
+            msg: format!(
+                "quarantined as a poison point: {} worker crashes ({why})",
+                t.crashes
+            ),
+        };
+    } else if t.attempts > policy.retries {
+        t.state = TaskState::Failed {
+            msg: format!("{why} (after {} attempts)", t.attempts),
+        };
+    } else {
+        let delay = backoff.delay_ms(key, t.attempts + 1);
+        t.ready_at = Instant::now() + Duration::from_millis(delay);
+        t.state = TaskState::Queued;
+    }
+}
+
+/// Re-queues everything a dead worker was holding. Idempotent: a pid with
+/// no running tasks is a no-op (the reap may race the timeout path).
+fn worker_died(shared: &Shared<'_>, pid: u32, why: &str) {
+    let policy = shared.cfg.policy;
+    let mut st = lock(&shared.state);
+    let keys: Vec<u64> = st
+        .tasks
+        .iter()
+        .filter(|(_, t)| matches!(t.state, TaskState::Running { pid: p, .. } if p == pid))
+        .map(|(k, _)| *k)
+        .collect();
+    for key in keys {
+        let t = st.tasks.get_mut(&key).expect("key from the same map");
+        task_crashed(t, key, &policy, &shared.backoff, why);
+        eprintln!(
+            "[vex serve] worker {pid} lost point {} ({why}); {}",
+            t.label,
+            match &t.state {
+                TaskState::Queued => "re-queued".to_string(),
+                TaskState::Failed { msg } => msg.clone(),
+                _ => unreachable!("crash leaves a task queued or failed"),
+            }
+        );
+    }
+}
+
+// ---- status / fetch / poll ----------------------------------------
+
+fn status_reply(shared: &Shared<'_>) -> String {
+    use std::fmt::Write as _;
+    let st = lock(&shared.state);
+    let (mut q, mut r, mut d, mut f) = (0, 0, 0, 0);
+    for t in st.tasks.values() {
+        match t.state {
+            TaskState::Queued => q += 1,
+            TaskState::Running { .. } => r += 1,
+            TaskState::Done => d += 1,
+            TaskState::Failed { .. } => f += 1,
+        }
+    }
+    let mut out = format!(
+        "tasks={} queued={q} running={r} done={d} failed={f} draining={}",
+        st.tasks.len(),
+        st.draining as u8
+    );
+    for key in &st.order {
+        let Some(t) = st.tasks.get(key) else { continue };
+        let state = match &t.state {
+            TaskState::Queued => "queued",
+            TaskState::Running { .. } => "running",
+            TaskState::Done => "done",
+            TaskState::Failed { .. } => "failed",
+        };
+        let _ = write!(
+            out,
+            "\ntask {key:016x} {state} attempts={} crashes={} label={}",
+            t.attempts, t.crashes, t.label
+        );
+    }
+    out
+}
+
+fn poll_reply(shared: &Shared<'_>, body: &str) -> String {
+    let st = lock(&shared.state);
+    let (mut done, mut failed, mut total) = (0usize, 0usize, 0usize);
+    for line in body.lines().filter(|l| !l.is_empty()) {
+        total += 1;
+        match parse_key(line) {
+            Ok(key) if st.cache.contains_key(&key) => done += 1,
+            Ok(key)
+                if st
+                    .tasks
+                    .get(&key)
+                    .is_some_and(|t| matches!(t.state, TaskState::Failed { .. })) =>
+            {
+                failed += 1
+            }
+            _ => {}
+        }
+    }
+    if done + failed == total {
+        format!("READY {done} {failed}")
+    } else {
+        format!("PENDING {} {total}", done + failed)
+    }
+}
+
+fn fetch_reply(shared: &Shared<'_>, key: u64) -> String {
+    let st = lock(&shared.state);
+    if let Some(entry) = st.cache.get(&key) {
+        return format!("ENTRY\n{}", entry.to_payload());
+    }
+    match st.tasks.get(&key) {
+        Some(t) => match &t.state {
+            TaskState::Failed { msg } => format!("FAILED {}\n{msg}", t.attempts),
+            _ => "PENDING".to_string(),
+        },
+        None => "UNKNOWN".to_string(),
+    }
+}
+
+// ---- connection handling ------------------------------------------
+
+fn handle_conn(shared: &Shared<'_>, mut stream: TcpStream) {
+    let mut peer_pid: u32 = 0;
+    loop {
+        if shared.closed.load(Ordering::SeqCst) {
+            return;
+        }
+        let msg = match read_frame(&mut stream) {
+            Ok(Some(m)) => m,
+            // Clean disconnect, torn frame, or drain-time shutdown: the
+            // peer is gone either way. In-flight work it held is covered
+            // by process supervision, not connection state.
+            Ok(None) | Err(_) => return,
+        };
+        let (head, body) = split_message(&msg);
+        let mut parts = head.split(' ');
+        let verb = parts.next().unwrap_or("");
+        let reply: Option<String> = match verb {
+            "HELLO" => {
+                peer_pid = parts.next().and_then(|p| p.parse().ok()).unwrap_or(0);
+                Some("OK".to_string())
+            }
+            "GET" => Some(next_assignment(shared, peer_pid)),
+            "HEARTBEAT" => {
+                // One-way: refresh the liveness stamp if this worker
+                // still holds the point (a reaped worker's stale beats
+                // must not refresh a reassigned task).
+                if let Ok(key) = parts.next().map_or(Err(String::new()), parse_key) {
+                    let mut st = lock(&shared.state);
+                    if let Some(t) = st.tasks.get_mut(&key) {
+                        if let TaskState::Running { pid, last_hb, .. } = &mut t.state {
+                            if *pid == peer_pid {
+                                *last_hb = Instant::now();
+                            }
+                        }
+                    }
+                }
+                None
+            }
+            "RESULT" => Some(match parts.next().map_or(Err(String::new()), parse_key) {
+                Ok(key) => match handle_result(shared, key, body) {
+                    Ok(()) => "OK".to_string(),
+                    Err(e) => format!("ERROR {}", e.replace('\n', " ")),
+                },
+                Err(e) => format!("ERROR {e}"),
+            }),
+            "FAIL" => Some(match parts.next().map_or(Err(String::new()), parse_key) {
+                Ok(key) => {
+                    handle_fail(shared, key, body.trim_end());
+                    "OK".to_string()
+                }
+                Err(e) => format!("ERROR {e}"),
+            }),
+            "SUBMIT" => Some(match enqueue_spec(shared, body, true) {
+                Ok((total, cached, enqueued)) => {
+                    eprintln!(
+                        "[vex serve] submission: {total} points ({cached} cached, \
+                         {enqueued} newly scheduled)"
+                    );
+                    format!("ACCEPTED {total} {cached} {enqueued}")
+                }
+                Err(e) if e == DRAINING_MSG => "DRAINING".to_string(),
+                Err(e) => format!("ERROR {}", e.replace('\n', " ")),
+            }),
+            "POLL" => Some(poll_reply(shared, body)),
+            "FETCH" => Some(match parts.next().map_or(Err(String::new()), parse_key) {
+                Ok(key) => fetch_reply(shared, key),
+                Err(e) => format!("ERROR {e}"),
+            }),
+            "STATUS" => Some(status_reply(shared)),
+            "DRAIN" => {
+                DRAIN_REQUESTED.store(true, Ordering::SeqCst);
+                Some("OK".to_string())
+            }
+            other => Some(format!("ERROR unknown verb `{other}`")),
+        };
+        if let Some(reply) = reply {
+            if write_frame(&mut stream, &reply).is_err() {
+                return;
+            }
+        }
+    }
+}
+
+// ---- supervision --------------------------------------------------
+
+fn spawn_worker(cmd: &[String], addr: &str) -> Result<Child, String> {
+    Command::new(&cmd[0])
+        .args(&cmd[1..])
+        .arg("--connect")
+        .arg(addr)
+        .spawn()
+        .map_err(|e| format!("cannot spawn worker `{}`: {e}", cmd[0]))
+}
+
+/// One supervisor pass: reap dead children, kill hung/overtime workers,
+/// and keep the pool at strength while not draining.
+fn supervise(
+    shared: &Shared<'_>,
+    children: &mut Vec<Child>,
+    addr: &str,
+    pool_size: usize,
+    draining: bool,
+) {
+    // Reap exited workers and re-queue what they held.
+    children.retain_mut(|c| match c.try_wait() {
+        Ok(Some(status)) => {
+            worker_died(shared, c.id(), &format!("worker exited ({status})"));
+            false
+        }
+        Ok(None) => true,
+        Err(_) => true,
+    });
+
+    // Heartbeat / point-timeout supervision.
+    let policy = shared.cfg.policy;
+    let hb_timeout = Duration::from_millis(policy.heartbeat_ms.saturating_mul(5).max(200));
+    let now = Instant::now();
+    let mut to_kill: Vec<u32> = Vec::new();
+    {
+        let mut st = lock(&shared.state);
+        let keys: Vec<u64> = st.order.clone();
+        for key in keys {
+            let Some(t) = st.tasks.get_mut(&key) else {
+                continue;
+            };
+            let TaskState::Running {
+                pid,
+                since,
+                last_hb,
+            } = t.state
+            else {
+                continue;
+            };
+            let hung = now.duration_since(last_hb) > hb_timeout;
+            let overtime = policy.point_timeout_ms > 0
+                && now.duration_since(since) > Duration::from_millis(policy.point_timeout_ms);
+            if hung || overtime {
+                let why = if hung {
+                    format!(
+                        "no heartbeat for {}ms",
+                        now.duration_since(last_hb).as_millis()
+                    )
+                } else {
+                    format!("point exceeded {}ms wall clock", policy.point_timeout_ms)
+                };
+                eprintln!(
+                    "[vex serve] reaping worker {pid} holding {}: {why}",
+                    t.label
+                );
+                task_crashed(t, key, &policy, &shared.backoff, &why);
+                to_kill.push(pid);
+            }
+        }
+    }
+    for pid in to_kill {
+        kill_process(pid);
+        // The child reap on a later pass removes it from the pool; its
+        // tasks were already re-queued above, so `worker_died` then
+        // finds nothing (idempotent by design).
+    }
+
+    // Keep the pool at strength.
+    if !draining {
+        if let Some(cmd) = &shared.cfg.worker_cmd {
+            while children.len() < pool_size {
+                match spawn_worker(cmd, addr) {
+                    Ok(c) => children.push(c),
+                    Err(e) => {
+                        eprintln!("[vex serve] {e}");
+                        break;
+                    }
+                }
+            }
+        }
+    }
+}
+
+// ---- the server ---------------------------------------------------
+
+/// Runs the sweep service until drained (SIGTERM/SIGINT or the `DRAIN`
+/// verb). Returns once every accepted point is terminal, the journal is
+/// synced, and the worker pool has exited.
+pub fn serve(cfg: &ServeConfig, loader: Option<ProgramLoader<'_>>) -> Result<(), String> {
+    DRAIN_REQUESTED.store(false, Ordering::SeqCst);
+    install_signal_handlers();
+
+    let listener =
+        TcpListener::bind(&cfg.listen).map_err(|e| format!("cannot bind `{}`: {e}", cfg.listen))?;
+    listener
+        .set_nonblocking(true)
+        .map_err(|e| format!("cannot set the listener nonblocking: {e}"))?;
+    let addr = listener
+        .local_addr()
+        .map_err(|e| format!("cannot read the bound address: {e}"))?
+        .to_string();
+    if let Some(pf) = &cfg.port_file {
+        // Write-then-rename so a polling test never reads a half-written
+        // address.
+        let tmp = format!("{pf}.tmp");
+        fs::write(&tmp, &addr)
+            .and_then(|_| fs::rename(&tmp, pf))
+            .map_err(|e| format!("cannot write port file `{pf}`: {e}"))?;
+    }
+    eprintln!("[vex serve] listening on {addr}");
+
+    // Durable state: the result journal feeds the cache, the submission
+    // log re-enqueues interrupted sweeps.
+    let mut cache: HashMap<u64, JournalEntry> = HashMap::new();
+    let journal = match &cfg.journal {
+        Some(p) if cfg.resume => {
+            let (j, entries, report) = Journal::open_resume(Path::new(p))?;
+            eprintln!(
+                "[vex serve] journal `{p}`: replayed {} completed point(s){}",
+                entries.len(),
+                if report.dropped_bytes > 0 {
+                    format!(" (dropped a torn {}-byte tail)", report.dropped_bytes)
+                } else {
+                    String::new()
+                }
+            );
+            for e in entries {
+                cache.insert(e.key, e);
+            }
+            Some(j)
+        }
+        Some(p) => Some(Journal::create(Path::new(p))?),
+        None => None,
+    };
+    let (subs, prior) = match &cfg.journal {
+        Some(p) => {
+            let (s, texts) = SubsLog::open(Path::new(&format!("{p}.subs")), cfg.resume)?;
+            (Some(s), texts)
+        }
+        None => (None, Vec::new()),
+    };
+
+    let shared = Shared {
+        cfg,
+        loader,
+        backoff: BackoffPolicy {
+            base_ms: cfg.policy.backoff_base_ms,
+            max_ms: cfg.policy.backoff_max_ms,
+            jitter: true,
+        },
+        state: Mutex::new(State {
+            tasks: HashMap::new(),
+            order: Vec::new(),
+            cache,
+            draining: false,
+        }),
+        journal: Mutex::new(journal),
+        subs: Mutex::new(subs),
+        conns: Mutex::new(Vec::new()),
+        closed: AtomicBool::new(false),
+    };
+
+    // Re-enqueue interrupted submissions before accepting new ones: the
+    // cache short-circuits every point the journal already has.
+    for text in &prior {
+        match enqueue_spec(&shared, text, false) {
+            Ok((total, cached, enqueued)) => eprintln!(
+                "[vex serve] resumed submission: {total} points \
+                 ({cached} already journaled, {enqueued} re-enqueued)"
+            ),
+            Err(e) => eprintln!("[vex serve] dropping unreplayable submission: {e}"),
+        }
+    }
+
+    let pool_size = if cfg.worker_cmd.is_none() {
+        0
+    } else if cfg.workers == 0 {
+        vex_experiments::default_workers()
+    } else {
+        cfg.workers as usize
+    };
+
+    let mut children: Vec<Child> = Vec::new();
+    let served = std::thread::scope(|s| -> Result<(), String> {
+        loop {
+            match listener.accept() {
+                Ok((stream, _)) => {
+                    stream.set_nodelay(true).ok();
+                    if let Ok(clone) = stream.try_clone() {
+                        lock(&shared.conns).push(clone);
+                    }
+                    let shared = &shared;
+                    s.spawn(move || handle_conn(shared, stream));
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {}
+                Err(e) => return Err(format!("accept failed: {e}")),
+            }
+
+            if DRAIN_REQUESTED.load(Ordering::SeqCst) {
+                let mut st = lock(&shared.state);
+                if !st.draining {
+                    st.draining = true;
+                    eprintln!(
+                        "[vex serve] drain requested: finishing {} in-flight point(s), \
+                         refusing new submissions",
+                        st.tasks
+                            .values()
+                            .filter(|t| !matches!(
+                                t.state,
+                                TaskState::Done | TaskState::Failed { .. }
+                            ))
+                            .count()
+                    );
+                }
+            }
+
+            let draining = lock(&shared.state).draining;
+            supervise(&shared, &mut children, &addr, pool_size, draining);
+
+            if draining && lock(&shared.state).all_terminal() && children.is_empty() {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(10));
+        }
+
+        // Unblock every connection thread so the scope can join.
+        shared.closed.store(true, Ordering::SeqCst);
+        for c in lock(&shared.conns).drain(..) {
+            c.shutdown(Shutdown::Both).ok();
+        }
+        Ok(())
+    });
+    served?;
+
+    let st = lock(&shared.state);
+    eprintln!(
+        "[vex serve] drained: {} point(s) served, {} failed; exiting cleanly",
+        st.cache.len(),
+        st.tasks
+            .values()
+            .filter(|t| matches!(t.state, TaskState::Failed { .. }))
+            .count()
+    );
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("vexs_test_{name}_{}", std::process::id()));
+        p
+    }
+
+    #[test]
+    fn subs_log_round_trips_and_truncates_torn_tails() {
+        let path = tmp("subs");
+        {
+            let (mut log, prior) = SubsLog::open(&path, false).unwrap();
+            assert!(prior.is_empty());
+            log.append("name = \"a\"\nmixes = [\"llll\"]\n").unwrap();
+            log.append("name = \"b\"\nmixes = [\"hhhh\"]\n").unwrap();
+        }
+        let (_, prior) = SubsLog::open(&path, true).unwrap();
+        assert_eq!(prior.len(), 2);
+        assert!(prior[0].contains("\"a\""));
+
+        // Tear the tail mid-record: the valid prefix survives.
+        let bytes = fs::read(&path).unwrap();
+        fs::write(&path, &bytes[..bytes.len() - 5]).unwrap();
+        let (mut log, prior) = SubsLog::open(&path, true).unwrap();
+        assert_eq!(prior.len(), 1);
+        log.append("name = \"c\"\nmixes = [\"llll\"]\n").unwrap();
+        drop(log);
+        let (_, prior) = SubsLog::open(&path, true).unwrap();
+        assert_eq!(prior.len(), 2);
+        fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn foreign_subs_file_is_refused() {
+        let path = tmp("subs_foreign");
+        fs::write(&path, "definitely not a log\n").unwrap();
+        let err = SubsLog::open(&path, true).unwrap_err();
+        assert!(err.contains("not a vex serve submission log"), "{err}");
+        fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn crashing_task_backs_off_then_quarantines() {
+        let policy = ServeSpec {
+            retries: 10,
+            quarantine: 3,
+            ..ServeSpec::default()
+        };
+        let backoff = BackoffPolicy {
+            base_ms: 100,
+            max_ms: 5_000,
+            jitter: false,
+        };
+        let mut t = Task {
+            label: "p".into(),
+            assign: String::new(),
+            attempts: 1,
+            crashes: 0,
+            ready_at: Instant::now(),
+            state: TaskState::Running {
+                pid: 1,
+                since: Instant::now(),
+                last_hb: Instant::now(),
+            },
+        };
+        task_crashed(&mut t, 7, &policy, &backoff, "died");
+        assert!(matches!(t.state, TaskState::Queued));
+        assert!(t.ready_at > Instant::now() - Duration::from_millis(1));
+        t.attempts = 2;
+        task_crashed(&mut t, 7, &policy, &backoff, "died");
+        assert!(matches!(t.state, TaskState::Queued));
+        t.attempts = 3;
+        task_crashed(&mut t, 7, &policy, &backoff, "died");
+        let TaskState::Failed { msg } = &t.state else {
+            panic!("third crash must quarantine");
+        };
+        assert!(msg.contains("quarantined"), "{msg}");
+        assert_eq!(t.crashes, 3);
+    }
+
+    #[test]
+    fn exhausted_retry_budget_fails_without_quarantine() {
+        let policy = ServeSpec {
+            retries: 1,
+            quarantine: 50,
+            ..ServeSpec::default()
+        };
+        let backoff = BackoffPolicy::none();
+        let mut t = Task {
+            label: "p".into(),
+            assign: String::new(),
+            attempts: 2,
+            crashes: 0,
+            ready_at: Instant::now(),
+            state: TaskState::Running {
+                pid: 1,
+                since: Instant::now(),
+                last_hb: Instant::now(),
+            },
+        };
+        // attempts (2) > retries (1): the budget is spent.
+        task_crashed(&mut t, 9, &policy, &backoff, "died");
+        let TaskState::Failed { msg } = &t.state else {
+            panic!("spent budget must fail");
+        };
+        assert!(msg.contains("after 2 attempts"), "{msg}");
+    }
+}

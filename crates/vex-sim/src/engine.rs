@@ -86,6 +86,10 @@ pub struct Engine {
     /// `None` (the default) every emission site is a single branch on the
     /// `Option` discriminant.
     tracer: Option<Box<dyn TraceSink>>,
+    /// Periodic liveness callback, attached via [`Engine::set_heartbeat`].
+    /// Checked once per `run` iteration — like the tracer, a single branch
+    /// on the `Option` discriminant when off.
+    heartbeat: Option<Heartbeat>,
     packet: Packet,
     global_stall: u64,
     rng: SplitMix64,
@@ -109,9 +113,29 @@ pub struct Engine {
     rr_offset: usize,
 }
 
-/// Clones everything except the tracer: a sink is a live I/O endpoint that
-/// cannot be duplicated, so the clone starts untraced (attach a fresh sink
-/// with [`Engine::set_tracer`] if needed). Simulation state — and therefore
+/// The engine's periodic liveness hook: every `every` simulated cycles the
+/// callback observes the current cycle. This is how a worker process proves
+/// it is alive to a supervisor while the cycle loop is busy — pure
+/// observation, no effect on simulation state or statistics.
+struct Heartbeat {
+    every: u64,
+    next: u64,
+    f: Box<dyn FnMut(u64) + Send>,
+}
+
+impl std::fmt::Debug for Heartbeat {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Heartbeat")
+            .field("every", &self.every)
+            .field("next", &self.next)
+            .finish_non_exhaustive()
+    }
+}
+
+/// Clones everything except the tracer and the heartbeat: both are live
+/// observation endpoints that cannot be duplicated, so the clone starts
+/// untraced and unobserved (attach fresh ones with [`Engine::set_tracer`] /
+/// [`Engine::set_heartbeat`] if needed). Simulation state — and therefore
 /// timing — is copied exactly.
 impl Clone for Engine {
     fn clone(&self) -> Self {
@@ -123,6 +147,7 @@ impl Clone for Engine {
             cycle: self.cycle,
             stats: self.stats.clone(),
             tracer: None,
+            heartbeat: None,
             packet: self.packet.clone(),
             global_stall: self.global_stall,
             rng: self.rng.clone(),
@@ -269,6 +294,7 @@ impl Engine {
                 ..Default::default()
             },
             tracer: None,
+            heartbeat: None,
             packet: Packet::new(&cfg.machine),
             global_stall: 0,
             rng: SplitMix64::new(seed),
@@ -314,6 +340,28 @@ impl Engine {
     /// Whether a trace sink is currently attached.
     pub fn tracing(&self) -> bool {
         self.tracer.is_some()
+    }
+
+    /// Attaches a periodic liveness callback: `f` observes the current
+    /// cycle roughly every `every_cycles` simulated cycles while
+    /// [`Engine::run`] is looping (step-driven callers own their loop and
+    /// don't need one). Like tracing, this is pure observation — timing
+    /// and statistics are bit-identical with or without it. The sweep
+    /// service's workers hang their supervisor heartbeats off this hook so
+    /// a busy engine can prove liveness without instrumenting the
+    /// simulation itself.
+    pub fn set_heartbeat(&mut self, every_cycles: u64, f: Box<dyn FnMut(u64) + Send>) {
+        let every = every_cycles.max(1);
+        self.heartbeat = Some(Heartbeat {
+            every,
+            next: self.cycle.saturating_add(every),
+            f,
+        });
+    }
+
+    /// Detaches the liveness callback (idempotent).
+    pub fn clear_heartbeat(&mut self) {
+        self.heartbeat = None;
     }
 
     /// Streams the current slot → context mapping (one
@@ -737,6 +785,15 @@ impl Engine {
                 return r;
             }
             self.step_inner::<MERGE_OP, SPLIT>();
+            // Liveness hook: `step_inner` can consume whole stall windows
+            // at once, so compare against the target cycle rather than
+            // counting iterations.
+            if let Some(hb) = self.heartbeat.as_mut() {
+                if self.cycle >= hb.next {
+                    (hb.f)(self.cycle);
+                    hb.next = self.cycle.saturating_add(hb.every);
+                }
+            }
         }
     }
 

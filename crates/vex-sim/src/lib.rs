@@ -113,6 +113,24 @@ pub fn run_prepared_full(cfg: &SimConfig, workload: &[PreparedProgram]) -> (SimS
     (engine.stats, reason)
 }
 
+/// [`run_prepared_full`] with a periodic liveness hook: `hook` observes
+/// the current cycle roughly every `every_cycles` simulated cycles while
+/// the run loops (see [`Engine::set_heartbeat`]). Statistics are
+/// bit-identical to the unobserved entry points — the sweep service's
+/// worker processes use this to heartbeat their supervisor from inside a
+/// busy cycle loop.
+pub fn run_prepared_observed(
+    cfg: &SimConfig,
+    workload: &[PreparedProgram],
+    every_cycles: u64,
+    hook: Box<dyn FnMut(u64) + Send>,
+) -> (SimStats, StopReason) {
+    let mut engine = Engine::with_prepared(cfg.clone(), workload);
+    engine.set_heartbeat(every_cycles, hook);
+    let reason = engine.run();
+    (engine.stats, reason)
+}
+
 /// Runs `n_copies` contexts of one program to completion (no respawn, no
 /// instruction limit) — the setup used by the functional-equivalence tests.
 /// Returns the finished engine (for architectural state inspection) and the

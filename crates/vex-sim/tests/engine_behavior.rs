@@ -394,3 +394,45 @@ fn step_run_parity_holds_under_exhaustion() {
         assert_eq!(ran.stats.snapshot(), stepped.stats.snapshot(), "{label}");
     }
 }
+
+/// The heartbeat hook is pure observation: it fires while `run` loops,
+/// cycles are non-decreasing, and the statistics are bit-identical to an
+/// unobserved engine.
+#[test]
+fn heartbeat_fires_and_never_perturbs_stats() {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Arc as SyncArc;
+
+    let p = strider("hb", 4, 200);
+    let mut c = cfg(MachineConfig::paper_4c4w(), Technique::csmt(), 2);
+    c.memory = MemoryMode::Real;
+    let workload = [SyncArc::clone(&p), SyncArc::clone(&p)];
+
+    let mut plain = Engine::new(c.clone(), &workload);
+    let plain_reason = plain.run();
+
+    let beats = SyncArc::new(AtomicU64::new(0));
+    let last = SyncArc::new(AtomicU64::new(0));
+    let (b, l) = (SyncArc::clone(&beats), SyncArc::clone(&last));
+    let mut observed = Engine::new(c, &workload);
+    observed.set_heartbeat(
+        64,
+        Box::new(move |cycle| {
+            b.fetch_add(1, Ordering::Relaxed);
+            let prev = l.swap(cycle, Ordering::Relaxed);
+            assert!(cycle >= prev, "heartbeat cycles must be monotone");
+        }),
+    );
+    let observed_reason = observed.run();
+
+    assert_eq!(plain_reason, observed_reason);
+    assert_eq!(plain.stats.snapshot(), observed.stats.snapshot());
+    let n = beats.load(Ordering::Relaxed);
+    assert!(n > 0, "a multi-hundred-cycle run must beat at least once");
+    assert!(
+        last.load(Ordering::Relaxed) <= plain.stats.cycles,
+        "beats observe simulated cycles"
+    );
+    // A cloned engine starts unobserved, like the tracer.
+    assert!(!format!("{:?}", observed.clone()).contains("Heartbeat"));
+}

@@ -147,6 +147,49 @@ impl MachineSpec {
     }
 }
 
+/// Sweep-service knobs (the `[serve]` table): how `vex serve` supervises
+/// its worker pool when this spec is submitted or used as the server's
+/// configuration. None of these affect simulation results — they are
+/// deliberately excluded from the content-addressed point key, so the same
+/// spec served with different pool settings hits the same cache entries.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct ServeSpec {
+    /// Worker processes to supervise (0 = one per available core).
+    pub workers: u32,
+    /// Interval between a busy worker's liveness heartbeats, in
+    /// milliseconds.
+    pub heartbeat_ms: u64,
+    /// Hard wall-clock ceiling per point attempt, in milliseconds
+    /// (0 = disabled; the `[limits] max_cycles` watchdog still bounds
+    /// simulated work). A point running longer is reaped and re-queued.
+    pub point_timeout_ms: u64,
+    /// Re-queue budget for a point whose worker crashed, hung or failed:
+    /// attempted `1 + retries` times before `PointError::Failed`.
+    pub retries: u32,
+    /// First-retry backoff delay, in milliseconds (exponential after).
+    pub backoff_base_ms: u64,
+    /// Backoff ceiling, in milliseconds.
+    pub backoff_max_ms: u64,
+    /// Poison-point quarantine: after this many worker *crashes* on one
+    /// point, the point is failed outright so it cannot keep killing the
+    /// pool, regardless of remaining retries.
+    pub quarantine: u32,
+}
+
+impl Default for ServeSpec {
+    fn default() -> ServeSpec {
+        ServeSpec {
+            workers: 0,
+            heartbeat_ms: 1_000,
+            point_timeout_ms: 0,
+            retries: 3,
+            backoff_base_ms: 100,
+            backoff_max_ms: 5_000,
+            quarantine: 5,
+        }
+    }
+}
+
 /// A declarative sweep: every axis of the evaluation grid plus the shared
 /// scalar run parameters. Construct with [`SweepSpec::base`] /
 /// [`SweepSpec::paper_grid`] or parse from text with [`SweepSpec::parse`].
@@ -190,6 +233,10 @@ pub struct SweepSpec {
     /// point is appended (fsync'd) so `vex sweep --resume` can skip it
     /// after a crash. The `--journal` CLI flag overrides this knob.
     pub journal: Option<String>,
+    /// Sweep-service knobs (`[serve]` table). `None` when the spec says
+    /// nothing about serving — the service then applies
+    /// [`ServeSpec::default`]. Result-neutral: excluded from point keys.
+    pub serve: Option<ServeSpec>,
     /// Machine geometries (axis).
     pub machines: Vec<MachineSpec>,
     /// Workload mixes (axis).
@@ -285,6 +332,7 @@ impl SweepSpec {
             caches: MemConfig::paper(),
             trace: None,
             journal: None,
+            serve: None,
             machines: vec![MachineSpec::paper()],
             mixes: Vec::new(),
         }

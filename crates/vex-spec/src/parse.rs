@@ -14,7 +14,8 @@
 
 use crate::diag::{Span, SpecError};
 use crate::{
-    MachineSpec, MixSpec, SweepSpec, WorkloadRef, DEFAULT_MAX_CYCLES, DEFAULT_RETRIES, DEFAULT_SEED,
+    MachineSpec, MixSpec, ServeSpec, SweepSpec, WorkloadRef, DEFAULT_MAX_CYCLES, DEFAULT_RETRIES,
+    DEFAULT_SEED,
 };
 use vex_isa::{ClusterResources, Latencies, MachineConfig};
 use vex_mem::{CacheParams, MemConfig};
@@ -324,6 +325,7 @@ pub fn parse_sweep(text: &str) -> Result<SweepSpec, SpecError> {
     let mut icache: Option<Sect> = None;
     let mut dcache: Option<Sect> = None;
     let mut limits: Option<Sect> = None;
+    let mut serve: Option<Sect> = None;
     let mut machines: Vec<Sect> = Vec::new();
     let mut mix_sects: Vec<Sect> = Vec::new();
 
@@ -334,6 +336,7 @@ pub fn parse_sweep(text: &str) -> Result<SweepSpec, SpecError> {
         ICache,
         DCache,
         Limits,
+        Serve,
         Machine,
         Mix,
     }
@@ -389,10 +392,11 @@ pub fn parse_sweep(text: &str) -> Result<SweepSpec, SpecError> {
                 "icache" => (&mut icache, Where::ICache),
                 "dcache" => (&mut dcache, Where::DCache),
                 "limits" => (&mut limits, Where::Limits),
+                "serve" => (&mut serve, Where::Serve),
                 other => {
                     return Err(SpecError::new(
                         span,
-                        format!("unknown table `[{other}]` (cache, icache, dcache, limits)"),
+                        format!("unknown table `[{other}]` (cache, icache, dcache, limits, serve)"),
                         raw.to_string(),
                     ))
                 }
@@ -453,6 +457,7 @@ pub fn parse_sweep(text: &str) -> Result<SweepSpec, SpecError> {
             Where::ICache => section_slot(icache.as_mut(), "[icache]", &entry)?,
             Where::DCache => section_slot(dcache.as_mut(), "[dcache]", &entry)?,
             Where::Limits => section_slot(limits.as_mut(), "[limits]", &entry)?,
+            Where::Serve => section_slot(serve.as_mut(), "[serve]", &entry)?,
             Where::Machine => section_slot(machines.last_mut(), "[[machine]]", &entry)?,
             Where::Mix => section_slot(mix_sects.last_mut(), "[[mix]]", &entry)?,
         };
@@ -460,7 +465,7 @@ pub fn parse_sweep(text: &str) -> Result<SweepSpec, SpecError> {
     }
 
     build_spec(
-        text, top, cache, icache, dcache, limits, machines, mix_sects,
+        text, top, cache, icache, dcache, limits, serve, machines, mix_sects,
     )
 }
 
@@ -511,6 +516,8 @@ fn owning_section(key: &str) -> Option<&'static str> {
         | "gprs"
         | "bregs" => Some("[[machine]]"),
         "members" => Some("[[mix]]"),
+        "workers" | "heartbeat_ms" | "point_timeout_ms" | "backoff_base_ms" | "backoff_max_ms"
+        | "quarantine" => Some("[serve]"),
         _ => None,
     }
 }
@@ -527,6 +534,7 @@ fn build_spec(
     icache: Option<Sect>,
     dcache: Option<Sect>,
     limits: Option<Sect>,
+    serve_sect: Option<Sect>,
     machine_sects: Vec<Sect>,
     mix_sects: Vec<Sect>,
 ) -> Result<SweepSpec, SpecError> {
@@ -580,6 +588,37 @@ fn build_spec(
         (Some(n), _) => n,
         (None, Some(e)) => e.int_in(1, u64::MAX)?,
         (None, None) => DEFAULT_MAX_CYCLES,
+    };
+    // `[serve]` — sweep-service pool knobs; every key defaults
+    // individually so a partial table is fine.
+    let serve = match serve_sect {
+        None => None,
+        Some(mut s) => {
+            let mut v = ServeSpec::default();
+            if let Some(e) = s.take("workers") {
+                v.workers = e.int_in(0, u32::MAX as u64)? as u32;
+            }
+            if let Some(e) = s.take("heartbeat_ms") {
+                v.heartbeat_ms = e.int_in(1, u64::MAX)?;
+            }
+            if let Some(e) = s.take("point_timeout_ms") {
+                v.point_timeout_ms = e.int_in(0, u64::MAX)?;
+            }
+            if let Some(e) = s.take("retries") {
+                v.retries = e.int_in(0, u32::MAX as u64)? as u32;
+            }
+            if let Some(e) = s.take("backoff_base_ms") {
+                v.backoff_base_ms = e.int_in(0, u64::MAX)?;
+            }
+            if let Some(e) = s.take("backoff_max_ms") {
+                v.backoff_max_ms = e.int_in(0, u64::MAX)?;
+            }
+            if let Some(e) = s.take("quarantine") {
+                v.quarantine = e.int_in(1, u32::MAX as u64)? as u32;
+            }
+            s.reject_unknown("[serve]")?;
+            Some(v)
+        }
     };
     let seed = match top.take("seed") {
         Some(e) => e.int()?,
@@ -780,6 +819,7 @@ fn build_spec(
         caches,
         trace,
         journal,
+        serve,
         machines,
         mixes,
     })

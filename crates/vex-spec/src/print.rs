@@ -51,6 +51,20 @@ pub fn print_sweep(s: &SweepSpec) -> String {
     let _ = writeln!(out, "max_cycles = {}", s.max_cycles);
     let _ = writeln!(out, "retries = {}", s.retries);
 
+    // `[serve]` only when the spec says something about serving: `None`
+    // and `Some(default)` are distinct values, so the table must be
+    // omitted (not defaulted) to keep `parse(print(s)) == s`.
+    if let Some(v) = &s.serve {
+        let _ = writeln!(out, "\n[serve]");
+        let _ = writeln!(out, "workers = {}", v.workers);
+        let _ = writeln!(out, "heartbeat_ms = {}", v.heartbeat_ms);
+        let _ = writeln!(out, "point_timeout_ms = {}", v.point_timeout_ms);
+        let _ = writeln!(out, "retries = {}", v.retries);
+        let _ = writeln!(out, "backoff_base_ms = {}", v.backoff_base_ms);
+        let _ = writeln!(out, "backoff_max_ms = {}", v.backoff_max_ms);
+        let _ = writeln!(out, "quarantine = {}", v.quarantine);
+    }
+
     let _ = writeln!(out, "\n[cache]");
     if s.caches.icache == s.caches.dcache {
         print_geometry(&mut out, s.caches.icache);

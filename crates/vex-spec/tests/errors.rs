@@ -145,7 +145,7 @@ fn unknown_section() {
     snapshot(
         "mixes = [\"llll\"]\n[network]\nports = 2\n",
         "\
-error at line 2:1: unknown table `[network]` (cache, icache, dcache, limits)
+error at line 2:1: unknown table `[network]` (cache, icache, dcache, limits, serve)
   | [network]
   | ^^^^^^^^^",
     );

@@ -7,7 +7,7 @@ use proptest::prelude::*;
 use vex_isa::{ClusterResources, Latencies, MachineConfig};
 use vex_mem::{CacheParams, MemConfig};
 use vex_sim::{MemoryMode, MtMode, Scale, Technique};
-use vex_spec::{MachineSpec, MixSpec, SweepSpec, WorkloadRef};
+use vex_spec::{MachineSpec, MixSpec, ServeSpec, SweepSpec, WorkloadRef};
 
 // ---- strategies ---------------------------------------------------
 
@@ -104,6 +104,32 @@ fn mix() -> impl Strategy<Value = MixSpec> {
         })
 }
 
+fn serve_spec() -> impl Strategy<Value = Option<ServeSpec>> {
+    prop_oneof![
+        Just(None),
+        (
+            (any::<u32>(), (1u64..1 << 40), (0u64..1 << 40), any::<u32>()),
+            ((0u64..1 << 30), (0u64..1 << 30), (1u32..1 << 16)),
+        )
+            .prop_map(
+                |(
+                    (workers, heartbeat_ms, point_timeout_ms, retries),
+                    (backoff_base_ms, backoff_max_ms, quarantine),
+                )| {
+                    Some(ServeSpec {
+                        workers,
+                        heartbeat_ms,
+                        point_timeout_ms,
+                        retries,
+                        backoff_base_ms,
+                        backoff_max_ms,
+                        quarantine,
+                    })
+                },
+            ),
+    ]
+}
+
 fn sweep_spec() -> impl Strategy<Value = SweepSpec> {
     (
         (
@@ -132,7 +158,7 @@ fn sweep_spec() -> impl Strategy<Value = SweepSpec> {
             (any::<bool>(), any::<u16>())
                 .prop_map(|(some, n)| some.then(|| format!("journal_{n}.vexj"))),
         ),
-        mem_config(),
+        (mem_config(), serve_spec()),
         prop::collection::vec(machine(), 1..3),
         prop::collection::vec(mix(), 1..4),
     )
@@ -141,7 +167,7 @@ fn sweep_spec() -> impl Strategy<Value = SweepSpec> {
                 (tag, inst_limit, timeslice, max_cycles, retries, seed),
                 (threads, techniques),
                 (renaming, memory, mt, respawn, trace, journal),
-                caches,
+                (caches, serve),
                 machines,
                 mixes,
             )| {
@@ -160,6 +186,7 @@ fn sweep_spec() -> impl Strategy<Value = SweepSpec> {
                     respawn,
                     trace,
                     journal,
+                    serve,
                     caches,
                     machines,
                     mixes,
@@ -284,4 +311,29 @@ fn comments_and_hex_are_accepted() {
     .unwrap();
     assert_eq!(spec.seed, 0x5EED_0000);
     assert_eq!(spec.mixes[0].seed, 0x5EED_0000 + 8);
+}
+
+#[test]
+fn partial_serve_table_fills_defaults() {
+    let spec = SweepSpec::parse(
+        "mixes = [\"llll\"]\n\
+         [serve]\n\
+         workers = 2\n\
+         heartbeat_ms = 250\n",
+    )
+    .unwrap();
+    let v = spec.serve.expect("[serve] parsed");
+    assert_eq!(v.workers, 2);
+    assert_eq!(v.heartbeat_ms, 250);
+    let d = ServeSpec::default();
+    assert_eq!(v.retries, d.retries);
+    assert_eq!(v.quarantine, d.quarantine);
+    assert_eq!(v.backoff_base_ms, d.backoff_base_ms);
+    // A spec without the table has no serve config at all.
+    assert_eq!(
+        SweepSpec::parse("mixes = [\"llll\"]\n").unwrap().serve,
+        None
+    );
+    // And the canonical form round-trips.
+    assert_eq!(SweepSpec::parse(&spec.print()).unwrap(), spec);
 }

@@ -20,6 +20,9 @@
 //!   canonical printer, grid expansion); see `docs/SPECS.md`.
 //! * [`experiments`] — the shared sweep runner plus the harness
 //!   regenerating every figure of the evaluation.
+//! * [`serve`] — the fault-tolerant sweep service (`vex serve`): a
+//!   supervised worker-process pool with heartbeats, retry backoff, a
+//!   content-addressed result cache and graceful drain.
 //! * [`asm`] — textual VEX assembly frontend, disassembler and the `.vexb`
 //!   binary program format behind the `vex` CLI.
 //! * [`gen`] — seeded random program generation and the differential
@@ -34,6 +37,7 @@ pub use vex_experiments as experiments;
 pub use vex_gen as gen;
 pub use vex_isa as isa;
 pub use vex_mem as mem;
+pub use vex_serve as serve;
 pub use vex_sim as sim;
 pub use vex_spec as spec;
 pub use vex_trace as trace;

@@ -103,6 +103,7 @@ fn example_specs_parse_and_round_trip() {
         "examples/narrow_2c.toml",
         "examples/big_cache.toml",
         "examples/bench_throughput.toml",
+        "examples/serve.toml",
     ] {
         let text = std::fs::read_to_string(path).unwrap_or_else(|e| panic!("{path}: {e}"));
         let spec = SweepSpec::parse(&text).unwrap_or_else(|e| panic!("{path}:\n{e}"));
