@@ -3,6 +3,8 @@
 //! Implements a plain warmup-then-measure harness printing mean time per
 //! iteration; see this crate's README for scope.
 
+#![forbid(unsafe_code)]
+
 use std::fmt::Display;
 use std::time::{Duration, Instant};
 

@@ -4,6 +4,8 @@
 //! real crate (no shrinking, deterministic per-test seeding, smaller
 //! default case count).
 
+#![forbid(unsafe_code)]
+
 pub mod collection;
 pub mod strategy;
 pub mod test_runner;

@@ -1,0 +1,479 @@
+//! Basic-block control-flow graph over a program's instruction stream.
+//!
+//! Successor computation mirrors the engine's control-transfer rules
+//! exactly (`vex-sim`'s cycle loop):
+//!
+//! * Control ops across an instruction resolve **last-wins** in canonical
+//!   order — clusters ascending, ops in bundle order. `goto`/`halt` are
+//!   always taken, `br` is taken when its branch register is true, `brf`
+//!   when false.
+//! * A taken transfer sets `pc = clamp(imm)`, where targets past the end
+//!   of the stream (or negative, in broken programs) leave the program.
+//! * No taken transfer falls through to `pc + 1`; falling off the end or
+//!   retiring a `halt` leaves the program.
+//!
+//! Hence the successor set of an instruction: if any unconditional
+//! transfer exists, the last one `U` wins unless a *conditional* op after
+//! `U` is taken — so successors are `U`'s target plus the targets of
+//! conditionals after `U`, and there is no fallthrough. Otherwise every
+//! conditional target plus the fallthrough is possible.
+
+use vex_isa::{Instruction, Opcode, Program};
+
+/// The possible control transfers out of one instruction.
+#[derive(Clone, Debug, Default)]
+pub struct InstFlow {
+    /// In-range instruction indices this instruction can jump to.
+    pub targets: Vec<usize>,
+    /// Whether execution can continue at `pc + 1`.
+    pub falls: bool,
+    /// Whether execution can leave the program here (halt, off-the-end
+    /// target, or fallthrough past the last instruction).
+    pub exits: bool,
+}
+
+/// Where one control op can send the pc.
+fn op_target(op_imm: i32, len: usize) -> Option<usize> {
+    if op_imm < 0 {
+        return None; // broken target: leaves the program
+    }
+    let t = op_imm as usize;
+    if t >= len {
+        None
+    } else {
+        Some(t)
+    }
+}
+
+/// Computes the engine-accurate successor set of instruction `i`.
+pub fn inst_flow(inst: &Instruction, i: usize, len: usize) -> InstFlow {
+    // Canonical-order list of control ops: (unconditional?, imm, halt?).
+    let mut ctrl: Vec<(bool, i32, bool)> = Vec::new();
+    for b in &inst.bundles {
+        for op in &b.ops {
+            match op.opcode {
+                Opcode::Goto => ctrl.push((true, op.imm, false)),
+                Opcode::Halt => ctrl.push((true, 0, true)),
+                Opcode::Br | Opcode::Brf => ctrl.push((false, op.imm, false)),
+                _ => {}
+            }
+        }
+    }
+
+    let mut flow = InstFlow::default();
+    let last_uncond = ctrl.iter().rposition(|c| c.0);
+    let considered: &[(bool, i32, bool)] = match last_uncond {
+        Some(u) => &ctrl[u..],
+        None => &ctrl[..],
+    };
+    for &(uncond, imm, halt) in considered {
+        if halt {
+            flow.exits = true;
+        } else {
+            match op_target(imm, len) {
+                Some(t) => {
+                    if !flow.targets.contains(&t) {
+                        flow.targets.push(t);
+                    }
+                }
+                None => flow.exits = true,
+            }
+        }
+        let _ = uncond;
+    }
+    if last_uncond.is_none() {
+        if i + 1 < len {
+            flow.falls = true;
+        } else {
+            flow.exits = true;
+        }
+    }
+    flow
+}
+
+/// A maximal straight-line run of instructions `[start, end)`.
+#[derive(Clone, Debug)]
+pub struct Block {
+    /// First instruction index.
+    pub start: usize,
+    /// One past the last instruction index.
+    pub end: usize,
+    /// Whether execution can leave the program from this block.
+    pub exits: bool,
+}
+
+impl Block {
+    /// The instruction indices in the block.
+    pub fn insts(&self) -> std::ops::Range<usize> {
+        self.start..self.end
+    }
+}
+
+/// The control-flow graph: blocks, edges, reachability and dominators.
+pub struct Cfg {
+    /// Blocks sorted by start index.
+    pub blocks: Vec<Block>,
+    /// Index of the entry block (contains instruction 0).
+    pub entry: usize,
+    /// Successor block indices, per block.
+    pub succs: Vec<Vec<usize>>,
+    /// Predecessor block indices, per block.
+    pub preds: Vec<Vec<usize>>,
+    /// Instruction index → owning block index.
+    pub block_of: Vec<usize>,
+    /// Reverse postorder from the entry; unreachable blocks appended
+    /// after, in index order, so fixpoint solvers still visit them.
+    pub rpo: Vec<usize>,
+    /// Whether each block is reachable from the entry.
+    pub reachable: Vec<bool>,
+    /// Immediate dominator of each reachable non-entry block.
+    pub idom: Vec<Option<usize>>,
+}
+
+impl Cfg {
+    /// Builds the CFG of a program. An empty program yields an empty
+    /// graph (no blocks).
+    pub fn build(program: &Program) -> Cfg {
+        let len = program.len();
+        if len == 0 {
+            return Cfg {
+                blocks: Vec::new(),
+                entry: 0,
+                succs: Vec::new(),
+                preds: Vec::new(),
+                block_of: Vec::new(),
+                rpo: Vec::new(),
+                reachable: Vec::new(),
+                idom: Vec::new(),
+            };
+        }
+
+        let flows: Vec<InstFlow> = program
+            .instructions
+            .iter()
+            .enumerate()
+            .map(|(i, inst)| inst_flow(inst, i, len))
+            .collect();
+
+        // Leaders: entry, every branch target, every post-branch slot.
+        let mut leader = vec![false; len];
+        leader[0] = true;
+        for (i, f) in flows.iter().enumerate() {
+            let has_ctrl = !f.targets.is_empty() || f.exits || !f.falls;
+            // `falls && targets.is_empty() && !exits` means no ctrl ops at
+            // all; anything else ends a block here.
+            if has_ctrl && i + 1 < len {
+                leader[i + 1] = true;
+            }
+            for &t in &f.targets {
+                leader[t] = true;
+            }
+        }
+
+        let mut blocks = Vec::new();
+        let mut block_of = vec![0usize; len];
+        for i in 0..len {
+            if leader[i] {
+                blocks.push(Block {
+                    start: i,
+                    end: i + 1,
+                    exits: false,
+                });
+            } else {
+                blocks.last_mut().expect("instruction 0 is a leader").end = i + 1;
+            }
+            block_of[i] = blocks.len() - 1;
+        }
+
+        let n = blocks.len();
+        let mut succs = vec![Vec::new(); n];
+        let mut preds = vec![Vec::new(); n];
+        for (b, blk) in blocks.iter_mut().enumerate() {
+            let f = &flows[blk.end - 1];
+            blk.exits = f.exits;
+            let add = |s: usize, succs: &mut Vec<Vec<usize>>| {
+                if !succs[b].contains(&s) {
+                    succs[b].push(s);
+                }
+            };
+            for &t in &f.targets {
+                add(block_of[t], &mut succs);
+            }
+            if f.falls {
+                add(block_of[blk.end], &mut succs);
+            }
+        }
+        for (b, ss) in succs.iter().enumerate() {
+            for &s in ss {
+                preds[s].push(b);
+            }
+        }
+
+        let entry = block_of[0];
+
+        // Iterative DFS for postorder + reachability.
+        let mut reachable = vec![false; n];
+        let mut postorder = Vec::with_capacity(n);
+        let mut stack: Vec<(usize, usize)> = vec![(entry, 0)];
+        reachable[entry] = true;
+        while let Some(&mut (b, ref mut next)) = stack.last_mut() {
+            if *next < succs[b].len() {
+                let s = succs[b][*next];
+                *next += 1;
+                if !reachable[s] {
+                    reachable[s] = true;
+                    stack.push((s, 0));
+                }
+            } else {
+                postorder.push(b);
+                stack.pop();
+            }
+        }
+        let mut rpo: Vec<usize> = postorder.iter().rev().copied().collect();
+        let mut rpo_index = vec![usize::MAX; n];
+        for (k, &b) in rpo.iter().enumerate() {
+            rpo_index[b] = k;
+        }
+        for (b, &r) in reachable.iter().enumerate() {
+            if !r {
+                rpo.push(b);
+            }
+        }
+
+        // Cooper–Harvey–Kennedy iterative dominators over reachable
+        // blocks in reverse postorder.
+        let mut idom: Vec<Option<usize>> = vec![None; n];
+        idom[entry] = Some(entry);
+        let intersect =
+            |idom: &[Option<usize>], rpo_index: &[usize], mut a: usize, mut b: usize| {
+                while a != b {
+                    while rpo_index[a] > rpo_index[b] {
+                        a = idom[a].expect("processed block has idom");
+                    }
+                    while rpo_index[b] > rpo_index[a] {
+                        b = idom[b].expect("processed block has idom");
+                    }
+                }
+                a
+            };
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for &b in rpo.iter().take_while(|&&b| reachable[b]) {
+                if b == entry {
+                    continue;
+                }
+                let mut new_idom: Option<usize> = None;
+                for &p in &preds[b] {
+                    if idom[p].is_none() {
+                        continue;
+                    }
+                    new_idom = Some(match new_idom {
+                        None => p,
+                        Some(cur) => intersect(&idom, &rpo_index, cur, p),
+                    });
+                }
+                if new_idom.is_some() && idom[b] != new_idom {
+                    idom[b] = new_idom;
+                    changed = true;
+                }
+            }
+        }
+        idom[entry] = None;
+
+        Cfg {
+            blocks,
+            entry,
+            succs,
+            preds,
+            block_of,
+            rpo,
+            reachable,
+            idom,
+        }
+    }
+
+    /// Whether block `a` dominates block `b` (reflexive). Only defined
+    /// for reachable blocks; returns `false` if either is unreachable.
+    pub fn dominates(&self, a: usize, b: usize) -> bool {
+        if !self.reachable[a] || !self.reachable[b] {
+            return false;
+        }
+        let mut cur = b;
+        loop {
+            if cur == a {
+                return true;
+            }
+            match self.idom[cur] {
+                Some(d) => cur = d,
+                None => return false,
+            }
+        }
+    }
+
+    /// All back edges `(tail, header)` where the header dominates the
+    /// tail — the loops a reducible program can form.
+    pub fn back_edges(&self) -> Vec<(usize, usize)> {
+        let mut edges = Vec::new();
+        for (b, ss) in self.succs.iter().enumerate() {
+            for &h in ss {
+                if self.dominates(h, b) {
+                    edges.push((b, h));
+                }
+            }
+        }
+        edges
+    }
+
+    /// The natural loop of a back edge: the header plus every block that
+    /// reaches the tail without passing through the header.
+    pub fn natural_loop(&self, tail: usize, header: usize) -> Vec<usize> {
+        let mut in_loop = vec![false; self.blocks.len()];
+        in_loop[header] = true;
+        let mut stack = vec![tail];
+        while let Some(b) = stack.pop() {
+            if in_loop[b] {
+                continue;
+            }
+            in_loop[b] = true;
+            for &p in &self.preds[b] {
+                stack.push(p);
+            }
+        }
+        (0..self.blocks.len()).filter(|&b| in_loop[b]).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vex_isa::{Operand, Operation, Reg};
+
+    fn op(opcode: Opcode) -> Operation {
+        Operation::new(opcode)
+    }
+
+    fn goto(t: i32) -> Operation {
+        let mut o = op(Opcode::Goto);
+        o.imm = t;
+        o
+    }
+
+    fn br(t: i32) -> Operation {
+        let mut o = op(Opcode::Br);
+        o.a = Operand::Breg(vex_isa::BReg::new(0, 0));
+        o.imm = t;
+        o
+    }
+
+    fn inst(ops: Vec<Operation>) -> Instruction {
+        let mut i = Instruction::nop(1);
+        i.bundles[0].ops = ops;
+        i
+    }
+
+    fn prog(insts: Vec<Instruction>) -> Program {
+        Program::new("t", insts, vec![])
+    }
+
+    #[test]
+    fn straight_line_is_one_block() {
+        let add = Operation::bin(
+            Opcode::Add,
+            Reg::new(0, 1),
+            Operand::Gpr(Reg::new(0, 1)),
+            Operand::Imm(1),
+        );
+        let p = prog(vec![
+            inst(vec![add.clone()]),
+            inst(vec![add]),
+            inst(vec![op(Opcode::Halt)]),
+        ]);
+        let cfg = Cfg::build(&p);
+        // halt ends its own block: ctrl at L2 makes L2 a... L2 has ctrl
+        // but no targets, so blocks are [0..3] split only by leaders.
+        assert_eq!(cfg.blocks.len(), 1);
+        assert!(cfg.blocks[0].exits);
+        assert!(cfg.succs[0].is_empty());
+    }
+
+    #[test]
+    fn loop_shape_and_dominators() {
+        let add = Operation::bin(
+            Opcode::Add,
+            Reg::new(0, 1),
+            Operand::Gpr(Reg::new(0, 1)),
+            Operand::Imm(1),
+        );
+        // L0: add   L1: br L0   L2: halt
+        let p = prog(vec![
+            inst(vec![add]),
+            inst(vec![br(0)]),
+            inst(vec![op(Opcode::Halt)]),
+        ]);
+        let cfg = Cfg::build(&p);
+        assert_eq!(cfg.blocks.len(), 2); // [0,2) and [2,3)
+        assert_eq!(cfg.block_of, vec![0, 0, 1]);
+        assert_eq!(cfg.succs[0], vec![0, 1]);
+        let back = cfg.back_edges();
+        assert_eq!(back, vec![(0, 0)]);
+        assert_eq!(cfg.natural_loop(0, 0), vec![0]);
+        assert!(cfg.dominates(0, 1));
+        assert!(!cfg.dominates(1, 0));
+    }
+
+    #[test]
+    fn last_unconditional_wins_no_fallthrough() {
+        // One instruction carrying both a goto and a later conditional
+        // br: successors are the goto target and the br target, but NOT
+        // the fallthrough.
+        let mut i = Instruction::nop(2);
+        i.bundles[0].ops.push(goto(2));
+        i.bundles[1].ops.push(br(3));
+        let nop = Instruction::nop(2);
+        let p = prog(vec![i, nop.clone(), nop.clone(), {
+            let mut h = Instruction::nop(2);
+            h.bundles[0].ops.push(op(Opcode::Halt));
+            h
+        }]);
+        let cfg = Cfg::build(&p);
+        let f = inst_flow(&p.instructions[0], 0, 4);
+        assert!(!f.falls);
+        assert_eq!(f.targets, vec![2, 3]);
+        // L1 is unreachable.
+        assert!(!cfg.reachable[cfg.block_of[1]]);
+        assert!(cfg.reachable[cfg.block_of[2]]);
+        assert!(cfg.reachable[cfg.block_of[3]]);
+    }
+
+    #[test]
+    fn conditional_before_goto_is_dead() {
+        // br at cluster 0, goto at cluster 1: goto is later in canonical
+        // order and unconditional, so the br can never win.
+        let mut i = Instruction::nop(2);
+        i.bundles[0].ops.push(br(1));
+        i.bundles[1].ops.push(goto(2));
+        let nop = Instruction::nop(2);
+        let p = prog(vec![i, nop.clone(), nop]);
+        let f = inst_flow(&p.instructions[0], 0, 3);
+        assert_eq!(f.targets, vec![2]);
+        assert!(!f.falls);
+    }
+
+    #[test]
+    fn off_end_and_negative_targets_exit() {
+        let mut i = Instruction::nop(1);
+        i.bundles[0].ops.push(br(99));
+        let p = prog(vec![i, Instruction::nop(1)]);
+        let f = inst_flow(&p.instructions[0], 0, 2);
+        assert!(f.exits && f.falls);
+        assert!(f.targets.is_empty());
+    }
+
+    #[test]
+    fn empty_program_yields_empty_cfg() {
+        let p = prog(vec![]);
+        let cfg = Cfg::build(&p);
+        assert!(cfg.blocks.is_empty());
+    }
+}

@@ -1,0 +1,95 @@
+//! Inter-cluster channel (send/recv) analysis.
+//!
+//! Send and recv ops pair up by pair-id *within one instruction* — the
+//! transfer is part of the same VLIW issue. Errors: a send whose value no
+//! recv consumes, a recv with no producing send, and ambiguous pairings
+//! (one id used by several pairs in one instruction). Additionally, a
+//! recv that issues *before* its matching send in canonical op order
+//! gets a warning: the engine resolves transfers after collecting the
+//! whole instruction so this executes fine, but the issue order is the
+//! classic recv-before-send hazard on a sequential microarchitecture and
+//! usually indicates a scheduling mistake.
+
+use crate::diag::{Check, Diagnostic, Report, Severity};
+use vex_isa::{Opcode, Program};
+
+/// Appends channel pairing/ordering diagnostics.
+pub fn run(program: &Program, report: &mut Report) {
+    // (canonical position, cluster, op index) per occurrence, per id.
+    let mut sends: Vec<(i32, usize, u8, usize)> = Vec::new();
+    let mut recvs: Vec<(i32, usize, u8, usize)> = Vec::new();
+    for (i, inst) in program.instructions.iter().enumerate() {
+        sends.clear();
+        recvs.clear();
+        for (pos, (c, oi, op)) in super::ops_of(inst).enumerate() {
+            match op.opcode {
+                Opcode::Send => sends.push((op.imm, pos, c, oi)),
+                Opcode::Recv => recvs.push((op.imm, pos, c, oi)),
+                _ => {}
+            }
+        }
+        if sends.is_empty() && recvs.is_empty() {
+            continue;
+        }
+        let mut ids: Vec<i32> = sends.iter().chain(recvs.iter()).map(|t| t.0).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        for id in ids {
+            let s: Vec<_> = sends.iter().filter(|t| t.0 == id).collect();
+            let r: Vec<_> = recvs.iter().filter(|t| t.0 == id).collect();
+            match (s.len(), r.len()) {
+                (_, 0) => {
+                    for &&(_, _, c, oi) in &s {
+                        report.diags.push(Diagnostic::at_op(
+                            Severity::Error,
+                            Check::Channels,
+                            i,
+                            c,
+                            oi,
+                            format!("send x{id} has no matching recv in this instruction"),
+                        ));
+                    }
+                }
+                (0, _) => {
+                    for &&(_, _, c, oi) in &r {
+                        report.diags.push(Diagnostic::at_op(
+                            Severity::Error,
+                            Check::Channels,
+                            i,
+                            c,
+                            oi,
+                            format!("recv x{id} has no matching send in this instruction"),
+                        ));
+                    }
+                }
+                (1, 1) => {
+                    if r[0].1 < s[0].1 {
+                        report.diags.push(Diagnostic::at_op(
+                            Severity::Warning,
+                            Check::Channels,
+                            i,
+                            r[0].2,
+                            r[0].3,
+                            format!(
+                                "recv x{id} issues before its matching send \
+                                 (cluster {}) in this instruction",
+                                s[0].2
+                            ),
+                        ));
+                    }
+                }
+                (ns, nr) => {
+                    report.diags.push(Diagnostic::at_inst(
+                        Severity::Error,
+                        Check::Channels,
+                        i,
+                        format!(
+                            "pair id x{id} is used by {ns} send(s) and {nr} recv(s) \
+                             in one instruction; pairing is ambiguous"
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,366 @@
+//! Reachability, uninitialised reads and dead writes.
+//!
+//! * **unreachable** — blocks no path from the entry reaches (warning,
+//!   one per block).
+//! * **uninit-read** — a must-initialised analysis (forward, intersect):
+//!   a register read that no path is guaranteed to have written first.
+//!   Registers reset to zero, so this is deterministic — a warning, not
+//!   an error — and reads of the hardwired `$rN.0` are exempt.
+//! * **dead-write** — classic liveness (backward, union): a write no
+//!   later read can observe, including writes shadowed by a later op of
+//!   the same instruction (engine writes resolve last-wins). Writes to
+//!   `$rN.0` are the idiomatic way to discard a result and are exempt.
+//!
+//! All reads of an instruction observe pre-instruction state, so reads
+//! are checked against the state *before* any of the instruction's
+//! writes land — even a same-instruction write does not initialise a
+//! register for its neighbours.
+
+use crate::cfg::Cfg;
+use crate::dataflow::{solve, BitSet, Direction, Join};
+use crate::diag::{Check, Diagnostic, Report, Severity};
+use crate::space::Space;
+use vex_isa::{Dest, Instruction, Program};
+
+/// Bit indices read by an op (GPRs and branch registers), zero-reg
+/// included — callers decide exemptions.
+fn op_reads(space: &Space, op: &vex_isa::Operation) -> Vec<usize> {
+    let mut v: Vec<usize> = op.src_gprs().map(|r| space.gpr(r)).collect();
+    for operand in [op.a, op.b, op.c] {
+        if let Some(b) = operand.breg() {
+            v.push(space.breg(b));
+        }
+    }
+    v.sort_unstable();
+    v.dedup();
+    v
+}
+
+/// The bit index written by an op, if any.
+fn op_write(space: &Space, op: &vex_isa::Operation) -> Option<usize> {
+    match op.dst {
+        Dest::Gpr(r) => Some(space.gpr(r)),
+        Dest::Breg(b) => Some(space.breg(b)),
+        Dest::None => None,
+    }
+}
+
+fn inst_writes(space: &Space, inst: &Instruction, set: &mut BitSet) {
+    for (_, _, op) in super::ops_of(inst) {
+        if let Some(w) = op_write(space, op) {
+            set.insert(w);
+        }
+    }
+}
+
+/// Appends unreachable / uninit-read / dead-write diagnostics.
+pub fn run(program: &Program, cfg: &Cfg, space: &Space, report: &mut Report) {
+    if cfg.blocks.is_empty() {
+        return;
+    }
+
+    // Unreachable blocks.
+    for (b, blk) in cfg.blocks.iter().enumerate() {
+        if !cfg.reachable[b] {
+            report.diags.push(Diagnostic::at_inst(
+                Severity::Warning,
+                Check::Unreachable,
+                blk.start,
+                if blk.end - blk.start == 1 {
+                    "instruction is unreachable from the entry".to_string()
+                } else {
+                    format!(
+                        "instructions L{}..L{} are unreachable from the entry",
+                        blk.start,
+                        blk.end - 1
+                    )
+                },
+            ));
+        }
+    }
+
+    let bits = space.bits();
+
+    // Must-init: forward, intersect; nothing is written at the entry.
+    let must_init = solve(
+        cfg,
+        Direction::Forward,
+        Join::Intersect,
+        &BitSet::empty(bits),
+        &BitSet::full(bits),
+        |b, set| {
+            for i in cfg.blocks[b].insts() {
+                inst_writes(space, &program.instructions[i], set);
+            }
+        },
+    );
+
+    for (b, blk) in cfg.blocks.iter().enumerate() {
+        if !cfg.reachable[b] {
+            continue;
+        }
+        let mut set = must_init.input[b].clone();
+        for i in blk.insts() {
+            let inst = &program.instructions[i];
+            for (c, oi, op) in super::ops_of(inst) {
+                for r in op.src_gprs() {
+                    if !r.is_zero() && !set.contains(space.gpr(r)) {
+                        report.diags.push(Diagnostic::at_op(
+                            Severity::Warning,
+                            Check::UninitRead,
+                            i,
+                            c,
+                            oi,
+                            format!("`{r}` may be read before it is written (reads 0)"),
+                        ));
+                    }
+                }
+                for operand in [op.a, op.b, op.c] {
+                    if let Some(br) = operand.breg() {
+                        if !set.contains(space.breg(br)) {
+                            report.diags.push(Diagnostic::at_op(
+                                Severity::Warning,
+                                Check::UninitRead,
+                                i,
+                                c,
+                                oi,
+                                format!("`{br}` may be read before it is written (reads false)"),
+                            ));
+                        }
+                    }
+                }
+            }
+            inst_writes(space, inst, &mut set);
+        }
+    }
+
+    // Liveness: backward, union; nothing is live after the program.
+    let live = solve(
+        cfg,
+        Direction::Backward,
+        Join::Union,
+        &BitSet::empty(bits),
+        &BitSet::empty(bits),
+        |b, set| {
+            for i in cfg.blocks[b].insts().rev() {
+                let inst = &program.instructions[i];
+                let mut writes = BitSet::empty(bits);
+                inst_writes(space, inst, &mut writes);
+                set.subtract(&writes);
+                for (_, _, op) in super::ops_of(inst) {
+                    for r in op_reads(space, op) {
+                        set.insert(r);
+                    }
+                }
+            }
+        },
+    );
+
+    for (b, blk) in cfg.blocks.iter().enumerate() {
+        if !cfg.reachable[b] {
+            continue;
+        }
+        // `live.input[b]` is the set at the block's *end* (backward flow
+        // entry); rewalk the block in reverse.
+        let mut set = live.input[b].clone();
+        for i in blk.insts().rev() {
+            let inst = &program.instructions[i];
+            let ops: Vec<_> = super::ops_of(inst).collect();
+            for (k, &(c, oi, op)) in ops.iter().enumerate() {
+                let Some(w) = op_write(space, op) else {
+                    continue;
+                };
+                if let Dest::Gpr(r) = op.dst {
+                    if r.is_zero() {
+                        continue; // `$rN.0 = ...` discards by design
+                    }
+                }
+                let shadowed = ops[k + 1..]
+                    .iter()
+                    .any(|&(_, _, later)| op_write(space, later) == Some(w));
+                if shadowed {
+                    report.diags.push(Diagnostic::at_op(
+                        Severity::Warning,
+                        Check::DeadWrite,
+                        i,
+                        c,
+                        oi,
+                        format!(
+                            "write to `{}` is overwritten by a later op in the same instruction",
+                            dst_name(op)
+                        ),
+                    ));
+                } else if !set.contains(w) {
+                    report.diags.push(Diagnostic::at_op(
+                        Severity::Warning,
+                        Check::DeadWrite,
+                        i,
+                        c,
+                        oi,
+                        format!("`{}` is written but never read", dst_name(op)),
+                    ));
+                }
+            }
+            let mut writes = BitSet::empty(bits);
+            inst_writes(space, inst, &mut writes);
+            set.subtract(&writes);
+            for &(_, _, op) in &ops {
+                for r in op_reads(space, op) {
+                    set.insert(r);
+                }
+            }
+        }
+    }
+}
+
+fn dst_name(op: &vex_isa::Operation) -> String {
+    match op.dst {
+        Dest::Gpr(r) => r.to_string(),
+        Dest::Breg(b) => b.to_string(),
+        Dest::None => String::new(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vex_isa::{MachineConfig, Opcode, Operand, Operation, Reg};
+
+    fn inst1(ops: Vec<Operation>) -> Instruction {
+        let mut i = Instruction::nop(1);
+        i.bundles[0].ops = ops;
+        i
+    }
+
+    fn halt1() -> Instruction {
+        inst1(vec![Operation::new(Opcode::Halt)])
+    }
+
+    fn analyze_these(insts: Vec<Instruction>) -> Report {
+        let p = Program::new("t", insts, vec![]);
+        crate::analyze(&p, &MachineConfig::small(1, 4))
+    }
+
+    #[test]
+    fn uninit_read_is_flagged_and_zero_reg_exempt() {
+        // add $r0.2 = $r0.5, 1 reads uninitialised $r0.5; then read
+        // $r0.2 (initialised) and $r0.0 (zero reg, exempt).
+        let a = Operation::bin(
+            Opcode::Add,
+            Reg::new(0, 2),
+            Operand::Gpr(Reg::new(0, 5)),
+            Operand::Imm(1),
+        );
+        let b = Operation::bin(
+            Opcode::Add,
+            Reg::new(0, 3),
+            Operand::Gpr(Reg::new(0, 2)),
+            Operand::Gpr(Reg::new(0, 0)),
+        );
+        let mut st = Operation::store(Opcode::Stw, Reg::new(0, 0), 0, Operand::Gpr(Reg::new(0, 3)));
+        st.imm = 0;
+        let r = analyze_these(vec![
+            inst1(vec![a]),
+            inst1(vec![b]),
+            inst1(vec![st]),
+            halt1(),
+        ]);
+        let uninit: Vec<_> = r
+            .diags
+            .iter()
+            .filter(|d| d.check == Check::UninitRead)
+            .collect();
+        assert_eq!(uninit.len(), 1, "{}", r.render());
+        assert_eq!(uninit[0].inst, 0);
+        assert!(uninit[0].message.contains("$r0.5"));
+    }
+
+    #[test]
+    fn same_instruction_write_does_not_initialise_reads() {
+        // L0 writes $r0.2 and reads it in the same instruction: the read
+        // observes pre-instruction (uninitialised) state.
+        let w = Operation::bin(
+            Opcode::Add,
+            Reg::new(0, 2),
+            Operand::Imm(7),
+            Operand::Imm(0),
+        );
+        let rd = Operation::bin(
+            Opcode::Add,
+            Reg::new(0, 3),
+            Operand::Gpr(Reg::new(0, 2)),
+            Operand::Imm(0),
+        );
+        let mut st3 =
+            Operation::store(Opcode::Stw, Reg::new(0, 0), 0, Operand::Gpr(Reg::new(0, 3)));
+        st3.imm = 0;
+        let mut st2 =
+            Operation::store(Opcode::Stw, Reg::new(0, 0), 4, Operand::Gpr(Reg::new(0, 2)));
+        st2.imm = 4;
+        let r = analyze_these(vec![inst1(vec![w, rd]), inst1(vec![st3, st2]), halt1()]);
+        assert!(
+            r.diags
+                .iter()
+                .any(|d| d.check == Check::UninitRead && d.inst == 0),
+            "{}",
+            r.render()
+        );
+    }
+
+    #[test]
+    fn dead_write_and_shadowed_write() {
+        // $r0.2 written twice in one instruction (first is shadowed),
+        // then never read (second is dead).
+        let w1 = Operation::bin(
+            Opcode::Add,
+            Reg::new(0, 2),
+            Operand::Imm(1),
+            Operand::Imm(0),
+        );
+        let w2 = Operation::bin(
+            Opcode::Add,
+            Reg::new(0, 2),
+            Operand::Imm(2),
+            Operand::Imm(0),
+        );
+        let r = analyze_these(vec![inst1(vec![w1, w2]), halt1()]);
+        let dead: Vec<_> = r
+            .diags
+            .iter()
+            .filter(|d| d.check == Check::DeadWrite)
+            .collect();
+        assert_eq!(dead.len(), 2, "{}", r.render());
+        assert!(dead[0].message.contains("overwritten"), "{}", r.render());
+        assert!(dead[1].message.contains("never read"), "{}", r.render());
+    }
+
+    #[test]
+    fn discard_to_zero_reg_is_exempt() {
+        let w = Operation::bin(
+            Opcode::Add,
+            Reg::new(0, 0),
+            Operand::Imm(1),
+            Operand::Imm(0),
+        );
+        let r = analyze_these(vec![inst1(vec![w]), halt1()]);
+        assert!(
+            r.diags.iter().all(|d| d.check != Check::DeadWrite),
+            "{}",
+            r.render()
+        );
+    }
+
+    #[test]
+    fn unreachable_block_is_flagged() {
+        let mut goto = Operation::new(Opcode::Goto);
+        goto.imm = 2;
+        let r = analyze_these(vec![inst1(vec![goto]), Instruction::nop(1), halt1()]);
+        let unreach: Vec<_> = r
+            .diags
+            .iter()
+            .filter(|d| d.check == Check::Unreachable)
+            .collect();
+        assert_eq!(unreach.len(), 1, "{}", r.render());
+        assert_eq!(unreach[0].inst, 1);
+    }
+}

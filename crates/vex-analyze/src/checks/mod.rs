@@ -1,0 +1,23 @@
+//! The check suite. Each submodule appends [`crate::Diagnostic`]s to a
+//! shared report; `crate::analyze` runs them all and sorts the result.
+
+pub mod channels;
+pub mod constprop;
+pub mod liveness;
+pub mod resources;
+pub mod termination;
+
+use vex_isa::{Instruction, Operation};
+
+/// Iterates the ops of an instruction in canonical order — clusters
+/// ascending, ops in bundle order — with their `(cluster, op index)`
+/// coordinates. This is the engine's resolution order for last-wins
+/// control flow and same-cycle write shadowing.
+pub(crate) fn ops_of(inst: &Instruction) -> impl Iterator<Item = (u8, usize, &Operation)> {
+    inst.bundles.iter().enumerate().flat_map(|(c, b)| {
+        b.ops
+            .iter()
+            .enumerate()
+            .map(move |(i, op)| (c as u8, i, op))
+    })
+}

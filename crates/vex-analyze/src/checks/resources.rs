@@ -1,0 +1,49 @@
+//! Resource feasibility and branch-target range.
+//!
+//! Runs the typed per-instruction validator over *every* instruction
+//! (where `Program::validate` stops at the first failure) and reports
+//! each cause as an error. A bundle that demands more slots or units
+//! than the machine's empty issue packet can never issue — before the
+//! scheduler watchdog existed, such programs hung the engine.
+
+use crate::diag::{self, Check, Diagnostic, Report, Severity};
+use vex_isa::{MachineConfig, Opcode, Program, ValidateCause};
+
+/// Appends resource and branch-target errors for every instruction.
+pub fn run(program: &Program, machine: &MachineConfig, report: &mut Report) {
+    let len = program.len();
+    let mut bundle_count_seen = false;
+    for (i, inst) in program.instructions.iter().enumerate() {
+        if let Err(e) = inst.validate(machine) {
+            match e.cause {
+                // The channels check reports pairing problems with op
+                // coordinates; don't duplicate them here.
+                ValidateCause::UnpairedComm => {}
+                // A wrong bundle count usually afflicts the whole
+                // stream; one diagnostic carries the message.
+                ValidateCause::BundleCount { .. } => {
+                    if !bundle_count_seen {
+                        bundle_count_seen = true;
+                        report.diags.push(diag::from_validate(&e, i));
+                    }
+                }
+                _ => report.diags.push(diag::from_validate(&e, i)),
+            }
+        }
+        for (c, oi, op) in super::ops_of(inst) {
+            if op.opcode.is_ctrl() && !matches!(op.opcode, Opcode::Halt) {
+                let t = op.imm;
+                if t < 0 || t as usize >= len {
+                    report.diags.push(Diagnostic::at_op(
+                        Severity::Error,
+                        Check::BranchTarget,
+                        i,
+                        c,
+                        oi,
+                        format!("branch target L{t} out of range (program has {len} instructions)"),
+                    ));
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,345 @@
+//! Loop-bound (termination) analysis.
+//!
+//! For every back edge `tail → header` (header dominates tail), the
+//! check tries to prove the loop bounded by exhibiting an exit that
+//! fires after finitely many iterations from *any* starting state:
+//!
+//! 1. An exit block `e` inside the loop that dominates the tail (so it
+//!    tests every iteration), terminated by a single conditional branch
+//!    with one successor in the loop and one outside.
+//! 2. The branch register has exactly one definition inside the loop: a
+//!    compare between a counter GPR and a *constant* bound, in a block
+//!    dominating the tail.
+//! 3. The counter has exactly one definition inside the loop: an
+//!    `add`/`sub` of a constant step, in a block dominating the tail.
+//! 4. The wraparound feasibility condition: stepping by `d` modulo 2³²
+//!    visits exactly the residues `gcd(d, 2³²)` apart, so the exit set —
+//!    a contiguous window on the mod-2³² circle — is guaranteed to be
+//!    hit from any start iff its size is at least `gcd(d, 2³²)` (the
+//!    largest power of two dividing `d`).
+//!
+//! Anything the prover cannot fit gets a *warning* ("may not
+//! terminate") — the analysis is deliberately conservative and the
+//! engine has a watchdog for runaway programs.
+
+use crate::cfg::Cfg;
+use crate::diag::{Check, Diagnostic, Report, Severity};
+use vex_isa::{BReg, Dest, Opcode, Operand, Program, Reg};
+
+/// Normalised comparison relation `ctr REL bound`.
+#[derive(Clone, Copy, Debug)]
+enum Rel {
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    Eq,
+    Ne,
+    Ltu,
+    Leu,
+    Gtu,
+    Geu,
+}
+
+impl Rel {
+    fn of(opcode: Opcode) -> Option<Rel> {
+        Some(match opcode {
+            Opcode::CmpEq => Rel::Eq,
+            Opcode::CmpNe => Rel::Ne,
+            Opcode::CmpLt => Rel::Lt,
+            Opcode::CmpLe => Rel::Le,
+            Opcode::CmpGt => Rel::Gt,
+            Opcode::CmpGe => Rel::Ge,
+            Opcode::CmpLtu => Rel::Ltu,
+            Opcode::CmpGeu => Rel::Geu,
+            _ => return None,
+        })
+    }
+
+    /// The relation with its operands swapped (`B REL ctr` → `ctr REL' B`).
+    fn flipped(self) -> Rel {
+        match self {
+            Rel::Lt => Rel::Gt,
+            Rel::Le => Rel::Ge,
+            Rel::Gt => Rel::Lt,
+            Rel::Ge => Rel::Le,
+            Rel::Eq => Rel::Eq,
+            Rel::Ne => Rel::Ne,
+            Rel::Ltu => Rel::Gtu,
+            Rel::Leu => Rel::Geu,
+            Rel::Gtu => Rel::Ltu,
+            Rel::Geu => Rel::Leu,
+        }
+    }
+
+    /// Number of 32-bit values satisfying `ctr REL bound`.
+    fn count_true(self, bound: i32) -> u64 {
+        const TOTAL: u64 = 1 << 32;
+        let lo = i64::from(i32::MIN);
+        let hi = i64::from(i32::MAX);
+        let b = i64::from(bound);
+        let bu = u64::from(bound as u32);
+        match self {
+            Rel::Lt => (b - lo) as u64,
+            Rel::Le => (b - lo + 1) as u64,
+            Rel::Gt => (hi - b) as u64,
+            Rel::Ge => (hi - b + 1) as u64,
+            Rel::Eq => 1,
+            Rel::Ne => TOTAL - 1,
+            Rel::Ltu => bu,
+            Rel::Leu => bu + 1,
+            Rel::Gtu => TOTAL - bu - 1,
+            Rel::Geu => TOTAL - bu,
+        }
+    }
+}
+
+/// Appends a "may not terminate" warning for every back edge the prover
+/// cannot bound.
+pub fn run(program: &Program, cfg: &Cfg, report: &mut Report) {
+    for (tail, header) in cfg.back_edges() {
+        if !proven_bounded(program, cfg, tail, header) {
+            let term = cfg.blocks[tail].end - 1;
+            report.diags.push(Diagnostic::at_inst(
+                Severity::Warning,
+                Check::Termination,
+                term,
+                format!(
+                    "loop L{}..L{}: no provably monotone exit condition; \
+                     the loop may not terminate",
+                    cfg.blocks[header].start, term
+                ),
+            ));
+        }
+    }
+}
+
+/// All `(block, op)` pairs in the loop whose op writes `pred(dst)`.
+fn loop_defs<'p>(
+    program: &'p Program,
+    cfg: &Cfg,
+    loop_blocks: &[usize],
+    pred: impl Fn(Dest) -> bool,
+) -> Vec<(usize, &'p vex_isa::Operation)> {
+    let mut defs = Vec::new();
+    for &b in loop_blocks {
+        for i in cfg.blocks[b].insts() {
+            for (_, _, op) in super::ops_of(&program.instructions[i]) {
+                if pred(op.dst) {
+                    defs.push((b, op));
+                }
+            }
+        }
+    }
+    defs
+}
+
+fn proven_bounded(program: &Program, cfg: &Cfg, tail: usize, header: usize) -> bool {
+    let loop_blocks = cfg.natural_loop(tail, header);
+    let in_loop = |b: usize| loop_blocks.contains(&b);
+    let len = program.len();
+
+    for &e in &loop_blocks {
+        if !cfg.dominates(e, tail) {
+            continue;
+        }
+        let term = cfg.blocks[e].end - 1;
+        let inst = &program.instructions[term];
+        let ctrl: Vec<_> = super::ops_of(inst)
+            .filter(|(_, _, op)| op.opcode.is_ctrl())
+            .collect();
+        if ctrl.len() != 1 {
+            continue;
+        }
+        let branch = ctrl[0].2;
+        let cond: BReg = match (branch.opcode, branch.a.breg()) {
+            (Opcode::Br | Opcode::Brf, Some(b)) => b,
+            _ => continue,
+        };
+
+        // One successor side must leave the loop, the other stay in it.
+        let taken_in = {
+            let t = branch.imm;
+            t >= 0 && (t as usize) < len && in_loop(cfg.block_of[t as usize])
+        };
+        let fall_in = term + 1 < len && in_loop(cfg.block_of[term + 1]);
+        // Branch-register value on which the loop exits.
+        let exit_when = match (taken_in, fall_in) {
+            (false, true) => branch.opcode == Opcode::Br,
+            (true, false) => branch.opcode == Opcode::Brf,
+            _ => continue,
+        };
+
+        // The condition must come from exactly one in-loop compare.
+        let cond_defs = loop_defs(program, cfg, &loop_blocks, |d| d == Dest::Breg(cond));
+        if cond_defs.len() != 1 {
+            continue;
+        }
+        let (cmp_block, cmp) = cond_defs[0];
+        if !cmp.opcode.is_cmp() || !cfg.dominates(cmp_block, tail) {
+            continue;
+        }
+        let Some(rel0) = Rel::of(cmp.opcode) else {
+            continue;
+        };
+
+        // One compare operand is the counter, the other a constant.
+        let as_const = |o: Operand| -> Option<i32> {
+            match o {
+                Operand::Imm(k) => Some(k),
+                Operand::Gpr(r) if r.is_zero() => Some(0),
+                _ => None,
+            }
+        };
+        let as_ctr = |o: Operand| -> Option<Reg> {
+            match o {
+                Operand::Gpr(r) if !r.is_zero() => Some(r),
+                _ => None,
+            }
+        };
+        let (ctr, rel, bound) = match (
+            as_ctr(cmp.a),
+            as_const(cmp.b),
+            as_const(cmp.a),
+            as_ctr(cmp.b),
+        ) {
+            (Some(r), Some(k), _, _) => (r, rel0, k),
+            (_, _, Some(k), Some(r)) => (r, rel0.flipped(), k),
+            _ => continue,
+        };
+
+        // The counter must step by a constant exactly once per iteration.
+        let ctr_defs = loop_defs(program, cfg, &loop_blocks, |d| d == Dest::Gpr(ctr));
+        if ctr_defs.len() != 1 {
+            continue;
+        }
+        let (step_block, step_op) = ctr_defs[0];
+        if !cfg.dominates(step_block, tail) {
+            continue;
+        }
+        let step: u32 = match (step_op.opcode, step_op.a, step_op.b) {
+            (Opcode::Add, Operand::Gpr(r), Operand::Imm(k)) if r == ctr => k as u32,
+            (Opcode::Add, Operand::Imm(k), Operand::Gpr(r)) if r == ctr => k as u32,
+            (Opcode::Sub, Operand::Gpr(r), Operand::Imm(k)) if r == ctr => {
+                (k as u32).wrapping_neg()
+            }
+            _ => continue,
+        };
+        if step == 0 {
+            continue;
+        }
+
+        // Stepping by `step` visits residues gcd(step, 2^32) apart; the
+        // exit window must be at least that wide to be unmissable.
+        let gcd = 1u64 << step.trailing_zeros();
+        let window = if exit_when {
+            rel.count_true(bound)
+        } else {
+            (1u64 << 32) - rel.count_true(bound)
+        };
+        if window >= gcd {
+            return true;
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vex_isa::{Instruction, MachineConfig, Operation};
+
+    fn inst1(ops: Vec<Operation>) -> Instruction {
+        let mut i = Instruction::nop(1);
+        i.bundles[0].ops = ops;
+        i
+    }
+
+    fn counted_loop(step: Operation, cmp: Operation, br_op: Opcode) -> Program {
+        let mut br = Operation::new(br_op);
+        br.a = Operand::Breg(BReg::new(0, 0));
+        br.imm = 0;
+        Program::new(
+            "loop",
+            vec![
+                inst1(vec![step]),
+                inst1(vec![cmp]),
+                inst1(vec![br]),
+                inst1(vec![Operation::new(Opcode::Halt)]),
+            ],
+            vec![],
+        )
+    }
+
+    fn term_warnings(p: &Program) -> usize {
+        crate::analyze(p, &MachineConfig::small(1, 4))
+            .diags
+            .iter()
+            .filter(|d| d.check == Check::Termination)
+            .count()
+    }
+
+    fn add_step(k: i32) -> Operation {
+        Operation::bin(
+            Opcode::Add,
+            Reg::new(0, 1),
+            Operand::Gpr(Reg::new(0, 1)),
+            Operand::Imm(k),
+        )
+    }
+
+    fn cmp_ctr(opcode: Opcode, bound: i32) -> Operation {
+        let mut c = Operation::new(opcode);
+        c.dst = Dest::Breg(BReg::new(0, 0));
+        c.a = Operand::Gpr(Reg::new(0, 1));
+        c.b = Operand::Imm(bound);
+        c
+    }
+
+    #[test]
+    fn counted_up_loop_is_bounded() {
+        // while (ctr < 10) { ctr += 1 }  — continue while true (br loops).
+        let p = counted_loop(add_step(1), cmp_ctr(Opcode::CmpLt, 10), Opcode::Br);
+        assert_eq!(term_warnings(&p), 0);
+    }
+
+    #[test]
+    fn wrong_direction_step_is_flagged() {
+        // ctr -= 1 with a `ctr < 10` continue-condition: counts away
+        // from the bound; exit window [10, MAX] has size < 2^32-ish but
+        // step -1 visits every value — actually bounded!  Use step -2 vs
+        // an Eq exit to get a genuinely unprovable case below; here
+        // step=-1 still terminates by wraparound and the prover agrees.
+        let p = counted_loop(add_step(-1), cmp_ctr(Opcode::CmpLt, 10), Opcode::Br);
+        assert_eq!(term_warnings(&p), 0);
+
+        // Exit only when ctr == 10 exactly, stepping by 2: from an odd
+        // start the loop never exits.
+        let p = counted_loop(add_step(2), cmp_ctr(Opcode::CmpNe, 10), Opcode::Br);
+        assert_eq!(term_warnings(&p), 1);
+    }
+
+    #[test]
+    fn unconditional_back_edge_is_flagged() {
+        let mut goto = Operation::new(Opcode::Goto);
+        goto.imm = 0;
+        let p = Program::new(
+            "spin",
+            vec![inst1(vec![add_step(1)]), inst1(vec![goto])],
+            vec![],
+        );
+        assert_eq!(term_warnings(&p), 1);
+    }
+
+    #[test]
+    fn invariant_register_bound_is_not_provable() {
+        // cmplt $b0.0 = $r0.1, $r0.2 — bound in a register: conservative
+        // warning even though $r0.2 is loop-invariant.
+        let mut cmp = Operation::new(Opcode::CmpLt);
+        cmp.dst = Dest::Breg(BReg::new(0, 0));
+        cmp.a = Operand::Gpr(Reg::new(0, 1));
+        cmp.b = Operand::Gpr(Reg::new(0, 2));
+        let p = counted_loop(add_step(1), cmp, Opcode::Br);
+        assert_eq!(term_warnings(&p), 1);
+    }
+}

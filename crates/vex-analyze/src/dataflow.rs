@@ -1,0 +1,239 @@
+//! A small bitset dataflow framework.
+//!
+//! Facts are dense bit indices over whatever space a check chooses
+//! (flattened GPRs + branch registers, pair ids, ...). The solver runs a
+//! classic worklist iteration to fixpoint over the basic-block CFG in
+//! either direction with either a union (may) or intersect (must) join.
+
+use crate::cfg::Cfg;
+
+/// A fixed-width bitset backed by `u64` words.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct BitSet {
+    words: Vec<u64>,
+    bits: usize,
+}
+
+impl BitSet {
+    /// An all-zeros set over `bits` indices.
+    pub fn empty(bits: usize) -> Self {
+        BitSet {
+            words: vec![0; bits.div_ceil(64)],
+            bits,
+        }
+    }
+
+    /// An all-ones set over `bits` indices (the top of a must-lattice).
+    pub fn full(bits: usize) -> Self {
+        let mut s = BitSet {
+            words: vec![!0u64; bits.div_ceil(64)],
+            bits,
+        };
+        s.clear_tail();
+        s
+    }
+
+    fn clear_tail(&mut self) {
+        let tail = self.bits % 64;
+        if tail != 0 {
+            if let Some(w) = self.words.last_mut() {
+                *w &= (1u64 << tail) - 1;
+            }
+        }
+    }
+
+    /// Number of indices the set ranges over.
+    pub fn bits(&self) -> usize {
+        self.bits
+    }
+
+    /// Sets bit `i`.
+    pub fn insert(&mut self, i: usize) {
+        debug_assert!(i < self.bits);
+        self.words[i / 64] |= 1u64 << (i % 64);
+    }
+
+    /// Clears bit `i`.
+    pub fn remove(&mut self, i: usize) {
+        debug_assert!(i < self.bits);
+        self.words[i / 64] &= !(1u64 << (i % 64));
+    }
+
+    /// Whether bit `i` is set.
+    pub fn contains(&self, i: usize) -> bool {
+        debug_assert!(i < self.bits);
+        self.words[i / 64] & (1u64 << (i % 64)) != 0
+    }
+
+    /// `self |= other`.
+    pub fn union_with(&mut self, other: &BitSet) {
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a |= b;
+        }
+    }
+
+    /// `self &= other`.
+    pub fn intersect_with(&mut self, other: &BitSet) {
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a &= b;
+        }
+    }
+
+    /// `self &= !other`.
+    pub fn subtract(&mut self, other: &BitSet) {
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a &= !b;
+        }
+    }
+
+    /// Number of set bits.
+    pub fn count(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+}
+
+/// Which way facts flow.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Direction {
+    /// Facts flow from predecessors to successors.
+    Forward,
+    /// Facts flow from successors to predecessors.
+    Backward,
+}
+
+/// How facts from multiple edges combine.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Join {
+    /// May-analysis: a fact holds if it holds on *any* incoming edge.
+    Union,
+    /// Must-analysis: a fact holds only if it holds on *every* incoming
+    /// edge.
+    Intersect,
+}
+
+/// Fixpoint result: per-block IN and OUT sets (in flow order — for a
+/// backward analysis, `input[b]` is the set at the block's *end*).
+pub struct Solution {
+    /// The set at each block's flow entry.
+    pub input: Vec<BitSet>,
+    /// The set at each block's flow exit.
+    pub output: Vec<BitSet>,
+}
+
+/// Runs a worklist iteration to fixpoint.
+///
+/// * `boundary` — the set at the entry block's flow entry (forward) or at
+///   every program-exiting block's flow entry (backward).
+/// * `init` — the starting interior value (`BitSet::full` for intersect
+///   joins, `BitSet::empty` for union joins).
+/// * `transfer(block, set)` — applies the block's effect in flow order.
+pub fn solve(
+    cfg: &Cfg,
+    dir: Direction,
+    join: Join,
+    boundary: &BitSet,
+    init: &BitSet,
+    transfer: impl Fn(usize, &mut BitSet),
+) -> Solution {
+    let n = cfg.blocks.len();
+    let mut input = vec![init.clone(); n];
+    let mut output = vec![init.clone(); n];
+
+    // Flow-order neighbour accessors.
+    let flow_preds = |b: usize| -> &[usize] {
+        match dir {
+            Direction::Forward => &cfg.preds[b],
+            Direction::Backward => &cfg.succs[b],
+        }
+    };
+    let flow_succs = |b: usize| -> &[usize] {
+        match dir {
+            Direction::Forward => &cfg.succs[b],
+            Direction::Backward => &cfg.preds[b],
+        }
+    };
+    let is_boundary = |b: usize| -> bool {
+        match dir {
+            Direction::Forward => b == cfg.entry,
+            Direction::Backward => cfg.blocks[b].exits || cfg.succs[b].is_empty(),
+        }
+    };
+
+    // Seed the worklist with every block; iterate to fixpoint. Visiting
+    // in reverse postorder (forward) or its reverse (backward) keeps the
+    // pass count low.
+    let order: Vec<usize> = match dir {
+        Direction::Forward => cfg.rpo.clone(),
+        Direction::Backward => cfg.rpo.iter().rev().copied().collect(),
+    };
+    let mut on_list = vec![true; n];
+    let mut list: Vec<usize> = order.clone();
+    let mut cursor = 0;
+    while cursor < list.len() {
+        let b = list[cursor];
+        cursor += 1;
+        on_list[b] = false;
+
+        let mut inb = if is_boundary(b) {
+            boundary.clone()
+        } else {
+            init.clone()
+        };
+        // A boundary block can also have in-edges (e.g. a loop back to
+        // the entry); those join into the boundary value. Non-boundary
+        // blocks take their first predecessor's value directly so the
+        // interior `init` never leaks into a must-join.
+        let mut first = true;
+        for &p in flow_preds(b) {
+            if first && !is_boundary(b) {
+                inb = output[p].clone();
+                first = false;
+            } else {
+                match join {
+                    Join::Union => inb.union_with(&output[p]),
+                    Join::Intersect => inb.intersect_with(&output[p]),
+                }
+            }
+        }
+
+        let mut outb = inb.clone();
+        transfer(b, &mut outb);
+        let changed = outb != output[b] || inb != input[b];
+        input[b] = inb;
+        output[b] = outb;
+        if changed {
+            for &s in flow_succs(b) {
+                if !on_list[s] {
+                    on_list[s] = true;
+                    list.push(s);
+                }
+            }
+        }
+    }
+
+    Solution { input, output }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bitset_ops() {
+        let mut a = BitSet::empty(130);
+        a.insert(0);
+        a.insert(64);
+        a.insert(129);
+        assert!(a.contains(129) && a.contains(64) && !a.contains(1));
+        assert_eq!(a.count(), 3);
+        let full = BitSet::full(130);
+        assert_eq!(full.count(), 130);
+        let mut b = full.clone();
+        b.subtract(&a);
+        assert_eq!(b.count(), 127);
+        b.union_with(&a);
+        assert_eq!(b, full);
+        b.intersect_with(&a);
+        assert_eq!(b, a);
+    }
+}

@@ -1,0 +1,340 @@
+//! Structured, span-capable diagnostics.
+//!
+//! Every check reports [`Diagnostic`]s addressed by *op coordinates* —
+//! `(instruction index, cluster, op index)` — the stable addressing that
+//! survives assembly/disassembly round-trips. Frontends with richer
+//! source information (the `vex check` CLI on `.vex` text) map the
+//! coordinates back to source spans; everything else renders the
+//! coordinates directly.
+
+use std::fmt;
+use vex_isa::{ValidateCause, ValidateError};
+
+/// How bad a finding is.
+///
+/// The severity model follows the engine's semantics: registers are
+/// zero-initialised and memory is sparse-zero-filled, so an uninitialised
+/// read or a dead write executes deterministically (and the random
+/// program generator produces both on purpose) — those are warnings. A
+/// program that can never issue, traffics unmatched transfer tags, or
+/// provably stores into the code space is broken under every technique —
+/// those are errors. "Analysis-clean" means *no errors*.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug)]
+pub enum Severity {
+    /// Suspicious but well-defined behaviour.
+    Warning,
+    /// The program is broken on this machine.
+    Error,
+}
+
+impl Severity {
+    /// Lower-case label used in rendered reports and JSON.
+    pub fn label(self) -> &'static str {
+        match self {
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        }
+    }
+}
+
+/// Which analysis produced a diagnostic.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug)]
+pub enum Check {
+    /// Bundle demand vs the machine's empty issue packet, register-file
+    /// bounds, locality, pair-id range (the typed `Program::validate`
+    /// causes, exhaustively collected instead of first-error).
+    Resources,
+    /// Control targets outside the instruction stream.
+    BranchTarget,
+    /// Send/recv pair-id matching and same-cycle ordering.
+    Channels,
+    /// Instructions no path from the entry reaches.
+    Unreachable,
+    /// Reads of registers no path has written (zero-reg exempt).
+    UninitRead,
+    /// Writes no later read can observe.
+    DeadWrite,
+    /// Back edges without a provably monotone exit condition.
+    Termination,
+    /// Constant-address memory ops outside the data space.
+    MemBounds,
+}
+
+impl Check {
+    /// Stable kebab-case name (report text, JSON, docs).
+    pub fn name(self) -> &'static str {
+        match self {
+            Check::Resources => "resources",
+            Check::BranchTarget => "branch-target",
+            Check::Channels => "channels",
+            Check::Unreachable => "unreachable",
+            Check::UninitRead => "uninit-read",
+            Check::DeadWrite => "dead-write",
+            Check::Termination => "termination",
+            Check::MemBounds => "mem-bounds",
+        }
+    }
+}
+
+/// One finding, addressed by op coordinates.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Diagnostic {
+    /// Error or warning.
+    pub severity: Severity,
+    /// The producing analysis.
+    pub check: Check,
+    /// Instruction index in the stream.
+    pub inst: usize,
+    /// Cluster of the offending bundle, when the finding is op- or
+    /// bundle-granular.
+    pub cluster: Option<u8>,
+    /// Op index within the bundle, when op-granular.
+    pub op: Option<usize>,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl Diagnostic {
+    /// Builds an op-granular diagnostic.
+    pub fn at_op(
+        severity: Severity,
+        check: Check,
+        inst: usize,
+        cluster: u8,
+        op: usize,
+        message: impl Into<String>,
+    ) -> Self {
+        Diagnostic {
+            severity,
+            check,
+            inst,
+            cluster: Some(cluster),
+            op: Some(op),
+            message: message.into(),
+        }
+    }
+
+    /// Builds an instruction-granular diagnostic.
+    pub fn at_inst(
+        severity: Severity,
+        check: Check,
+        inst: usize,
+        message: impl Into<String>,
+    ) -> Self {
+        Diagnostic {
+            severity,
+            check,
+            inst,
+            cluster: None,
+            op: None,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}[{}] L{}",
+            self.severity.label(),
+            self.check.name(),
+            self.inst
+        )?;
+        if let Some(c) = self.cluster {
+            write!(f, " c{c}")?;
+            if let Some(o) = self.op {
+                write!(f, " op{o}")?;
+            }
+        }
+        write!(f, ": {}", self.message)
+    }
+}
+
+/// The outcome of analysing one program: every diagnostic, sorted by
+/// stream position.
+#[derive(Clone, Debug, Default)]
+pub struct Report {
+    /// All findings, sorted by `(inst, cluster, op, check)`.
+    pub diags: Vec<Diagnostic>,
+}
+
+impl Report {
+    /// Sorts the findings into canonical order. Called by `analyze`;
+    /// call it again after appending manually.
+    pub fn finish(&mut self) {
+        self.diags.sort_by_key(|d| {
+            (
+                d.inst,
+                d.cluster.map(usize::from).unwrap_or(usize::MAX),
+                d.op.unwrap_or(usize::MAX),
+                d.check,
+                std::cmp::Reverse(d.severity),
+            )
+        });
+    }
+
+    /// Number of error-severity findings.
+    pub fn errors(&self) -> usize {
+        self.diags
+            .iter()
+            .filter(|d| d.severity == Severity::Error)
+            .count()
+    }
+
+    /// Number of warning-severity findings.
+    pub fn warnings(&self) -> usize {
+        self.diags.len() - self.errors()
+    }
+
+    /// Whether the program is analysis-clean: free of *errors*
+    /// (warnings allowed; see [`Severity`]).
+    pub fn is_clean(&self) -> bool {
+        self.errors() == 0
+    }
+
+    /// The errors only.
+    pub fn error_diags(&self) -> impl Iterator<Item = &Diagnostic> {
+        self.diags.iter().filter(|d| d.severity == Severity::Error)
+    }
+
+    /// Renders the report as one line per finding plus a summary line.
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut s = String::new();
+        for d in &self.diags {
+            let _ = writeln!(s, "{d}");
+        }
+        let _ = writeln!(
+            s,
+            "{} error(s), {} warning(s)",
+            self.errors(),
+            self.warnings()
+        );
+        s
+    }
+
+    /// Serialises the report as JSON (schema in `docs/ANALYZE.md`).
+    pub fn to_json(&self) -> String {
+        use std::fmt::Write as _;
+        let mut s = String::new();
+        let _ = writeln!(s, "{{");
+        let _ = writeln!(s, "  \"errors\": {},", self.errors());
+        let _ = writeln!(s, "  \"warnings\": {},", self.warnings());
+        let _ = writeln!(s, "  \"clean\": {},", self.is_clean());
+        let _ = writeln!(s, "  \"diagnostics\": [");
+        for (i, d) in self.diags.iter().enumerate() {
+            let _ = write!(
+                s,
+                "    {{\"severity\": \"{}\", \"check\": \"{}\", \"inst\": {}, ",
+                d.severity.label(),
+                d.check.name(),
+                d.inst
+            );
+            match d.cluster {
+                Some(c) => {
+                    let _ = write!(s, "\"cluster\": {c}, ");
+                }
+                None => {
+                    let _ = write!(s, "\"cluster\": null, ");
+                }
+            }
+            match d.op {
+                Some(o) => {
+                    let _ = write!(s, "\"op\": {o}, ");
+                }
+                None => {
+                    let _ = write!(s, "\"op\": null, ");
+                }
+            }
+            let _ = write!(s, "\"message\": \"{}\"}}", json_escape(&d.message));
+            let _ = writeln!(s, "{}", if i + 1 < self.diags.len() { "," } else { "" });
+        }
+        let _ = writeln!(s, "  ]");
+        s.push('}');
+        s.push('\n');
+        s
+    }
+}
+
+/// Escapes a string for embedding in a JSON literal.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Converts a typed validation error into a resource diagnostic, reusing
+/// the validator's message text.
+pub fn from_validate(e: &ValidateError, inst: usize) -> Diagnostic {
+    let check = match e.cause {
+        ValidateCause::BranchTarget { .. } => Check::BranchTarget,
+        _ => Check::Resources,
+    };
+    Diagnostic {
+        severity: Severity::Error,
+        check,
+        inst,
+        cluster: e.cluster,
+        op: None,
+        message: e.cause.to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_counts_and_order() {
+        let mut r = Report::default();
+        r.diags.push(Diagnostic::at_inst(
+            Severity::Warning,
+            Check::Unreachable,
+            4,
+            "unreachable",
+        ));
+        r.diags.push(Diagnostic::at_op(
+            Severity::Error,
+            Check::Channels,
+            1,
+            0,
+            0,
+            "unmatched",
+        ));
+        r.finish();
+        assert_eq!(r.errors(), 1);
+        assert_eq!(r.warnings(), 1);
+        assert!(!r.is_clean());
+        assert_eq!(r.diags[0].inst, 1);
+        let text = r.render();
+        assert!(
+            text.contains("error[channels] L1 c0 op0: unmatched"),
+            "{text}"
+        );
+        assert!(text.contains("1 error(s), 1 warning(s)"), "{text}");
+    }
+
+    #[test]
+    fn json_is_wellformed_enough() {
+        let mut r = Report::default();
+        r.diags.push(Diagnostic::at_inst(
+            Severity::Error,
+            Check::MemBounds,
+            0,
+            "store at \"0x40000000\"",
+        ));
+        let j = r.to_json();
+        assert!(j.contains("\"clean\": false"), "{j}");
+        assert!(j.contains("\\\"0x40000000\\\""), "{j}");
+    }
+}

@@ -1,0 +1,107 @@
+//! Flat bit-index space over a program's register files.
+//!
+//! GPRs come first (cluster-major), then branch registers. The space is
+//! sized from the *maximum* of the machine's register files and anything
+//! the program actually names, so analyses stay total even on broken
+//! programs (the resources check reports the out-of-range names).
+
+use vex_isa::{BReg, Dest, MachineConfig, Program, Reg};
+
+/// Dimensions of the flattened register index space.
+#[derive(Clone, Copy, Debug)]
+pub struct Space {
+    n_clusters: usize,
+    n_gprs: usize,
+    n_bregs: usize,
+}
+
+impl Space {
+    /// Builds the index space covering `machine` and every register
+    /// `program` names.
+    pub fn of(program: &Program, machine: &MachineConfig) -> Space {
+        let mut n_clusters = machine.n_clusters as usize;
+        let mut n_gprs = machine.n_gprs as usize;
+        let mut n_bregs = machine.n_bregs as usize;
+        for inst in &program.instructions {
+            n_clusters = n_clusters.max(inst.bundles.len());
+            for bundle in &inst.bundles {
+                for op in &bundle.ops {
+                    let mut gprs: Vec<Reg> = op.src_gprs().collect();
+                    let mut bregs: Vec<BReg> =
+                        [op.a, op.b, op.c].iter().filter_map(|o| o.breg()).collect();
+                    match op.dst {
+                        Dest::Gpr(r) => gprs.push(r),
+                        Dest::Breg(b) => bregs.push(b),
+                        Dest::None => {}
+                    }
+                    for r in gprs {
+                        n_clusters = n_clusters.max(r.cluster as usize + 1);
+                        n_gprs = n_gprs.max(r.index as usize + 1);
+                    }
+                    for b in bregs {
+                        n_clusters = n_clusters.max(b.cluster as usize + 1);
+                        n_bregs = n_bregs.max(b.index as usize + 1);
+                    }
+                }
+            }
+        }
+        Space {
+            n_clusters,
+            n_gprs,
+            n_bregs,
+        }
+    }
+
+    /// Total number of bit indices.
+    pub fn bits(&self) -> usize {
+        self.n_clusters * (self.n_gprs + self.n_bregs)
+    }
+
+    /// Bit index of a GPR.
+    pub fn gpr(&self, r: Reg) -> usize {
+        r.cluster as usize * self.n_gprs + r.index as usize
+    }
+
+    /// Bit index of a branch register.
+    pub fn breg(&self, b: BReg) -> usize {
+        self.n_clusters * self.n_gprs + b.cluster as usize * self.n_bregs + b.index as usize
+    }
+
+    /// Number of clusters in the space.
+    pub fn n_clusters(&self) -> usize {
+        self.n_clusters
+    }
+
+    /// GPRs per cluster in the space.
+    pub fn n_gprs(&self) -> usize {
+        self.n_gprs
+    }
+
+    /// Branch registers per cluster in the space.
+    pub fn n_bregs(&self) -> usize {
+        self.n_bregs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn indices_are_disjoint() {
+        let p = Program::new("t", vec![], vec![]);
+        let m = MachineConfig::paper_4c4w();
+        let s = Space::of(&p, &m);
+        let mut seen = std::collections::HashSet::new();
+        for c in 0..4u8 {
+            for i in 0..64u8 {
+                assert!(seen.insert(s.gpr(Reg::new(c, i))));
+            }
+            for i in 0..8u8 {
+                assert!(seen.insert(s.breg(BReg::new(c, i))));
+            }
+        }
+        assert_eq!(seen.len(), s.bits());
+        assert!(seen.iter().all(|&b| b < s.bits()));
+    }
+}

@@ -3,6 +3,7 @@
 //!
 //! ```text
 //! vex asm [FILE] [-o OUT]        assemble .vex text to .vexb binary
+//! vex check [FILE] [options]     static-analyse a program (lint suite)
 //! vex disasm [FILE] [-o OUT]     decode .vexb back to canonical text
 //! vex run [FILE...] [options]    run programs through the simulator
 //! vex run --spec SPEC.toml       run a single-point spec file
@@ -30,6 +31,10 @@ vex — textual VEX assembly tools for the SMT clustered VLIW simulator
 
 USAGE:
     vex asm [FILE] [-o OUT]          assemble text to .vexb (stdin/stdout default)
+                                     (--check also runs the static analyzer)
+    vex check [FILE] [OPTIONS]       run the static-analysis lint suite over a
+                                     program and print caret diagnostics
+                                     (see docs/ANALYZE.md)
     vex disasm [FILE] [-o OUT]       decode .vexb to canonical .vex text
     vex run [FILE...] [OPTIONS]      simulate programs (text or .vexb input)
     vex run --spec SPEC.toml         simulate a single-point spec file
@@ -48,6 +53,13 @@ USAGE:
                                      against the in-order reference interpreter
     vex export-workloads [DIR]       write the 12 built-in benchmarks as .vex
     vex help                         show this message
+
+CHECK OPTIONS:
+    --machine paper|narrow_2c|CxW         machine to lint against [default: the
+                                          paper machine at the program's own
+                                          cluster count]
+    --json                                emit the report as JSON (schema in
+                                          docs/ANALYZE.md)
 
 FUZZ OPTIONS:
     --seed-count N                        seeds to sweep          [default: 100]
@@ -140,6 +152,7 @@ EXIT CODES:
     2  usage error (bad flags, unknown subcommand)
     3  input error (unreadable or malformed program/spec/trace file)
     4  sweep completed, but one or more points failed
+    5  static analysis found errors (vex check / vex asm --check)
 ";
 
 /// A subcommand failure carrying the process exit code it maps to.
@@ -176,6 +189,14 @@ impl Fail {
             msg: msg.into(),
         }
     }
+
+    /// Static analysis found error-severity diagnostics.
+    fn analysis(msg: impl Into<String>) -> Fail {
+        Fail {
+            code: 5,
+            msg: msg.into(),
+        }
+    }
 }
 
 impl From<String> for Fail {
@@ -195,6 +216,7 @@ fn main() -> ExitCode {
     };
     let result = match cmd {
         "asm" => cmd_asm(rest),
+        "check" => cmd_check(rest),
         "disasm" => cmd_disasm(rest),
         "run" => cmd_run(rest),
         "trace" => cmd_trace(rest),
@@ -281,12 +303,152 @@ fn machine_for(p: &Program) -> MachineConfig {
 // ---- subcommands --------------------------------------------------
 
 fn cmd_asm(args: &[String]) -> Result<(), Fail> {
-    let (input, output) = parse_io_args(args, "asm").map_err(Fail::usage)?;
-    let program = load_program(&input).map_err(Fail::input)?;
+    let check = args.iter().any(|a| a == "--check");
+    let rest: Vec<String> = args.iter().filter(|a| *a != "--check").cloned().collect();
+    let (input, output) = parse_io_args(&rest, "asm").map_err(Fail::usage)?;
+    let (program, spans, source) = load_program_spanned(&input).map_err(Fail::input)?;
     program
         .validate(&machine_for(&program))
         .map_err(|e| Fail::input(format!("invalid program: {e}")))?;
+    if check {
+        let report = vex_analyze::analyze(&program, &machine_for(&program));
+        if !report.diags.is_empty() {
+            eprint!(
+                "{}",
+                render_report(&report, spans.as_ref(), source.as_deref())
+            );
+        }
+        if !report.is_clean() {
+            return Err(Fail::analysis(format!(
+                "static analysis found {} error(s) (see diagnostics above)",
+                report.errors()
+            )));
+        }
+    }
     write_output(output.as_deref(), &vex_asm::encode(&program))?;
+    Ok(())
+}
+
+/// Loads a program like [`load_program`], additionally returning the
+/// source span table and text when the input was `.vex` assembly (binary
+/// inputs have no spans; their diagnostics use op coordinates).
+fn load_program_spanned(
+    path: &str,
+) -> Result<(Program, Option<vex_asm::SpanTable>, Option<String>), String> {
+    let bytes = read_input(path)?;
+    if vex_asm::is_binary(&bytes) {
+        let program = vex_asm::decode(&bytes).map_err(|e| format!("{path}: {e}"))?;
+        Ok((program, None, None))
+    } else {
+        let text =
+            String::from_utf8(bytes).map_err(|e| format!("{path}: input is not UTF-8: {e}"))?;
+        let (program, spans) =
+            vex_asm::parse_program_spanned(&text).map_err(|e| format!("{path}:\n{e}"))?;
+        Ok((program, Some(spans), Some(text)))
+    }
+}
+
+/// Renders an analyzer report. With a span table and source text (text
+/// input), each diagnostic points at its source line with a caret run;
+/// otherwise diagnostics carry `(instruction, cluster, op)` coordinates.
+fn render_report(
+    report: &vex_analyze::Report,
+    spans: Option<&vex_asm::SpanTable>,
+    source: Option<&str>,
+) -> String {
+    use std::fmt::Write as _;
+    let lines: Vec<&str> = source.map(|s| s.lines().collect()).unwrap_or_default();
+    let mut out = String::new();
+    for d in &report.diags {
+        let span = spans.and_then(|s| match (d.cluster, d.op) {
+            (Some(c), Some(o)) => s.op_spans.get(&(d.inst, c, o)).copied(),
+            _ => s.inst_spans.get(d.inst).copied(),
+        });
+        match span {
+            Some(sp) => {
+                let _ = writeln!(
+                    out,
+                    "{}[{}] at line {}:{}: {}",
+                    d.severity.label(),
+                    d.check.name(),
+                    sp.line,
+                    sp.col,
+                    d.message
+                );
+                let src = lines
+                    .get(sp.line.saturating_sub(1) as usize)
+                    .copied()
+                    .unwrap_or("");
+                let _ = writeln!(out, "  | {src}");
+                let _ = writeln!(
+                    out,
+                    "  | {}{}",
+                    " ".repeat(sp.col.saturating_sub(1) as usize),
+                    "^".repeat(sp.len.max(1) as usize)
+                );
+            }
+            None => {
+                let _ = writeln!(out, "{d}");
+            }
+        }
+    }
+    let _ = writeln!(
+        out,
+        "{} error(s), {} warning(s)",
+        report.errors(),
+        report.warnings()
+    );
+    out
+}
+
+fn cmd_check(args: &[String]) -> Result<(), Fail> {
+    let mut input: Option<String> = None;
+    let mut machine: Option<MachineConfig> = None;
+    let mut json = false;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--machine" => {
+                let v = it
+                    .next()
+                    .ok_or_else(|| Fail::usage("`--machine` needs a value"))?;
+                machine = Some(parse_machine(v).map_err(Fail::usage)?);
+            }
+            "--json" => json = true,
+            "-" => input = Some("-".to_string()),
+            f if !f.starts_with('-') => {
+                if input.is_some() {
+                    return Err(Fail::usage("`vex check` takes at most one input file"));
+                }
+                input = Some(f.to_string());
+            }
+            other => {
+                return Err(Fail::usage(format!(
+                    "unknown option `{other}` for `vex check`"
+                )))
+            }
+        }
+    }
+    let input = input.unwrap_or_else(|| "-".to_string());
+    let (program, spans, source) = load_program_spanned(&input).map_err(Fail::input)?;
+    let machine = machine.unwrap_or_else(|| machine_for(&program));
+    let report = vex_analyze::analyze(&program, &machine);
+    if json {
+        out(report.to_json().as_bytes())?;
+    } else {
+        out(render_report(&report, spans.as_ref(), source.as_deref()).as_bytes())?;
+    }
+    if !report.is_clean() {
+        return Err(Fail::analysis(format!(
+            "static analysis found {} error(s) in `{}`",
+            report.errors(),
+            if program.name.is_empty() {
+                &input
+            } else {
+                &program.name
+            }
+        )));
+    }
     Ok(())
 }
 
@@ -393,7 +555,7 @@ fn parse_fuzz_args(args: &[String]) -> Result<FuzzOpts, String> {
     let mut it = args.iter();
     let value = |it: &mut std::slice::Iter<String>, flag: &str| -> Result<String, String> {
         it.next()
-            .map(|s| s.to_string())
+            .map(std::string::ToString::to_string)
             .ok_or_else(|| format!("`{flag}` needs a value"))
     };
     while let Some(a) = it.next() {
@@ -443,6 +605,31 @@ fn cmd_fuzz(args: &[String]) -> Result<(), Fail> {
             seed,
             size: o.size,
         };
+        // Generated programs must be analysis-clean (no static-analysis
+        // errors): the generator promises well-formed resource usage,
+        // in-range branch targets, and paired channel ops, and the
+        // analyzer cross-checks that promise on every seed.
+        let program = vex_gen::generate(&cfg)?;
+        let report = vex_analyze::analyze(&program, &cfg.machine);
+        if !report.is_clean() {
+            let text = vex_asm::print_program(&program);
+            if let Err(e) = std::fs::write(&o.out_path, &text) {
+                eprintln!("[vex fuzz] warning: could not write `{}`: {e}", o.out_path);
+            } else {
+                eprintln!(
+                    "[vex fuzz] analysis-rejected program written to `{}`",
+                    o.out_path
+                );
+            }
+            eprint!("{}", report.render());
+            return Err(Fail::analysis(format!(
+                "seed {seed}: generated program fails static analysis with {} error(s)\n  \
+                 reproduce: vex fuzz --machine {} --seed-base {seed} --seed-count 1 --size {}",
+                report.errors(),
+                o.machine_name,
+                o.size
+            )));
+        }
         match vex_gen::check_seed(&cfg)? {
             Ok(()) => {}
             Err(failure) => {
@@ -500,6 +687,16 @@ fn report_fuzz_failure(
     } else {
         eprintln!("[vex fuzz] offending program written to `{out_path}`");
     }
+    // A static-analysis report of the shrunk program often localises the
+    // divergence (e.g. an uninitialised read the oracle and engine break
+    // ties on differently), so store one next to the artifact.
+    let report = vex_analyze::analyze(&small.program, &small_cfg.machine);
+    let analysis_path = format!("{out_path}.analysis.txt");
+    if let Err(e) = std::fs::write(&analysis_path, report.render()) {
+        eprintln!("[vex fuzz] warning: could not write `{analysis_path}`: {e}");
+    } else {
+        eprintln!("[vex fuzz] analyzer report written to `{analysis_path}`");
+    }
     eprint!("{text}");
     Err(format!(
         "architectural divergence: {}\n  reproduce: vex fuzz --machine {machine_name} \
@@ -546,7 +743,7 @@ fn parse_sweep_args(args: &[String]) -> Result<SweepOpts, String> {
     let mut it = args.iter();
     let value = |it: &mut std::slice::Iter<String>, flag: &str| -> Result<String, String> {
         it.next()
-            .map(|s| s.to_string())
+            .map(std::string::ToString::to_string)
             .ok_or_else(|| format!("`{flag}` needs a value"))
     };
     while let Some(a) = it.next() {
@@ -669,7 +866,7 @@ fn cmd_serve(args: &[String]) -> Result<(), Fail> {
     let mut it = args.iter();
     let value = |it: &mut std::slice::Iter<String>, flag: &str| -> Result<String, String> {
         it.next()
-            .map(|s| s.to_string())
+            .map(std::string::ToString::to_string)
             .ok_or_else(|| format!("`{flag}` needs a value"))
     };
     let num = |it: &mut std::slice::Iter<String>, flag: &str| -> Result<u64, String> {
@@ -757,7 +954,7 @@ fn cmd_worker(args: &[String]) -> Result<(), Fail> {
             "--connect" => {
                 connect = Some(
                     it.next()
-                        .map(|s| s.to_string())
+                        .map(std::string::ToString::to_string)
                         .ok_or_else(|| Fail::usage("`--connect` needs an address"))?,
                 )
             }
@@ -780,7 +977,7 @@ fn cmd_submit(args: &[String]) -> Result<(), Fail> {
     let mut it = args.iter();
     let value = |it: &mut std::slice::Iter<String>, flag: &str| -> Result<String, String> {
         it.next()
-            .map(|s| s.to_string())
+            .map(std::string::ToString::to_string)
             .ok_or_else(|| format!("`{flag}` needs a value"))
     };
     while let Some(a) = it.next() {
@@ -954,7 +1151,7 @@ fn parse_run_args(args: &[String]) -> Result<RunOpts, String> {
     let mut it = args.iter();
     let value = |it: &mut std::slice::Iter<String>, flag: &str| -> Result<String, String> {
         it.next()
-            .map(|s| s.to_string())
+            .map(std::string::ToString::to_string)
             .ok_or_else(|| format!("`{flag}` needs a value"))
     };
     while let Some(a) = it.next() {

@@ -318,7 +318,7 @@ fn lex_int(
     let neg = chars[i] == '-';
     if neg {
         i += 1;
-        if !chars.get(i).is_some_and(|c| c.is_ascii_digit()) {
+        if !chars.get(i).is_some_and(char::is_ascii_digit) {
             return Err(err(
                 line,
                 line_no,

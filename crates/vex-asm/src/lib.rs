@@ -35,6 +35,7 @@
 //! assert_eq!(decode(&encode(&p)).unwrap(), p);
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod binary;
@@ -45,5 +46,5 @@ pub mod print;
 
 pub use binary::{decode, encode, is_binary, BinError, MAGIC, VERSION};
 pub use diag::{AsmError, Span};
-pub use parse::{parse_program, DEFAULT_CLUSTERS};
+pub use parse::{parse_program, parse_program_spanned, SpanTable, DEFAULT_CLUSTERS};
 pub use print::{print_program, program_clusters, Disasm};

@@ -28,6 +28,25 @@ pub fn parse_program(src: &str) -> Result<Program, AsmError> {
     Parser::new(src)?.file()
 }
 
+/// Source spans for a parsed program, keyed by the op coordinates used in
+/// analyzer diagnostics, so `vex check` can render caret diagnostics
+/// against the original `.vex` text.
+#[derive(Clone, Debug, Default)]
+pub struct SpanTable {
+    /// Span of the first token of each instruction, by instruction index.
+    pub inst_spans: Vec<Span>,
+    /// Span of each operation line, keyed by `(inst, cluster, op index)`.
+    pub op_spans: HashMap<(usize, u8, usize), Span>,
+}
+
+/// Like [`parse_program`], additionally returning the source spans of
+/// every instruction and operation.
+pub fn parse_program_spanned(src: &str) -> Result<(Program, SpanTable), AsmError> {
+    let mut p = Parser::new(src)?;
+    let program = p.file()?;
+    Ok((program, std::mem::take(&mut p.spans)))
+}
+
 /// How a branch target was written in the source.
 enum TargetKind {
     /// `L<n>` absolute instruction index.
@@ -53,6 +72,7 @@ struct Parser<'a> {
     lines: Vec<&'a str>,
     clusters: u8,
     saw_clusters_directive: bool,
+    spans: SpanTable,
 }
 
 impl<'a> Parser<'a> {
@@ -63,6 +83,7 @@ impl<'a> Parser<'a> {
             lines: src.lines().collect(),
             clusters: DEFAULT_CLUSTERS,
             saw_clusters_directive: false,
+            spans: SpanTable::default(),
         })
     }
 
@@ -298,6 +319,7 @@ impl<'a> Parser<'a> {
                         ));
                     }
                     self.expect_newline()?;
+                    self.spans.inst_spans.push(cur_start.unwrap_or(t.span));
                     instructions.push(std::mem::replace(&mut cur, Instruction::nop(self.clusters)));
                     cur_has_ops = false;
                     cur_is_nop = false;
@@ -378,6 +400,22 @@ impl<'a> Parser<'a> {
                         ));
                     }
                     bundle.ops.push(op);
+                    // Record the op line's span (cluster prefix through
+                    // the last non-blank column) for caret diagnostics.
+                    let line_text = self
+                        .lines
+                        .get(t.span.line.saturating_sub(1) as usize)
+                        .copied()
+                        .unwrap_or("");
+                    let line_len = line_text.trim_end().len() as u32;
+                    let op_span = Span {
+                        line: t.span.line,
+                        col: t.span.col,
+                        len: line_len.saturating_sub(t.span.col - 1).max(t.span.len),
+                    };
+                    self.spans
+                        .op_spans
+                        .insert((instructions.len(), cluster, bundle.ops.len() - 1), op_span);
                     if let Some((kind, span, line)) = target {
                         targets.push(TargetRef {
                             inst: instructions.len(),

@@ -57,7 +57,7 @@ pub fn print_program(p: &Program) -> String {
 pub fn program_clusters(p: &Program) -> u8 {
     p.instructions
         .first()
-        .map(|i| i.n_clusters())
+        .map(vex_isa::Instruction::n_clusters)
         .unwrap_or(crate::parse::DEFAULT_CLUSTERS)
 }
 

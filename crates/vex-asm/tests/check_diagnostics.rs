@@ -1,0 +1,139 @@
+//! Snapshot tests for `vex check` caret diagnostics: each deliberately
+//! broken fixture in `tests/fixtures/bad/` is checked through the real
+//! CLI binary and its rendered stdout compared byte-for-byte against the
+//! `.expected` file next to it.
+//!
+//! To re-bless after an intentional diagnostic change:
+//! `UPDATE_EXPECT=1 cargo test -p vex-asm --test check_diagnostics`.
+
+use std::path::Path;
+use std::process::Command;
+
+/// Fixture name, expected exit code (0 = warnings only, 5 = analysis
+/// errors), and a substring the output must contain (a guard against an
+/// accidentally blessed empty snapshot).
+const CASES: &[(&str, i32, &str)] = &[
+    ("uninit_read", 0, "uninit-read"),
+    ("dead_write", 0, "dead-write"),
+    ("unreachable", 0, "unreachable"),
+    ("unmatched_recv", 5, "channels"),
+    ("unbounded_loop", 0, "termination"),
+    ("infeasible_bundle", 5, "resources"),
+    ("oob_store", 5, "mem-bounds"),
+];
+
+fn fixture_dir() -> &'static Path {
+    Path::new(concat!(env!("CARGO_MANIFEST_DIR"), "/tests/fixtures/bad"))
+}
+
+fn run_check(name: &str) -> (String, i32) {
+    let vex = env!("CARGO_BIN_EXE_vex");
+    let out = Command::new(vex)
+        .arg("check")
+        .arg(fixture_dir().join(format!("{name}.vex")))
+        .output()
+        .expect("spawn vex");
+    (
+        String::from_utf8(out.stdout).expect("diagnostics are UTF-8"),
+        out.status.code().unwrap_or(-1),
+    )
+}
+
+#[test]
+fn broken_fixtures_match_snapshots() {
+    let bless = std::env::var_os("UPDATE_EXPECT").is_some();
+    for &(name, want_code, marker) in CASES {
+        let (stdout, code) = run_check(name);
+        assert!(
+            stdout.contains(marker),
+            "`{name}`: output does not mention `{marker}`:\n{stdout}"
+        );
+        assert_eq!(
+            code, want_code,
+            "`{name}`: exit code {code}, expected {want_code}\n{stdout}"
+        );
+        let expected_path = fixture_dir().join(format!("{name}.expected"));
+        if bless {
+            std::fs::write(&expected_path, &stdout).expect("bless snapshot");
+            continue;
+        }
+        let expected = std::fs::read_to_string(&expected_path)
+            .unwrap_or_else(|e| panic!("`{name}`: reading snapshot: {e}"));
+        assert_eq!(
+            stdout, expected,
+            "`{name}`: diagnostics drifted from the snapshot; run with \
+             UPDATE_EXPECT=1 to re-bless if the change is intentional"
+        );
+    }
+}
+
+/// `--json` output must parse the error/warning counts consistently with
+/// the exit code (errors > 0 <=> exit 5).
+#[test]
+fn json_output_is_well_formed() {
+    let vex = env!("CARGO_BIN_EXE_vex");
+    for &(name, want_code, _) in CASES {
+        let out = Command::new(vex)
+            .arg("check")
+            .arg("--json")
+            .arg(fixture_dir().join(format!("{name}.vex")))
+            .output()
+            .expect("spawn vex");
+        let json = String::from_utf8(out.stdout).expect("JSON is UTF-8");
+        assert!(
+            json.trim_start().starts_with('{') && json.trim_end().ends_with('}'),
+            "`{name}`: not a JSON object:\n{json}"
+        );
+        let clean = json.contains("\"clean\": true");
+        assert_eq!(
+            clean,
+            want_code == 0,
+            "`{name}`: clean={clean} but exit code should be {want_code}\n{json}"
+        );
+        assert_eq!(out.status.code(), Some(want_code), "`{name}`");
+    }
+}
+
+/// `vex asm --check` refuses to encode a program with analysis errors
+/// (exit 5, nothing written) but passes warning-only programs through.
+#[test]
+fn asm_check_gates_encoding() {
+    let vex = env!("CARGO_BIN_EXE_vex");
+    let dir = std::env::temp_dir().join("vex_asm_check_test");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+
+    // oob_store passes the structural validator (which would exit 3
+    // first) but fails const-prop analysis — exactly the class of bug
+    // `--check` exists to catch.
+    let bad_out = dir.join("oob_store.vexb");
+    let _ = std::fs::remove_file(&bad_out);
+    let st = Command::new(vex)
+        .arg("asm")
+        .arg("--check")
+        .arg(fixture_dir().join("oob_store.vex"))
+        .arg("-o")
+        .arg(&bad_out)
+        .status()
+        .expect("spawn vex");
+    assert_eq!(
+        st.code(),
+        Some(5),
+        "analysis errors must abort `vex asm --check`"
+    );
+    assert!(
+        !bad_out.exists(),
+        "no binary may be written on analysis errors"
+    );
+
+    let ok_out = dir.join("dead_write.vexb");
+    let st = Command::new(vex)
+        .arg("asm")
+        .arg("--check")
+        .arg(fixture_dir().join("dead_write.vex"))
+        .arg("-o")
+        .arg(&ok_out)
+        .status()
+        .expect("spawn vex");
+    assert_eq!(st.code(), Some(0), "warnings alone must not block assembly");
+    assert!(ok_out.exists(), "warning-only program still assembles");
+}

@@ -142,7 +142,7 @@ fn main() {
     }
 
     let total_cycles: u64 = results.iter().map(|r| r.sim_cycles).sum();
-    let total_secs: f64 = results.iter().map(|r| r.best_wall()).sum();
+    let total_secs: f64 = results.iter().map(PointResult::best_wall).sum();
     let aggregate = total_cycles as f64 / total_secs;
 
     // The noise estimate the gate consumes: one aggregate-throughput

@@ -5,6 +5,7 @@
 //! with its unit tests — most importantly the history-carrying logic for
 //! the `BENCH_sim_throughput.json` perf-trajectory artifact.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod gate;

@@ -33,6 +33,7 @@
 //! assert!(program.validate(&MachineConfig::paper_4c4w()).is_ok());
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod cluster;

@@ -396,7 +396,7 @@ fn schedule_block(
     let mut n_done = 0usize;
     let mut cycle = 0u32;
     let mut preds_done = vec![0usize; n];
-    let n_preds: Vec<usize> = deps.preds.iter().map(|p| p.len()).collect();
+    let n_preds: Vec<usize> = deps.preds.iter().map(std::vec::Vec::len).collect();
 
     while n_done < n {
         let mut placed_any = false;

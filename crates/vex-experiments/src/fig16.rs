@@ -54,7 +54,7 @@ impl Results {
 pub fn render(r: &Results) -> String {
     let mut t = Table::new(&["Technique", "IPC 2T", "IPC 4T"]);
     for (i, l) in r.labels.iter().enumerate() {
-        t.row(vec![l.to_string(), f2(r.ipc2[i]), f2(r.ipc4[i])]);
+        t.row(vec![(*l).to_string(), f2(r.ipc2[i]), f2(r.ipc4[i])]);
     }
     let gap = |a: f64, b: f64| (b / a - 1.0) * 100.0;
     let csmt4 = r.ipc("CSMT", 4);

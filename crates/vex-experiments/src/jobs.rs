@@ -55,6 +55,25 @@ pub fn prepare_programs(
                     program.validate(machine).map_err(|e| {
                         format!("`{path}` does not fit machine `{}`: {e}", p.machine.name)
                     })?;
+                    // Structural validation is per-instruction; the static
+                    // analyzer additionally proves whole-program properties
+                    // (branch targets, channel pairing, constant-address
+                    // bounds). Rejecting here keeps a doomed program from
+                    // ever being scheduled onto a worker.
+                    let report = vex_analyze::analyze(&program, machine);
+                    if !report.is_clean() {
+                        let first = report
+                            .error_diags()
+                            .next()
+                            .map(std::string::ToString::to_string)
+                            .unwrap_or_default();
+                        return Err(format!(
+                            "`{path}` fails static analysis on machine `{}` with {} error(s); \
+                             first: {first} (run `vex check {path}` for the full report)",
+                            p.machine.name,
+                            report.errors()
+                        ));
+                    }
                     std::sync::Arc::new(program)
                 }
             };

@@ -20,6 +20,7 @@
 //! what factor, where NS hurts — is the reproduction target (see
 //! `docs/PERF.md` for how the simulator's own throughput is tracked).
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod ablate;
@@ -65,7 +66,7 @@ pub enum JobStatus<T, E> {
 /// here (job slots, result slots) is only ever whole values, so a poison
 /// marker carries no information worth dying for.
 pub(crate) fn lock_clean<T>(m: &std::sync::Mutex<T>) -> std::sync::MutexGuard<'_, T> {
-    m.lock().unwrap_or_else(|e| e.into_inner())
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
 }
 
 /// Runs fallible `jobs` on up to `workers` OS threads with per-job fault
@@ -125,7 +126,7 @@ where
         .into_iter()
         .map(|r| {
             r.into_inner()
-                .unwrap_or_else(|e| e.into_inner())
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
                 .expect("every index was claimed")
         })
         .collect()
@@ -174,7 +175,7 @@ where
 /// Number of worker threads to use for sweeps.
 pub fn default_workers() -> usize {
     std::thread::available_parallelism()
-        .map(|n| n.get())
+        .map(std::num::NonZeroUsize::get)
         .unwrap_or(4)
 }
 

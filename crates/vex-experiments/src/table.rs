@@ -10,7 +10,7 @@ impl Table {
     /// Creates a table with the given column headers.
     pub fn new(header: &[&str]) -> Self {
         Table {
-            header: header.iter().map(|s| s.to_string()).collect(),
+            header: header.iter().map(|s| (*s).to_string()).collect(),
             rows: Vec::new(),
         }
     }
@@ -24,7 +24,7 @@ impl Table {
     /// Renders with aligned columns.
     pub fn render(&self) -> String {
         let ncols = self.header.len();
-        let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
+        let mut widths: Vec<usize> = self.header.iter().map(std::string::String::len).collect();
         for row in &self.rows {
             for (i, c) in row.iter().enumerate() {
                 widths[i] = widths[i].max(c.len());

@@ -23,6 +23,7 @@
 //!   round-trippable `.vex` text;
 //! * the CI fuzz smoke job (paper testbed + `narrow_2c`).
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod diff;

@@ -3,6 +3,7 @@
 use crate::machine::MachineConfig;
 use crate::op::{FuKind, Operation};
 use crate::reg::ClusterId;
+use crate::validate::{ValidateCause, ValidateError};
 use std::fmt;
 
 /// The operations scheduled on one cluster in one cycle.
@@ -122,35 +123,34 @@ impl Instruction {
     /// register-file locality rules. The compiler guarantees this for
     /// generated code; hand-built instructions (tests, examples) should call
     /// it too, because the simulator's merging hardware assumes it.
-    pub fn validate(&self, m: &MachineConfig) -> Result<(), String> {
+    pub fn validate(&self, m: &MachineConfig) -> Result<(), ValidateError> {
         if self.bundles.len() != m.n_clusters as usize {
-            return Err(format!(
-                "instruction has {} bundles, machine has {} clusters",
-                self.bundles.len(),
-                m.n_clusters
-            ));
+            return Err(ValidateError::in_instruction(ValidateCause::BundleCount {
+                bundles: self.bundles.len(),
+                clusters: m.n_clusters,
+            }));
         }
         for (c, bundle) in self.bundles.iter().enumerate() {
+            let c = c as u8;
             if bundle.ops.len() > m.cluster.slots as usize {
-                return Err(format!(
-                    "cluster {c}: {} ops exceed {} issue slots",
-                    bundle.ops.len(),
-                    m.cluster.slots
+                return Err(ValidateError::in_bundle(
+                    c,
+                    ValidateCause::SlotsExceeded {
+                        ops: bundle.ops.len(),
+                        slots: m.cluster.slots,
+                    },
                 ));
             }
-            for kind in [
-                FuKind::Alu,
-                FuKind::Mul,
-                FuKind::Mem,
-                FuKind::Br,
-                FuKind::Send,
-                FuKind::Recv,
-            ] {
+            for kind in FuKind::ALL {
                 let used = bundle.fu_count(kind);
                 if used > m.cluster.count(kind) {
-                    return Err(format!(
-                        "cluster {c}: {used} {kind:?} ops exceed {} units",
-                        m.cluster.count(kind)
+                    return Err(ValidateError::in_bundle(
+                        c,
+                        ValidateCause::FuExceeded {
+                            kind,
+                            used,
+                            units: m.cluster.count(kind),
+                        },
                     ));
                 }
             }
@@ -158,13 +158,25 @@ impl Instruction {
                 // Register locality: GPRs must be local to the cluster.
                 // (Branch ops may read remote branch registers, like VEX.)
                 if let crate::op::Dest::Gpr(r) = op.dst {
-                    if r.cluster as usize != c {
-                        return Err(format!("cluster {c}: op `{op}` writes remote register {r}"));
+                    if r.cluster != c {
+                        return Err(ValidateError::in_bundle(
+                            c,
+                            ValidateCause::RemoteWrite {
+                                op: op.clone(),
+                                reg: r,
+                            },
+                        ));
                     }
                 }
                 for r in op.src_gprs() {
-                    if r.cluster as usize != c {
-                        return Err(format!("cluster {c}: op `{op}` reads remote register {r}"));
+                    if r.cluster != c {
+                        return Err(ValidateError::in_bundle(
+                            c,
+                            ValidateCause::RemoteRead {
+                                op: op.clone(),
+                                reg: r,
+                            },
+                        ));
                     }
                 }
                 // Register indices must exist in the machine's files. The
@@ -176,10 +188,13 @@ impl Instruction {
                     _ => None,
                 }) {
                     if r.index >= m.n_gprs {
-                        return Err(format!(
-                            "cluster {c}: op `{op}` names register {r} but the machine \
-                             has {} GPRs per cluster",
-                            m.n_gprs
+                        return Err(ValidateError::in_bundle(
+                            c,
+                            ValidateCause::GprIndex {
+                                op: op.clone(),
+                                reg: r,
+                                n_gprs: m.n_gprs,
+                            },
                         ));
                     }
                 }
@@ -194,10 +209,13 @@ impl Instruction {
                 ];
                 for b in bregs.into_iter().flatten() {
                     if b.index >= m.n_bregs {
-                        return Err(format!(
-                            "cluster {c}: op `{op}` names branch register {b} but the \
-                             machine has {} branch registers per cluster",
-                            m.n_bregs
+                        return Err(ValidateError::in_bundle(
+                            c,
+                            ValidateCause::BregIndex {
+                                op: op.clone(),
+                                breg: b,
+                                n_bregs: m.n_bregs,
+                            },
                         ));
                     }
                 }
@@ -207,12 +225,15 @@ impl Instruction {
         // one-to-one within the instruction.
         let mut sends: Vec<i32> = Vec::new();
         let mut recvs: Vec<i32> = Vec::new();
-        for b in &self.bundles {
+        for (c, b) in self.bundles.iter().enumerate() {
             for op in &b.ops {
                 if op.opcode.is_comm() && !(0..16).contains(&op.imm) {
-                    return Err(format!(
-                        "op `{op}`: transfer pair id x{} out of range (0..16)",
-                        op.imm
+                    return Err(ValidateError::in_bundle(
+                        c as u8,
+                        ValidateCause::PairIdRange {
+                            op: op.clone(),
+                            id: op.imm,
+                        },
                     ));
                 }
                 match op.opcode {
@@ -225,7 +246,7 @@ impl Instruction {
         sends.sort_unstable();
         recvs.sort_unstable();
         if sends != recvs {
-            return Err("unpaired send/recv operations in instruction".to_string());
+            return Err(ValidateError::in_instruction(ValidateCause::UnpairedComm));
         }
         Ok(())
     }
@@ -321,14 +342,18 @@ mod tests {
                 ),
             )],
         );
-        assert!(i.validate(&m).unwrap_err().contains("64 GPRs"));
+        assert!(i.validate(&m).unwrap_err().to_string().contains("64 GPRs"));
         // Branch-register index past the 8-register file.
         let mut cmp = Operation::new(Opcode::CmpEq);
         cmp.dst = crate::op::Dest::Breg(crate::reg::BReg::new(0, 8));
         cmp.a = Operand::Gpr(Reg::new(0, 1));
         cmp.b = Operand::Imm(0);
         let i = Instruction::from_ops(4, [(0, cmp)]);
-        assert!(i.validate(&m).unwrap_err().contains("branch register"));
+        assert!(i
+            .validate(&m)
+            .unwrap_err()
+            .to_string()
+            .contains("branch register"));
     }
 
     #[test]
@@ -343,7 +368,7 @@ mod tests {
         recv.dst = crate::op::Dest::Gpr(Reg::new(1, 2));
         recv.imm = 16;
         let i = Instruction::from_ops(4, [(0, send), (1, recv)]);
-        assert!(i.validate(&m).unwrap_err().contains("pair id"));
+        assert!(i.validate(&m).unwrap_err().to_string().contains("pair id"));
     }
 
     #[test]

@@ -26,6 +26,7 @@
 //! Nothing here is specific to multithreading or split-issue; those live in
 //! `vex-sim`.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod inst;
@@ -33,9 +34,11 @@ pub mod machine;
 pub mod op;
 pub mod program;
 pub mod reg;
+pub mod validate;
 
 pub use inst::{Bundle, Instruction};
 pub use machine::{ClusterResources, Latencies, MachineConfig};
 pub use op::{Dest, FuKind, Opcode, Operand, Operation};
 pub use program::{DataSegment, Program, CODE_BASE};
 pub use reg::{BReg, ClusterId, Reg};
+pub use validate::{ValidateCause, ValidateError};

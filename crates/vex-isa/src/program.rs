@@ -91,19 +91,19 @@ impl Program {
     }
 
     /// Validates every instruction and every branch target.
-    pub fn validate(&self, m: &MachineConfig) -> Result<(), String> {
+    pub fn validate(&self, m: &MachineConfig) -> Result<(), crate::ValidateError> {
         for (i, inst) in self.instructions.iter().enumerate() {
-            inst.validate(m)
-                .map_err(|e| format!("{}: instruction {i}: {e}", self.name))?;
-            for b in &inst.bundles {
+            inst.validate(m).map_err(|e| e.at(&self.name, i))?;
+            for (c, b) in inst.bundles.iter().enumerate() {
                 for op in &b.ops {
                     if op.opcode.is_ctrl() && !matches!(op.opcode, crate::op::Opcode::Halt) {
                         let t = op.imm;
                         if t < 0 || t as usize >= self.instructions.len() {
-                            return Err(format!(
-                                "{}: instruction {i}: branch target L{t} out of range",
-                                self.name
-                            ));
+                            return Err(crate::ValidateError::in_bundle(
+                                c as u8,
+                                crate::validate::ValidateCause::BranchTarget { target: t },
+                            )
+                            .at(&self.name, i));
                         }
                     }
                 }

@@ -1,0 +1,250 @@
+//! Typed validation errors for instructions and programs.
+//!
+//! [`Instruction::validate`](crate::Instruction::validate) and
+//! [`Program::validate`](crate::Program::validate) report violations as a
+//! [`ValidateError`]: the op coordinates of the offending operation plus a
+//! structured [`ValidateCause`]. The `Display` impl reproduces the
+//! historical string messages exactly, so callers that format the error
+//! see no change; structured consumers (the `vex-analyze` checker) match
+//! on the cause instead of parsing text.
+
+use crate::op::{FuKind, Operation};
+use crate::reg::{BReg, Reg};
+use std::fmt;
+
+/// What a validation check found wrong.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum ValidateCause {
+    /// The instruction's bundle count does not match the machine's
+    /// cluster count.
+    BundleCount {
+        /// Bundles in the instruction.
+        bundles: usize,
+        /// Clusters in the machine.
+        clusters: u8,
+    },
+    /// A bundle holds more operations than the cluster has issue slots.
+    SlotsExceeded {
+        /// Operations in the bundle.
+        ops: usize,
+        /// Issue slots per cluster.
+        slots: u8,
+    },
+    /// A bundle demands more units of one functional-unit class than the
+    /// cluster provides.
+    FuExceeded {
+        /// The oversubscribed class.
+        kind: FuKind,
+        /// Operations of that class in the bundle.
+        used: u8,
+        /// Units of that class per cluster.
+        units: u8,
+    },
+    /// An operation writes a GPR of another cluster.
+    RemoteWrite {
+        /// The offending operation.
+        op: Operation,
+        /// The remote register.
+        reg: Reg,
+    },
+    /// An operation reads a GPR of another cluster.
+    RemoteRead {
+        /// The offending operation.
+        op: Operation,
+        /// The remote register.
+        reg: Reg,
+    },
+    /// An operation names a GPR index past the machine's register file.
+    GprIndex {
+        /// The offending operation.
+        op: Operation,
+        /// The out-of-file register.
+        reg: Reg,
+        /// GPRs per cluster on this machine.
+        n_gprs: u8,
+    },
+    /// An operation names a branch-register index past the machine's file.
+    BregIndex {
+        /// The offending operation.
+        op: Operation,
+        /// The out-of-file branch register.
+        breg: BReg,
+        /// Branch registers per cluster on this machine.
+        n_bregs: u8,
+    },
+    /// A send/recv pair id does not fit the 16-entry transfer buffer.
+    PairIdRange {
+        /// The offending operation.
+        op: Operation,
+        /// The out-of-range pair id.
+        id: i32,
+    },
+    /// The instruction's sends and recvs do not match one-to-one.
+    UnpairedComm,
+    /// A control operation targets an instruction index outside the
+    /// program.
+    BranchTarget {
+        /// The out-of-range target.
+        target: i32,
+    },
+}
+
+impl fmt::Display for ValidateCause {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ValidateCause::BundleCount { bundles, clusters } => write!(
+                f,
+                "instruction has {bundles} bundles, machine has {clusters} clusters"
+            ),
+            ValidateCause::SlotsExceeded { ops, slots } => {
+                write!(f, "{ops} ops exceed {slots} issue slots")
+            }
+            ValidateCause::FuExceeded { kind, used, units } => {
+                write!(f, "{used} {kind:?} ops exceed {units} units")
+            }
+            ValidateCause::RemoteWrite { op, reg } => {
+                write!(f, "op `{op}` writes remote register {reg}")
+            }
+            ValidateCause::RemoteRead { op, reg } => {
+                write!(f, "op `{op}` reads remote register {reg}")
+            }
+            ValidateCause::GprIndex { op, reg, n_gprs } => write!(
+                f,
+                "op `{op}` names register {reg} but the machine has {n_gprs} GPRs per cluster"
+            ),
+            ValidateCause::BregIndex { op, breg, n_bregs } => write!(
+                f,
+                "op `{op}` names branch register {breg} but the machine has {n_bregs} \
+                 branch registers per cluster"
+            ),
+            ValidateCause::PairIdRange { op, id } => {
+                write!(f, "op `{op}`: transfer pair id x{id} out of range (0..16)")
+            }
+            ValidateCause::UnpairedComm => {
+                write!(f, "unpaired send/recv operations in instruction")
+            }
+            ValidateCause::BranchTarget { target } => {
+                write!(f, "branch target L{target} out of range")
+            }
+        }
+    }
+}
+
+/// A validation failure with the coordinates of the offending operation.
+///
+/// Coordinates are filled in as far as the check's granularity allows:
+/// [`Instruction::validate`](crate::Instruction::validate) leaves `inst`
+/// unset (it does not know the instruction's stream position) and
+/// instruction-wide causes carry no cluster; `program` is only set by
+/// [`Program::validate`](crate::Program::validate).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ValidateError {
+    /// Name of the validated program, when known.
+    pub program: Option<String>,
+    /// Instruction index in the stream, when known.
+    pub inst: Option<usize>,
+    /// Cluster of the offending bundle, for per-bundle causes.
+    pub cluster: Option<u8>,
+    /// The violation.
+    pub cause: ValidateCause,
+}
+
+impl ValidateError {
+    /// An error found while validating a lone instruction.
+    pub fn in_bundle(cluster: u8, cause: ValidateCause) -> Self {
+        ValidateError {
+            program: None,
+            inst: None,
+            cluster: Some(cluster),
+            cause,
+        }
+    }
+
+    /// An instruction-wide error (no specific bundle).
+    pub fn in_instruction(cause: ValidateCause) -> Self {
+        ValidateError {
+            program: None,
+            inst: None,
+            cluster: None,
+            cause,
+        }
+    }
+
+    /// Returns the error with the program-level coordinates attached.
+    pub fn at(mut self, program: &str, inst: usize) -> Self {
+        self.program = Some(program.to_string());
+        self.inst = Some(inst);
+        self
+    }
+}
+
+impl fmt::Display for ValidateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if let Some(name) = &self.program {
+            write!(f, "{name}: ")?;
+        }
+        if let Some(inst) = self.inst {
+            write!(f, "instruction {inst}: ")?;
+        }
+        // Per-bundle causes historically carried their cluster in the
+        // message prefix; instruction-wide causes did not.
+        match (&self.cause, self.cluster) {
+            (ValidateCause::BundleCount { .. }, _)
+            | (ValidateCause::UnpairedComm, _)
+            | (ValidateCause::PairIdRange { .. }, _)
+            | (ValidateCause::BranchTarget { .. }, _)
+            | (_, None) => write!(f, "{}", self.cause),
+            (cause, Some(c)) => write!(f, "cluster {c}: {cause}"),
+        }
+    }
+}
+
+impl std::error::Error for ValidateError {}
+
+impl From<ValidateError> for String {
+    fn from(e: ValidateError) -> String {
+        e.to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::op::{Opcode, Operand};
+
+    #[test]
+    fn display_matches_legacy_messages() {
+        let op = Operation::bin(
+            Opcode::Add,
+            Reg::new(0, 64),
+            Operand::Gpr(Reg::new(0, 1)),
+            Operand::Imm(1),
+        );
+        let e = ValidateError::in_bundle(
+            0,
+            ValidateCause::GprIndex {
+                op: op.clone(),
+                reg: Reg::new(0, 64),
+                n_gprs: 64,
+            },
+        );
+        assert_eq!(
+            e.to_string(),
+            "cluster 0: op `add $r0.64 = $r0.1, 1` names register $r0.64 but the \
+             machine has 64 GPRs per cluster"
+        );
+
+        let e = ValidateError::in_instruction(ValidateCause::UnpairedComm).at("prog", 3);
+        assert_eq!(
+            e.to_string(),
+            "prog: instruction 3: unpaired send/recv operations in instruction"
+        );
+
+        let e =
+            ValidateError::in_instruction(ValidateCause::BranchTarget { target: 99 }).at("mini", 1);
+        assert_eq!(
+            e.to_string(),
+            "mini: instruction 1: branch target L99 out of range"
+        );
+    }
+}

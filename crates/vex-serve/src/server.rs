@@ -300,7 +300,7 @@ struct Shared<'a> {
 /// Mutex lock that shrugs off poisoning: the protected data is only ever
 /// whole values.
 fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
-    m.lock().unwrap_or_else(|e| e.into_inner())
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
 }
 
 const DRAINING_MSG: &str = "server is draining; not accepting new submissions";
@@ -583,12 +583,11 @@ fn handle_conn(shared: &Shared<'_>, mut stream: TcpStream) {
         if shared.closed.load(Ordering::SeqCst) {
             return;
         }
-        let msg = match read_frame(&mut stream) {
-            Ok(Some(m)) => m,
-            // Clean disconnect, torn frame, or drain-time shutdown: the
-            // peer is gone either way. In-flight work it held is covered
-            // by process supervision, not connection state.
-            Ok(None) | Err(_) => return,
+        // Clean disconnect, torn frame, or drain-time shutdown: the
+        // peer is gone either way. In-flight work it held is covered
+        // by process supervision, not connection state.
+        let Ok(Some(msg)) = read_frame(&mut stream) else {
+            return;
         };
         let (head, body) = split_message(&msg);
         let mut parts = head.split(' ');

@@ -31,7 +31,10 @@ impl Table {
     /// empty).
     pub fn new(columns: &[(&str, Align)]) -> Self {
         Table {
-            columns: columns.iter().map(|(h, a)| (h.to_string(), *a)).collect(),
+            columns: columns
+                .iter()
+                .map(|(h, a)| ((*h).to_string(), *a))
+                .collect(),
             rows: Vec::new(),
         }
     }

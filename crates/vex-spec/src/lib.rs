@@ -28,6 +28,7 @@
 //! assert_eq!(SweepSpec::parse(&spec.print()).unwrap(), spec);
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod diag;
@@ -112,7 +113,7 @@ impl MixSpec {
             members: mix
                 .members
                 .iter()
-                .map(|m| WorkloadRef::Builtin(m.to_string()))
+                .map(|m| WorkloadRef::Builtin((*m).to_string()))
                 .collect(),
             seed: base_seed + idx as u64,
         }

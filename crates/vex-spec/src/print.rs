@@ -13,7 +13,11 @@ pub fn print_sweep(s: &SweepSpec) -> String {
     let _ = writeln!(out, "inst_limit = {}", s.inst_limit);
     let _ = writeln!(out, "timeslice = {}", s.timeslice);
     let _ = writeln!(out, "seed = {}", s.seed);
-    let threads: Vec<String> = s.threads.iter().map(|n| n.to_string()).collect();
+    let threads: Vec<String> = s
+        .threads
+        .iter()
+        .map(std::string::ToString::to_string)
+        .collect();
     let _ = writeln!(out, "threads = [{}]", threads.join(", "));
     let techs: Vec<String> = s
         .techniques

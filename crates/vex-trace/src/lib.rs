@@ -29,6 +29,7 @@
 //! The crate is dependency-free and knows nothing about the simulator's
 //! types; `vex-sim` depends on it, not the other way around.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod attr;

@@ -253,7 +253,10 @@ mod tests {
             ring.record(&issue(c));
         }
         assert_eq!(ring.dropped(), 2);
-        let cycles: Vec<u64> = ring.events().map(|e| e.cycle()).collect();
+        let cycles: Vec<u64> = ring
+            .events()
+            .map(super::super::event::TraceEvent::cycle)
+            .collect();
         assert_eq!(cycles, vec![2, 3, 4]);
     }
 
@@ -265,7 +268,10 @@ mod tests {
             ring.record(&issue(c));
         }
         assert_eq!(ring.dropped(), 0);
-        let cycles: Vec<u64> = ring.events().map(|e| e.cycle()).collect();
+        let cycles: Vec<u64> = ring
+            .events()
+            .map(super::super::event::TraceEvent::cycle)
+            .collect();
         assert_eq!(cycles, vec![0, 1, 2]);
     }
 
@@ -277,7 +283,10 @@ mod tests {
             ring.record(&issue(c));
         }
         assert_eq!(ring.dropped(), 1);
-        let cycles: Vec<u64> = ring.events().map(|e| e.cycle()).collect();
+        let cycles: Vec<u64> = ring
+            .events()
+            .map(super::super::event::TraceEvent::cycle)
+            .collect();
         assert_eq!(cycles, vec![1, 2, 3]);
     }
 

@@ -21,6 +21,7 @@
 //! builder so experiments can print paper-vs-measured tables, and
 //! [`MIXES`] reproduces the nine 4-thread workloads of Figure 13(b).
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod high;

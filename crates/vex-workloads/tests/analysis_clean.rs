@@ -1,0 +1,62 @@
+//! Static-analysis lint over the paper's twelve benchmark kernels: every
+//! compiled benchmark must be analysis-clean (zero error diagnostics) on
+//! the paper machine, and free of unreachable code. Uninit-read and
+//! dead-write warnings are tolerated: kernels legitimately lean on the
+//! architectural zero-initialisation (e.g. gsmencode's cluster-3 XOR
+//! accumulator starts from the implicit 0) and park loop-carried values
+//! the final store does not consume.
+
+use vex_analyze::{analyze, Check, Severity};
+use vex_isa::MachineConfig;
+use vex_workloads::{compile_benchmark_for, BENCHMARKS};
+
+#[test]
+fn all_benchmarks_are_analysis_clean() {
+    let machine = MachineConfig::paper_4c4w();
+    for b in BENCHMARKS {
+        let program =
+            compile_benchmark_for(b.name, &machine).expect("benchmarks fit the paper machine");
+        let report = analyze(&program, &machine);
+        assert!(
+            report.is_clean(),
+            "benchmark `{}` fails static analysis\n{}",
+            b.name,
+            report.render()
+        );
+        let sloppy: Vec<String> = report
+            .diags
+            .iter()
+            .filter(|d| d.severity == Severity::Warning && d.check == Check::Unreachable)
+            .map(std::string::ToString::to_string)
+            .collect();
+        assert!(
+            sloppy.is_empty(),
+            "benchmark `{}` contains unreachable code:\n{}",
+            b.name,
+            sloppy.join("\n")
+        );
+    }
+}
+
+/// The narrow two-cluster machine repacks every kernel; every kernel
+/// that fits (a few exceed its register file) must stay free of
+/// analysis errors in its repacked form too.
+#[test]
+fn benchmarks_stay_clean_on_narrow_machine() {
+    let machine = MachineConfig::narrow_2c();
+    let mut checked = 0;
+    for b in BENCHMARKS {
+        let Ok(program) = compile_benchmark_for(b.name, &machine) else {
+            continue;
+        };
+        checked += 1;
+        let report = analyze(&program, &machine);
+        assert!(
+            report.is_clean(),
+            "benchmark `{}` fails static analysis on narrow_2c\n{}",
+            b.name,
+            report.render()
+        );
+    }
+    assert!(checked >= 8, "only {checked} benchmarks fit narrow_2c");
+}

@@ -26,7 +26,7 @@ fn main() {
     let addr = k.vreg_on(0);
 
     // Input vectors at 0x1000 and 0x2000: v0[i] = i, v1[i] = 2i.
-    let v0: Vec<u8> = (0..64u32).flat_map(|x| x.to_le_bytes()).collect();
+    let v0: Vec<u8> = (0..64u32).flat_map(u32::to_le_bytes).collect();
     let v1: Vec<u8> = (0..64u32).flat_map(|x| (2 * x).to_le_bytes()).collect();
     k.data(0x1000, v0);
     k.data(0x2000, v1);

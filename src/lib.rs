@@ -31,6 +31,8 @@
 //!
 //! See `examples/quickstart.rs` for a five-minute tour.
 
+#![forbid(unsafe_code)]
+
 pub use vex_asm as asm;
 pub use vex_compiler as compiler;
 pub use vex_experiments as experiments;
